@@ -1,0 +1,1 @@
+bench/ablation.ml: Bandwidth Drcomm Engine Exp Float Flooding Format Graph List Net_state Netsim Policy Printf Prng Qos Queue Replication Scenario Sequential Stats Traffic_spec Waxman

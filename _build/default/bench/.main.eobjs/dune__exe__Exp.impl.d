@@ -1,0 +1,1 @@
+bench/exp.ml: Filename List Option Printf Qos Scenario String Sys Unix

@@ -1,0 +1,1 @@
+bench/fig2.ml: Estimator Exp List Printf Scenario

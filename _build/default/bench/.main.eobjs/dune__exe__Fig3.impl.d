@@ -1,0 +1,1 @@
+bench/fig3.ml: Exp Graph List Printf Scenario Waxman

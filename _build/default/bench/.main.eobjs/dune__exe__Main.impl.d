@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Exp Fig2 Fig3 Fig4 List Micro Printf Sys Table1 Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Drcomm Exp Float Flooding Graph Hashtbl Instance Lazy List Matrix Measure Model Net_state Paths Printf Prng Qos Staged Test Time Toolkit Waxman

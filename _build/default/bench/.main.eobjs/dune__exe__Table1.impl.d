@@ -1,0 +1,1 @@
+bench/table1.ml: Estimator Exp List Printf Scenario Transit_stub

@@ -1,0 +1,77 @@
+(* Shared infrastructure for the paper-reproduction benches. *)
+
+(* Scale of the sweeps: [Full] runs the paper's exact points; [Quick]
+   shrinks loads and measurement windows ~4x for smoke runs. *)
+type scale = Full | Quick
+
+let scale_of_args args = if List.mem "--quick" args then Quick else Full
+
+let churn = function Full -> 2000 | Quick -> 500
+let warmup = function Full -> 400 | Quick -> 100
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.printf (fmt ^^ "\n")
+
+let hrule widths =
+  List.iter (fun w -> Printf.printf "+%s" (String.make (w + 2) '-')) widths;
+  Printf.printf "+\n"
+
+let row widths cells =
+  List.iter2 (fun w c -> Printf.printf "| %*s " w c) widths cells;
+  Printf.printf "|\n"
+
+(* Optional machine-readable export: every table also lands in
+   <dir>/<export>.dat as tab-separated values with a '#' header line —
+   ready for gnuplot / pandas. *)
+let out_dir = ref None
+
+let set_out_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  out_dir := Some dir
+
+let export_rows name ~header ~rows =
+  match !out_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (name ^ ".dat") in
+    let oc = open_out path in
+    Printf.fprintf oc "# %s\n" (String.concat "\t" header);
+    List.iter (fun r -> Printf.fprintf oc "%s\n" (String.concat "\t" r)) rows;
+    close_out oc;
+    Printf.printf "(data written to %s)\n" path
+
+let table ?export ~header ~rows () =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i)))
+          (String.length h) rows)
+      header
+  in
+  hrule widths;
+  row widths header;
+  hrule widths;
+  List.iter (row widths) rows;
+  hrule widths;
+  Option.iter (fun name -> export_rows name ~header ~rows) export
+
+let kbps x = Printf.sprintf "%.0f" x
+
+(* The paper's base configuration (Fig. 2): calibrated 100-node Waxman,
+   10 Mbps links, 100-500 Kbps elastic QoS, lambda = mu = 0.001. *)
+let paper_config ~scale ~offered ~increment ~seed =
+  {
+    Scenario.default with
+    Scenario.qos = Qos.paper_spec ~increment;
+    offered;
+    churn_events = churn scale;
+    warmup_events = warmup scale;
+    seed;
+  }
+
+let run_timed cfg =
+  let t0 = Unix.gettimeofday () in
+  let r = Scenario.run cfg in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,61 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Fig. 2, Table 1, Fig. 3, Fig. 4), the ablation studies from
+   DESIGN.md, and a bechamel micro-benchmark suite.
+
+     dune exec bench/main.exe                 # everything, full scale
+     dune exec bench/main.exe -- fig2         # one experiment
+     dune exec bench/main.exe -- all --quick  # ~4x smaller sweeps
+
+   All experiments are deterministic (fixed seeds). *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [all|fig2|table1|fig3|fig4|ablations|micro] [--quick] [--out DIR]";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = Exp.scale_of_args args in
+  (* Consume --out DIR. *)
+  let rec strip_out acc = function
+    | "--out" :: dir :: rest ->
+      Exp.set_out_dir dir;
+      strip_out acc rest
+    | x :: rest -> strip_out (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_out [] args in
+  let which =
+    match List.filter (fun a -> a <> "--quick") args with
+    | [] -> "all"
+    | [ w ] -> w
+    | _ -> usage ()
+  in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "drqos reproduction benches — %s scale\n\
+     paper: Kim & Shin, \"Performance Evaluation of Dependable Real-Time\n\
+     Communication with Elastic QoS\", DSN 2001\n"
+    (match scale with Exp.Full -> "full" | Exp.Quick -> "quick");
+  let run_fig2 () = Fig2.run scale in
+  let run_table1 () = Table1.run scale in
+  let run_fig3 () = Fig3.run scale in
+  let run_fig4 () = Fig4.run scale in
+  let run_ablations () = Ablation.run scale in
+  let run_micro () = Micro.run scale in
+  (match which with
+  | "all" ->
+    run_fig2 ();
+    run_table1 ();
+    run_fig3 ();
+    run_fig4 ();
+    run_ablations ();
+    run_micro ()
+  | "fig2" -> run_fig2 ()
+  | "table1" -> run_table1 ()
+  | "fig3" -> run_fig3 ()
+  | "fig4" -> run_fig4 ()
+  | "ablations" -> run_ablations ()
+  | "micro" -> run_micro ()
+  | _ -> usage ());
+  Printf.printf "\ntotal bench time: %.0fs\n" (Unix.gettimeofday () -. t0)

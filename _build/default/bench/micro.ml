@@ -1,0 +1,115 @@
+(* Bechamel micro-benchmarks of the operations each experiment leans on:
+   route discovery, admission, the Markov solve, and topology
+   generation. *)
+
+open Bechamel
+open Toolkit
+
+let paper_graph = lazy (Waxman.generate (Prng.create 1) (Waxman.paper_spec ~nodes:100))
+
+let bench_flooding () =
+  let g = Lazy.force paper_graph in
+  let net = Net_state.create g in
+  let rng = Prng.create 3 in
+  Staged.stage (fun () ->
+      let src, dst = Prng.sample_distinct_pair rng (Graph.node_count g) in
+      ignore (Flooding.primary_route net (Flooding.request ~src ~dst ~floor:100 ())))
+
+let bench_admission () =
+  let g = Lazy.force paper_graph in
+  let net = Net_state.create g in
+  let service = Drcomm.create net in
+  let rng = Prng.create 4 in
+  let qos = Qos.paper_spec ~increment:50 in
+  Staged.stage (fun () ->
+      let src, dst = Prng.sample_distinct_pair rng (Graph.node_count g) in
+      match Drcomm.admit ~want_indirect:false service ~src ~dst ~qos with
+      | Drcomm.Admitted (id, _) ->
+        (* Keep the service near-empty so each run measures one admit +
+           one terminate rather than an ever-growing network. *)
+        ignore (Drcomm.terminate service id)
+      | Drcomm.Rejected _ -> ())
+
+let bench_markov_solve () =
+  let rng = Prng.create 5 in
+  let n = 9 in
+  let random_stochastic () =
+    let m = Matrix.create n n in
+    for i = 0 to n - 1 do
+      let row = Array.init n (fun _ -> Prng.float rng 1.) in
+      let total = Array.fold_left ( +. ) 0. row in
+      Array.iteri (fun j x -> Matrix.set m i j (x /. total)) row
+    done;
+    m
+  in
+  let p =
+    {
+      Model.lambda = 0.001;
+      mu = 0.001;
+      gamma = 0.;
+      p_f = 0.04;
+      p_s = 0.5;
+      a = random_stochastic ();
+      b = random_stochastic ();
+      t_mat = random_stochastic ();
+    }
+  in
+  let qos = Qos.paper_spec ~increment:50 in
+  Staged.stage (fun () -> ignore (Model.average_bandwidth_regularized p ~qos))
+
+let bench_waxman () =
+  let counter = ref 0 in
+  Staged.stage (fun () ->
+      incr counter;
+      ignore (Waxman.generate (Prng.create !counter) (Waxman.paper_spec ~nodes:100)))
+
+let bench_backup_route () =
+  let g = Lazy.force paper_graph in
+  let net = Net_state.create g in
+  let rng = Prng.create 6 in
+  Staged.stage (fun () ->
+      let src, dst = Prng.sample_distinct_pair rng (Graph.node_count g) in
+      let req = Flooding.request ~src ~dst ~floor:100 () in
+      match Flooding.primary_route net req with
+      | None -> ()
+      | Some p -> ignore (Flooding.backup_route net req ~primary_edges:p.Paths.edges))
+
+let tests =
+  [
+    Test.make ~name:"flooding primary route (fig2-4 inner loop)" (bench_flooding ());
+    Test.make ~name:"backup route search" (bench_backup_route ());
+    Test.make ~name:"DR admission + termination" (bench_admission ());
+    Test.make ~name:"9-state Markov solve (table1/fig2)" (bench_markov_solve ());
+    Test.make ~name:"100-node Waxman generation" (bench_waxman ());
+  ]
+
+let run _scale =
+  Exp.section "Micro-benchmarks (bechamel)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let time_ns =
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> est
+          | _ -> nan
+        in
+        (name, time_ns) :: acc)
+      results []
+    |> List.sort compare
+    |> List.map (fun (name, ns) ->
+           let pretty =
+             if Float.is_nan ns then "n/a"
+             else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+             else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+             else Printf.sprintf "%.0f ns" ns
+           in
+           [ name; pretty ])
+  in
+  Exp.table ~export:"micro" ~header:[ "operation"; "time/run" ] ~rows ()

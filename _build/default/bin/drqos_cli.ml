@@ -1,0 +1,225 @@
+(* Command-line driver for the drqos library.
+
+     drqos_cli run   — run a full scenario (simulate, estimate, solve)
+     drqos_cli topo  — generate a topology and print its statistics
+     drqos_cli chain — solve a synthetic instance of the paper's chain
+
+   Every command is deterministic in its --seed. *)
+
+open Cmdliner
+
+(* --- shared argument definitions --- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let nodes_arg =
+  Arg.(value & opt int 100 & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (enum [ ("waxman", `Waxman); ("transit-stub", `Transit_stub) ]) `Waxman
+    & info [ "topology" ] ~docv:"KIND"
+        ~doc:"Topology generator: $(b,waxman) (the paper's Random network, \
+              calibrated to its 354-link instance at 100 nodes) or \
+              $(b,transit-stub) (the Tier network).")
+
+let capacity_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "capacity" ] ~docv:"KBPS" ~doc:"Per-link capacity in Kbps.")
+
+let policy_conv =
+  let parse s =
+    match Policy.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, Policy.pp)
+
+let scenario_topology nodes = function
+  | `Waxman -> Scenario.Waxman (Waxman.paper_spec ~nodes)
+  | `Transit_stub ->
+    if nodes = 100 then Scenario.Transit_stub Transit_stub.paper_spec
+    else
+      (* Scale the stub population to approximate the requested size. *)
+      let stub_size = max 1 ((nodes - 4) / 12) in
+      Scenario.Transit_stub
+        (Transit_stub.spec ~transit_domains:1 ~transit_size:4
+           ~stubs_per_transit_node:3 ~stub_size ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let offered =
+    Arg.(
+      value & opt int 3000
+      & info [ "offered" ] ~docv:"N" ~doc:"DR-connection set-ups attempted.")
+  in
+  let lambda =
+    Arg.(value & opt float 0.001 & info [ "lambda" ] ~doc:"Arrival rate.")
+  in
+  let mu = Arg.(value & opt float 0.001 & info [ "mu" ] ~doc:"Termination rate.") in
+  let gamma =
+    Arg.(value & opt float 0. & info [ "gamma" ] ~doc:"Link failure rate.")
+  in
+  let increment =
+    Arg.(
+      value & opt int 50
+      & info [ "increment" ] ~docv:"KBPS"
+          ~doc:"Elastic increment (50 = 9-state chain, 100 = 5-state).")
+  in
+  let policy =
+    Arg.(
+      value & opt policy_conv Policy.Equal_share
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Adaptation policy: equal-share, proportional or max-utility.")
+  in
+  let churn =
+    Arg.(value & opt int 2000 & info [ "churn" ] ~doc:"Measured churn events.")
+  in
+  let warmup =
+    Arg.(value & opt int 400 & info [ "warmup" ] ~doc:"Warmup churn events.")
+  in
+  let no_multiplexing =
+    Arg.(
+      value & flag
+      & info [ "no-multiplexing" ] ~doc:"Dedicate backup reservations (ablation).")
+  in
+  let no_backups =
+    Arg.(
+      value & flag
+      & info [ "no-backups" ] ~doc:"Disable backup channels entirely (baseline).")
+  in
+  let run seed nodes topo capacity offered lambda mu gamma increment policy churn
+      warmup no_multiplexing no_backups =
+    let cfg =
+      {
+        Scenario.default with
+        Scenario.topology = scenario_topology nodes topo;
+        capacity;
+        multiplexing = not no_multiplexing;
+        with_backups = not no_backups;
+        require_backup = not no_backups;
+        qos = Qos.paper_spec ~increment;
+        policy;
+        offered;
+        lambda;
+        mu;
+        gamma;
+        churn_events = churn;
+        warmup_events = warmup;
+        seed;
+      }
+    in
+    let r = Scenario.run cfg in
+    Format.printf "%a@." Scenario.pp_result r;
+    Format.printf "level distribution (time-weighted):@.";
+    Array.iteri
+      (fun i p ->
+        Format.printf "  %3d Kbps: %5.1f%%@."
+          (Qos.bandwidth_of_level cfg.Scenario.qos i)
+          (100. *. p))
+      r.Scenario.channel_bandwidth_dist
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ nodes_arg $ topology_arg $ capacity_arg $ offered
+      $ lambda $ mu $ gamma $ increment $ policy $ churn $ warmup $ no_multiplexing
+      $ no_backups)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a full experiment: load, churn, estimate parameters, solve the chain.")
+    term
+
+(* --- topo --- *)
+
+let topo_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the graph in DOT format.")
+  in
+  let run seed nodes topo dot =
+    let rng = Prng.create seed in
+    let g =
+      match scenario_topology nodes topo with
+      | Scenario.Waxman spec -> Waxman.generate rng spec
+      | Scenario.Transit_stub spec -> (Transit_stub.generate rng spec).Transit_stub.graph
+      | Scenario.Fixed g -> g
+    in
+    if dot then begin
+      print_endline "graph drqos {";
+      Graph.iter_edges (fun _ u v -> Printf.printf "  n%d -- n%d;\n" u v) g;
+      print_endline "}"
+    end
+    else begin
+      Format.printf "%a@." Graph.pp g;
+      Format.printf "links (unidirectional): %d@." (2 * Graph.edge_count g);
+      Format.printf "diameter: %d hops@." (Paths.diameter g);
+      Format.printf "average inter-node distance: %.2f hops@." (Paths.average_hops g);
+      Format.printf "connected: %b@." (Graph.is_connected g)
+    end
+  in
+  let term = Term.(const run $ seed_arg $ nodes_arg $ topology_arg $ dot) in
+  Cmd.v (Cmd.info "topo" ~doc:"Generate a topology and print statistics (or DOT).") term
+
+(* --- chain --- *)
+
+let chain_cmd =
+  let p_f = Arg.(value & opt float 0.04 & info [ "pf" ] ~doc:"P_f (direct chaining).") in
+  let p_s = Arg.(value & opt float 0.5 & info [ "ps" ] ~doc:"P_s (indirect chaining).") in
+  let lambda = Arg.(value & opt float 0.001 & info [ "lambda" ] ~doc:"Arrival rate.") in
+  let mu = Arg.(value & opt float 0.001 & info [ "mu" ] ~doc:"Termination rate.") in
+  let gamma = Arg.(value & opt float 0. & info [ "gamma" ] ~doc:"Failure rate.") in
+  let increment =
+    Arg.(value & opt int 50 & info [ "increment" ] ~doc:"Elastic increment in Kbps.")
+  in
+  let run p_f p_s lambda mu gamma increment =
+    let qos = Qos.paper_spec ~increment in
+    let n = Qos.levels qos in
+    (* Synthetic structure, the paper's qualitative shapes: an arrival
+       retreats the channel to its floor (A row -> column 0); an indirect
+       arrival or a termination climbs one level (B and T
+       superdiagonal). *)
+    let a = Matrix.create n n in
+    let b = Matrix.create n n in
+    let t_mat = Matrix.create n n in
+    for i = 0 to n - 1 do
+      Matrix.set a i 0 1.;
+      if i < n - 1 then begin
+        Matrix.set b i (i + 1) 1.;
+        Matrix.set t_mat i (i + 1) 1.
+      end
+      else begin
+        Matrix.set b i i 1.;
+        Matrix.set t_mat i i 1.
+      end
+    done;
+    let p = { Model.lambda; mu; gamma; p_f; p_s; a; b; t_mat } in
+    let pi = Ctmc.stationary (Model.build_regularized p) in
+    Format.printf "stationary distribution of the %d-state chain:@." n;
+    Array.iteri
+      (fun i x ->
+        Format.printf "  S%d (%3d Kbps): %6.3f@." i (Qos.bandwidth_of_level qos i) x)
+      pi;
+    Format.printf "average bandwidth: %.1f Kbps@."
+      (Model.average_bandwidth_regularized p ~qos);
+    Format.printf "sensitivities (d avg / d knob):@.";
+    List.iter
+      (fun (label, knob) ->
+        Format.printf "  %-7s %12.1f@." label (Model.sensitivity p ~qos knob))
+      [
+        ("lambda", `Lambda); ("mu", `Mu); ("gamma", `Gamma); ("P_f", `P_f); ("P_s", `P_s);
+      ]
+  in
+  let term = Term.(const run $ p_f $ p_s $ lambda $ mu $ gamma $ increment) in
+  Cmd.v
+    (Cmd.info "chain"
+       ~doc:"Solve a synthetic instance of the paper's Markov chain from CLI parameters.")
+    term
+
+let () =
+  let doc = "dependable real-time communication with elastic QoS (Kim & Shin, DSN 2001)" in
+  let info = Cmd.info "drqos_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; topo_cmd; chain_cmd ]))

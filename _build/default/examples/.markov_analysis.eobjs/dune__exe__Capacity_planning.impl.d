@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Erlang Format List Printf Scenario

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Bandwidth Dirlink Drcomm Engine Graph List Net_state Printf Prng Qos Waxman

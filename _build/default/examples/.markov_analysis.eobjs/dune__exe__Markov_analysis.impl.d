@@ -1,0 +1,1 @@
+examples/markov_analysis.ml: Array Ctmc Estimator List Model Printf Qos Scenario String

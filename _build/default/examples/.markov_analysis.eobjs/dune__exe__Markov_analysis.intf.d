@@ -1,0 +1,1 @@
+examples/markov_analysis.mli:

@@ -1,0 +1,1 @@
+examples/packet_delay.ml: Bandwidth Drcomm Engine Graph List Net_state Netsim Printf Prng Qos Stats Traffic_spec Waxman

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bandwidth Dirlink Drcomm Format Graph List Net_state Printf Prng Qos Waxman

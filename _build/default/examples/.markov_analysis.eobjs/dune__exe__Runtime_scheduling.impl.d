@@ -1,0 +1,1 @@
+examples/runtime_scheduling.ml: Array Bandwidth Edf Format Interval_qos List Printf

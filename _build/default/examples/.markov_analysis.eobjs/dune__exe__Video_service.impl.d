@@ -1,0 +1,1 @@
+examples/video_service.ml: Bandwidth Drcomm Estimator Format Graph List Model Net_state Policy Printf Prng Qos Waxman

@@ -1,0 +1,81 @@
+(* Quickstart: the whole public API in sixty lines.
+
+   Build a topology, start the DR-connection service, admit an elastic
+   dependable connection, watch it stretch, squeeze it with a competitor,
+   kill a link, and watch the backup take over.
+
+     dune exec examples/quickstart.exe *)
+
+let printf = Printf.printf
+
+let () =
+  (* 1. A topology: 30-node random graph in the style of the paper's
+        evaluation (GT-ITM Waxman model), 10 Mbps links. *)
+  let rng = Prng.create 2024 in
+  let graph = Waxman.generate rng (Waxman.spec ~nodes:30 ~alpha:0.4 ~beta:0.25 ()) in
+  printf "topology: %s\n" (Format.asprintf "%a" Graph.pp graph);
+  let net = Net_state.create ~capacity:(Bandwidth.mbps 10) graph in
+  let service = Drcomm.create net in
+
+  (* 2. An elastic QoS contract: at least 100 Kbps, up to 500 Kbps in
+        50 Kbps steps — the paper's video-service example. *)
+  let qos = Qos.paper_spec ~increment:(Bandwidth.kbps 50) in
+  printf "QoS contract: %s\n" (Format.asprintf "%a" Qos.pp qos);
+
+  (* 3. Admit a dependable connection: one primary + one link-disjoint,
+        multiplexed backup. *)
+  let id =
+    match Drcomm.admit service ~src:0 ~dst:17 ~qos with
+    | Drcomm.Admitted (id, _) -> id
+    | Drcomm.Rejected reason ->
+      failwith
+        (match reason with
+        | Drcomm.No_primary_route -> "no route with enough bandwidth"
+        | Drcomm.No_backup_route -> "no backup route")
+  in
+  printf "admitted connection %d: %d-hop primary, %s, reserving %s\n" id
+    (List.length (Drcomm.primary_links service id))
+    (match Drcomm.backup_links service id with
+    | Some b -> Printf.sprintf "%d-hop backup" (List.length b)
+    | None -> "no backup")
+    (Format.asprintf "%a" Bandwidth.pp (Drcomm.reserved_bandwidth service id));
+
+  (* 4. Contention: admit competitors over the same region and watch the
+        elastic level adapt (arrivals retreat sharing channels to their
+        floors, then the water-filling shares the spare). *)
+  let competitors =
+    List.filter_map
+      (fun dst ->
+        match Drcomm.admit service ~src:0 ~dst ~qos with
+        | Drcomm.Admitted (cid, _) -> Some cid
+        | Drcomm.Rejected _ -> None)
+      [ 17; 17; 17; 17 ]
+  in
+  printf "after %d competitors: connection %d now at %s (level %d of %d)\n"
+    (List.length competitors) id
+    (Format.asprintf "%a" Bandwidth.pp (Drcomm.reserved_bandwidth service id))
+    (Drcomm.level service id)
+    (Qos.levels qos - 1);
+
+  (* 5. Fault tolerance: fail the first edge of the primary path.  The
+        passive backup activates instantly; extras on its links retreat. *)
+  let failed_edge = Dirlink.edge (List.hd (Drcomm.primary_links service id)) in
+  let report = Drcomm.fail_edge service failed_edge in
+  List.iter
+    (fun r ->
+      match r.Drcomm.outcome with
+      | `Switched_to_backup fresh ->
+        printf "connection %d switched to its backup%s\n" r.Drcomm.victim
+          (if fresh then " (and found a new backup)" else "")
+      | `Dropped -> printf "connection %d dropped\n" r.Drcomm.victim
+      | `Restored _ -> printf "connection %d restored\n" r.Drcomm.victim
+      | `Backup_lost _ -> printf "connection %d lost its backup\n" r.Drcomm.victim)
+    report.Drcomm.recoveries;
+  printf "connection %d alive: %b, now reserving %s\n" id
+    (Drcomm.mem service id)
+    (Format.asprintf "%a" Bandwidth.pp (Drcomm.reserved_bandwidth service id));
+
+  (* 6. Always-on self checks. *)
+  Drcomm.check_invariants service;
+  printf "network utilisation: %.1f%%; invariants OK\n"
+    (100. *. Net_state.utilisation net)

@@ -1,0 +1,99 @@
+(* Video streaming over elastic DR-connections — the workload the paper's
+   introduction motivates: a video service needs at least 100 Kbps for
+   recognisable continuous images and 500 Kbps for high quality.
+
+   Two customer classes share the paper's 100-node network: premium
+   streams (utility 4) and basic streams (utility 1), under the
+   coefficient (proportional) adaptation policy.  We churn the system in
+   steady state and report the quality level each class actually enjoys,
+   plus what the analytic model predicts for the blended population.
+
+     dune exec examples/video_service.exe *)
+
+let printf = Printf.printf
+
+let quality_of_kbps k =
+  if k >= 500. then "high definition"
+  else if k >= 300. then "standard definition"
+  else if k >= 200. then "low definition"
+  else "recognisable images"
+
+let () =
+  let graph = Waxman.generate (Prng.create 9) (Waxman.paper_spec ~nodes:100) in
+  printf "network: %s\n" (Format.asprintf "%a" Graph.pp graph);
+  let net = Net_state.create ~capacity:(Bandwidth.mbps 4) graph in
+  let config = { Drcomm.default_config with Drcomm.policy = Policy.Proportional } in
+  let service = Drcomm.create ~config net in
+  let premium = Qos.make ~b_min:100 ~b_max:500 ~increment:50 ~utility:4. () in
+  let basic = Qos.make ~b_min:100 ~b_max:500 ~increment:50 ~utility:1. () in
+
+  (* Offer 1200 streams, 1 premium for every 3 basic. *)
+  let rng = Prng.create 77 in
+  let premium_ids = ref [] and basic_ids = ref [] and rejected = ref 0 in
+  for i = 1 to 1200 do
+    let src, dst = Prng.sample_distinct_pair rng (Graph.node_count graph) in
+    let is_premium = i mod 4 = 0 in
+    let qos = if is_premium then premium else basic in
+    match Drcomm.admit ~want_indirect:false service ~src ~dst ~qos with
+    | Drcomm.Admitted (id, _) ->
+      if is_premium then premium_ids := id :: !premium_ids
+      else basic_ids := id :: !basic_ids
+    | Drcomm.Rejected _ -> incr rejected
+  done;
+  printf "offered 1200 streams: %d carried (%d premium, %d basic), %d rejected\n"
+    (Drcomm.count service) (List.length !premium_ids) (List.length !basic_ids)
+    !rejected;
+
+  (* Churn: viewers leave and join; premium share maintained. *)
+  let est = Estimator.create ~levels:(Qos.levels basic) in
+  for i = 1 to 800 do
+    if i mod 2 = 0 then begin
+      match Drcomm.active_channels service with
+      | [] -> ()
+      | ids ->
+        let id = Prng.pick_list rng ids in
+        let report = Drcomm.terminate service id in
+        Estimator.observe_termination est report;
+        premium_ids := List.filter (fun x -> x <> id) !premium_ids;
+        basic_ids := List.filter (fun x -> x <> id) !basic_ids
+    end
+    else begin
+      let src, dst = Prng.sample_distinct_pair rng (Graph.node_count graph) in
+      let is_premium = i mod 8 = 1 in
+      let qos = if is_premium then premium else basic in
+      match Drcomm.admit service ~src ~dst ~qos with
+      | Drcomm.Admitted (id, report) ->
+        Estimator.observe_arrival est report;
+        if is_premium then premium_ids := id :: !premium_ids
+        else basic_ids := id :: !basic_ids
+      | Drcomm.Rejected _ -> incr rejected
+    end
+  done;
+
+  let class_stats label ids =
+    let ids = List.filter (Drcomm.mem service) ids in
+    let n = List.length ids in
+    if n = 0 then printf "%-8s no streams\n" label
+    else begin
+      let total =
+        List.fold_left (fun acc id -> acc + Drcomm.reserved_bandwidth service id) 0 ids
+      in
+      let avg = float_of_int total /. float_of_int n in
+      printf "%-8s %4d streams, average %3.0f Kbps  (%s)\n" label n avg
+        (quality_of_kbps avg)
+    end
+  in
+  printf "\nsteady-state viewing quality by class:\n";
+  class_stats "premium" !premium_ids;
+  class_stats "basic" !basic_ids;
+
+  (* The paper's analysis side: solve the measured Markov chain and
+     compare with the blended simulation average. *)
+  let params = Model.params_of_estimator ~lambda:0.001 ~mu:0.001 ~gamma:0. est in
+  let predicted = Model.average_bandwidth_regularized params ~qos:basic in
+  printf "\nmeasured P_f = %.3f, P_s = %.3f over %d churn arrivals\n"
+    (Estimator.p_f est) (Estimator.p_s est) (Estimator.arrivals est);
+  printf "Markov-model prediction of the blended average: %.0f Kbps\n" predicted;
+  printf "simulation blended average:                     %.0f Kbps\n"
+    (Drcomm.average_bandwidth service);
+  Drcomm.check_invariants service

@@ -1,0 +1,1 @@
+lib/core/drcomm.ml: Array Dirlink Flooding Graph Hashtbl Link_state List Net_state Option Paths Policy Printf Qos Sequential

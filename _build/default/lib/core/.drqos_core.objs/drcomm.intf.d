@@ -1,0 +1,1 @@
+lib/core/drcomm.mli: Bandwidth Dirlink Net_state Policy Qos

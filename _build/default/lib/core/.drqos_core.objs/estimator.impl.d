@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Drcomm Format List Matrix

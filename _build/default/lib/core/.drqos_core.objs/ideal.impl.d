@@ -1,0 +1,1 @@
+lib/core/ideal.ml: Bandwidth Float Graph Paths Qos

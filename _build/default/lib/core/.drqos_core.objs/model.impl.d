@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Ctmc Dtmc Estimator Float Matrix Printf Qos

@@ -1,0 +1,1 @@
+lib/core/replication.ml: Bandwidth Dirlink Disjoint Hashtbl Link_state List Net_state Paths

@@ -1,0 +1,1 @@
+lib/core/replication.mli: Bandwidth Dirlink Net_state

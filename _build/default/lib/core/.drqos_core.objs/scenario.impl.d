@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Bandwidth Drcomm Engine Estimator Format Fun Graph Ideal List Model Net_state Paths Policy Prng Qos Stats Transit_stub Waxman

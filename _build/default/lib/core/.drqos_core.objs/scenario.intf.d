@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Bandwidth Estimator Format Graph Policy Qos Transit_stub Waxman

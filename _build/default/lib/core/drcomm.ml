@@ -1,0 +1,709 @@
+type channel_id = int
+
+type config = {
+  policy : Policy.t;
+  hop_bound : int;
+  route_search : [ `Flooding | `Sequential of int ];
+  require_backup : bool;
+  with_backups : bool;
+  backups_per_connection : int;
+  restore_on_failure : bool;
+}
+
+let default_config =
+  {
+    policy = Policy.Equal_share;
+    hop_bound = 16;
+    route_search = `Flooding;
+    require_backup = true;
+    with_backups = true;
+    backups_per_connection = 1;
+    restore_on_failure = false;
+  }
+
+type channel = {
+  id : channel_id;
+  src : int;
+  dst : int;
+  mutable qos : Qos.t; (* renegotiable, see change_qos *)
+  mutable primary : Dirlink.id list;
+  mutable primary_edges : int list;
+  mutable backups : Dirlink.id list list; (* mutually link-disjoint *)
+  mutable level : int;
+}
+
+type t = {
+  net : Net_state.t;
+  cfg : config;
+  channels : (channel_id, channel) Hashtbl.t;
+  mutable next_id : int;
+  mutable dropped : int;
+  mutable auto_redistribute : bool;
+}
+
+let create ?(config = default_config) net =
+  if config.hop_bound < 1 then invalid_arg "Drcomm.create: hop_bound >= 1";
+  if config.with_backups && config.backups_per_connection < 1 then
+    invalid_arg "Drcomm.create: with_backups needs backups_per_connection >= 1";
+  {
+    net;
+    cfg = config;
+    channels = Hashtbl.create 256;
+    next_id = 0;
+    dropped = 0;
+    auto_redistribute = true;
+  }
+
+let set_auto_redistribute t flag = t.auto_redistribute <- flag
+let auto_redistribute t = t.auto_redistribute
+
+let net t = t.net
+let config t = t.cfg
+
+type reject_reason = No_primary_route | No_backup_route
+
+type transition = {
+  channel : channel_id;
+  before : int;
+  after : int;
+  chained : [ `Direct | `Indirect ];
+}
+
+type report = {
+  existing : int;
+  direct_count : int;
+  indirect_count : int;
+  transitions : transition list;
+}
+
+type admit_result = Admitted of channel_id * report | Rejected of reject_reason
+
+type recovery = {
+  victim : channel_id;
+  outcome :
+    [ `Switched_to_backup of bool
+    | `Dropped
+    | `Restored of bool
+    | `Backup_lost of bool ];
+}
+
+type failure_report = { recoveries : recovery list; event : report }
+
+(* ------------------------------------------------------------------ *)
+(* Internal helpers                                                    *)
+
+let find t id =
+  match Hashtbl.find_opt t.channels id with
+  | Some ch -> ch
+  | None -> raise Not_found
+
+let bandwidth_at ch lvl = Qos.bandwidth_of_level ch.qos lvl
+
+let set_level t ch lvl =
+  if lvl <> ch.level then begin
+    let bw = bandwidth_at ch lvl in
+    List.iter (fun dl -> Link_state.set_primary (Net_state.link t.net dl) ~channel:ch.id bw)
+      ch.primary;
+    ch.level <- lvl
+  end
+
+let retreat t ch = set_level t ch 0
+
+(* Distinct channels holding a primary reservation on any of [links],
+   except [exclude]. *)
+let channels_on_links t ?(exclude = []) links =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace seen id ()) exclude;
+  let out = ref [] in
+  List.iter
+    (fun dl ->
+      Link_state.iter_primary_channels
+        (fun id _ ->
+          if not (Hashtbl.mem seen id) then begin
+            Hashtbl.replace seen id ();
+            out := find t id :: !out
+          end)
+        (Net_state.link t.net dl))
+    links;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Water-filling redistribution                                        *)
+
+(* A channel can take one more increment iff it is elastic, below its
+   ceiling, and every link of its primary path has that much spare
+   (extras may borrow inactive backup pool, see Link_state). *)
+let can_upgrade t ch =
+  ch.level < Qos.levels ch.qos - 1
+  && List.for_all
+       (fun dl -> Link_state.spare (Net_state.link t.net dl) >= ch.qos.Qos.increment)
+       ch.primary
+
+let grant_increment t ch = set_level t ch (ch.level + 1)
+
+let claim ch = { Policy.utility = ch.qos.Qos.utility; extras_granted = ch.level }
+
+let compare_candidates policy a b =
+  match Policy.compare_claims policy (claim a) (claim b) with
+  | 0 -> compare a.id b.id
+  | c -> c
+
+(* Water-fill the channels touching [dirty] links; the policy decides who
+   gets each successive increment.  Terminates because every grant
+   consumes one increment of finite link capacity.
+
+   - Equal_share: round-based — each round walks candidates from the
+     lowest level up, granting one increment where it fits.  For equal
+     utilities this equals always-grant-the-minimum, at round-scan cost.
+   - Proportional: exact selection loop — each step grants the candidate
+     with the fewest increments per unit utility (the coefficient
+     scheme's fluid limit on the increment grid).
+   - Max_utility: candidates in utility order, each drained to its
+     ceiling before the next sees anything. *)
+let redistribute t ~dirty =
+  let candidates =
+    List.filter (fun ch -> Qos.is_elastic ch.qos) (channels_on_links t dirty)
+  in
+  match candidates with
+  | [] -> ()
+  | _ -> (
+    match t.cfg.policy with
+    | Policy.Equal_share ->
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let ordered = List.sort (compare_candidates t.cfg.policy) candidates in
+        List.iter
+          (fun ch ->
+            if can_upgrade t ch then begin
+              grant_increment t ch;
+              progress := true
+            end)
+          ordered
+      done
+    | Policy.Proportional ->
+      let continue = ref true in
+      while !continue do
+        let eligible = List.filter (can_upgrade t) candidates in
+        match List.sort (compare_candidates t.cfg.policy) eligible with
+        | [] -> continue := false
+        | best :: _ -> grant_increment t best
+      done
+    | Policy.Max_utility ->
+      let ordered = List.sort (compare_candidates t.cfg.policy) candidates in
+      List.iter
+        (fun ch ->
+          while can_upgrade t ch do
+            grant_increment t ch
+          done)
+        ordered)
+
+(* Global pass: water-fill every elastic channel (dirty = every link any
+   channel uses).  Used after a bulk load with auto-redistribution off. *)
+let redistribute_all t =
+  let dirty = Hashtbl.fold (fun _ ch acc -> ch.primary @ acc) t.channels [] in
+  redistribute t ~dirty
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+let snapshot_levels chans = List.map (fun ch -> (ch, ch.level)) chans
+
+let transitions_of ~chained snap =
+  List.map (fun (ch, before) -> { channel = ch.id; before; after = ch.level; chained }) snap
+
+(* Indirectly-chained set at an arrival: channels on the links of the
+   directly-chained channels' paths, that are not directly chained
+   themselves (the paper's third-channel definition). *)
+let indirect_set t ~direct ~exclude =
+  let direct_links = List.concat_map (fun ch -> ch.primary) direct in
+  channels_on_links t ~exclude direct_links
+
+(* ------------------------------------------------------------------ *)
+(* Route discovery dispatch                                            *)
+
+let find_primary_route t req =
+  match t.cfg.route_search with
+  | `Flooding -> Flooding.primary_route t.net req
+  | `Sequential candidates -> Sequential.primary_route t.net req ~candidates
+
+let find_backup_route ?banned_edges t req ~primary_edges =
+  match t.cfg.route_search with
+  | `Flooding -> Flooding.backup_route ?banned_edges t.net req ~primary_edges
+  | `Sequential candidates ->
+    Sequential.backup_route ?banned_edges t.net req ~candidates ~primary_edges
+
+(* Register one backup path's reservations. *)
+let register_backup_path ?floor t ch blinks =
+  let floor = Option.value ~default:ch.qos.Qos.b_min floor in
+  List.iter
+    (fun dl ->
+      Link_state.register_backup (Net_state.link t.net dl) ~channel:ch.id ~b_min:floor
+        ~primary_edges:ch.primary_edges)
+    blinks
+
+let unregister_backup_path t ch blinks =
+  List.iter
+    (fun dl -> Link_state.unregister_backup (Net_state.link t.net dl) ~channel:ch.id)
+    blinks
+
+(* All-or-nothing registration: roll back the prefix on failure. *)
+let try_register_backup_path ?floor t ch blinks =
+  let floor = Option.value ~default:ch.qos.Qos.b_min floor in
+  let registered = ref [] in
+  try
+    List.iter
+      (fun dl ->
+        Link_state.register_backup (Net_state.link t.net dl) ~channel:ch.id
+          ~b_min:floor ~primary_edges:ch.primary_edges;
+        registered := dl :: !registered)
+      blinks;
+    true
+  with Invalid_argument _ ->
+    List.iter
+      (fun dl -> Link_state.unregister_backup (Net_state.link t.net dl) ~channel:ch.id)
+      !registered;
+    false
+
+(* Establish further backup channels until the configured count is
+   reached; each new backup is banned from the edges of the ones already
+   held (mutual link-disjointness, so one failure never claims two).
+   Returns how many were added. *)
+let top_up_backups t ch =
+  if not t.cfg.with_backups then 0
+  else begin
+    let floor = ch.qos.Qos.b_min in
+    let req =
+      Flooding.request ~hop_bound:t.cfg.hop_bound ~src:ch.src ~dst:ch.dst ~floor ()
+    in
+    let added = ref 0 in
+    let continue = ref true in
+    while !continue && List.length ch.backups < t.cfg.backups_per_connection do
+      let banned_edges =
+        List.concat_map (List.map Dirlink.edge) ch.backups |> List.sort_uniq compare
+      in
+      match find_backup_route ~banned_edges t req ~primary_edges:ch.primary_edges with
+      | None -> continue := false
+      | Some bpath ->
+        let blinks = Dirlink.of_path (Net_state.graph t.net) bpath in
+        register_backup_path t ch blinks;
+        ch.backups <- ch.backups @ [ blinks ];
+        incr added
+    done;
+    !added
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+
+let admit ?(want_indirect = true) t ~src ~dst ~qos =
+  let g = Net_state.graph t.net in
+  let n = Graph.node_count g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Drcomm.admit: endpoint out of range";
+  if src = dst then invalid_arg "Drcomm.admit: src = dst";
+  let floor = qos.Qos.b_min in
+  let req = Flooding.request ~hop_bound:t.cfg.hop_bound ~src ~dst ~floor () in
+  match find_primary_route t req with
+  | None -> Rejected No_primary_route
+  | Some ppath -> (
+    let plinks = Dirlink.of_path g ppath in
+    let pedges = ppath.Paths.edges in
+    let id = t.next_id in
+    let existing = Hashtbl.length t.channels in
+    (* Directly-chained channels retreat to their floors (§3.1), making
+       room for the new floor physically (extras may have filled the
+       links). *)
+    let direct = channels_on_links t plinks in
+    let direct_snap = snapshot_levels direct in
+    let indirect =
+      if want_indirect then
+        indirect_set t ~direct ~exclude:(List.map (fun c -> c.id) direct)
+      else []
+    in
+    let indirect_snap = snapshot_levels indirect in
+    List.iter (retreat t) direct;
+    List.iter
+      (fun dl ->
+        Link_state.reserve_primary (Net_state.link t.net dl) ~channel:id ~b_min:floor)
+      plinks;
+    let dirty = plinks @ List.concat_map (fun c -> c.primary) direct in
+    (* Backups are searched with the primary already in place, so the
+       backup admission test sees the primary's floor on any link the
+       routes would share (maximally-disjoint fallback).  The first
+       backup decides acceptance; further ones (when configured) are
+       best-effort. *)
+    let ch =
+      {
+        id;
+        src;
+        dst;
+        qos;
+        primary = plinks;
+        primary_edges = pedges;
+        backups = [];
+        level = 0;
+      }
+    in
+    let got_backups = top_up_backups t ch in
+    match got_backups with
+    | 0 when t.cfg.with_backups && t.cfg.require_backup ->
+      (* Roll the primary back; the retreated channels re-upgrade. *)
+      List.iter
+        (fun dl -> Link_state.release_primary (Net_state.link t.net dl) ~channel:id)
+        plinks;
+      if t.auto_redistribute then redistribute t ~dirty;
+      Rejected No_backup_route
+    | _ ->
+      t.next_id <- id + 1;
+      Hashtbl.replace t.channels id ch;
+      (* Freed extras and remaining spare are redistributed; the new
+         channel participates too. *)
+      if t.auto_redistribute then redistribute t ~dirty;
+      let report =
+        {
+          existing;
+          direct_count = List.length direct;
+          indirect_count = List.length indirect;
+          transitions =
+            transitions_of ~chained:`Direct direct_snap
+            @ transitions_of ~chained:`Indirect indirect_snap;
+        }
+      in
+      Admitted (id, report))
+
+(* ------------------------------------------------------------------ *)
+(* Termination                                                         *)
+
+let release_primary_reservations t ch =
+  List.iter
+    (fun dl -> Link_state.release_primary (Net_state.link t.net dl) ~channel:ch.id)
+    ch.primary
+
+let unregister_backup_links t ch =
+  List.iter (unregister_backup_path t ch) ch.backups;
+  ch.backups <- []
+
+let terminate t id =
+  let ch = find t id in
+  let direct = channels_on_links t ~exclude:[ id ] ch.primary in
+  let direct_snap = snapshot_levels direct in
+  let existing = Hashtbl.length t.channels - 1 in
+  release_primary_reservations t ch;
+  unregister_backup_links t ch;
+  Hashtbl.remove t.channels id;
+  if t.auto_redistribute then redistribute t ~dirty:ch.primary;
+  {
+    existing;
+    direct_count = List.length direct;
+    indirect_count = 0;
+    transitions = transitions_of ~chained:`Direct direct_snap;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* QoS renegotiation                                                   *)
+
+(* Replace a channel's QoS contract in place (same routes).  Treated like
+   an arrival on its own links: extras there are reclaimed so the new
+   floor can be judged against floors + pools only.  All-or-nothing: on
+   any failure the old contract is restored exactly. *)
+let change_qos t id qos' =
+  let ch = find t id in
+  let old_qos = ch.qos in
+  let old_floor = old_qos.Qos.b_min in
+  let new_floor = qos'.Qos.b_min in
+  let backups = ch.backups in
+  (* Reclaim extras on the channel's links (including its own). *)
+  let sharing = channels_on_links t ch.primary in
+  List.iter (retreat t) sharing;
+  let dirty = List.concat_map (fun c -> c.primary) sharing in
+  (* Swap the primary floor link by link, tracking progress for
+     rollback. *)
+  let swapped = ref [] in
+  let swap_floor ~from_floor ~to_floor dl =
+    let l = Net_state.link t.net dl in
+    ignore from_floor;
+    Link_state.release_primary l ~channel:id;
+    Link_state.reserve_primary l ~channel:id ~b_min:to_floor
+  in
+  let swap_back () =
+    (* Undo the successful swaps (old floor always fits back: nothing
+       else changed since we released it). *)
+    List.iter (swap_floor ~from_floor:new_floor ~to_floor:old_floor) !swapped;
+    swapped := []
+  in
+  let rollback () =
+    swap_back ();
+    if t.auto_redistribute then redistribute t ~dirty;
+    `Rejected
+  in
+  let rec swap_all = function
+    | [] -> `Ok
+    | dl :: rest -> (
+      let l = Net_state.link t.net dl in
+      Link_state.release_primary l ~channel:id;
+      match Link_state.reserve_primary l ~channel:id ~b_min:new_floor with
+      | () ->
+        swapped := dl :: !swapped;
+        swap_all rest
+      | exception Invalid_argument _ ->
+        (* This link was already released: restore its old floor before
+           unwinding the fully-swapped ones. *)
+        Link_state.reserve_primary l ~channel:id ~b_min:old_floor;
+        rollback ())
+  in
+  match swap_all ch.primary with
+  | `Rejected -> `Rejected
+  | `Ok -> (
+    (* Re-key every backup to the new floor, all-or-nothing. *)
+    List.iter (unregister_backup_path t ch) backups;
+    let rec rereg done_ = function
+      | [] -> `Ok
+      | b :: rest ->
+        if try_register_backup_path ~floor:new_floor t ch b then rereg (b :: done_) rest
+        else begin
+          (* Roll everything back: restore the old floor first so the
+             backup re-registrations see the original pools, then re-hold
+             the backups.  A backup that no longer fits even then (it can
+             only have been displaced by concurrent state we do not
+             track) is dropped rather than crashing. *)
+          List.iter (unregister_backup_path t ch) done_;
+          swap_back ();
+          ch.backups <-
+            List.filter (try_register_backup_path ~floor:old_floor t ch) backups;
+          if t.auto_redistribute then redistribute t ~dirty;
+          `Rejected
+        end
+    in
+    match rereg [] backups with
+    | `Rejected -> `Rejected
+    | `Ok ->
+      ch.qos <- qos';
+      ch.level <- 0;
+      if t.auto_redistribute then redistribute t ~dirty;
+      `Changed)
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+
+let path_usable t links =
+  List.for_all (fun dl -> Net_state.usable_edge t.net (Dirlink.edge dl)) links
+
+(* Top-up after a recovery event; [true] when at least one backup is
+   (still) held afterwards. *)
+let try_new_backup t ch =
+  ignore (top_up_backups t ch);
+  ch.backups <> []
+
+(* Convert one of [ch]'s backups into its primary.  The single-failure
+   guarantee makes the floors fit; extras on the backup links are
+   retreated first (they were borrowing the pool).  The channel's other
+   backups are re-registered against the new primary's edges (their pool
+   accounting was keyed by the old primary).  Returns [false] if floors
+   do not fit (multi-failure corner) — the caller then drops the
+   connection. *)
+let activate_backup t ch blinks ~retreated =
+  let floor = ch.qos.Qos.b_min in
+  let fits =
+    List.for_all
+      (fun dl ->
+        let l = Net_state.link t.net dl in
+        Link_state.primary_min_total l + floor <= Link_state.capacity l)
+      blinks
+  in
+  if not fits then false
+  else begin
+    let remaining = List.filter (fun b -> b != blinks) ch.backups in
+    unregister_backup_path t ch blinks;
+    (* Primaries sharing the activated links release their extras
+       (§3.1: the pool they were borrowing is being called in). *)
+    List.iter
+      (fun other ->
+        if other.id <> ch.id && other.level > 0 then begin
+          retreated := (other, other.level) :: !retreated;
+          retreat t other
+        end)
+      (channels_on_links t blinks);
+    List.iter
+      (fun dl ->
+        Link_state.reserve_primary ~force:true (Net_state.link t.net dl) ~channel:ch.id
+          ~b_min:floor)
+      blinks;
+    ch.primary <- blinks;
+    ch.primary_edges <- List.sort_uniq compare (List.map Dirlink.edge blinks);
+    ch.level <- 0;
+    (* Remaining backups: re-key their pool accounting to the new primary
+       (they are disjoint from it by construction — backups were mutually
+       disjoint).  A re-registration can fail if the pool no longer fits;
+       such a backup is dropped and replaced later if possible. *)
+    List.iter (unregister_backup_path t ch) remaining;
+    ch.backups <- [];
+    List.iter
+      (fun b -> if try_register_backup_path t ch b then ch.backups <- ch.backups @ [ b ])
+      remaining;
+    true
+  end
+
+let fail_edge t e =
+  if Net_state.edge_failed t.net e then { recoveries = []; event = { existing = Hashtbl.length t.channels; direct_count = 0; indirect_count = 0; transitions = [] } }
+  else begin
+    Net_state.fail_edge t.net e;
+    let existing = Hashtbl.length t.channels in
+    let victims_primary = ref [] and victims_backup = ref [] in
+    let crosses blinks = List.exists (fun dl -> Dirlink.edge dl = e) blinks in
+    Hashtbl.iter
+      (fun _ ch ->
+        if List.mem e ch.primary_edges then victims_primary := ch :: !victims_primary
+        else if List.exists crosses ch.backups then
+          victims_backup := ch :: !victims_backup)
+      t.channels;
+    let by_id a b = compare a.id b.id in
+    let victims_primary = List.sort by_id !victims_primary in
+    let victims_backup = List.sort by_id !victims_backup in
+    let retreated = ref [] in
+    let dirty = ref [] in
+    let recoveries = ref [] in
+    List.iter
+      (fun ch ->
+        release_primary_reservations t ch;
+        dirty := ch.primary @ !dirty;
+        (* Last resort when no backup can take over: drop, or — under the
+           reactive-restoration baseline — attempt a from-scratch
+           re-establishment over the surviving topology. *)
+        let drop_or_restore () =
+          Hashtbl.remove t.channels ch.id;
+          if not t.cfg.restore_on_failure then begin
+            t.dropped <- t.dropped + 1;
+            `Dropped
+          end
+          else
+            match admit ~want_indirect:false t ~src:ch.src ~dst:ch.dst ~qos:ch.qos with
+            | Admitted (nid, _) -> `Restored ((find t nid).backups <> [])
+            | Rejected _ ->
+              t.dropped <- t.dropped + 1;
+              `Dropped
+        in
+        let outcome =
+          (* Activate the first backup whose whole path is still up. *)
+          match List.find_opt (path_usable t) ch.backups with
+          | Some blinks ->
+            if activate_backup t ch blinks ~retreated then begin
+              dirty := blinks @ !dirty;
+              `Switched_to_backup (try_new_backup t ch)
+            end
+            else begin
+              unregister_backup_links t ch;
+              drop_or_restore ()
+            end
+          | None ->
+            (* No backup, or every backup crosses a failed edge. *)
+            unregister_backup_links t ch;
+            drop_or_restore ()
+        in
+        recoveries := { victim = ch.id; outcome } :: !recoveries)
+      victims_primary;
+    List.iter
+      (fun ch ->
+        (* Drop only the backups crossing the failed edge; keep the
+           rest; then top the count back up if routes exist. *)
+        let lost, kept = List.partition crosses ch.backups in
+        List.iter (unregister_backup_path t ch) lost;
+        ch.backups <- kept;
+        recoveries :=
+          { victim = ch.id; outcome = `Backup_lost (try_new_backup t ch) }
+          :: !recoveries)
+      victims_backup;
+    let retreated_snap = List.rev !retreated in
+    if t.auto_redistribute then redistribute t ~dirty:!dirty;
+    let transitions =
+      List.map
+        (fun (ch, before) ->
+          { channel = ch.id; before; after = ch.level; chained = `Direct })
+        retreated_snap
+    in
+    {
+      recoveries = List.rev !recoveries;
+      event =
+        {
+          existing;
+          direct_count = List.length retreated_snap;
+          indirect_count = 0;
+          transitions;
+        };
+    }
+  end
+
+let repair_edge t e = Net_state.repair_edge t.net e
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let count t = Hashtbl.length t.channels
+let active_channels t = Hashtbl.fold (fun id _ acc -> id :: acc) t.channels []
+let mem t id = Hashtbl.mem t.channels id
+let level t id = (find t id).level
+let reserved_bandwidth t id =
+  let ch = find t id in
+  bandwidth_at ch ch.level
+let qos_of t id = (find t id).qos
+let primary_links t id = (find t id).primary
+
+let backup_links t id =
+  match (find t id).backups with [] -> None | first :: _ -> Some first
+
+let all_backup_links t id = (find t id).backups
+let has_backup t id = (find t id).backups <> []
+
+let level_histogram t ~max_levels =
+  let counts = Array.make max_levels 0 in
+  Hashtbl.iter
+    (fun id ch ->
+      if ch.level >= max_levels then
+        invalid_arg
+          (Printf.sprintf "Drcomm.level_histogram: channel %d at level %d" id ch.level);
+      counts.(ch.level) <- counts.(ch.level) + 1)
+    t.channels;
+  counts
+
+let total_reserved t =
+  Hashtbl.fold (fun _ ch acc -> acc + bandwidth_at ch ch.level) t.channels 0
+
+let average_bandwidth t =
+  let n = count t in
+  if n = 0 then 0. else float_of_int (total_reserved t) /. float_of_int n
+
+let dropped_connections t = t.dropped
+
+let check_invariants t =
+  Net_state.check_invariants t.net;
+  Hashtbl.iter
+    (fun id ch ->
+      if ch.level < 0 || ch.level >= Qos.levels ch.qos then
+        failwith (Printf.sprintf "Drcomm: channel %d has level %d" id ch.level);
+      let bw = bandwidth_at ch ch.level in
+      List.iter
+        (fun dl ->
+          match Link_state.primary_reservation (Net_state.link t.net dl) ~channel:id with
+          | Some r when r = bw -> ()
+          | Some r ->
+            failwith
+              (Printf.sprintf "Drcomm: channel %d reserves %d on link %d, level says %d"
+                 id r dl bw)
+          | None ->
+            failwith (Printf.sprintf "Drcomm: channel %d missing on link %d" id dl))
+        ch.primary;
+      (* Every held backup is registered on every one of its links, and
+         distinct backups of one connection are mutually edge-disjoint. *)
+      List.iter
+        (fun blinks ->
+          List.iter
+            (fun dl ->
+              if not (Link_state.has_backup (Net_state.link t.net dl) ~channel:id) then
+                failwith (Printf.sprintf "Drcomm: backup of %d missing on link %d" id dl))
+            blinks)
+        ch.backups;
+      let backup_edges = List.map (List.map Dirlink.edge) ch.backups in
+      let all = List.concat backup_edges in
+      if List.length all <> List.length (List.sort_uniq compare all) then
+        failwith (Printf.sprintf "Drcomm: backups of %d share an edge" id))
+    t.channels

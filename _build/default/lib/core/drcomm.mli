@@ -1,0 +1,192 @@
+(** The dependable real-time communication service with elastic QoS —
+    the network operation of §3.1 of the paper.
+
+    A DR-connection gets a primary channel (admitted at its QoS floor,
+    elastically upgraded afterwards) and one passive backup channel
+    (link-disjoint where possible, multiplexed with other backups).  The
+    service handles the four events that drive the paper's Markov model:
+
+    - {b arrival}: bounded flooding finds the primary route; every
+      existing primary sharing a (directed) link with it retreats to its
+      floor; the backup route is found and registered; freed and spare
+      bandwidth is redistributed by the adaptation policy;
+    - {b termination}: reservations are released and neighbours upgrade;
+    - {b link failure}: backups of the primaries crossing the failed edge
+      activate (becoming primaries at the floor); extras on the activated
+      links retreat; survivors re-establish new backups when possible;
+    - {b link repair}: the edge becomes routable again.
+
+    Every mutating call returns a report of the level transitions it
+    caused, classified exactly as the paper's model needs them
+    (directly-chained vs indirectly-chained), so the {!Estimator} can
+    measure [P_f], [P_s], [A], [B], [T] without reaching into the
+    service's internals. *)
+
+type t
+
+type channel_id = int
+
+type config = {
+  policy : Policy.t;
+  hop_bound : int;
+  route_search : [ `Flooding | `Sequential of int ];
+      (** how routes are discovered (§2.1.1): parallel bounded flooding
+          (the paper's protocol, default) or sequential probing of the
+          [k] shortest candidates.  Both apply identical admission
+          tests. *)
+  require_backup : bool;
+      (** reject a connection that cannot get a backup channel (the
+          paper's dependability QoS); [false] gives the non-dependable
+          baseline. *)
+  with_backups : bool;
+      (** [false] disables backups entirely (pure elastic real-time
+          service — ablation baseline). *)
+  backups_per_connection : int;
+      (** the paper's "one or more backup channels": how many mutually
+          link-disjoint backups each connection tries to hold (default 1;
+          acceptance only requires the first, the rest are best-effort).
+          With [k] backups a connection survives [k] successive primary
+          failures without restoration. *)
+  restore_on_failure : bool;
+      (** when a failure leaves a connection without a usable backup, try
+          to re-establish it from scratch (the {e reactive restoration}
+          baseline the backup-channel scheme is designed to beat —
+          restoration can fail under congestion, which is the paper's
+          §1 motivation).  Default [false]. *)
+}
+
+val default_config : config
+(** Equal-utility water-filling ([Equal_share]), hop bound 16, backups
+    required. *)
+
+val create : ?config:config -> Net_state.t -> t
+
+val net : t -> Net_state.t
+val config : t -> config
+
+(** {1 Connection lifecycle} *)
+
+type reject_reason =
+  | No_primary_route  (** flooding found no admissible route. *)
+  | No_backup_route  (** primary found, but no backup and backups required. *)
+
+(** One channel's level change: [before] and [after] are elastic levels
+    (0 = floor).  [chained] tells how the channel was affected:
+    [`Direct] shares a directed link with the triggering channel;
+    [`Indirect] is indirectly chained to it (via a third channel). *)
+type transition = {
+  channel : channel_id;
+  before : int;
+  after : int;
+  chained : [ `Direct | `Indirect ];
+}
+
+(** What an event did — input for parameter estimation and for tests. *)
+type report = {
+  existing : int;  (** channels present before the event (excl. subject). *)
+  direct_count : int;  (** of which directly chained to the subject. *)
+  indirect_count : int;  (** of which indirectly chained to the subject. *)
+  transitions : transition list;
+      (** every directly- or indirectly-chained channel, including those
+          whose level did not change (diagonal transitions — the model
+          needs the full conditional matrix). *)
+}
+
+type admit_result =
+  | Admitted of channel_id * report
+  | Rejected of reject_reason
+
+val admit :
+  ?want_indirect:bool -> t -> src:int -> dst:int -> qos:Qos.t -> admit_result
+(** Establish a DR-connection.  [src <> dst]; both in range.
+    [~want_indirect:false] (default [true]) skips computing the
+    indirectly-chained set — measurably cheaper during bulk loading when
+    the report is discarded. *)
+
+(** {1 Redistribution control}
+
+    By default every mutating call water-fills the affected links before
+    returning.  For bulk loading, switch auto-redistribution off, load,
+    then run one global pass. *)
+
+val set_auto_redistribute : t -> bool -> unit
+val auto_redistribute : t -> bool
+
+val redistribute_all : t -> unit
+(** One global water-filling pass over all channels. *)
+
+val terminate : t -> channel_id -> report
+(** Tear down a connection and redistribute.  Raises [Not_found] for an
+    unknown or already-terminated id. *)
+
+val change_qos : t -> channel_id -> Qos.t -> [ `Changed | `Rejected ]
+(** Renegotiate a live connection's QoS contract in place (same primary
+    and backup routes).  The new floor is admission-tested against
+    floors-plus-pools on every link after reclaiming extras — exactly
+    like a fresh arrival — and every backup is re-registered at the new
+    floor.  All-or-nothing: on [`Rejected] the old contract is fully
+    restored.  The channel restarts at its (new) floor and re-upgrades
+    through redistribution.  Raises [Not_found] for an unknown id. *)
+
+(** Outcome of one connection's recovery from a failure. *)
+type recovery = {
+  victim : channel_id;
+  outcome :
+    [ `Switched_to_backup of bool
+      (** backup activated; the flag says whether a {e new} backup was
+          re-established afterwards. *)
+    | `Dropped  (** no usable backup: connection lost. *)
+    | `Restored of bool
+      (** no usable backup, but [restore_on_failure] re-established the
+          connection from scratch (flag = got a new backup too). *)
+    | `Backup_lost of bool
+      (** only the backup crossed the failed edge; flag = new backup
+          found. *) ];
+}
+
+type failure_report = { recoveries : recovery list; event : report }
+
+val fail_edge : t -> int -> failure_report
+(** Fail an undirected edge: activate backups, retreat extras on the
+    activated links, redistribute.  Idempotent on an already-failed
+    edge (empty report). *)
+
+val repair_edge : t -> int -> unit
+
+(** {1 Queries} *)
+
+val count : t -> int
+val active_channels : t -> channel_id list
+val mem : t -> channel_id -> bool
+val level : t -> channel_id -> int
+val reserved_bandwidth : t -> channel_id -> Bandwidth.t
+val qos_of : t -> channel_id -> Qos.t
+val primary_links : t -> channel_id -> Dirlink.id list
+val backup_links : t -> channel_id -> Dirlink.id list option
+(** First (activation-priority) backup; [None] when the connection
+    currently has no backup channel. *)
+
+val all_backup_links : t -> channel_id -> Dirlink.id list list
+(** Every backup held, in activation order. *)
+
+val has_backup : t -> channel_id -> bool
+
+val level_histogram : t -> max_levels:int -> int array
+(** [level_histogram t ~max_levels] counts live channels at each elastic
+    level; levels beyond [max_levels - 1] raise (they indicate a QoS spec
+    inconsistent with the caller's assumption). *)
+
+val total_reserved : t -> int
+(** Sum of every channel's current reservation (Kbps; path-length
+    independent — each channel counted once, not per link). *)
+
+val average_bandwidth : t -> float
+(** [total_reserved / count]; 0 when empty. *)
+
+val dropped_connections : t -> int
+(** Cumulative count of connections lost to failures. *)
+
+val check_invariants : t -> unit
+(** Full consistency audit: per-link accounting, level/reservation
+    coherence on every link of every channel, backup registration
+    coherence.  Raises [Failure] on any violation. *)

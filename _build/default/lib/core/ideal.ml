@@ -1,0 +1,15 @@
+let bandwidth ~link_bandwidth ~links ~channels ~avg_hops =
+  if link_bandwidth <= 0 then invalid_arg "Ideal.bandwidth: non-positive capacity";
+  if links <= 0 then invalid_arg "Ideal.bandwidth: non-positive link count";
+  if channels <= 0 then invalid_arg "Ideal.bandwidth: non-positive channel count";
+  if avg_hops <= 0. then invalid_arg "Ideal.bandwidth: non-positive hop count";
+  float_of_int link_bandwidth *. float_of_int links
+  /. (float_of_int channels *. avg_hops)
+
+let bandwidth_capped ~qos ~link_bandwidth ~links ~channels ~avg_hops =
+  let raw = bandwidth ~link_bandwidth ~links ~channels ~avg_hops in
+  Float.max (float_of_int qos.Qos.b_min) (Float.min (float_of_int qos.Qos.b_max) raw)
+
+let of_graph ?(link_bandwidth = Bandwidth.paper_link_capacity) g ~channels =
+  bandwidth ~link_bandwidth ~links:(2 * Graph.edge_count g) ~channels
+    ~avg_hops:(Paths.average_hops g)

@@ -1,0 +1,25 @@
+(** The paper's ideal-average-bandwidth reference line (§4, Fig. 2):
+
+    {v avg = link_bandwidth * links / (channels * avg_hops) v}
+
+    the bandwidth each channel would get if {e all} network resources
+    were pooled and divided equally — an upper bound that ignores
+    topology-induced fragmentation, floors/ceilings and backups.  [links]
+    counts unidirectional links, i.e. twice the undirected edge count,
+    matching the paper's "354 edges" on the 177-edge instance. *)
+
+val bandwidth :
+  link_bandwidth:Bandwidth.t -> links:int -> channels:int -> avg_hops:float -> float
+(** Raw formula; raises [Invalid_argument] on non-positive inputs. *)
+
+val bandwidth_capped :
+  qos:Qos.t -> link_bandwidth:Bandwidth.t -> links:int -> channels:int ->
+  avg_hops:float -> float
+(** The formula clamped into the QoS range [b_min, b_max] — channels can
+    never reserve beyond their ceiling, so the meaningful reference
+    saturates at [b_max]. *)
+
+val of_graph :
+  ?link_bandwidth:Bandwidth.t -> Graph.t -> channels:int -> float
+(** Convenience: [links = 2 * edge_count] and [avg_hops] from all-pairs
+    BFS on the given topology. *)

@@ -1,0 +1,125 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let idx m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Matrix: index (%d, %d) out of %dx%d" i j m.rows m.cols);
+  (i * m.cols) + j
+
+let get m i j = m.data.(idx m i j)
+let set m i j x = m.data.(idx m i j) <- x
+let add_to m i j x = m.data.(idx m i j) <- m.data.(idx m i j) +. x
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.
+  done;
+  m
+
+let of_arrays a =
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Matrix.of_arrays: ragged rows")
+    a;
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set m i j a.(i).(j)
+    done
+  done;
+  m
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m =
+  let r = create m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set r j i (get m i j)
+    done
+  done;
+  r
+
+let map f m = { m with data = Array.map f m.data }
+
+let elementwise op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun k -> op a.data.(k) b.data.(k)) }
+
+let add = elementwise ( +. )
+let sub = elementwise ( -. )
+let scale s m = map (fun x -> s *. x) m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let r = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          add_to r i j (aik *. get b k j)
+        done
+    done
+  done;
+  r
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let vec_mul v m =
+  if Array.length v <> m.rows then invalid_arg "Matrix.vec_mul: dimension mismatch";
+  Array.init m.cols (fun j ->
+      let acc = ref 0. in
+      for i = 0 to m.rows - 1 do
+        acc := !acc +. (v.(i) *. get m i j)
+      done;
+      !acc)
+
+let row_sums m =
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. get m i j
+      done;
+      !acc)
+
+let max_abs m = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. m.data
+
+let equal ?(eps = 1e-12) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%g" (get m i j)
+    done;
+    Format.fprintf ppf "]@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/markov/ctmc.ml: Array Float Fun Hashtbl Linsolve List Matrix Printf

@@ -1,0 +1,1 @@
+lib/markov/dtmc.ml: Array Float Linsolve Matrix Printf

@@ -1,0 +1,35 @@
+let check_rates name a =
+  Array.iter
+    (fun r -> if r <= 0. then invalid_arg ("Birth_death: non-positive " ^ name))
+    a
+
+let stationary ~birth ~death =
+  let n = Array.length birth + 1 in
+  if Array.length death <> Array.length birth then
+    invalid_arg "Birth_death.stationary: birth/death length mismatch";
+  check_rates "birth rate" birth;
+  check_rates "death rate" death;
+  let unnorm = Array.make n 1. in
+  for i = 1 to n - 1 do
+    unnorm.(i) <- unnorm.(i - 1) *. birth.(i - 1) /. death.(i - 1)
+  done;
+  let total = Array.fold_left ( +. ) 0. unnorm in
+  Array.map (fun x -> x /. total) unnorm
+
+let mm1k ~lambda ~mu ~k =
+  if k < 1 then invalid_arg "Birth_death.mm1k: k >= 1";
+  stationary ~birth:(Array.make k lambda) ~death:(Array.make k mu)
+
+let mean_level pi =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. (float_of_int i *. p)) pi;
+  !acc
+
+let to_ctmc ~birth ~death =
+  let n = Array.length birth + 1 in
+  if Array.length death <> Array.length birth then
+    invalid_arg "Birth_death.to_ctmc: birth/death length mismatch";
+  let c = Ctmc.create n in
+  Array.iteri (fun k r -> Ctmc.add_rate c ~src:k ~dst:(k + 1) r) birth;
+  Array.iteri (fun k r -> Ctmc.add_rate c ~src:(k + 1) ~dst:k r) death;
+  c

@@ -1,0 +1,22 @@
+(** Closed-form stationary distributions for birth–death chains.
+
+    A birth–death chain moves only between adjacent levels; its stationary
+    distribution has the classical product form
+    [pi_i = pi_0 * prod_{k<i} birth_k / death_{k+1}].  We use these as
+    exact oracles in the test suite (M/M/1/K and friends) to validate the
+    generic {!Ctmc} solver, and as a quick first-cut approximation of the
+    paper's chain when the measured A/B/T matrices are near-tridiagonal. *)
+
+val stationary : birth:float array -> death:float array -> float array
+(** [stationary ~birth ~death] for a chain with [n = length birth + 1]
+    levels; [birth.(k)] is the rate [k -> k+1], [death.(k)] the rate
+    [k+1 -> k].  All rates must be positive.  Result sums to 1. *)
+
+val mm1k : lambda:float -> mu:float -> k:int -> float array
+(** M/M/1/K queue-length distribution (levels [0..k]). *)
+
+val mean_level : float array -> float
+(** [sum_i i * pi_i]. *)
+
+val to_ctmc : birth:float array -> death:float array -> Ctmc.t
+(** The same chain as a {!Ctmc}, for oracle comparisons. *)

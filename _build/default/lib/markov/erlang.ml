@@ -1,0 +1,41 @@
+let check ~servers ~offered_load =
+  if servers < 0 then invalid_arg "Erlang: negative server count";
+  if offered_load < 0. then invalid_arg "Erlang: negative offered load"
+
+(* Stable recursion: B(0) = 1, B(c) = a B(c-1) / (c + a B(c-1)). *)
+let erlang_b ~servers ~offered_load =
+  check ~servers ~offered_load;
+  if offered_load = 0. then if servers = 0 then 1. else 0.
+  else begin
+    let b = ref 1. in
+    for c = 1 to servers do
+      b := offered_load *. !b /. (float_of_int c +. (offered_load *. !b))
+    done;
+    !b
+  end
+
+let required_servers ~offered_load ~target_blocking =
+  if target_blocking <= 0. || target_blocking >= 1. then
+    invalid_arg "Erlang.required_servers: target in (0, 1)";
+  check ~servers:0 ~offered_load;
+  let rec grow c b =
+    if b <= target_blocking then c
+    else
+      let c = c + 1 in
+      let b = offered_load *. b /. (float_of_int c +. (offered_load *. b)) in
+      grow c b
+  in
+  grow 0 1.
+
+let carried_load ~servers ~offered_load =
+  offered_load *. (1. -. erlang_b ~servers ~offered_load)
+
+let mmcc_occupancy ~servers ~offered_load =
+  check ~servers ~offered_load;
+  (* pi_k proportional to a^k / k!, computed incrementally. *)
+  let unnorm = Array.make (servers + 1) 1. in
+  for k = 1 to servers do
+    unnorm.(k) <- unnorm.(k - 1) *. offered_load /. float_of_int k
+  done;
+  let total = Array.fold_left ( +. ) 0. unnorm in
+  Array.map (fun x -> x /. total) unnorm

@@ -1,0 +1,23 @@
+(** Erlang loss formulas — the classical network-centric admission
+    analysis (the paper's §3.2 names the "network-centric view": how many
+    DR-connections can be accommodated; these are its textbook tools).
+
+    A link that fits [servers] simultaneous floor-reservations, offered
+    Poisson connection requests with load [offered_load] = arrival rate x
+    mean holding time, blocks with the Erlang-B probability. *)
+
+val erlang_b : servers:int -> offered_load:float -> float
+(** Blocking probability of M/M/c/c.  Computed with the stable recursive
+    form, so large server counts do not overflow.  [servers >= 0],
+    [offered_load >= 0]; with 0 servers everything blocks. *)
+
+val required_servers : offered_load:float -> target_blocking:float -> int
+(** Least [c] with [erlang_b ~servers:c <= target_blocking].
+    [0 < target_blocking < 1]. *)
+
+val carried_load : servers:int -> offered_load:float -> float
+(** [offered_load * (1 - blocking)]. *)
+
+val mmcc_occupancy : servers:int -> offered_load:float -> float array
+(** Stationary distribution of the number of busy servers (levels
+    [0..servers]) — also an oracle for the generic CTMC solver. *)

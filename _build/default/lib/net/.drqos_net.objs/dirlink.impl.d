@@ -1,0 +1,1 @@
+lib/net/dirlink.ml: Graph List Paths

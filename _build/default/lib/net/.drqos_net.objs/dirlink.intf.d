@@ -1,0 +1,1 @@
+lib/net/dirlink.mli: Graph Paths

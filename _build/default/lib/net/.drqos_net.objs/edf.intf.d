@@ -1,0 +1,1 @@
+lib/net/edf.mli: Bandwidth

@@ -1,0 +1,1 @@
+lib/net/interval_qos.ml: Array

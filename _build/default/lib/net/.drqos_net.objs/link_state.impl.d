@@ -1,0 +1,1 @@
+lib/net/link_state.ml: Bandwidth Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/net/link_state.mli: Bandwidth

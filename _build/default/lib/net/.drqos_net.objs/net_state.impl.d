@@ -1,0 +1,1 @@
+lib/net/net_state.ml: Array Bandwidth Dirlink Graph Link_state List Printf

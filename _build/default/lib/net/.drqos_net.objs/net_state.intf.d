@@ -1,0 +1,1 @@
+lib/net/net_state.mli: Bandwidth Dirlink Graph Link_state

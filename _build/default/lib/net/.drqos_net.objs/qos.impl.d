@@ -1,0 +1,1 @@
+lib/net/qos.ml: Bandwidth Format Printf

@@ -1,0 +1,1 @@
+lib/net/qos.mli: Bandwidth Format

@@ -1,0 +1,15 @@
+type t = int
+
+let kbps x =
+  if x < 0 then invalid_arg "Bandwidth.kbps: negative";
+  x
+
+let mbps x = kbps (x * 1000)
+
+let to_float_mbps x = float_of_int x /. 1000.
+
+let pp ppf x =
+  if x >= 1000 && x mod 1000 = 0 then Format.fprintf ppf "%dMbps" (x / 1000)
+  else Format.fprintf ppf "%dKbps" x
+
+let paper_link_capacity = mbps 10

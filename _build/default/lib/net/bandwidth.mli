@@ -1,0 +1,23 @@
+(** Bandwidth arithmetic.
+
+    All bandwidth in this codebase is an [int] number of Kbit/s.  Integer
+    units keep elastic-QoS levels exact: a reservation is always
+    [b_min + i * increment] for an integer level [i], so state
+    identification in the Markov model never suffers float drift. *)
+
+type t = int
+(** Kbit/s. *)
+
+val kbps : int -> t
+(** Identity with a positivity check (0 allowed). *)
+
+val mbps : int -> t
+(** [mbps x] is [x * 1000] Kbit/s. *)
+
+val to_float_mbps : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human form: ["350Kbps"], ["10Mbps"] when divisible. *)
+
+val paper_link_capacity : t
+(** 10 Mbps — every link of the paper's evaluation networks. *)

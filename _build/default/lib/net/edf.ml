@@ -1,0 +1,96 @@
+type packet = { channel : int; release : float; deadline : float; size_bits : int }
+
+type completion = { packet : packet; start : float; finish : float; missed : bool }
+
+type t = {
+  rate : Bandwidth.t;
+  mutable queue : packet list; (* kept sorted by (deadline, release) *)
+  mutable clock : float;
+}
+
+let create ~rate =
+  if rate <= 0 then invalid_arg "Edf.create: non-positive rate";
+  { rate; queue = []; clock = 0. }
+
+let transmission_time t bits =
+  if bits <= 0 then invalid_arg "Edf.transmission_time: non-positive size";
+  float_of_int bits /. (float_of_int t.rate *. 1000.)
+
+let packet_order a b =
+  match compare a.deadline b.deadline with
+  | 0 -> compare a.release b.release
+  | c -> c
+
+let submit t p =
+  if p.size_bits <= 0 then invalid_arg "Edf.submit: non-positive size";
+  if p.deadline < p.release then invalid_arg "Edf.submit: deadline before release";
+  t.queue <- List.merge packet_order [ p ] t.queue
+
+let pending t = List.length t.queue
+
+(* Pick the earliest-deadline packet among those released by [now]; if
+   none is released yet, advance to the earliest release. *)
+let next_released t ~now =
+  let released = List.filter (fun p -> p.release <= now) t.queue in
+  match released with
+  | p :: _ -> Some (p, now)
+  | [] -> (
+    match t.queue with
+    | [] -> None
+    | _ ->
+      let earliest =
+        List.fold_left (fun acc p -> Float.min acc p.release) infinity t.queue
+      in
+      let candidates = List.filter (fun p -> p.release <= earliest) t.queue in
+      (match candidates with
+      | p :: _ -> Some (p, earliest)
+      | [] -> None))
+
+let remove t victim = t.queue <- List.filter (fun p -> p != victim) t.queue
+
+let run t ~until =
+  let done_ = ref [] in
+  let continue = ref true in
+  while !continue do
+    match next_released t ~now:t.clock with
+    | None -> continue := false
+    | Some (p, start_at) ->
+      let start = Float.max t.clock start_at in
+      let finish = start +. transmission_time t p.size_bits in
+      if finish > until then continue := false
+      else begin
+        remove t p;
+        t.clock <- finish;
+        done_ := { packet = p; start; finish; missed = finish > p.deadline } :: !done_
+      end
+  done;
+  if t.clock < until then t.clock <- until;
+  List.rev !done_
+
+let drain t = run t ~until:infinity
+
+type flow = { period : float; packet_bits : int; relative_deadline : float }
+
+let check_flow f =
+  if f.period <= 0. || f.packet_bits <= 0 || f.relative_deadline <= 0. then
+    invalid_arg "Edf: malformed flow"
+
+let utilisation ~rate flows =
+  if rate <= 0 then invalid_arg "Edf.utilisation: non-positive rate";
+  List.fold_left
+    (fun acc f ->
+      check_flow f;
+      acc +. (float_of_int f.packet_bits /. (float_of_int rate *. 1000.) /. f.period))
+    0. flows
+
+let schedulable ~rate flows =
+  let u = utilisation ~rate flows in
+  let tx bits = float_of_int bits /. (float_of_int rate *. 1000.) in
+  let max_tx = List.fold_left (fun acc f -> Float.max acc (tx f.packet_bits)) 0. flows in
+  u <= 1.
+  && List.for_all
+       (fun f ->
+         (* Non-preemptive blocking: one maximal foreign packet may have
+            just started. *)
+         tx f.packet_bits +. max_tx <= f.relative_deadline)
+       flows

@@ -1,0 +1,63 @@
+(** Earliest-deadline-first link scheduling — the run-time message
+    scheduling phase of a real-time channel (§2.1.1; Kandlur, Shin &
+    Ferrari, TPDS 1994).
+
+    One instance models one output link: packets of admitted channels
+    arrive with deadlines; the link transmits at its line rate, always
+    picking the pending packet with the earliest deadline
+    (non-preemptive).  The module both {e simulates} (producing per-packet
+    completion times and deadline misses) and {e admission-tests}
+    (classical EDF utilisation bound plus a worst-case blocking check for
+    the non-preemptive case). *)
+
+type packet = {
+  channel : int;
+  release : float;  (** arrival time at the link, seconds. *)
+  deadline : float;  (** absolute deadline. *)
+  size_bits : int;
+}
+
+type completion = {
+  packet : packet;
+  start : float;
+  finish : float;
+  missed : bool;  (** [finish > deadline]. *)
+}
+
+type t
+
+val create : rate:Bandwidth.t -> t
+(** [rate] in Kbit/s, so a [size_bits] packet takes
+    [size_bits / (rate * 1000)] seconds. *)
+
+val transmission_time : t -> int -> float
+
+val submit : t -> packet -> unit
+(** Queue a packet.  Raises [Invalid_argument] on non-positive size or
+    [deadline < release]. *)
+
+val pending : t -> int
+
+val run : t -> until:float -> completion list
+(** Simulate transmissions in EDF order (among released packets),
+    reporting every completion that finishes by [until]; packets that
+    would finish later stay queued (their transmission has not been
+    committed). *)
+
+val drain : t -> completion list
+(** Run until every queued packet is transmitted. *)
+
+(** {1 Admission tests for periodic channels} *)
+
+type flow = {
+  period : float;  (** seconds between packets. *)
+  packet_bits : int;
+  relative_deadline : float;  (** deadline offset from release. *)
+}
+
+val utilisation : rate:Bandwidth.t -> flow list -> float
+
+val schedulable : rate:Bandwidth.t -> flow list -> bool
+(** Sufficient test: utilisation <= 1 and, for every flow, the largest
+    packet's non-preemptive blocking plus its own transmission fits in
+    its relative deadline. *)

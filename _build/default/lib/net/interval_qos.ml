@@ -1,0 +1,59 @@
+type spec = { k : int; m : int }
+
+let spec ~k ~m =
+  if k < 1 || m < k then invalid_arg "Interval_qos.spec: need 1 <= k <= m";
+  { k; m }
+
+type monitor = {
+  s : spec;
+  window : bool array; (* circular buffer of the last m outcomes *)
+  mutable head : int; (* next slot to overwrite *)
+  mutable delivered : int; (* count of [true] in window *)
+  mutable violations : int;
+}
+
+let create s =
+  { s; window = Array.make s.m true; head = 0; delivered = s.m; violations = 0 }
+
+let spec_of mon = mon.s
+
+let delivered_in_window mon = mon.delivered
+
+let satisfied mon = mon.delivered >= mon.s.k
+
+let record mon ~delivered =
+  let old = mon.window.(mon.head) in
+  mon.window.(mon.head) <- delivered;
+  mon.head <- (mon.head + 1) mod mon.s.m;
+  if old && not delivered then mon.delivered <- mon.delivered - 1
+  else if (not old) && delivered then mon.delivered <- mon.delivered + 1;
+  if not (satisfied mon) then mon.violations <- mon.violations + 1
+
+(* How many consecutive losses keep every future window satisfied?  After
+   [d] losses, the window contains the last [m - d] old outcomes plus [d]
+   losses; the binding window is each intermediate one.  Simulate on a
+   copy — m is tiny (packet window), so O(m^2) is irrelevant. *)
+let distance_to_failure mon =
+  if not (satisfied mon) then 0
+  else begin
+    let copy =
+      {
+        s = mon.s;
+        window = Array.copy mon.window;
+        head = mon.head;
+        delivered = mon.delivered;
+        violations = 0;
+      }
+    in
+    let d = ref 0 in
+    let ok = ref true in
+    while !ok && !d < mon.s.m do
+      record copy ~delivered:false;
+      if satisfied copy then incr d else ok := false
+    done;
+    !d
+  end
+
+let can_skip mon = distance_to_failure mon >= 1
+
+let violations mon = mon.violations

@@ -1,0 +1,45 @@
+(** Interval (k-out-of-M) QoS — the run-time elastic-QoS model of §2.2,
+    after skip-over scheduling (Koren & Shasha, RTSS 1995) and its
+    exploitation for responsiveness (Caccamo & Buttazzo, RTSS 1997).
+
+    The contract: of every [m] consecutive packets of a channel, at least
+    [k] must be delivered on time.  The link manager may deliberately skip
+    a packet whenever the contract still holds over the sliding window —
+    freeing transmission time for other traffic — which is how elastic
+    QoS is enforced at packet granularity once channel-level bandwidth has
+    been set.  The {e distance-based priority} (DBP) of a channel is how
+    many consecutive future losses the contract tolerates; channels at
+    distance 0 are critical. *)
+
+type spec = private { k : int; m : int }
+
+val spec : k:int -> m:int -> spec
+(** Requires [1 <= k <= m]. *)
+
+type monitor
+(** Sliding window over the last [m] packet outcomes of one channel. *)
+
+val create : spec -> monitor
+(** The window starts full of deliveries (a fresh contract is clean). *)
+
+val spec_of : monitor -> spec
+
+val record : monitor -> delivered:bool -> unit
+(** Push the outcome of the next packet. *)
+
+val delivered_in_window : monitor -> int
+
+val satisfied : monitor -> bool
+(** At least [k] of the last [m] outcomes were deliveries. *)
+
+val distance_to_failure : monitor -> int
+(** Number of consecutive future losses the window can absorb while
+    staying satisfied — the DBP value.  0 means the next packet must be
+    delivered; a violated window reports 0. *)
+
+val can_skip : monitor -> bool
+(** [distance_to_failure >= 1]: the next packet may be skipped without
+    breaking the contract. *)
+
+val violations : monitor -> int
+(** Cumulative count of packets after which the window was unsatisfied. *)

@@ -1,0 +1,156 @@
+type primary = { mutable reserved : Bandwidth.t; floor : Bandwidth.t }
+
+type backup = { b_min : Bandwidth.t; primary_edges : int list }
+
+type t = {
+  capacity : Bandwidth.t;
+  multiplexing : bool;
+  primaries : (int, primary) Hashtbl.t;
+  backups : (int, backup) Hashtbl.t;
+  (* For multiplexing: activation demand per failed undirected edge. *)
+  pool_by_edge : (int, int) Hashtbl.t;
+  mutable primary_total : Bandwidth.t;
+  mutable primary_min_total : Bandwidth.t;
+  mutable backup_sum : Bandwidth.t; (* plain sum of registered b_mins *)
+}
+
+let create ?(multiplexing = true) ~capacity () =
+  if capacity <= 0 then invalid_arg "Link_state.create: capacity must be positive";
+  {
+    capacity;
+    multiplexing;
+    primaries = Hashtbl.create 16;
+    backups = Hashtbl.create 16;
+    pool_by_edge = Hashtbl.create 16;
+    primary_total = 0;
+    primary_min_total = 0;
+    backup_sum = 0;
+  }
+
+let capacity t = t.capacity
+
+let backup_pool t =
+  if not t.multiplexing then t.backup_sum
+  else Hashtbl.fold (fun _ demand acc -> max demand acc) t.pool_by_edge 0
+
+let backup_dedicated_demand t = t.backup_sum
+
+let primary_total t = t.primary_total
+let primary_min_total t = t.primary_min_total
+
+let spare t = t.capacity - t.primary_total
+let reclaimable_headroom t = t.capacity - t.primary_min_total - backup_pool t
+
+let admissible_primary t ~b_min = b_min <= reclaimable_headroom t
+
+let guarantee_holds t = t.primary_min_total + backup_pool t <= t.capacity
+
+let reserve_primary ?(force = false) t ~channel ~b_min =
+  if b_min <= 0 then invalid_arg "Link_state.reserve_primary: non-positive floor";
+  if Hashtbl.mem t.primaries channel then
+    invalid_arg "Link_state.reserve_primary: channel already reserved here";
+  let admissible =
+    if force then t.primary_min_total + b_min <= t.capacity
+    else admissible_primary t ~b_min
+  in
+  if not admissible then
+    invalid_arg "Link_state.reserve_primary: floor does not fit";
+  if t.primary_total + b_min > t.capacity then
+    invalid_arg "Link_state.reserve_primary: reclaim extras first";
+  Hashtbl.replace t.primaries channel { reserved = b_min; floor = b_min };
+  t.primary_total <- t.primary_total + b_min;
+  t.primary_min_total <- t.primary_min_total + b_min
+
+let set_primary t ~channel bw =
+  match Hashtbl.find_opt t.primaries channel with
+  | None -> invalid_arg "Link_state.set_primary: unknown channel"
+  | Some p ->
+    if bw < p.floor then invalid_arg "Link_state.set_primary: below floor";
+    let new_total = t.primary_total - p.reserved + bw in
+    if new_total > t.capacity then
+      invalid_arg "Link_state.set_primary: would exceed link capacity";
+    t.primary_total <- new_total;
+    p.reserved <- bw
+
+let release_primary t ~channel =
+  match Hashtbl.find_opt t.primaries channel with
+  | None -> raise Not_found
+  | Some p ->
+    Hashtbl.remove t.primaries channel;
+    t.primary_total <- t.primary_total - p.reserved;
+    t.primary_min_total <- t.primary_min_total - p.floor
+
+let primary_reservation t ~channel =
+  Option.map (fun p -> p.reserved) (Hashtbl.find_opt t.primaries channel)
+
+let primary_channels t =
+  Hashtbl.fold (fun ch p acc -> (ch, p.reserved) :: acc) t.primaries []
+
+let iter_primary_channels f t = Hashtbl.iter (fun ch p -> f ch p.reserved) t.primaries
+
+let primary_count t = Hashtbl.length t.primaries
+
+let backup_pool_with t ~b_min ~primary_edges =
+  if not t.multiplexing then t.backup_sum + b_min
+  else
+    (* New pool = max over edges of (existing demand + b_min if the new
+       backup's primary uses that edge). *)
+    let current = backup_pool t in
+    List.fold_left
+      (fun acc e ->
+        let existing = Option.value ~default:0 (Hashtbl.find_opt t.pool_by_edge e) in
+        max acc (existing + b_min))
+      current primary_edges
+
+let register_backup t ~channel ~b_min ~primary_edges =
+  if b_min <= 0 then invalid_arg "Link_state.register_backup: non-positive b_min";
+  if primary_edges = [] then
+    invalid_arg "Link_state.register_backup: backup needs a non-empty primary path";
+  if Hashtbl.mem t.backups channel then
+    invalid_arg "Link_state.register_backup: channel already registered here";
+  let pool' = backup_pool_with t ~b_min ~primary_edges in
+  if t.primary_min_total + pool' > t.capacity then
+    invalid_arg "Link_state.register_backup: pool does not fit";
+  Hashtbl.replace t.backups channel { b_min; primary_edges };
+  t.backup_sum <- t.backup_sum + b_min;
+  List.iter
+    (fun e ->
+      let existing = Option.value ~default:0 (Hashtbl.find_opt t.pool_by_edge e) in
+      Hashtbl.replace t.pool_by_edge e (existing + b_min))
+    primary_edges
+
+let unregister_backup t ~channel =
+  match Hashtbl.find_opt t.backups channel with
+  | None -> raise Not_found
+  | Some b ->
+    Hashtbl.remove t.backups channel;
+    t.backup_sum <- t.backup_sum - b.b_min;
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt t.pool_by_edge e with
+        | None -> assert false
+        | Some demand ->
+          let remaining = demand - b.b_min in
+          if remaining = 0 then Hashtbl.remove t.pool_by_edge e
+          else Hashtbl.replace t.pool_by_edge e remaining)
+      b.primary_edges
+
+let has_backup t ~channel = Hashtbl.mem t.backups channel
+
+let backup_channels t = Hashtbl.fold (fun ch _ acc -> ch :: acc) t.backups []
+
+let check_invariant t =
+  let sum_reserved = Hashtbl.fold (fun _ p acc -> acc + p.reserved) t.primaries 0 in
+  let sum_floor = Hashtbl.fold (fun _ p acc -> acc + p.floor) t.primaries 0 in
+  if sum_reserved <> t.primary_total then
+    failwith "Link_state: primary_total out of sync";
+  if sum_floor <> t.primary_min_total then
+    failwith "Link_state: primary_min_total out of sync";
+  let sum_backup = Hashtbl.fold (fun _ b acc -> acc + b.b_min) t.backups 0 in
+  if sum_backup <> t.backup_sum then failwith "Link_state: backup_sum out of sync";
+  Hashtbl.iter
+    (fun ch p ->
+      if p.reserved < p.floor then
+        failwith (Printf.sprintf "Link_state: channel %d below floor" ch))
+    t.primaries;
+  if t.primary_total > t.capacity then failwith "Link_state: link overbooked"

@@ -1,0 +1,107 @@
+(** Reservation bookkeeping for one directed link.
+
+    A link carries three kinds of load:
+
+    - {e primary reservations}: per-channel bandwidth actually reserved,
+      [floor <= reserved <= b_max].  Anything above the channel's floor is
+      "extra" and reclaimable at any time;
+    - {e the backup pool}: bandwidth set aside for the backup channels
+      registered here.  With multiplexing (the default, as in the paper),
+      the pool is the worst-case {e single-failure} activation demand:
+      [max over edges f of sum of floors over backups whose primary
+      traverses f].  Without multiplexing it is the plain sum — the
+      baseline the paper's backup-multiplexing argument beats;
+    - nothing for activated backups: activation converts a backup into a
+      primary reservation.
+
+    Crucially (§2.2 of the paper), the backup pool is {e borrowable}:
+    while no failure has activated the backups, elastic extras may occupy
+    the pool's bandwidth.  Hence two distinct capacity constraints:
+
+    - hard: [primary_total <= capacity] — physics;
+    - guarantee: [primary_min_total + backup_pool <= capacity] — enforced
+      at admission/registration time, so that retreating every extra
+      always frees enough room to activate any single failure's backups. *)
+
+type t
+
+val create : ?multiplexing:bool -> capacity:Bandwidth.t -> unit -> t
+(** [multiplexing] defaults to [true]. *)
+
+val capacity : t -> Bandwidth.t
+
+(** {1 Primary reservations} *)
+
+val reserve_primary : ?force:bool -> t -> channel:int -> b_min:Bandwidth.t -> unit
+(** Admit a channel at its floor.  The normal admission test is
+    {!admissible_primary} (floor fits beside other floors {e and} the
+    backup pool).  [~force:true] — used when activating a backup, whose
+    bandwidth was already accounted in the pool — only requires the floor
+    to fit physically beside the other floors.  In both cases the caller
+    must have reclaimed extras first so that [primary_total] stays within
+    capacity; raises [Invalid_argument] otherwise. *)
+
+val admissible_primary : t -> b_min:Bandwidth.t -> bool
+(** [primary_min_total + backup_pool + b_min <= capacity]. *)
+
+val set_primary : t -> channel:int -> Bandwidth.t -> unit
+(** Adjust an existing reservation (elastic upgrade/retreat).  The new
+    value must be >= the channel's floor and keep
+    [primary_total <= capacity] — extras may borrow the backup pool.
+    Raises [Invalid_argument] otherwise. *)
+
+val release_primary : t -> channel:int -> unit
+(** Remove a channel's reservation.  Raises [Not_found] if absent. *)
+
+val primary_reservation : t -> channel:int -> Bandwidth.t option
+val primary_channels : t -> (int * Bandwidth.t) list
+(** [(channel, reserved)] pairs, unordered. *)
+
+val iter_primary_channels : (int -> Bandwidth.t -> unit) -> t -> unit
+val primary_count : t -> int
+val primary_total : t -> Bandwidth.t
+val primary_min_total : t -> Bandwidth.t
+
+(** {1 Backup registrations} *)
+
+val register_backup :
+  t -> channel:int -> b_min:Bandwidth.t -> primary_edges:int list -> unit
+(** Register a backup whose primary traverses the given undirected edges.
+    Raises [Invalid_argument] if the resulting pool would violate the
+    guarantee constraint, or on double registration. *)
+
+val backup_pool_with : t -> b_min:Bandwidth.t -> primary_edges:int list -> Bandwidth.t
+(** Pool size if such a backup were added — the backup admission test is
+    [primary_min_total + backup_pool_with <= capacity].  With multiplexing
+    this is often just the current pool (free dependability — the paper's
+    key resource saving). *)
+
+val unregister_backup : t -> channel:int -> unit
+val has_backup : t -> channel:int -> bool
+val backup_channels : t -> int list
+val backup_pool : t -> Bandwidth.t
+
+val backup_dedicated_demand : t -> Bandwidth.t
+(** What the pool would be {e without} multiplexing: the plain sum of
+    registered backup floors.  [backup_pool <= backup_dedicated_demand];
+    the gap is the overbooking saving on this link. *)
+
+(** {1 Capacity queries} *)
+
+val spare : t -> Bandwidth.t
+(** [capacity - primary_total]: bandwidth an elastic upgrade may take
+    right now (extras borrow the inactive backup pool). *)
+
+val reclaimable_headroom : t -> Bandwidth.t
+(** [capacity - primary_min_total - backup_pool]: what admission control
+    may count on after reclaiming all extras. *)
+
+val guarantee_holds : t -> bool
+(** Whether [primary_min_total + backup_pool <= capacity].  Always true
+    outside failure recovery; may transiently fail after a failure
+    converts backups to primaries (multi-failure corner), until churn or
+    repair restores it. *)
+
+val check_invariant : t -> unit
+(** Raises [Failure] if internal accounting is inconsistent or the hard
+    capacity constraint is violated. *)

@@ -1,0 +1,75 @@
+type t = {
+  graph : Graph.t;
+  links : Link_state.t array;
+  failed : bool array; (* by undirected edge *)
+  multiplexing : bool;
+}
+
+let create_heterogeneous ?(multiplexing = true) ~capacity_of graph =
+  let n = Dirlink.count graph in
+  {
+    graph;
+    links =
+      Array.init n (fun id ->
+          Link_state.create ~multiplexing ~capacity:(capacity_of id) ());
+    failed = Array.make (max 1 (Graph.edge_count graph)) false;
+    multiplexing;
+  }
+
+let create ?multiplexing ?(capacity = Bandwidth.paper_link_capacity) graph =
+  create_heterogeneous ?multiplexing ~capacity_of:(fun _ -> capacity) graph
+
+let graph t = t.graph
+let multiplexing t = t.multiplexing
+
+let link t id =
+  if id < 0 || id >= Array.length t.links then
+    invalid_arg (Printf.sprintf "Net_state.link: id %d out of range" id);
+  t.links.(id)
+
+let link_count t = Array.length t.links
+
+let check_edge t e =
+  if e < 0 || e >= Graph.edge_count t.graph then
+    invalid_arg (Printf.sprintf "Net_state: edge %d out of range" e)
+
+let fail_edge t e =
+  check_edge t e;
+  t.failed.(e) <- true
+
+let repair_edge t e =
+  check_edge t e;
+  t.failed.(e) <- false
+
+let edge_failed t e =
+  check_edge t e;
+  t.failed.(e)
+
+let failed_edges t =
+  let acc = ref [] in
+  Array.iteri (fun e f -> if f && e < Graph.edge_count t.graph then acc := e :: !acc) t.failed;
+  List.rev !acc
+
+let usable_edge t e = not (edge_failed t e)
+
+let iter_links f t = Array.iteri f t.links
+
+let total_primary_reserved t =
+  Array.fold_left (fun acc l -> acc + Link_state.primary_total l) 0 t.links
+
+let total_backup_pool t =
+  Array.fold_left (fun acc l -> acc + Link_state.backup_pool l) 0 t.links
+
+let utilisation t =
+  let cap = Array.fold_left (fun acc l -> acc + Link_state.capacity l) 0 t.links in
+  if cap = 0 then 0.
+  else float_of_int (total_primary_reserved t + total_backup_pool t) /. float_of_int cap
+
+let multiplexing_gain t =
+  let dedicated =
+    Array.fold_left (fun acc l -> acc + Link_state.backup_dedicated_demand l) 0 t.links
+  in
+  let pooled = total_backup_pool t in
+  if pooled = 0 then 1. else float_of_int dedicated /. float_of_int pooled
+
+let check_invariants t = Array.iter Link_state.check_invariant t.links

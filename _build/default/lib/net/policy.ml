@@ -1,0 +1,29 @@
+type t = Equal_share | Proportional | Max_utility
+
+let pp ppf = function
+  | Equal_share -> Format.pp_print_string ppf "equal-share"
+  | Proportional -> Format.pp_print_string ppf "proportional"
+  | Max_utility -> Format.pp_print_string ppf "max-utility"
+
+let of_string = function
+  | "equal-share" | "equal" -> Some Equal_share
+  | "proportional" | "coefficient" -> Some Proportional
+  | "max-utility" | "max" -> Some Max_utility
+  | _ -> None
+
+let all = [ Equal_share; Proportional; Max_utility ]
+
+type claim = { utility : float; extras_granted : int }
+
+let compare_claims policy a b =
+  match policy with
+  | Equal_share -> compare a.extras_granted b.extras_granted
+  | Proportional ->
+    (* Fewest granted increments per unit of utility first. *)
+    compare
+      (float_of_int a.extras_granted /. a.utility)
+      (float_of_int b.extras_granted /. b.utility)
+  | Max_utility -> (
+    match compare b.utility a.utility with
+    | 0 -> compare a.extras_granted b.extras_granted
+    | c -> c)

@@ -1,0 +1,32 @@
+(** Extra-resource adaptation policies — §2.2 of the paper.
+
+    When bandwidth beyond the floors is available, the network walks
+    eligible channels and grants one increment at a time (water-filling);
+    the policy decides {e who gets the next increment}.  The paper
+    evaluates with equal utilities ("fair distribution"); the
+    coefficient/proportional and max-utility schemes it describes are also
+    provided, and compared in the ablation benches. *)
+
+type t =
+  | Equal_share
+      (** round-robin by current extra allocation: lowest first.  With
+          equal utilities this is the paper's fair distribution. *)
+  | Proportional
+      (** the coefficient scheme (Han, PhD 1998): extras in proportion to
+          each channel's utility coefficient. *)
+  | Max_utility
+      (** the max-utility scheme: highest-utility channel takes all it
+          can before anyone else — may monopolise, as the paper warns. *)
+
+val pp : Format.formatter -> t -> unit
+val of_string : string -> t option
+val all : t list
+
+type claim = { utility : float; extras_granted : int }
+(** A channel's standing in the current water-filling round:
+    [extras_granted] counts increments already granted above the floor. *)
+
+val compare_claims : t -> claim -> claim -> int
+(** Total preorder: negative when the first claim deserves the next
+    increment more.  Deterministic tie-breaks are left to the caller
+    (compare on channel id last). *)

@@ -1,0 +1,38 @@
+type t = {
+  b_min : Bandwidth.t;
+  b_max : Bandwidth.t;
+  increment : Bandwidth.t;
+  utility : float;
+}
+
+let make ?(utility = 1.) ~b_min ~b_max ~increment () =
+  if b_min <= 0 then invalid_arg "Qos.make: b_min must be positive";
+  if b_max < b_min then invalid_arg "Qos.make: b_max < b_min";
+  if increment <= 0 then invalid_arg "Qos.make: increment must be positive";
+  if (b_max - b_min) mod increment <> 0 then
+    invalid_arg "Qos.make: range must be an integral number of increments";
+  if utility <= 0. then invalid_arg "Qos.make: utility must be positive";
+  { b_min; b_max; increment; utility }
+
+let single_value ?utility b = make ?utility ~b_min:b ~b_max:b ~increment:b ()
+
+let levels q = 1 + ((q.b_max - q.b_min) / q.increment)
+
+let bandwidth_of_level q i =
+  if i < 0 || i >= levels q then
+    invalid_arg (Printf.sprintf "Qos.bandwidth_of_level: level %d of %d" i (levels q));
+  q.b_min + (i * q.increment)
+
+let level_of_bandwidth q b =
+  if b < q.b_min || b > q.b_max || (b - q.b_min) mod q.increment <> 0 then
+    invalid_arg (Printf.sprintf "Qos.level_of_bandwidth: %d not on grid" b);
+  (b - q.b_min) / q.increment
+
+let is_elastic q = q.b_max > q.b_min
+
+let paper_spec ~increment =
+  make ~b_min:(Bandwidth.kbps 100) ~b_max:(Bandwidth.kbps 500) ~increment ()
+
+let pp ppf q =
+  Format.fprintf ppf "[%a, %a] step %a utility %g" Bandwidth.pp q.b_min
+    Bandwidth.pp q.b_max Bandwidth.pp q.increment q.utility

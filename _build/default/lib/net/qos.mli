@@ -1,0 +1,45 @@
+(** Elastic (min–max range) QoS specifications — §2.2 of the paper.
+
+    A connection asks for a bandwidth range [[b_min, b_max]] walked in
+    steps of [increment]; the network admits it at [b_min] and upgrades it
+    opportunistically.  [utility] weights a channel's claim on extra
+    resources under the utility-aware redistribution policies.  A
+    {e single-value} (inelastic) specification is the degenerate range
+    [b_min = b_max] — the baseline the paper argues against. *)
+
+type t = private {
+  b_min : Bandwidth.t;  (** admission threshold; also the backup reservation. *)
+  b_max : Bandwidth.t;
+  increment : Bandwidth.t;  (** the paper's increment size Δ. *)
+  utility : float;  (** relative reward for extra bandwidth; > 0. *)
+}
+
+val make :
+  ?utility:float ->
+  b_min:Bandwidth.t -> b_max:Bandwidth.t -> increment:Bandwidth.t -> unit -> t
+(** Raises [Invalid_argument] unless [0 < b_min <= b_max],
+    [increment > 0], and [b_max - b_min] is a multiple of [increment]
+    (the paper assumes the range is an integral number of increments). *)
+
+val single_value : ?utility:float -> Bandwidth.t -> t
+(** Inelastic spec: [b_min = b_max = b], increment formally [b]. *)
+
+val levels : t -> int
+(** The paper's N = 1 + (b_max - b_min) / Δ. *)
+
+val bandwidth_of_level : t -> int -> Bandwidth.t
+(** [bandwidth_of_level q i] is [b_min + i * increment];
+    requires [0 <= i < levels q]. *)
+
+val level_of_bandwidth : t -> Bandwidth.t -> int
+(** Inverse of {!bandwidth_of_level}; raises [Invalid_argument] for a
+    bandwidth not on the level grid. *)
+
+val is_elastic : t -> bool
+
+val paper_spec : increment:Bandwidth.t -> t
+(** The paper's evaluation spec: 100 Kbps minimum (recognisable video),
+    500 Kbps maximum (high quality), equal utility 1.0.  [increment] is
+    50 Kbps (9-state chain) or 100 Kbps (5-state chain). *)
+
+val pp : Format.formatter -> t -> unit

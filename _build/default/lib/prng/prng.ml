@@ -1,0 +1,86 @@
+(* SplitMix64.  Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014.  The golden-gamma constant
+   below is floor(2^64 / phi) rounded to odd. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Mixing function (variant "mix13"). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free for our purposes: 64 bits of entropy modulo small bounds
+     has negligible bias for bound << 2^64, but reject to be exact. *)
+  let bound64 = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    (* Accept only if the full block [r-v, r-v+bound-1] fits below 2^63,
+       otherwise the last partial block would bias small values. *)
+    if Int64.sub r v > Int64.sub Int64.max_int (Int64.sub bound64 1L)
+    then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Prng.float: bound must be positive";
+  (* 53 uniform bits -> [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  let u = Int64.to_float r /. 9007199254740992. in
+  u *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: rate must be positive";
+  let rec draw () =
+    let u = float t 1. in
+    if u = 0. then draw () else -.log u /. rate
+  in
+  draw ()
+
+let uniform_in t lo hi =
+  if not (lo < hi) then invalid_arg "Prng.uniform_in: requires lo < hi";
+  lo +. float t (hi -. lo)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct_pair t n =
+  if n < 2 then invalid_arg "Prng.sample_distinct_pair: need n >= 2";
+  let a = int t n in
+  let b = int t (n - 1) in
+  let b = if b >= a then b + 1 else b in
+  (a, b)

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generation for reproducible
+    experiments.
+
+    The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny,
+    fast, well-tested 64-bit generator whose state is a single integer.  Two
+    properties matter here: every experiment can be replayed from a seed, and
+    independent sub-streams can be {e split} off deterministically so that,
+    e.g., the topology generator and the workload generator draw from
+    unrelated streams even when the experiment runs them in a different
+    order. *)
+
+type t
+(** A mutable generator.  Not thread-safe; use one per logical stream. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is statistically
+    independent of [t]'s future output.  Advances [t] by one draw. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both generators then produce the
+    same stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound-1].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [0, bound).  [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] draws from Exp([rate]); mean [1. /. rate].
+    [rate] must be positive. *)
+
+val uniform_in : t -> float -> float -> float
+(** [uniform_in t lo hi] is uniform on [lo, hi). Requires [lo < hi]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list (O(n)). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_distinct_pair : t -> int -> int * int
+(** [sample_distinct_pair t n] draws an ordered pair [(a, b)] with
+    [a <> b], both uniform on [0, n-1].  Requires [n >= 2]. *)

@@ -1,0 +1,1 @@
+lib/routing/disjoint.ml: Graph Hashtbl List Paths

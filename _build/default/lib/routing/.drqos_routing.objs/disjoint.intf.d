@@ -1,0 +1,1 @@
+lib/routing/disjoint.mli: Graph Paths

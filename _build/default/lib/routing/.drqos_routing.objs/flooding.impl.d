@@ -1,0 +1,1 @@
+lib/routing/flooding.ml: Array Bandwidth Dirlink Graph Link_state List Net_state Paths

@@ -1,0 +1,1 @@
+lib/routing/flooding.mli: Bandwidth Graph Net_state Paths

@@ -1,0 +1,1 @@
+lib/routing/sequential.ml: Dirlink Flooding Link_state List Net_state Paths Yen

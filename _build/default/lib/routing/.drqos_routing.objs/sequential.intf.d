@@ -1,0 +1,1 @@
+lib/routing/sequential.mli: Flooding Net_state Paths

@@ -1,0 +1,1 @@
+lib/routing/yen.ml: Graph Hashtbl List Paths

@@ -1,0 +1,18 @@
+let paths ?(usable = fun _ -> true) g ~src ~dst ~k =
+  if k < 0 then invalid_arg "Disjoint.paths: negative k";
+  let removed = Hashtbl.create 32 in
+  let filter e = usable e && not (Hashtbl.mem removed e) in
+  let rec collect acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match Paths.shortest_path ~usable:filter g src dst with
+      | None -> List.rev acc
+      | Some p ->
+        List.iter (fun e -> Hashtbl.replace removed e ()) p.Paths.edges;
+        collect (p :: acc) (remaining - 1)
+  in
+  collect [] k
+
+let max_disjoint_estimate g ~src ~dst =
+  let cap = min (Graph.degree g src) (Graph.degree g dst) in
+  List.length (paths g ~src ~dst ~k:cap)

@@ -1,0 +1,18 @@
+(** Link-disjoint path sets, for the active-replication baselines
+    (multiple-copy and dispersity routing, §2.1.2 of the paper).
+
+    Greedy successive-shortest-paths: repeatedly take a minimum-hop path
+    and delete its edges.  Greedy is not maximal in pathological graphs
+    but matches what the cited schemes deploy and is exact for k = 2 on
+    our topologies in practice; the test suite checks disjointness, not
+    optimality. *)
+
+val paths :
+  ?usable:(int -> bool) -> Graph.t -> src:int -> dst:int -> k:int ->
+  Paths.path list
+(** Up to [k] mutually link-disjoint minimum-hop paths, in discovery
+    order (shortest first).  May return fewer than [k]. *)
+
+val max_disjoint_estimate : Graph.t -> src:int -> dst:int -> int
+(** Greedy estimate of how many link-disjoint paths exist (capped at the
+    smaller endpoint degree). *)

@@ -1,0 +1,138 @@
+type request = { src : int; dst : int; floor : Bandwidth.t; hop_bound : int }
+
+let request ?(hop_bound = 16) ~src ~dst ~floor () =
+  if src = dst then invalid_arg "Flooding.request: src = dst";
+  if floor <= 0 then invalid_arg "Flooding.request: floor must be positive";
+  if hop_bound < 1 then invalid_arg "Flooding.request: hop_bound >= 1";
+  { src; dst; floor; hop_bound }
+
+(* Hop-bounded BFS over directed links.  [allowance dl] returns the
+   bandwidth this directed link could still give the request, or a
+   negative number when the link cannot admit it at all.  Among routes of
+   equal (minimal) hop count the one with the larger bottleneck allowance
+   wins — that is the copy the destination would have confirmed. *)
+let search_best net req ~allowance =
+  let g = Net_state.graph net in
+  let n = Graph.node_count g in
+  let dist = Array.make n max_int in
+  let best_allow = Array.make n min_int in
+  let via = Array.make n (-1, -1) in
+  dist.(req.src) <- 0;
+  best_allow.(req.src) <- max_int;
+  let frontier = ref [ req.src ] in
+  let depth = ref 0 in
+  while !frontier <> [] && !depth < req.hop_bound && dist.(req.dst) = max_int do
+    let next = ref [] in
+    (* Relax the whole level before moving on so the same-depth
+       allowance tie-break is order-independent. *)
+    List.iter
+      (fun u ->
+        List.iter
+          (fun (v, e) ->
+            if Net_state.usable_edge net e && dist.(v) >= !depth + 1 then begin
+              let dl = Dirlink.of_edge g ~edge:e ~src:u in
+              let a = allowance dl in
+              if a >= 0 then begin
+                let bottleneck = min best_allow.(u) a in
+                if
+                  dist.(v) > !depth + 1
+                  || (dist.(v) = !depth + 1 && bottleneck > best_allow.(v))
+                then begin
+                  if dist.(v) > !depth + 1 then next := v :: !next;
+                  dist.(v) <- !depth + 1;
+                  best_allow.(v) <- bottleneck;
+                  via.(v) <- (u, e)
+                end
+              end
+            end)
+          (Graph.neighbors g u))
+      !frontier;
+    frontier := !next;
+    incr depth
+  done;
+  if dist.(req.dst) = max_int then None
+  else begin
+    let rec rebuild v nodes edges =
+      if v = req.src then { Paths.nodes = req.src :: nodes; edges }
+      else
+        let u, e = via.(v) in
+        rebuild u (v :: nodes) (e :: edges)
+    in
+    Some (rebuild req.dst [] [])
+  end
+
+let primary_route net req =
+  let allowance dl =
+    let l = Net_state.link net dl in
+    if Link_state.admissible_primary l ~b_min:req.floor then
+      Link_state.reclaimable_headroom l
+    else -1
+  in
+  search_best net req ~allowance
+
+(* Backup admissibility on a directed link: the pool after adding this
+   backup must fit beside the primary floors. *)
+let backup_allowance net ~floor ~primary_edges dl =
+  let l = Net_state.link net dl in
+  let pool' = Link_state.backup_pool_with l ~b_min:floor ~primary_edges in
+  let headroom = Link_state.capacity l - Link_state.primary_min_total l - pool' in
+  if headroom >= 0 then headroom else -1
+
+let backup_route ?(banned_edges = []) net req ~primary_edges =
+  let base_allowance = backup_allowance net ~floor:req.floor ~primary_edges in
+  let allowance dl =
+    if List.mem (Dirlink.edge dl) banned_edges then -1 else base_allowance dl
+  in
+  (* First try: fully link-disjoint. *)
+  let disjoint_allowance dl =
+    if List.mem (Dirlink.edge dl) primary_edges then -1 else allowance dl
+  in
+  match search_best net req ~allowance:disjoint_allowance with
+  | Some _ as found -> found
+  | None ->
+    (* Maximally disjoint: Dijkstra minimising (shared edges, hops) via a
+       large per-shared-edge penalty, over links that pass the backup
+       admission test. *)
+    let g = Net_state.graph net in
+    let penalty = float_of_int (Graph.node_count g * Graph.node_count g) in
+    let weight e = if List.mem e primary_edges then penalty +. 1. else 1. in
+    let usable e =
+      Net_state.usable_edge net e
+      && (not (List.mem e banned_edges))
+      &&
+      (* Both directions might be used by Dijkstra; the admission test is
+         directional, so accept the edge only if at least one direction
+         admits — the final path is re-checked by the caller via
+         reservation, which raises on the bad direction.  To stay exact we
+         conservatively require both directions to admit. *)
+      allowance (2 * e) >= 0
+      && allowance ((2 * e) + 1) >= 0
+    in
+    (match Paths.dijkstra ~weight ~usable g req.src req.dst with
+    | None -> None
+    | Some (path, _) ->
+      (* A backup covering none of the primary's edges' failures is
+         useless: if every primary edge also lies on the backup, any
+         primary failure kills the backup too — report no backup. *)
+      let protects =
+        List.exists (fun e -> not (List.mem e path.Paths.edges)) primary_edges
+      in
+      if Paths.hop_count path > req.hop_bound || not protects then None
+      else Some path)
+
+let message_count g req =
+  (* One transmission per directed link whose tail is strictly inside the
+     flooding region (hop distance < hop_bound) — every such node forwards
+     the request once over each outgoing link except back where it came
+     from; we charge the full out-degree as an upper-bound model and
+     subtract the return link. *)
+  let dist = Paths.hops_from g req.src in
+  let total = ref 0 in
+  for u = 0 to Graph.node_count g - 1 do
+    if dist.(u) >= 0 && dist.(u) < req.hop_bound then begin
+      let d = Graph.degree g u in
+      let forwards = if u = req.src then d else max 0 (d - 1) in
+      total := !total + forwards
+    end
+  done;
+  !total

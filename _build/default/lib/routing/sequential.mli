@@ -1,0 +1,28 @@
+(** Sequential route search — the alternative to flooding in §2.1.1:
+    "shortest routes are picked and checked first, sequentially one by
+    one" until an admissible one is found or the candidates run out.
+
+    Candidates come from Yen's loopless k-shortest paths; each is
+    admission-tested with exactly the same per-directed-link tests as the
+    flooding search, so the two strategies differ only in {e which}
+    admissible route they find (and in message cost: sequential probing
+    sends one probe per candidate route instead of flooding copies). *)
+
+val primary_route :
+  Net_state.t -> Flooding.request -> candidates:int -> Paths.path option
+(** Scan up to [candidates] shortest routes; return the first whose every
+    directed link admits the request's floor (avoiding failed edges,
+    respecting the hop bound). *)
+
+val backup_route :
+  ?banned_edges:int list ->
+  Net_state.t -> Flooding.request -> candidates:int -> primary_edges:int list ->
+  Paths.path option
+(** First candidate that is fully link-disjoint from the primary and
+    backup-admissible on every directed link; if none of the [candidates]
+    is disjoint, the best {e partially} disjoint admissible candidate
+    (fewest shared edges, never all of them) is returned. *)
+
+val probe_count : Net_state.t -> Flooding.request -> candidates:int -> int
+(** Messages the sequential search would send: one probe per hop of each
+    candidate inspected until success (all candidates on failure). *)

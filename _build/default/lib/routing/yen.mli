@@ -1,0 +1,18 @@
+(** Yen's algorithm for loopless k-shortest (minimum-hop) paths.
+
+    Used by the sequential route-search variant (§2.1.1: "shortest routes
+    are picked and checked first, sequentially one by one") and by tests
+    as an oracle for the flooding search. *)
+
+val k_shortest :
+  ?usable:(int -> bool) -> Graph.t -> src:int -> dst:int -> k:int ->
+  Paths.path list
+(** At most [k] distinct simple paths in non-decreasing hop count.
+    Deterministic: ties are resolved by the underlying BFS's neighbour
+    order. *)
+
+val first_admissible :
+  candidates:Paths.path list -> admissible:(Paths.path -> bool) ->
+  Paths.path option
+(** The sequential search: scan candidates in order, return the first that
+    passes the admission test. *)

@@ -1,0 +1,44 @@
+type t = { queue : (t -> unit) Event_queue.t; mutable clock : float }
+
+type handle = Event_queue.handle
+
+let create ?(start_time = 0.) () = { queue = Event_queue.create (); clock = start_time }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.add t.queue ~time f
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel t h = Event_queue.cancel t.queue h
+
+let pending t = Event_queue.size t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f t;
+    true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let handled = ref 0 in
+  let continue = ref true in
+  while !continue && !handled < max_events do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time when time > until ->
+      t.clock <- until;
+      continue := false
+    | Some _ ->
+      ignore (step t);
+      incr handled
+  done;
+  (* Close the interval even if we drained the queue first. *)
+  if Float.is_finite until && t.clock < until then t.clock <- until;
+  !handled

@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    A thin deterministic loop over {!Event_queue}: events are closures run
+    at their scheduled time, in time order (insertion order within a
+    tie).  Handlers may schedule and cancel further events freely. *)
+
+type t
+
+type handle = Event_queue.handle
+
+val create : ?start_time:float -> unit -> t
+
+val now : t -> float
+(** Current simulation time: the timestamp of the event being handled, or
+    the start time before the first event. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay]; [delay >= 0]. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> handle
+(** Absolute-time variant; [time >= now t]. *)
+
+val cancel : t -> handle -> bool
+
+val pending : t -> int
+
+val run : ?until:float -> ?max_events:int -> t -> int
+(** Process events until the queue drains, the next event would exceed
+    [until], or [max_events] have been handled.  Returns the number of
+    events handled.  When stopped by [until], the clock is advanced to
+    [until] (so time-weighted statistics can be closed there). *)
+
+val step : t -> bool
+(** Handle exactly one event; [false] if the queue was empty. *)

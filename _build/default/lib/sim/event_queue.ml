@@ -1,0 +1,107 @@
+type handle = int
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array option; (* None means empty storage *)
+  mutable size_heap : int;
+  mutable next_seq : int;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable live : int;
+}
+
+let create () =
+  { heap = None; size_heap = 0; next_seq = 0; cancelled = Hashtbl.create 64; live = 0 }
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let ensure_capacity t dummy =
+  match t.heap with
+  | None -> t.heap <- Some (Array.make 64 dummy)
+  | Some arr ->
+    if t.size_heap = Array.length arr then begin
+      let bigger = Array.make (2 * t.size_heap) dummy in
+      Array.blit arr 0 bigger 0 t.size_heap;
+      t.heap <- Some bigger
+    end
+
+let add t ~time payload =
+  if not (Float.is_finite time) then invalid_arg "Event_queue.add: non-finite time";
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  ensure_capacity t entry;
+  let arr = Option.get t.heap in
+  let i = ref t.size_heap in
+  arr.(!i) <- entry;
+  t.size_heap <- t.size_heap + 1;
+  while !i > 0 && earlier arr.(!i) arr.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = arr.(!i) in
+    arr.(!i) <- arr.(parent);
+    arr.(parent) <- tmp;
+    i := parent
+  done;
+  t.live <- t.live + 1;
+  entry.seq
+
+(* Invariant: a seq is in [cancelled] iff that event has fired (pop marks
+   it) or was cancelled.  So membership alone decides "still pending". *)
+let cancel t h =
+  if h < 0 || h >= t.next_seq || Hashtbl.mem t.cancelled h then false
+  else begin
+    Hashtbl.replace t.cancelled h ();
+    t.live <- t.live - 1;
+    true
+  end
+
+let sift_down arr size =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < size && earlier arr.(l) arr.(!smallest) then smallest := l;
+    if r < size && earlier arr.(r) arr.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = arr.(!i) in
+      arr.(!i) <- arr.(!smallest);
+      arr.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done
+
+let rec pop t =
+  if t.size_heap = 0 then None
+  else begin
+    let arr = Option.get t.heap in
+    let top = arr.(0) in
+    t.size_heap <- t.size_heap - 1;
+    arr.(0) <- arr.(t.size_heap);
+    sift_down arr t.size_heap;
+    if Hashtbl.mem t.cancelled top.seq then pop t
+    else begin
+      t.live <- t.live - 1;
+      (* Mark as fired so a late cancel returns false. *)
+      Hashtbl.replace t.cancelled top.seq ();
+      Some (top.time, top.payload)
+    end
+  end
+
+let rec peek_time t =
+  if t.size_heap = 0 then None
+  else begin
+    let arr = Option.get t.heap in
+    let top = arr.(0) in
+    if Hashtbl.mem t.cancelled top.seq then begin
+      t.size_heap <- t.size_heap - 1;
+      arr.(0) <- arr.(t.size_heap);
+      sift_down arr t.size_heap;
+      peek_time t
+    end
+    else Some top.time
+  end
+
+let size t = max 0 t.live
+
+let is_empty t = peek_time t = None

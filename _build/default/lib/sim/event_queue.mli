@@ -1,0 +1,29 @@
+(** Priority queue of timed events with O(log n) insertion/extraction and
+    O(1) cancellation (lazy deletion).
+
+    Ties in time are broken by insertion order, so simulations are fully
+    deterministic. *)
+
+type 'a t
+
+type handle
+(** Names a scheduled event for cancellation. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> handle
+(** Schedules a payload.  [time] must be finite; raises otherwise. *)
+
+val cancel : 'a t -> handle -> bool
+(** [true] if the event was still pending (now removed); [false] if it had
+    already fired or been cancelled. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest remaining event, skipping cancelled entries. *)
+
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,1 @@
+lib/topology/centrality.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/topology/torus.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/waxman.ml: Array Float Graph List Prng

@@ -1,0 +1,82 @@
+(* Brandes' betweenness with edge accumulation.  For each source s:
+   BFS records, per node w, the number of shortest s-w paths (sigma) and
+   the predecessor list; the backward pass accumulates dependencies
+   delta(w) = sum over successors v of (sigma_w / sigma_v) (1 + delta_v),
+   crediting each predecessor edge with its share. *)
+
+let brandes g ~on_edge ~on_node =
+  let n = Graph.node_count g in
+  let sigma = Array.make n 0. in
+  let dist = Array.make n (-1) in
+  let preds = Array.make n [] in
+  let delta = Array.make n 0. in
+  let order = Array.make n 0 in
+  for s = 0 to n - 1 do
+    Array.fill sigma 0 n 0.;
+    Array.fill dist 0 n (-1);
+    Array.fill delta 0 n 0.;
+    Array.iteri (fun i _ -> preds.(i) <- []) preds;
+    let head = ref 0 and tail = ref 0 in
+    let push v =
+      order.(!tail) <- v;
+      incr tail
+    in
+    sigma.(s) <- 1.;
+    dist.(s) <- 0;
+    push s;
+    while !head < !tail do
+      let u = order.(!head) in
+      incr head;
+      List.iter
+        (fun (v, e) ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            push v
+          end;
+          if dist.(v) = dist.(u) + 1 then begin
+            sigma.(v) <- sigma.(v) +. sigma.(u);
+            preds.(v) <- (u, e) :: preds.(v)
+          end)
+        (Graph.neighbors g u)
+    done;
+    (* Backward pass in reverse BFS order. *)
+    for i = !tail - 1 downto 0 do
+      let w = order.(i) in
+      List.iter
+        (fun (u, e) ->
+          let share = sigma.(u) /. sigma.(w) *. (1. +. delta.(w)) in
+          on_edge e share;
+          delta.(u) <- delta.(u) +. share)
+        preds.(w);
+      if w <> s then on_node w delta.(w)
+    done
+  done
+
+let edge_betweenness g =
+  let acc = Array.make (Graph.edge_count g) 0. in
+  brandes g
+    ~on_edge:(fun e share -> acc.(e) <- acc.(e) +. share)
+    ~on_node:(fun _ _ -> ());
+  acc
+
+let node_betweenness g =
+  let acc = Array.make (Graph.node_count g) 0. in
+  brandes g
+    ~on_edge:(fun _ _ -> ())
+    ~on_node:(fun v d -> acc.(v) <- acc.(v) +. d);
+  acc
+
+let edge_usage_probability g =
+  let n = Graph.node_count g in
+  let pairs = float_of_int (n * (n - 1)) in
+  if pairs = 0. then Array.make (Graph.edge_count g) 0.
+  else Array.map (fun b -> b /. pairs) (edge_betweenness g)
+
+(* P_f counts *directed*-link sharing (the reservation-competition notion
+   of Drcomm).  A random connection uses each undirected edge e with
+   probability p_e, split evenly between the two directions, so the
+   expected number of directed links shared by two independent
+   connections is sum over directions of (p_e / 2)^2 = sum_e p_e^2 / 2 —
+   which first-order-approximates P(share >= 1 directed link). *)
+let estimate_p_f g =
+  Array.fold_left (fun acc p -> acc +. (p *. p /. 2.)) 0. (edge_usage_probability g)

@@ -1,0 +1,31 @@
+(** Shortest-path betweenness centrality (Brandes' algorithm, 2001).
+
+    The paper measures the chaining probability [P_f] by simulation
+    because "it is almost impossible to parameterize these probabilities
+    analytically" on irregular topologies (§3.3).  Betweenness gives a
+    topology-only approximation: the probability that a uniformly random
+    connection's shortest path crosses edge [e] is its (normalised) edge
+    betweenness, and two independent channels share at least one edge
+    with probability roughly [sum_e p_e^2] (first-order
+    inclusion–exclusion).  The integration tests check this estimate
+    against the simulated [P_f] on the paper's topology. *)
+
+val edge_betweenness : Graph.t -> float array
+(** Per edge id: the sum over ordered source–target pairs of the fraction
+    of shortest s–t paths crossing the edge.  Unweighted (hop-count)
+    shortest paths; all shortest paths counted with even splitting.
+    O(V·E) time. *)
+
+val node_betweenness : Graph.t -> float array
+(** Classic node betweenness (endpoints excluded), same algorithm. *)
+
+val edge_usage_probability : Graph.t -> float array
+(** [edge_betweenness] normalised by the number of ordered node pairs:
+    entry [e] is P(edge e lies on a uniformly random connection's
+    shortest path). *)
+
+val estimate_p_f : Graph.t -> float
+(** First-order topology-only estimate of the paper's [P_f] under
+    directed-link sharing: [sum_e p_e^2 / 2] over
+    {!edge_usage_probability} (each connection uses one direction of an
+    edge, splitting [p_e] between the two). *)

@@ -1,0 +1,128 @@
+type t = {
+  nodes : int;
+  mutable n_edges : int;
+  mutable ends : (int * int) array; (* edge id -> (min endpoint, max endpoint) *)
+  adj : (int * int) list array; (* node -> (neighbor, edge id) list *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  { nodes = n; n_edges = 0; ends = Array.make (max 16 n) (-1, -1); adj = Array.make n [] }
+
+let node_count g = g.nodes
+let edge_count g = g.n_edges
+
+let check_node g u =
+  if u < 0 || u >= g.nodes then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range [0, %d)" u g.nodes)
+
+let neighbors g u =
+  check_node g u;
+  g.adj.(u)
+
+let find_edge g u v =
+  check_node g u;
+  check_node g v;
+  let rec scan = function
+    | [] -> None
+    | (w, e) :: rest -> if w = v then Some e else scan rest
+  in
+  scan g.adj.(u)
+
+let mem_edge g u v = find_edge g u v <> None
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if mem_edge g u v then invalid_arg "Graph.add_edge: duplicate edge";
+  let id = g.n_edges in
+  if id >= Array.length g.ends then begin
+    let bigger = Array.make (2 * Array.length g.ends) (-1, -1) in
+    Array.blit g.ends 0 bigger 0 id;
+    g.ends <- bigger
+  end;
+  g.ends.(id) <- (min u v, max u v);
+  g.adj.(u) <- (v, id) :: g.adj.(u);
+  g.adj.(v) <- (u, id) :: g.adj.(v);
+  g.n_edges <- id + 1;
+  id
+
+let endpoints g e =
+  if e < 0 || e >= g.n_edges then
+    invalid_arg (Printf.sprintf "Graph.endpoints: edge %d out of range" e);
+  g.ends.(e)
+
+let other_endpoint g e u =
+  let a, b = endpoints g e in
+  if u = a then b
+  else if u = b then a
+  else invalid_arg "Graph.other_endpoint: node not on edge"
+
+let degree g u = List.length (neighbors g u)
+
+let iter_edges f g =
+  for e = 0 to g.n_edges - 1 do
+    let u, v = g.ends.(e) in
+    f e u v
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun e u v -> acc := f e u v !acc) g;
+  !acc
+
+let degree_stats g =
+  if g.nodes = 0 then (0., 0, 0)
+  else begin
+    let dmin = ref max_int and dmax = ref 0 and total = ref 0 in
+    for u = 0 to g.nodes - 1 do
+      let d = degree g u in
+      total := !total + d;
+      if d < !dmin then dmin := d;
+      if d > !dmax then dmax := d
+    done;
+    (float_of_int !total /. float_of_int g.nodes, !dmin, !dmax)
+  end
+
+let components g =
+  let seen = Array.make (max 1 g.nodes) false in
+  let comps = ref [] in
+  for start = 0 to g.nodes - 1 do
+    if not seen.(start) then begin
+      let comp = ref [] in
+      let stack = ref [ start ] in
+      seen.(start) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+          stack := rest;
+          comp := u :: !comp;
+          List.iter
+            (fun (v, _) ->
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                stack := v :: !stack
+              end)
+            g.adj.(u)
+      done;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected g = g.nodes <= 1 || List.length (components g) = 1
+
+let copy g =
+  {
+    nodes = g.nodes;
+    n_edges = g.n_edges;
+    ends = Array.copy g.ends;
+    adj = Array.copy g.adj;
+  }
+
+let pp ppf g =
+  let avg, dmin, dmax = degree_stats g in
+  Format.fprintf ppf "graph: %d nodes, %d edges, degree avg %.2f min %d max %d"
+    g.nodes g.n_edges avg dmin dmax

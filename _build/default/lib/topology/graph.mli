@@ -1,0 +1,55 @@
+(** Undirected simple graphs with stable integer edge identifiers.
+
+    Nodes are [0 .. node_count - 1].  Edges carry a dense id
+    [0 .. edge_count - 1] assigned in insertion order; the network layer
+    keys per-link state (reservations, failures) by edge id.  Self-loops
+    and parallel edges are rejected — neither occurs in the paper's
+    topologies. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] nodes. [n >= 0]. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> int
+(** [add_edge g u v] inserts the undirected edge [{u, v}] and returns its
+    id.  Raises [Invalid_argument] on self-loops, duplicate edges, or
+    out-of-range nodes. *)
+
+val endpoints : t -> int -> int * int
+(** Endpoints of an edge id, with the smaller node first. *)
+
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint g e u] is the endpoint of [e] that is not [u]. *)
+
+val find_edge : t -> int -> int -> int option
+(** Edge id joining two nodes, if present. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> (int * int) list
+(** [neighbors g u] lists [(v, edge_id)] pairs, most recently added first. *)
+
+val degree : t -> int -> int
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+(** [iter_edges f g] calls [f id u v] for every edge, in id order. *)
+
+val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val degree_stats : t -> float * int * int
+(** Average, minimum and maximum node degree. *)
+
+val components : t -> int list list
+(** Connected components as node lists. *)
+
+val is_connected : t -> bool
+(** [true] for the empty and one-node graphs. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Summary line: node/edge counts and degree statistics. *)

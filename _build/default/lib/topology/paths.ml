@@ -1,0 +1,214 @@
+type path = { nodes : int list; edges : int list }
+
+let hop_count p = List.length p.edges
+
+let is_valid g p =
+  match p.nodes with
+  | [] -> false
+  | first :: rest ->
+    let distinct = List.sort_uniq compare p.nodes in
+    List.length distinct = List.length p.nodes
+    && List.length p.nodes = List.length p.edges + 1
+    &&
+    let rec walk u nodes edges =
+      match (nodes, edges) with
+      | [], [] -> true
+      | v :: nodes', e :: edges' -> (
+        match Graph.find_edge g u v with
+        | Some e' when e' = e -> walk v nodes' edges'
+        | _ -> false)
+      | _ -> false
+    in
+    walk first rest p.edges
+
+let all_usable _ = true
+
+(* BFS recording, for each reached node, the (parent, edge) it was reached
+   through; shared by [hops_from] and [shortest_path]. *)
+let bfs ?(usable = all_usable) g src =
+  let n = Graph.node_count g in
+  let dist = Array.make n (-1) in
+  let via = Array.make n (-1, -1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (v, e) ->
+        if usable e && dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          via.(v) <- (u, e);
+          Queue.push v q
+        end)
+      (Graph.neighbors g u)
+  done;
+  (dist, via)
+
+let hops_from ?usable g src =
+  let dist, _ = bfs ?usable g src in
+  dist
+
+let rebuild_path via src dst =
+  let rec walk v nodes edges =
+    if v = src then { nodes = src :: nodes; edges }
+    else
+      let u, e = via.(v) in
+      walk u (v :: nodes) (e :: edges)
+  in
+  walk dst [] []
+
+let shortest_path ?usable g src dst =
+  let dist, via = bfs ?usable g src in
+  if dist.(dst) < 0 then None else Some (rebuild_path via src dst)
+
+(* A tiny mutable binary min-heap over (key, node); enough for Dijkstra on
+   graphs of a few hundred nodes. *)
+module Heap = struct
+  type t = { mutable size : int; mutable arr : (float * int) array }
+
+  let create () = { size = 0; arr = Array.make 64 (0., -1) }
+  let is_empty h = h.size = 0
+
+  let swap h i j =
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- tmp
+
+  let push h key v =
+    if h.size = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.size) (0., -1) in
+      Array.blit h.arr 0 bigger 0 h.size;
+      h.arr <- bigger
+    end;
+    h.arr.(h.size) <- (key, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.arr.((!i - 1) / 2) > fst h.arr.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    h.arr.(0) <- h.arr.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.arr.(l) < fst h.arr.(!smallest) then smallest := l;
+      if r < h.size && fst h.arr.(r) < fst h.arr.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let dijkstra ~weight ?(usable = all_usable) g src dst =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let via = Array.make n (-1, -1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(src) <- 0.;
+  Heap.push heap 0. src;
+  while not (Heap.is_empty heap) do
+    let d, u = Heap.pop heap in
+    if not settled.(u) && d <= dist.(u) then begin
+      settled.(u) <- true;
+      List.iter
+        (fun (v, e) ->
+          if usable e && not settled.(v) then begin
+            let w = weight e in
+            if w < 0. then invalid_arg "Paths.dijkstra: negative weight";
+            let alt = d +. w in
+            if alt < dist.(v) then begin
+              dist.(v) <- alt;
+              via.(v) <- (u, e);
+              Heap.push heap alt v
+            end
+          end)
+        (Graph.neighbors g u)
+    end
+  done;
+  if dist.(dst) = infinity then None
+  else Some (rebuild_path via src dst, dist.(dst))
+
+let widest_path ~width g src dst =
+  let n = Graph.node_count g in
+  (* Maximise the bottleneck; among equal bottlenecks prefer fewer hops.
+     Label = (-bottleneck, hops) ordered lexicographically, packed into the
+     float key via a second pass: we instead run a modified Dijkstra keeping
+     both components explicitly. *)
+  let bottleneck = Array.make n neg_infinity in
+  let hops = Array.make n max_int in
+  let via = Array.make n (-1, -1) in
+  let settled = Array.make n false in
+  let better v b h = b > bottleneck.(v) || (b = bottleneck.(v) && h < hops.(v)) in
+  bottleneck.(src) <- infinity;
+  hops.(src) <- 0;
+  let rec pick_next () =
+    (* Linear scan is fine at n <= a few hundred. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not settled.(v)) && bottleneck.(v) > neg_infinity then
+        if !best < 0
+           || bottleneck.(v) > bottleneck.(!best)
+           || (bottleneck.(v) = bottleneck.(!best) && hops.(v) < hops.(!best))
+        then best := v
+    done;
+    if !best < 0 then ()
+    else begin
+      let u = !best in
+      settled.(u) <- true;
+      if u <> dst then begin
+        List.iter
+          (fun (v, e) ->
+            if not settled.(v) then begin
+              let b = Float.min bottleneck.(u) (width e) in
+              let h = hops.(u) + 1 in
+              if better v b h then begin
+                bottleneck.(v) <- b;
+                hops.(v) <- h;
+                via.(v) <- (u, e)
+              end
+            end)
+          (Graph.neighbors g u);
+        pick_next ()
+      end
+    end
+  in
+  pick_next ();
+  if bottleneck.(dst) = neg_infinity then None
+  else Some (rebuild_path via src dst, bottleneck.(dst))
+
+let eccentricity g u =
+  let dist = hops_from g u in
+  Array.fold_left (fun acc d -> if d > acc then d else acc) 0 dist
+
+let diameter g =
+  let worst = ref 0 in
+  for u = 0 to Graph.node_count g - 1 do
+    let e = eccentricity g u in
+    if e > !worst then worst := e
+  done;
+  !worst
+
+let average_hops g =
+  let total = ref 0 and pairs = ref 0 in
+  for u = 0 to Graph.node_count g - 1 do
+    let dist = hops_from g u in
+    Array.iteri
+      (fun v d ->
+        if v <> u && d > 0 then begin
+          total := !total + d;
+          incr pairs
+        end)
+      dist
+  done;
+  if !pairs = 0 then 0. else float_of_int !total /. float_of_int !pairs

@@ -1,0 +1,32 @@
+let node ~cols r c = (r * cols) + c
+
+let generate ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Torus.generate: need rows, cols >= 3";
+  let g = Graph.create (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let u = node ~cols r c in
+      ignore (Graph.add_edge g u (node ~cols r ((c + 1) mod cols)));
+      ignore (Graph.add_edge g u (node ~cols ((r + 1) mod rows) c))
+    done
+  done;
+  g
+
+(* Mean wrap distance along one axis of size n, over all ordered offsets
+   including 0, is sum_d min(d, n - d) / n. *)
+let axis_mean n =
+  let total = ref 0 in
+  for d = 0 to n - 1 do
+    total := !total + min d (n - d)
+  done;
+  float_of_int !total /. float_of_int n
+
+let average_hops ~rows ~cols =
+  (* Distances add across axes; exclude the self-pair from the average. *)
+  let pairs = float_of_int (rows * cols) in
+  (axis_mean rows +. axis_mean cols) *. pairs /. (pairs -. 1.)
+
+let estimate_p_f ~rows ~cols ~avg_hops =
+  if avg_hops <= 0. then invalid_arg "Torus.estimate_p_f: non-positive hops";
+  let links = float_of_int (4 * rows * cols) in
+  1. -. ((1. -. (avg_hops /. links)) ** avg_hops)

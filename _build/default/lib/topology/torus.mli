@@ -1,0 +1,31 @@
+(** 2-D torus (wrap-around mesh) — a regular topology.
+
+    The paper notes (§3.3) that on a {e regular} network the chaining
+    probabilities "depend solely on the network topology and the average
+    number of hops of channels" and could be parameterised analytically,
+    while irregular Internet-like graphs force measurement.  This module
+    provides the regular case so that claim can be exercised: the test
+    suite compares the measured [P_f] on a torus against the closed-form
+    uniform-usage estimate {!estimate_p_f}. *)
+
+val generate : rows:int -> cols:int -> Graph.t
+(** Wrap-around grid: node [(r, c)] is [r * cols + c]; each node links to
+    its right and down neighbours (modulo the dimensions), giving a
+    4-regular graph with [2 * rows * cols] edges.  Requires
+    [rows >= 3 && cols >= 3] (smaller wraps would create parallel
+    edges). *)
+
+val node : cols:int -> int -> int -> int
+(** [node ~cols r c] is the id of grid position [(r, c)]. *)
+
+val average_hops : rows:int -> cols:int -> float
+(** Exact mean shortest-path distance between distinct nodes (closed
+    form from the per-axis wrap distances). *)
+
+val estimate_p_f : rows:int -> cols:int -> avg_hops:float -> float
+(** Uniform-usage estimate of the probability that two independent
+    channels of [avg_hops] directed links each share at least one
+    directed link: [1 - (1 - h/L)^h] with [L = 4 * rows * cols].  On a
+    node- and edge-transitive graph with shortest-path routing this is
+    accurate to within the path-correlation error (tested to be within a
+    small factor of the measured value). *)

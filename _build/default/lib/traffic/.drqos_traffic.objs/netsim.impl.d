@@ -1,0 +1,1 @@
+lib/traffic/netsim.ml: Array Bandwidth Dirlink Engine Float Hashtbl Interval_qos List Option Stats Traffic_spec

@@ -1,0 +1,1 @@
+lib/traffic/netsim.mli: Bandwidth Dirlink Engine Graph Interval_qos Stats Traffic_spec

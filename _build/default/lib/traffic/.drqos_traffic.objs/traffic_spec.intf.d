@@ -1,0 +1,1 @@
+lib/traffic/traffic_spec.mli: Bandwidth

@@ -1,0 +1,49 @@
+type t = { rate : Bandwidth.t; burst_bits : int; packet_bits : int }
+
+let make ~rate ?burst_bits ~packet_bits () =
+  if rate <= 0 then invalid_arg "Traffic_spec.make: non-positive rate";
+  if packet_bits <= 0 then invalid_arg "Traffic_spec.make: non-positive packet size";
+  let burst_bits = Option.value ~default:packet_bits burst_bits in
+  if burst_bits < packet_bits then
+    invalid_arg "Traffic_spec.make: bucket shallower than one packet";
+  { rate; burst_bits; packet_bits }
+
+let packet_period t = float_of_int t.packet_bits /. (float_of_int t.rate *. 1000.)
+
+let cbr ~rate ~packet_bits = make ~rate ~packet_bits ()
+
+module Bucket = struct
+  type bucket = {
+    spec : t;
+    mutable tokens : float; (* bits *)
+    mutable last_refill : float;
+  }
+
+  let create spec = { spec; tokens = float_of_int spec.burst_bits; last_refill = 0. }
+
+  let refill b ~now =
+    if now > b.last_refill then begin
+      let gained = (now -. b.last_refill) *. float_of_int b.spec.rate *. 1000. in
+      b.tokens <- Float.min (float_of_int b.spec.burst_bits) (b.tokens +. gained);
+      b.last_refill <- now
+    end
+
+  let conforming b ~now =
+    refill b ~now;
+    b.tokens >= float_of_int b.spec.packet_bits
+
+  let try_consume b ~now =
+    refill b ~now;
+    let need = float_of_int b.spec.packet_bits in
+    if b.tokens >= need then begin
+      b.tokens <- b.tokens -. need;
+      true
+    end
+    else false
+
+  let next_conforming_time b ~now =
+    refill b ~now;
+    let need = float_of_int b.spec.packet_bits -. b.tokens in
+    if need <= 0. then now
+    else now +. (need /. (float_of_int b.spec.rate *. 1000.))
+end

@@ -1,0 +1,44 @@
+(** Client traffic-generation specifications.
+
+    A real-time channel contract starts from the client's declared
+    traffic behaviour (§2.1.1: "a client specifies his traffic-generation
+    behavior and required QoS").  We use the classic (σ, ρ) token-bucket
+    form: long-term rate [rate] with burst allowance [burst_bits], cut
+    into packets of [packet_bits]. *)
+
+type t = private {
+  rate : Bandwidth.t;  (** sustained rate, Kbit/s. *)
+  burst_bits : int;  (** bucket depth σ; >= packet_bits. *)
+  packet_bits : int;
+}
+
+val make : rate:Bandwidth.t -> ?burst_bits:int -> packet_bits:int -> unit -> t
+(** [burst_bits] defaults to one packet (pure periodic source).
+    Raises [Invalid_argument] on non-positive fields or a bucket
+    shallower than one packet. *)
+
+val packet_period : t -> float
+(** Seconds between packets of a source sending exactly at [rate]. *)
+
+val cbr : rate:Bandwidth.t -> packet_bits:int -> t
+(** Constant-bit-rate spec (burst of exactly one packet). *)
+
+(** Token-bucket accounting, usable both to {e shape} a source and to
+    {e police} an arrival stream. *)
+module Bucket : sig
+  type bucket
+
+  val create : t -> bucket
+  (** Starts full (a fresh contract allows an initial burst). *)
+
+  val conforming : bucket -> now:float -> bool
+  (** Whether one packet may be sent/accepted at [now]. *)
+
+  val try_consume : bucket -> now:float -> bool
+  (** Take one packet's worth of tokens if available; [false] (and no
+      state change beyond refill) otherwise. *)
+
+  val next_conforming_time : bucket -> now:float -> float
+  (** Earliest time at which one packet would conform ([now] itself if it
+      already does). *)
+end

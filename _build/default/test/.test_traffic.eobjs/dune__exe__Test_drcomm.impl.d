@@ -1,0 +1,1 @@
+test/test_drcomm.ml: Alcotest Array Dirlink Drcomm Graph Link_state List Net_state Option Policy Printf Prng QCheck QCheck_alcotest Qos Waxman

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bandwidth Centrality Drcomm Estimator Float Format Graph List Matrix Model Net_state Policy Printf Prng Qos Scenario Torus Waxman

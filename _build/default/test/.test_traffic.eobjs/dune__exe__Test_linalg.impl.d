@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Linsolve List Matrix QCheck QCheck_alcotest

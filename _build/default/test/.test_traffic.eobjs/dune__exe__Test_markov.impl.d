@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Birth_death Ctmc Dtmc Erlang Float Linsolve List Matrix Printf Prng QCheck QCheck_alcotest

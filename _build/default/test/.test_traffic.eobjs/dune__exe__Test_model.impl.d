@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Ctmc Drcomm Dtmc Estimator Float Graph Ideal Linsolve Matrix Model Printf Prng QCheck QCheck_alcotest Qos

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bandwidth Dirlink Edf Format Graph Hashtbl Interval_qos Link_state List Net_state Option Paths Policy Prng QCheck QCheck_alcotest Qos

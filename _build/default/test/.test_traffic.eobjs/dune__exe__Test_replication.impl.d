@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Dirlink Drcomm Graph Link_state List Net_state Printf Prng QCheck QCheck_alcotest Qos Replication Waxman

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Dirlink Disjoint Flooding Graph Link_state List Net_state Option Paths Prng QCheck QCheck_alcotest Sequential Waxman Yen

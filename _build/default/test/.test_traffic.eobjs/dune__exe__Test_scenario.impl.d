@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Bandwidth Float Graph Printf Prng Qos Scenario Transit_stub Waxman

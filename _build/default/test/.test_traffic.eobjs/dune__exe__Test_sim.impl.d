@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Event_queue Float List Option Prng QCheck QCheck_alcotest Stats

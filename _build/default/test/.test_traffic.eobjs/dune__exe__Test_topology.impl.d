@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Centrality Float Fun Graph List Paths Printf Prng QCheck QCheck_alcotest Torus Transit_stub Waxman

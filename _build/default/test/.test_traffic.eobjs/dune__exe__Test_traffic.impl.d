@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Dirlink Engine Graph Interval_qos List Netsim Printf QCheck QCheck_alcotest Stats Traffic_spec

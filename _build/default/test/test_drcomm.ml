@@ -1,0 +1,709 @@
+(* Tests for the DR-connection service: admission, retreat, elastic
+   redistribution, backup management, failure recovery. *)
+
+(* Ring 0-1-2-3-0: every pair of nodes has exactly two link-disjoint
+   routes, so backups always exist while the ring is intact. *)
+let ring ?(capacity = 1000) ?config () =
+  let g = Graph.create 4 in
+  let e01 = Graph.add_edge g 0 1 in
+  let e12 = Graph.add_edge g 1 2 in
+  let e23 = Graph.add_edge g 2 3 in
+  let e30 = Graph.add_edge g 3 0 in
+  let net = Net_state.create ~capacity g in
+  (Drcomm.create ?config net, g, (e01, e12, e23, e30))
+
+(* Line 0-1-2-3: no cycles, so no link-disjoint backups exist. *)
+let line ?(capacity = 600) ?config () =
+  let g = Graph.create 4 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  ignore (Graph.add_edge g 2 3);
+  let net = Net_state.create ~capacity g in
+  (Drcomm.create ?config net, g)
+
+let qos5 = Qos.paper_spec ~increment:100 (* 100..500, 5 levels *)
+
+let no_backups =
+  { Drcomm.default_config with Drcomm.with_backups = false; require_backup = false }
+
+let admit_ok t ~src ~dst ~qos =
+  match Drcomm.admit t ~src ~dst ~qos with
+  | Drcomm.Admitted (id, report) -> (id, report)
+  | Drcomm.Rejected _ -> Alcotest.fail "expected admission"
+
+let test_single_connection_maxes_out () =
+  let t, _, _ = ring () in
+  let id, report = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  Alcotest.(check int) "no one existed" 0 report.Drcomm.existing;
+  Alcotest.(check int) "one channel" 1 (Drcomm.count t);
+  (* Alone in the network, the channel is water-filled to its ceiling. *)
+  Alcotest.(check int) "level 4" 4 (Drcomm.level t id);
+  Alcotest.(check int) "500 Kbps" 500 (Drcomm.reserved_bandwidth t id);
+  Alcotest.(check int) "1-hop primary" 1 (List.length (Drcomm.primary_links t id));
+  (match Drcomm.backup_links t id with
+  | Some blinks -> Alcotest.(check int) "3-hop backup" 3 (List.length blinks)
+  | None -> Alcotest.fail "expected backup");
+  Drcomm.check_invariants t
+
+let test_no_backup_in_tree_rejected () =
+  let t, _ = line () in
+  (match Drcomm.admit t ~src:0 ~dst:3 ~qos:qos5 with
+  | Drcomm.Rejected Drcomm.No_backup_route -> ()
+  | _ -> Alcotest.fail "expected No_backup_route");
+  Alcotest.(check int) "nothing admitted" 0 (Drcomm.count t);
+  Drcomm.check_invariants t
+
+let test_no_backup_accepted_when_optional () =
+  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let t, _ = line ~config:cfg () in
+  let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
+  Alcotest.(check bool) "no backup" false (Drcomm.has_backup t id);
+  Alcotest.(check int) "admitted" 1 (Drcomm.count t)
+
+let test_floor_exhaustion_rejects () =
+  let t, _ = line ~capacity:250 ~config:no_backups () in
+  (* Floors of 100: two fit beside each other on a 250 link, a third
+     cannot. *)
+  ignore (admit_ok t ~src:0 ~dst:1 ~qos:qos5);
+  ignore (admit_ok t ~src:0 ~dst:1 ~qos:qos5);
+  (match Drcomm.admit t ~src:0 ~dst:1 ~qos:qos5 with
+  | Drcomm.Rejected Drcomm.No_primary_route -> ()
+  | _ -> Alcotest.fail "expected No_primary_route");
+  Drcomm.check_invariants t
+
+let test_arrival_retreats_sharing_channel () =
+  let t, _, _ = ring ~capacity:600 () in
+  let id1, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  Alcotest.(check int) "alone at ceiling" 4 (Drcomm.level t id1);
+  let id2, report = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  (* id1 shares the direct 0->1 link: it retreated, then both were
+     water-filled evenly: 600 biased by... floors 200, spare 400 split
+     two ways -> 300/300, i.e. level 2 each. *)
+  Alcotest.(check int) "direct count" 1 report.Drcomm.direct_count;
+  (match report.Drcomm.transitions with
+  | [ tr ] ->
+    Alcotest.(check int) "channel" id1 tr.Drcomm.channel;
+    Alcotest.(check int) "before" 4 tr.Drcomm.before;
+    Alcotest.(check int) "after" 2 tr.Drcomm.after;
+    Alcotest.(check bool) "direct" true (tr.Drcomm.chained = `Direct)
+  | _ -> Alcotest.fail "expected exactly one transition");
+  Alcotest.(check int) "id1 at 300" 300 (Drcomm.reserved_bandwidth t id1);
+  Alcotest.(check int) "id2 at 300" 300 (Drcomm.reserved_bandwidth t id2);
+  Drcomm.check_invariants t
+
+let test_termination_releases_and_upgrades () =
+  let t, _, _ = ring ~capacity:600 () in
+  let id1, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let id2, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let report = Drcomm.terminate t id2 in
+  Alcotest.(check int) "one left" 1 (Drcomm.count t);
+  Alcotest.(check int) "sharing seen" 1 report.Drcomm.direct_count;
+  (match report.Drcomm.transitions with
+  | [ tr ] ->
+    Alcotest.(check int) "upgraded from 2" 2 tr.Drcomm.before;
+    Alcotest.(check int) "back to ceiling" 4 tr.Drcomm.after
+  | _ -> Alcotest.fail "expected one transition");
+  Alcotest.(check int) "id1 regained 500" 500 (Drcomm.reserved_bandwidth t id1);
+  Drcomm.check_invariants t
+
+let test_terminate_unknown_raises () =
+  let t, _, _ = ring () in
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Drcomm.terminate t 99))
+
+let test_admit_validation () =
+  let t, _, _ = ring () in
+  Alcotest.check_raises "src = dst" (Invalid_argument "Drcomm.admit: src = dst")
+    (fun () -> ignore (Drcomm.admit t ~src:1 ~dst:1 ~qos:qos5));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Drcomm.admit: endpoint out of range") (fun () ->
+      ignore (Drcomm.admit t ~src:0 ~dst:7 ~qos:qos5))
+
+let test_indirect_chaining_classified () =
+  (* Line 0-1-2-3, no backups.  ch_a: 0->2, ch_b: 1->3 (they share link
+     1->2).  A new channel 0->1 is directly chained to ch_a only; ch_b is
+     indirectly chained via ch_a. *)
+  let t, _ = line ~capacity:600 ~config:no_backups () in
+  let ch_a, _ = admit_ok t ~src:0 ~dst:2 ~qos:qos5 in
+  let ch_b, _ = admit_ok t ~src:1 ~dst:3 ~qos:qos5 in
+  let _, report = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  Alcotest.(check int) "one direct" 1 report.Drcomm.direct_count;
+  Alcotest.(check int) "one indirect" 1 report.Drcomm.indirect_count;
+  let direct_tr =
+    List.find (fun tr -> tr.Drcomm.chained = `Direct) report.Drcomm.transitions
+  in
+  let indirect_tr =
+    List.find (fun tr -> tr.Drcomm.chained = `Indirect) report.Drcomm.transitions
+  in
+  Alcotest.(check int) "direct is ch_a" ch_a direct_tr.Drcomm.channel;
+  Alcotest.(check int) "indirect is ch_b" ch_b indirect_tr.Drcomm.channel;
+  Drcomm.check_invariants t
+
+let test_indirect_channel_gains () =
+  (* Same layout; verify ch_b actually benefits from ch_a's retreat. *)
+  let t, _ = line ~capacity:600 ~config:no_backups () in
+  let _ = admit_ok t ~src:0 ~dst:2 ~qos:qos5 in
+  let ch_b, _ = admit_ok t ~src:1 ~dst:3 ~qos:qos5 in
+  let before = Drcomm.reserved_bandwidth t ch_b in
+  let _, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let after = Drcomm.reserved_bandwidth t ch_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "ch_b %d -> %d must not lose" before after)
+    true (after >= before);
+  Drcomm.check_invariants t
+
+let test_equal_share_fairness () =
+  let t, _ = line ~capacity:1000 ~config:no_backups () in
+  (* Four identical channels on one link: 1000/4 = 250 each is off-grid;
+     equal share gives levels within one increment of each other. *)
+  let ids = List.init 4 (fun _ -> fst (admit_ok t ~src:0 ~dst:1 ~qos:qos5)) in
+  let levels = List.map (Drcomm.level t) ids in
+  let lo = List.fold_left min 9 levels and hi = List.fold_left max 0 levels in
+  Alcotest.(check bool) "within one increment" true (hi - lo <= 1);
+  Alcotest.(check int) "all bandwidth used up to grid" 1000
+    (Drcomm.total_reserved t + (1000 - Drcomm.total_reserved t));
+  Alcotest.(check bool) "no spare left for another increment" true
+    (1000 - Drcomm.total_reserved t < 100);
+  Drcomm.check_invariants t
+
+let test_max_utility_monopolises () =
+  let cfg = { no_backups with Drcomm.policy = Policy.Max_utility } in
+  let t, _ = line ~capacity:700 ~config:cfg () in
+  let cheap = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:1. () in
+  let dear = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:5. () in
+  let id1, _ = admit_ok t ~src:0 ~dst:1 ~qos:cheap in
+  let id2, _ = admit_ok t ~src:0 ~dst:1 ~qos:dear in
+  (* 700 capacity, floors 200: the high-utility channel takes all 400
+     extra it can (to 500), the other gets the rest (100 -> 200). *)
+  Alcotest.(check int) "dear at ceiling" 500 (Drcomm.reserved_bandwidth t id2);
+  Alcotest.(check int) "cheap gets leftovers" 200 (Drcomm.reserved_bandwidth t id1)
+
+let test_proportional_split () =
+  let cfg = { no_backups with Drcomm.policy = Policy.Proportional } in
+  let t, _ = line ~capacity:600 ~config:cfg () in
+  let cheap = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:1. () in
+  let dear = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:3. () in
+  let id1, _ = admit_ok t ~src:0 ~dst:1 ~qos:cheap in
+  let id2, _ = admit_ok t ~src:0 ~dst:1 ~qos:dear in
+  (* 400 extra split 1:3 -> +100 / +300. *)
+  Alcotest.(check int) "cheap" 200 (Drcomm.reserved_bandwidth t id1);
+  Alcotest.(check int) "dear" 400 (Drcomm.reserved_bandwidth t id2)
+
+let test_single_value_qos_never_upgrades () =
+  let t, _ = line ~capacity:1000 ~config:no_backups () in
+  let sv = Qos.single_value 100 in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:sv in
+  Alcotest.(check int) "stays at floor" 100 (Drcomm.reserved_bandwidth t id);
+  Alcotest.(check int) "level 0" 0 (Drcomm.level t id)
+
+let test_elastic_beats_single_value_admission () =
+  (* The paper's motivation: inelastic high-QoS requests block the
+     network early; elastic requests are all admitted at their floor. *)
+  let t_sv, _ = line ~capacity:1000 ~config:no_backups () in
+  let t_el, _ = line ~capacity:1000 ~config:no_backups () in
+  let admitted service qos =
+    let ok = ref 0 in
+    for _ = 1 to 10 do
+      match Drcomm.admit service ~src:0 ~dst:1 ~qos with
+      | Drcomm.Admitted _ -> incr ok
+      | Drcomm.Rejected _ -> ()
+    done;
+    !ok
+  in
+  let sv_count = admitted t_sv (Qos.single_value 500) in
+  let el_count = admitted t_el qos5 in
+  Alcotest.(check int) "single-value fits 2" 2 sv_count;
+  Alcotest.(check int) "elastic fits 10" 10 el_count
+
+let test_backup_multiplexing_saves_capacity () =
+  (* Two connections with edge-disjoint primaries route their backups over
+     shared links; the pool must stay at one floor, not two. *)
+  let t, g, (_, _, _, _) = ring ~capacity:1000 () in
+  let id1, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let id2, _ = admit_ok t ~src:2 ~dst:3 ~qos:qos5 in
+  let b1 = Option.get (Drcomm.backup_links t id1) in
+  let b2 = Option.get (Drcomm.backup_links t id2) in
+  (* On the ring the two backups traverse overlapping links. *)
+  Alcotest.(check bool) "backups overlap" true (Dirlink.shares_edge b1 b2);
+  let total_pool = ref 0 in
+  Net_state.iter_links (fun _ l -> total_pool := !total_pool + Link_state.backup_pool l)
+    (Drcomm.net t);
+  (* Without multiplexing the overlapping links would hold 200 each; with
+     it every link pools at most 100 (primaries are edge-disjoint). *)
+  Net_state.iter_links
+    (fun _ l ->
+      Alcotest.(check bool) "per-link pool <= 100" true (Link_state.backup_pool l <= 100))
+    (Drcomm.net t);
+  ignore g;
+  Drcomm.check_invariants t
+
+let test_failure_activates_backup () =
+  let t, _, (e01, _, _, _) = ring ~capacity:1000 () in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let primary_before = Drcomm.primary_links t id in
+  let backup_before = Option.get (Drcomm.backup_links t id) in
+  let freport = Drcomm.fail_edge t e01 in
+  (match freport.Drcomm.recoveries with
+  | [ { Drcomm.victim; outcome = `Switched_to_backup fresh } ] ->
+    Alcotest.(check int) "victim" id victim;
+    (* The ring minus one edge is a tree: no new backup possible. *)
+    Alcotest.(check bool) "no fresh backup" false fresh
+  | _ -> Alcotest.fail "expected a switch");
+  Alcotest.(check int) "still alive" 1 (Drcomm.count t);
+  Alcotest.(check int) "no drops" 0 (Drcomm.dropped_connections t);
+  Alcotest.(check (list int)) "primary is the old backup" backup_before
+    (Drcomm.primary_links t id);
+  Alcotest.(check bool) "backup gone" false (Drcomm.has_backup t id);
+  Alcotest.(check bool) "old primary released" true
+    (primary_before <> Drcomm.primary_links t id);
+  (* Redistribution after activation climbs the survivor back up. *)
+  Alcotest.(check int) "water-filled" 500 (Drcomm.reserved_bandwidth t id);
+  Drcomm.check_invariants t
+
+let test_failure_drops_when_backup_also_hit () =
+  let t, _, (e01, e12, _, _) = ring ~capacity:1000 () in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  (* First failure takes the backup path's middle edge. *)
+  let r1 = Drcomm.fail_edge t e12 in
+  (match r1.Drcomm.recoveries with
+  | [ { Drcomm.outcome = `Backup_lost false; victim } ] ->
+    Alcotest.(check int) "victim" id victim
+  | _ -> Alcotest.fail "expected backup loss without replacement");
+  Alcotest.(check bool) "runs unprotected" false (Drcomm.has_backup t id);
+  (* Second failure kills the primary: nothing to switch to. *)
+  let r2 = Drcomm.fail_edge t e01 in
+  (match r2.Drcomm.recoveries with
+  | [ { Drcomm.outcome = `Dropped; _ } ] -> ()
+  | _ -> Alcotest.fail "expected drop");
+  Alcotest.(check int) "gone" 0 (Drcomm.count t);
+  Alcotest.(check int) "counted" 1 (Drcomm.dropped_connections t);
+  Drcomm.check_invariants t
+
+let test_failure_retreats_channels_on_backup_links () =
+  (* A bystander using the backup path's links must release its extras
+     when the backup activates (§3.1). *)
+  let t, _, (e01, _, _, _) = ring ~capacity:600 () in
+  let victim, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let bystander, _ = admit_ok t ~src:1 ~dst:2 ~qos:qos5 in
+  (* bystander's primary 1->2 lies on victim's backup route 0-3-2-1
+     reversed?  The backup of 0->1 is 0-3-2-1, using directed links
+     0->3, 3->2, 2->1 — the bystander uses 1->2, the reverse direction,
+     so to make it share we route it 2->1 instead. *)
+  Drcomm.(ignore (terminate t bystander));
+  let bystander, _ = admit_ok t ~src:2 ~dst:1 ~qos:qos5 in
+  let level_before = Drcomm.level t bystander in
+  let freport = Drcomm.fail_edge t e01 in
+  Alcotest.(check bool) "victim switched" true
+    (List.exists
+       (fun r -> r.Drcomm.victim = victim && r.Drcomm.outcome = `Switched_to_backup false)
+       freport.Drcomm.recoveries);
+  (* The bystander appears in the event transitions (it held extras on an
+     activated link). *)
+  Alcotest.(check bool) "bystander retreated and refilled" true
+    (List.exists
+       (fun tr -> tr.Drcomm.channel = bystander && tr.Drcomm.before = level_before)
+       freport.Drcomm.event.Drcomm.transitions);
+  Drcomm.check_invariants t
+
+let test_restoration_baseline () =
+  (* Reactive restoration without backups (the scheme the paper's
+     backup-channel approach is designed to beat): on a ring, a failed
+     primary is re-established over the surviving arc. *)
+  let cfg =
+    {
+      Drcomm.default_config with
+      Drcomm.with_backups = false;
+      require_backup = false;
+      restore_on_failure = true;
+    }
+  in
+  let t, _, (e01, _, _, _) = ring ~config:cfg () in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  Alcotest.(check int) "direct route" 1 (List.length (Drcomm.primary_links t id));
+  let r = Drcomm.fail_edge t e01 in
+  (match r.Drcomm.recoveries with
+  | [ { Drcomm.outcome = `Restored false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected restoration without backup");
+  Alcotest.(check int) "alive" 1 (Drcomm.count t);
+  Alcotest.(check int) "no drops" 0 (Drcomm.dropped_connections t);
+  (* The restored connection lives under a fresh id on the long arc. *)
+  (match Drcomm.active_channels t with
+  | [ nid ] ->
+    Alcotest.(check int) "detour route" 3 (List.length (Drcomm.primary_links t nid))
+  | _ -> Alcotest.fail "expected one channel");
+  Drcomm.check_invariants t
+
+let test_restoration_fails_under_partition () =
+  (* When the failure disconnects the pair, restoration cannot help and
+     the connection drops. *)
+  let cfg =
+    {
+      Drcomm.default_config with
+      Drcomm.with_backups = false;
+      require_backup = false;
+      restore_on_failure = true;
+    }
+  in
+  let t, _ = line ~config:cfg () in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  ignore id;
+  let r = Drcomm.fail_edge t 0 in
+  (match r.Drcomm.recoveries with
+  | [ { Drcomm.outcome = `Dropped; _ } ] -> ()
+  | _ -> Alcotest.fail "expected drop");
+  Alcotest.(check int) "dropped" 1 (Drcomm.dropped_connections t)
+
+let test_fail_edge_idempotent () =
+  let t, _, (e01, _, _, _) = ring () in
+  ignore (admit_ok t ~src:0 ~dst:1 ~qos:qos5);
+  ignore (Drcomm.fail_edge t e01);
+  let again = Drcomm.fail_edge t e01 in
+  Alcotest.(check int) "no recoveries" 0 (List.length again.Drcomm.recoveries)
+
+let test_repair_restores_routability () =
+  (* Backups optional here: the ring minus a failed edge is a tree, where
+     the detour admission would otherwise be vetoed for lack of backup. *)
+  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let t, _, (e01, _, _, _) = ring ~config:cfg () in
+  ignore (Drcomm.fail_edge t e01);
+  (match Drcomm.admit t ~src:0 ~dst:1 ~qos:qos5 with
+  | Drcomm.Admitted (id, _) ->
+    (* Route must avoid the failed edge: 3 hops. *)
+    Alcotest.(check int) "detour" 3 (List.length (Drcomm.primary_links t id));
+    ignore (Drcomm.terminate t id)
+  | Drcomm.Rejected _ -> Alcotest.fail "detour should admit");
+  Drcomm.repair_edge t e01;
+  match Drcomm.admit t ~src:0 ~dst:1 ~qos:qos5 with
+  | Drcomm.Admitted (id, _) ->
+    Alcotest.(check int) "direct again" 1 (List.length (Drcomm.primary_links t id))
+  | Drcomm.Rejected _ -> Alcotest.fail "repaired edge should admit"
+
+let test_level_histogram () =
+  let t, _ = line ~capacity:1000 ~config:no_backups () in
+  ignore (admit_ok t ~src:0 ~dst:1 ~qos:qos5);
+  ignore (admit_ok t ~src:2 ~dst:3 ~qos:qos5);
+  let h = Drcomm.level_histogram t ~max_levels:5 in
+  Alcotest.(check int) "both at ceiling" 2 h.(4);
+  Alcotest.(check int) "total" 2 (Array.fold_left ( + ) 0 h)
+
+let test_average_bandwidth () =
+  let t, _ = line ~capacity:1000 ~config:no_backups () in
+  Alcotest.check (Alcotest.float 1e-9) "empty" 0. (Drcomm.average_bandwidth t);
+  ignore (admit_ok t ~src:0 ~dst:1 ~qos:qos5);
+  ignore (admit_ok t ~src:2 ~dst:3 ~qos:qos5);
+  Alcotest.check (Alcotest.float 1e-9) "both 500" 500. (Drcomm.average_bandwidth t);
+  Alcotest.(check int) "total" 1000 (Drcomm.total_reserved t)
+
+let test_bulk_redistribution_equivalent () =
+  (* Loading with deferred redistribution then one global pass must give
+     every channel a valid level and leave invariants intact. *)
+  let t, _ = line ~capacity:1000 ~config:no_backups () in
+  Drcomm.set_auto_redistribute t false;
+  let ids = List.init 3 (fun _ -> fst (admit_ok t ~src:0 ~dst:3 ~qos:qos5)) in
+  List.iter
+    (fun id -> Alcotest.(check int) "still at floor" 0 (Drcomm.level t id))
+    ids;
+  Drcomm.redistribute_all t;
+  Drcomm.set_auto_redistribute t true;
+  (* 1000 capacity/link, 3 channels: 300/300/400 or similar — all at least
+     level 2, sum within one increment of capacity. *)
+  List.iter
+    (fun id -> Alcotest.(check bool) "filled" true (Drcomm.level t id >= 2))
+    ids;
+  Alcotest.(check bool) "nearly full" true (1000 - Drcomm.total_reserved t < 100);
+  Drcomm.check_invariants t
+
+(* --- QoS renegotiation --- *)
+
+let test_change_qos_upgrade_range () =
+  (* Lift the ceiling of a live connection: same routes, wider range,
+     immediately re-water-filled. *)
+  let t, _, _ = ring ~capacity:1000 () in
+  let small = Qos.make ~b_min:100 ~b_max:200 ~increment:100 () in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:small in
+  Alcotest.(check int) "capped at 200" 200 (Drcomm.reserved_bandwidth t id);
+  let primary_before = Drcomm.primary_links t id in
+  Alcotest.(check bool) "accepted" true (Drcomm.change_qos t id qos5 = `Changed);
+  Alcotest.(check int) "now reaches 500" 500 (Drcomm.reserved_bandwidth t id);
+  Alcotest.(check (list int)) "same route" primary_before (Drcomm.primary_links t id);
+  Alcotest.(check bool) "backup kept" true (Drcomm.has_backup t id);
+  Drcomm.check_invariants t
+
+let test_change_qos_floor_increase_checked () =
+  (* On a full link the floor cannot grow. *)
+  let t, _ = line ~capacity:300 ~config:no_backups () in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  ignore (admit_ok t ~src:0 ~dst:1 ~qos:qos5);
+  (* Floors 100 + 100 on a 300 link: raising one floor to 300 needs 400. *)
+  let fat = Qos.make ~b_min:300 ~b_max:500 ~increment:100 () in
+  Alcotest.(check bool) "rejected" true (Drcomm.change_qos t id fat = `Rejected);
+  (* Old contract intact. *)
+  Alcotest.(check int) "old floor back" 100 (Qos.(
+    (Drcomm.qos_of t id).b_min));
+  Drcomm.check_invariants t;
+  (* A floor that fits is accepted and updates the backup pool too. *)
+  let t2, _, _ = ring ~capacity:1000 () in
+  let id2, _ = admit_ok t2 ~src:0 ~dst:1 ~qos:qos5 in
+  let fat2 = Qos.make ~b_min:300 ~b_max:500 ~increment:100 () in
+  Alcotest.(check bool) "accepted" true (Drcomm.change_qos t2 id2 fat2 = `Changed);
+  let backup = Option.get (Drcomm.backup_links t2 id2) in
+  List.iter
+    (fun dl ->
+      Alcotest.(check int) "pool tracks new floor" 300
+        (Link_state.backup_pool (Net_state.link (Drcomm.net t2) dl)))
+    backup;
+  Drcomm.check_invariants t2
+
+let test_change_qos_retreats_neighbours () =
+  (* Raising a floor reclaims neighbours' extras, like an arrival. *)
+  let t, _ = line ~capacity:600 ~config:no_backups () in
+  let id1, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let id2, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  Alcotest.(check int) "balanced" 300 (Drcomm.reserved_bandwidth t id1);
+  let fat = Qos.make ~b_min:400 ~b_max:500 ~increment:100 () in
+  Alcotest.(check bool) "accepted" true (Drcomm.change_qos t id1 fat = `Changed);
+  Alcotest.(check bool) "id1 at >= 400" true (Drcomm.reserved_bandwidth t id1 >= 400);
+  Alcotest.(check bool) "id2 squeezed but >= floor" true
+    (Drcomm.reserved_bandwidth t id2 >= 100);
+  Drcomm.check_invariants t
+
+let test_change_qos_unknown () =
+  let t, _, _ = ring () in
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Drcomm.change_qos t 42 qos5))
+
+(* --- multiple backups per connection --- *)
+
+(* Diamond with three disjoint 0->3 routes. *)
+let diamond6 ?(capacity = 1000) ?config () =
+  let g = Graph.create 6 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 3);
+  ignore (Graph.add_edge g 0 2);
+  ignore (Graph.add_edge g 2 3);
+  ignore (Graph.add_edge g 0 4);
+  ignore (Graph.add_edge g 4 5);
+  ignore (Graph.add_edge g 5 3);
+  (Drcomm.create ?config (Net_state.create ~capacity g), g)
+
+let test_two_backups_established () =
+  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 2 } in
+  let t, _ = diamond6 ~config:cfg () in
+  let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
+  let backups = Drcomm.all_backup_links t id in
+  Alcotest.(check int) "two backups" 2 (List.length backups);
+  (* Mutually disjoint and disjoint from the primary. *)
+  let edges_of links = List.map Dirlink.edge links in
+  let primary = edges_of (Drcomm.primary_links t id) in
+  let all = List.concat_map edges_of backups in
+  Alcotest.(check int) "backups mutually disjoint" (List.length all)
+    (List.length (List.sort_uniq compare all));
+  List.iter
+    (fun e -> Alcotest.(check bool) "disjoint from primary" true (not (List.mem e primary)))
+    all;
+  Drcomm.check_invariants t
+
+let test_two_backups_survive_two_failures () =
+  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 2 } in
+  let t, _ = diamond6 ~config:cfg () in
+  let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
+  (* First failure: switch to backup 1; no new backup can be found (all
+     three routes committed), so one backup remains. *)
+  let e1 = Dirlink.edge (List.hd (Drcomm.primary_links t id)) in
+  let r1 = Drcomm.fail_edge t e1 in
+  (match r1.Drcomm.recoveries with
+  | [ { Drcomm.outcome = `Switched_to_backup true; _ } ] -> ()
+  | _ -> Alcotest.fail "first switch should keep a backup");
+  Alcotest.(check int) "one backup left" 1 (List.length (Drcomm.all_backup_links t id));
+  (* Second failure: switch again. *)
+  let e2 = Dirlink.edge (List.hd (Drcomm.primary_links t id)) in
+  let r2 = Drcomm.fail_edge t e2 in
+  (match r2.Drcomm.recoveries with
+  | [ { Drcomm.outcome = `Switched_to_backup false; _ } ] -> ()
+  | _ -> Alcotest.fail "second switch expected");
+  Alcotest.(check int) "still alive after two failures" 1 (Drcomm.count t);
+  Alcotest.(check int) "no drops" 0 (Drcomm.dropped_connections t);
+  Drcomm.check_invariants t
+
+let test_single_backup_drops_on_second_failure () =
+  (* Same scenario with the default single backup: the second failure
+     kills the connection (its only backup was consumed and the third
+     route was grabbed as the replacement backup... which then activates;
+     a third failure finishes it).  Compare drop counts with k = 1 vs 2
+     under the same three-failure storm. *)
+  let storm k =
+    let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = k } in
+    let t, _ = diamond6 ~config:cfg () in
+    let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
+    for _ = 1 to 3 do
+      if Drcomm.mem t id then
+        ignore (Drcomm.fail_edge t (Dirlink.edge (List.hd (Drcomm.primary_links t id))))
+    done;
+    Drcomm.dropped_connections t
+  in
+  (* Both eventually die after 3 failures on a 3-route graph; but with
+     2 backups the connection survives strictly longer under 2 failures. *)
+  let survive_two k =
+    let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = k } in
+    let t, _ = diamond6 ~config:cfg () in
+    let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
+    for _ = 1 to 2 do
+      if Drcomm.mem t id then
+        ignore (Drcomm.fail_edge t (Dirlink.edge (List.hd (Drcomm.primary_links t id))))
+    done;
+    Drcomm.mem t id
+  in
+  Alcotest.(check bool) "k=2 survives two failures" true (survive_two 2);
+  Alcotest.(check bool) "k=1 also survives (re-establishes)" true (survive_two 1);
+  Alcotest.(check bool) "three failures exhaust the diamond" true
+    (storm 2 = 1 && storm 1 = 1)
+
+let test_backups_validation () =
+  let g = Graph.create 3 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 0 } in
+  Alcotest.check_raises "zero backups with with_backups"
+    (Invalid_argument "Drcomm.create: with_backups needs backups_per_connection >= 1")
+    (fun () -> ignore (Drcomm.create ~config:cfg (Net_state.create g)))
+
+(* Random operation soak: invariants must survive arbitrary interleavings
+   of admit / terminate / fail / repair on a real topology. *)
+let soak ?(backups = 1) seed ops =
+  let rng = Prng.create seed in
+  let g = Waxman.generate rng (Waxman.spec ~nodes:20 ~alpha:0.5 ~beta:0.3 ()) in
+  let cfg =
+    {
+      Drcomm.default_config with
+      Drcomm.require_backup = false;
+      backups_per_connection = backups;
+    }
+  in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:2000 g) in
+  let random_qos rng =
+    let b_min = 100 * (1 + Prng.int rng 3) in
+    let span = 100 * Prng.int rng 3 in
+    Qos.make ~b_min ~b_max:(b_min + span) ~increment:100
+      ~utility:(0.5 +. Prng.float rng 4.) ()
+  in
+  for _ = 1 to ops do
+    let dice = Prng.int rng 100 in
+    (if dice < 40 then begin
+       let src, dst = Prng.sample_distinct_pair rng (Graph.node_count g) in
+       ignore (Drcomm.admit t ~src ~dst ~qos:qos5)
+     end
+     else if dice < 70 then begin
+       match Drcomm.active_channels t with
+       | [] -> ()
+       | ids -> ignore (Drcomm.terminate t (Prng.pick_list rng ids))
+     end
+     else if dice < 82 then begin
+       let e = Prng.int rng (Graph.edge_count g) in
+       ignore (Drcomm.fail_edge t e)
+     end
+     else if dice < 92 then begin
+       match Net_state.failed_edges (Drcomm.net t) with
+       | [] -> ()
+       | es -> Drcomm.repair_edge t (Prng.pick_list rng es)
+     end
+     else begin
+       (* Renegotiate a random live connection to a random contract. *)
+       match Drcomm.active_channels t with
+       | [] -> ()
+       | ids ->
+         ignore (Drcomm.change_qos t (Prng.pick_list rng ids) (random_qos rng))
+     end);
+    Drcomm.check_invariants t;
+    List.iter
+      (fun id ->
+        let lvl = Drcomm.level t id in
+        if lvl < 0 || lvl >= Qos.levels (Drcomm.qos_of t id) then
+          Alcotest.fail "level out of range")
+      (Drcomm.active_channels t)
+  done
+
+let test_soak_short () = soak 11 150
+let test_soak_other_seed () = soak 23 150
+let test_soak_two_backups () = soak ~backups:2 31 150
+
+let qcheck_soak =
+  QCheck.Test.make ~name:"random operations keep invariants" ~count:15
+    QCheck.(small_int)
+    (fun seed ->
+      soak seed 60;
+      true)
+
+let () =
+  Alcotest.run "drcomm"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "single connection maxes out" `Quick
+            test_single_connection_maxes_out;
+          Alcotest.test_case "tree rejects (no backup)" `Quick test_no_backup_in_tree_rejected;
+          Alcotest.test_case "backup optional" `Quick test_no_backup_accepted_when_optional;
+          Alcotest.test_case "floor exhaustion" `Quick test_floor_exhaustion_rejects;
+          Alcotest.test_case "validation" `Quick test_admit_validation;
+        ] );
+      ( "elasticity",
+        [
+          Alcotest.test_case "arrival retreats sharing" `Quick
+            test_arrival_retreats_sharing_channel;
+          Alcotest.test_case "termination upgrades" `Quick
+            test_termination_releases_and_upgrades;
+          Alcotest.test_case "terminate unknown" `Quick test_terminate_unknown_raises;
+          Alcotest.test_case "indirect classified" `Quick test_indirect_chaining_classified;
+          Alcotest.test_case "indirect gains" `Quick test_indirect_channel_gains;
+          Alcotest.test_case "equal share fair" `Quick test_equal_share_fairness;
+          Alcotest.test_case "max utility monopolises" `Quick test_max_utility_monopolises;
+          Alcotest.test_case "proportional split" `Quick test_proportional_split;
+          Alcotest.test_case "single-value never upgrades" `Quick
+            test_single_value_qos_never_upgrades;
+          Alcotest.test_case "elastic beats single-value" `Quick
+            test_elastic_beats_single_value_admission;
+          Alcotest.test_case "bulk redistribution" `Quick test_bulk_redistribution_equivalent;
+        ] );
+      ( "dependability",
+        [
+          Alcotest.test_case "multiplexing saves capacity" `Quick
+            test_backup_multiplexing_saves_capacity;
+          Alcotest.test_case "failure activates backup" `Quick test_failure_activates_backup;
+          Alcotest.test_case "drop when backup hit" `Quick
+            test_failure_drops_when_backup_also_hit;
+          Alcotest.test_case "bystanders retreat on activation" `Quick
+            test_failure_retreats_channels_on_backup_links;
+          Alcotest.test_case "restoration baseline" `Quick test_restoration_baseline;
+          Alcotest.test_case "restoration under partition" `Quick
+            test_restoration_fails_under_partition;
+          Alcotest.test_case "fail idempotent" `Quick test_fail_edge_idempotent;
+          Alcotest.test_case "repair restores routes" `Quick test_repair_restores_routability;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "level histogram" `Quick test_level_histogram;
+          Alcotest.test_case "average bandwidth" `Quick test_average_bandwidth;
+        ] );
+      ( "renegotiation",
+        [
+          Alcotest.test_case "upgrade range" `Quick test_change_qos_upgrade_range;
+          Alcotest.test_case "floor increase checked" `Quick
+            test_change_qos_floor_increase_checked;
+          Alcotest.test_case "retreats neighbours" `Quick test_change_qos_retreats_neighbours;
+          Alcotest.test_case "unknown id" `Quick test_change_qos_unknown;
+        ] );
+      ( "multi-backup",
+        [
+          Alcotest.test_case "two backups established" `Quick test_two_backups_established;
+          Alcotest.test_case "two backups, two failures" `Quick
+            test_two_backups_survive_two_failures;
+          Alcotest.test_case "k=1 vs k=2 under storm" `Quick
+            test_single_backup_drops_on_second_failure;
+          Alcotest.test_case "validation" `Quick test_backups_validation;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "soak seed 11" `Quick test_soak_short;
+          Alcotest.test_case "soak seed 23" `Quick test_soak_other_seed;
+          Alcotest.test_case "soak with two backups" `Quick test_soak_two_backups;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_soak ]);
+    ]

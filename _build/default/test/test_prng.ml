@@ -1,0 +1,215 @@
+(* Tests for the SplitMix64 generator. *)
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_preserves_stream () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independence () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  (* The split stream must differ from the parent's continuation. *)
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "split diverges from parent" true !differs
+
+let test_split_deterministic () =
+  let mk () =
+    let a = Prng.create 99 in
+    let b = Prng.split a in
+    Prng.bits64 b
+  in
+  Alcotest.(check int64) "split is reproducible" (mk ()) (mk ())
+
+let test_int_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int rng 17 in
+    Alcotest.(check bool) "0 <= x < 17" true (x >= 0 && x < 17)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Prng.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1_000 do
+    seen.(Prng.int rng 7) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_int_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int (Prng.create 1) 0))
+
+let test_float_bounds () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (x >= 0. && x < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = Prng.create 13 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Prng.float rng 1.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let rng = Prng.create 17 in
+  let trues = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "roughly balanced" true (Float.abs (frac -. 0.5) < 0.02)
+
+let test_exponential_mean () =
+  let rng = Prng.create 19 in
+  let rate = 0.25 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Prng.exponential rng rate
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 4.) < 0.1)
+
+let test_exponential_positive () =
+  let rng = Prng.create 23 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check bool) "positive" true (Prng.exponential rng 3. > 0.)
+  done
+
+let test_uniform_in () =
+  let rng = Prng.create 29 in
+  for _ = 1 to 1_000 do
+    let x = Prng.uniform_in rng (-2.) 3. in
+    Alcotest.(check bool) "in range" true (x >= -2. && x < 3.)
+  done
+
+let test_pick () =
+  let rng = Prng.create 31 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let x = Prng.pick rng arr in
+    Alcotest.(check bool) "member" true (Array.mem x arr)
+  done
+
+let test_pick_empty () =
+  Alcotest.check_raises "empty array" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick (Prng.create 1) [||]))
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create 37 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_moves_something () =
+  let rng = Prng.create 41 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  Alcotest.(check bool) "not identity" true (arr <> Array.init 50 Fun.id)
+
+let test_distinct_pair () =
+  let rng = Prng.create 43 in
+  for _ = 1 to 5_000 do
+    let a, b = Prng.sample_distinct_pair rng 5 in
+    Alcotest.(check bool) "distinct, in range" true
+      (a <> b && a >= 0 && a < 5 && b >= 0 && b < 5)
+  done
+
+let test_distinct_pair_covers () =
+  let rng = Prng.create 47 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 2_000 do
+    Hashtbl.replace seen (Prng.sample_distinct_pair rng 3) ()
+  done;
+  Alcotest.(check int) "all 6 ordered pairs occur" 6 (Hashtbl.length seen)
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"int stays in bounds" ~count:1000
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let x = Prng.int rng bound in
+      x >= 0 && x < bound)
+
+let qcheck_float_in_bounds =
+  QCheck.Test.make ~name:"float stays in bounds" ~count:1000
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let x = Prng.float rng bound in
+      x >= 0. && x < bound)
+
+let qcheck_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 40) int))
+    (fun (seed, l) ->
+      let rng = Prng.create seed in
+      let arr = Array.of_list l in
+      Prng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy preserves stream" `Quick test_copy_preserves_stream;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "split deterministic" `Quick test_split_deterministic;
+        ] );
+      ( "draws",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int covers residues" `Quick test_int_covers_all_values;
+          Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+          Alcotest.test_case "uniform_in range" `Quick test_uniform_in;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "pick membership" `Quick test_pick;
+          Alcotest.test_case "pick empty" `Quick test_pick_empty;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_something;
+          Alcotest.test_case "distinct pair" `Quick test_distinct_pair;
+          Alcotest.test_case "distinct pair coverage" `Quick test_distinct_pair_covers;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_int_in_bounds; qcheck_float_in_bounds; qcheck_shuffle_permutes ] );
+    ]

@@ -1,0 +1,411 @@
+(* Tests for bounded flooding, disjoint path sets and Yen's algorithm. *)
+
+(* Diamond with a long detour:
+     0 - 1 - 3        (short: 2 hops)
+     0 - 2 - 3        (short: 2 hops)
+     0 - 4 - 5 - 3    (long: 3 hops)                                    *)
+let diamond () =
+  let g = Graph.create 6 in
+  let e01 = Graph.add_edge g 0 1 in
+  let e13 = Graph.add_edge g 1 3 in
+  let e02 = Graph.add_edge g 0 2 in
+  let e23 = Graph.add_edge g 2 3 in
+  let e04 = Graph.add_edge g 0 4 in
+  let e45 = Graph.add_edge g 4 5 in
+  let e53 = Graph.add_edge g 5 3 in
+  (g, (e01, e13, e02, e23, e04, e45, e53))
+
+let edges_of p = p.Paths.edges
+
+let test_primary_route_min_hop () =
+  let g, _ = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  match Flooding.primary_route net req with
+  | None -> Alcotest.fail "expected route"
+  | Some p -> Alcotest.(check int) "two hops" 2 (Paths.hop_count p)
+
+let test_primary_route_respects_capacity () =
+  let g, (e01, e13, _, _, _, _, _) = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  (* Fill the 0-1-3 route's floor space completely. *)
+  List.iter
+    (fun e ->
+      let dl = Dirlink.of_edge g ~edge:e ~src:(fst (Graph.endpoints g e)) in
+      Link_state.reserve_primary (Net_state.link net dl) ~channel:99 ~b_min:950)
+    [ e01; e13 ];
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  match Flooding.primary_route net req with
+  | None -> Alcotest.fail "expected route"
+  | Some p ->
+    Alcotest.(check bool) "avoids full links" true
+      (not (List.mem e01 (edges_of p)) && not (List.mem e13 (edges_of p)))
+
+let test_primary_route_allowance_tiebreak () =
+  let g, (e01, e13, _, _, _, _, _) = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  (* Both 2-hop routes admissible; load one partially so the other has the
+     better allowance. *)
+  let dl = Dirlink.of_edge g ~edge:e01 ~src:0 in
+  Link_state.reserve_primary (Net_state.link net dl) ~channel:99 ~b_min:500;
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  match Flooding.primary_route net req with
+  | None -> Alcotest.fail "expected route"
+  | Some p ->
+    Alcotest.(check bool) "prefers lighter route" true
+      (not (List.mem e01 (edges_of p)) && not (List.mem e13 (edges_of p)))
+
+let test_primary_route_hop_bound () =
+  let g, (e01, e13, e02, e23, _, _, _) = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  (* Saturate both 2-hop routes: only the 3-hop detour remains. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun dl -> Link_state.reserve_primary (Net_state.link net dl) ~channel:99 ~b_min:950)
+        [ 2 * e; (2 * e) + 1 ])
+    [ e01; e13; e02; e23 ];
+  let bounded = Flooding.request ~hop_bound:2 ~src:0 ~dst:3 ~floor:100 () in
+  Alcotest.(check bool) "bounded fails" true (Flooding.primary_route net bounded = None);
+  let unbounded = Flooding.request ~hop_bound:5 ~src:0 ~dst:3 ~floor:100 () in
+  match Flooding.primary_route net unbounded with
+  | Some p -> Alcotest.(check int) "detour" 3 (Paths.hop_count p)
+  | None -> Alcotest.fail "detour expected"
+
+let test_primary_route_avoids_failures () =
+  let g, (e01, _, e02, _, _, _, _) = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  Net_state.fail_edge net e01;
+  Net_state.fail_edge net e02;
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  match Flooding.primary_route net req with
+  | None -> Alcotest.fail "expected detour"
+  | Some p -> Alcotest.(check int) "detour hops" 3 (Paths.hop_count p)
+
+let test_primary_route_directional_capacity () =
+  (* Fill only the 0->1 direction; the 1->0 direction must still admit. *)
+  let g, (e01, _, _, _, _, _, _) = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  let fwd = Dirlink.of_edge g ~edge:e01 ~src:0 in
+  Link_state.reserve_primary (Net_state.link net fwd) ~channel:99 ~b_min:950;
+  let req_fwd = Flooding.request ~hop_bound:1 ~src:0 ~dst:1 ~floor:100 () in
+  let req_bwd = Flooding.request ~hop_bound:1 ~src:1 ~dst:0 ~floor:100 () in
+  Alcotest.(check bool) "forward full" true (Flooding.primary_route net req_fwd = None);
+  Alcotest.(check bool) "reverse open" true (Flooding.primary_route net req_bwd <> None)
+
+let test_backup_route_disjoint () =
+  let g, _ = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  let primary = Option.get (Flooding.primary_route net req) in
+  match Flooding.backup_route net req ~primary_edges:(edges_of primary) with
+  | None -> Alcotest.fail "expected backup"
+  | Some b ->
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "disjoint" true (not (List.mem e (edges_of primary))))
+      (edges_of b)
+
+let test_backup_route_maximally_disjoint_fallback () =
+  (* A bridge graph: 0-1, 1-2 with an alternative 0-3-1 for the first
+     half only; every 0->2 route must cross 1-2, so the backup shares
+     exactly that bridge. *)
+  let g = Graph.create 4 in
+  let e01 = Graph.add_edge g 0 1 in
+  let e12 = Graph.add_edge g 1 2 in
+  ignore (Graph.add_edge g 0 3);
+  ignore (Graph.add_edge g 3 1);
+  let net = Net_state.create ~capacity:1000 g in
+  let req = Flooding.request ~src:0 ~dst:2 ~floor:100 () in
+  let primary = Option.get (Flooding.primary_route net req) in
+  Alcotest.(check (list int)) "primary direct" [ e01; e12 ] (edges_of primary);
+  match Flooding.backup_route net req ~primary_edges:(edges_of primary) with
+  | None -> Alcotest.fail "expected maximally disjoint backup"
+  | Some b ->
+    let shared = List.filter (fun e -> List.mem e (edges_of primary)) (edges_of b) in
+    Alcotest.(check (list int)) "shares only the bridge" [ e12 ] shared
+
+let test_backup_route_multiplexing_aware () =
+  (* With multiplexing, a second backup over the same link is free when
+     the primaries are disjoint — the backup route search must see that. *)
+  let g, (_, _, e02, e23, _, _, _) = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  (* Saturate backup-capacity on the 0-2-3 route down to 100 headroom. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun dl ->
+          Link_state.reserve_primary (Net_state.link net dl) ~channel:99 ~b_min:900)
+        [ 2 * e; (2 * e) + 1 ])
+    [ e02; e23 ];
+  (* Existing backup on 0-2-3 whose primary uses edges [100] (phantom ids
+     are fine for the pool arithmetic). *)
+  List.iter
+    (fun e ->
+      Link_state.register_backup
+        (Net_state.link net (2 * e))
+        ~channel:50 ~b_min:100 ~primary_edges:[ 100 ])
+    [ e02; e23 ];
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  (* New primary on 0-1-3 (disjoint from the phantom), so its backup can
+     multiplex with channel 50's pool on 0-2-3. *)
+  let primary = Option.get (Flooding.primary_route net req) in
+  match Flooding.backup_route net req ~primary_edges:(edges_of primary) with
+  | None -> Alcotest.fail "multiplexing should admit the backup"
+  | Some b ->
+    Alcotest.(check (list int)) "rides the pooled route" [ e02; e23 ] (edges_of b)
+
+let test_message_count () =
+  let g, _ = diamond () in
+  let req = Flooding.request ~hop_bound:1 ~src:0 ~dst:3 ~floor:100 () in
+  (* Only node 0 is strictly inside the 1-hop region: it forwards over its
+     3 links. *)
+  Alcotest.(check int) "one-hop flood" 3 (Flooding.message_count g req);
+  let req2 = Flooding.request ~hop_bound:16 ~src:0 ~dst:3 ~floor:100 () in
+  (* Every node forwards over degree (src) or degree-1 (others):
+     degrees: 0:3, 1:2, 2:2, 3:3, 4:2, 5:2 -> 3 + 1+1+2+1+1 = 9. *)
+  Alcotest.(check int) "full flood" 9 (Flooding.message_count g req2)
+
+let test_request_validation () =
+  Alcotest.check_raises "src = dst" (Invalid_argument "Flooding.request: src = dst")
+    (fun () -> ignore (Flooding.request ~src:1 ~dst:1 ~floor:10 ()))
+
+(* --- Disjoint --- *)
+
+let test_disjoint_paths () =
+  let g, _ = diamond () in
+  let paths = Disjoint.paths g ~src:0 ~dst:3 ~k:3 in
+  Alcotest.(check int) "three disjoint" 3 (List.length paths);
+  (* Pairwise edge-disjoint. *)
+  let all_edges = List.concat_map edges_of paths in
+  Alcotest.(check int) "no edge reused" (List.length all_edges)
+    (List.length (List.sort_uniq compare all_edges));
+  (* Sorted by hops. *)
+  let hops = List.map Paths.hop_count paths in
+  Alcotest.(check (list int)) "shortest first" [ 2; 2; 3 ] hops
+
+let test_disjoint_exhaustion () =
+  let g, _ = diamond () in
+  let paths = Disjoint.paths g ~src:0 ~dst:3 ~k:10 in
+  Alcotest.(check int) "only three exist" 3 (List.length paths);
+  Alcotest.(check int) "estimate" 3 (Disjoint.max_disjoint_estimate g ~src:0 ~dst:3)
+
+let test_disjoint_respects_filter () =
+  let g, (e01, _, _, _, _, _, _) = diamond () in
+  let paths = Disjoint.paths ~usable:(fun e -> e <> e01) g ~src:0 ~dst:3 ~k:10 in
+  Alcotest.(check int) "two left" 2 (List.length paths)
+
+(* --- Yen --- *)
+
+let test_yen_ordering_and_distinctness () =
+  let g, _ = diamond () in
+  let paths = Yen.k_shortest g ~src:0 ~dst:3 ~k:10 in
+  (* Simple paths from 0 to 3: two 2-hop, one 3-hop, plus longer combined
+     ones through 4-5 after deviating — all must be distinct and sorted. *)
+  Alcotest.(check bool) "at least 3" true (List.length paths >= 3);
+  let hops = List.map Paths.hop_count paths in
+  Alcotest.(check (list int)) "sorted" (List.sort compare hops) hops;
+  let keys = List.map (fun p -> p.Paths.nodes) paths in
+  Alcotest.(check int) "distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun p -> Alcotest.(check bool) "valid" true (Paths.is_valid g p))
+    paths
+
+let test_yen_k1_is_bfs () =
+  let g, _ = diamond () in
+  match (Yen.k_shortest g ~src:0 ~dst:3 ~k:1, Paths.shortest_path g 0 3) with
+  | [ a ], Some b -> Alcotest.(check int) "same hops" (Paths.hop_count b) (Paths.hop_count a)
+  | _ -> Alcotest.fail "expected single path"
+
+let test_yen_disconnected () =
+  let g = Graph.create 4 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 2 3);
+  Alcotest.(check int) "none" 0 (List.length (Yen.k_shortest g ~src:0 ~dst:3 ~k:5))
+
+let test_first_admissible () =
+  let g, _ = diamond () in
+  let candidates = Yen.k_shortest g ~src:0 ~dst:3 ~k:10 in
+  let found =
+    Yen.first_admissible ~candidates ~admissible:(fun p -> Paths.hop_count p >= 3)
+  in
+  match found with
+  | Some p -> Alcotest.(check int) "first long one" 3 (Paths.hop_count p)
+  | None -> Alcotest.fail "expected a candidate"
+
+(* --- Sequential search --- *)
+
+let test_sequential_matches_flooding_hops () =
+  let g, _ = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  let f = Option.get (Flooding.primary_route net req) in
+  let s = Option.get (Sequential.primary_route net req ~candidates:8) in
+  Alcotest.(check int) "same hop count" (Paths.hop_count f) (Paths.hop_count s)
+
+let test_sequential_skips_inadmissible () =
+  let g, (e01, e13, _, _, _, _, _) = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun dl -> Link_state.reserve_primary (Net_state.link net dl) ~channel:99 ~b_min:950)
+        [ 2 * e; (2 * e) + 1 ])
+    [ e01; e13 ];
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  match Sequential.primary_route net req ~candidates:8 with
+  | None -> Alcotest.fail "expected another candidate"
+  | Some p ->
+    Alcotest.(check bool) "avoids the full route" true
+      (not (List.mem e01 (edges_of p)))
+
+let test_sequential_exhausts_candidates () =
+  let g, _ = diamond () in
+  let net = Net_state.create ~capacity:150 g in
+  (* Floor 200 exceeds every link's capacity: no candidate admits. *)
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:200 () in
+  Alcotest.(check bool) "none" true (Sequential.primary_route net req ~candidates:8 = None)
+
+let test_sequential_backup_disjoint () =
+  let g, _ = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  let primary = Option.get (Sequential.primary_route net req ~candidates:8) in
+  match Sequential.backup_route net req ~candidates:8 ~primary_edges:(edges_of primary) with
+  | None -> Alcotest.fail "expected backup"
+  | Some b ->
+    List.iter
+      (fun e -> Alcotest.(check bool) "disjoint" true (not (List.mem e (edges_of primary))))
+      (edges_of b)
+
+let test_sequential_backup_rejects_useless () =
+  (* On a line there is only one route: a "backup" identical to the
+     primary must be refused. *)
+  let g = Graph.create 3 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  let net = Net_state.create ~capacity:1000 g in
+  let req = Flooding.request ~src:0 ~dst:2 ~floor:100 () in
+  let primary = Option.get (Sequential.primary_route net req ~candidates:8) in
+  Alcotest.(check bool) "no useless backup" true
+    (Sequential.backup_route net req ~candidates:8 ~primary_edges:(edges_of primary)
+    = None)
+
+let test_sequential_probe_count () =
+  let g, _ = diamond () in
+  let net = Net_state.create ~capacity:1000 g in
+  let req = Flooding.request ~src:0 ~dst:3 ~floor:100 () in
+  (* First candidate (2 hops) admits immediately: 2 probes. *)
+  Alcotest.(check int) "2 probes" 2 (Sequential.probe_count net req ~candidates:8);
+  (* Sequential probing costs far less than flooding on this graph. *)
+  Alcotest.(check bool) "cheaper than flooding" true
+    (Sequential.probe_count net req ~candidates:8 < Flooding.message_count g req)
+
+(* Properties on random graphs. *)
+
+let random_graph seed n = Waxman.generate (Prng.create seed) (Waxman.spec ~nodes:n ~alpha:0.5 ~beta:0.3 ())
+
+let qcheck_disjoint_really_disjoint =
+  QCheck.Test.make ~name:"disjoint paths share no edge" ~count:100
+    QCheck.(triple small_int (int_range 6 30) (pair small_int small_int))
+    (fun (seed, n, (a, b)) ->
+      let g = random_graph seed n in
+      let src = a mod n and dst = b mod n in
+      if src = dst then true
+      else begin
+        let paths = Disjoint.paths g ~src ~dst ~k:4 in
+        let edges = List.concat_map edges_of paths in
+        List.length edges = List.length (List.sort_uniq compare edges)
+        && List.for_all (Paths.is_valid g) paths
+      end)
+
+let qcheck_yen_sorted_distinct =
+  QCheck.Test.make ~name:"yen paths sorted, distinct, valid" ~count:60
+    QCheck.(triple small_int (int_range 6 20) (pair small_int small_int))
+    (fun (seed, n, (a, b)) ->
+      let g = random_graph seed n in
+      let src = a mod n and dst = b mod n in
+      if src = dst then true
+      else begin
+        let paths = Yen.k_shortest g ~src ~dst ~k:6 in
+        let hops = List.map Paths.hop_count paths in
+        let keys = List.map (fun p -> p.Paths.nodes) paths in
+        hops = List.sort compare hops
+        && List.length keys = List.length (List.sort_uniq compare keys)
+        && List.for_all (Paths.is_valid g) paths
+      end)
+
+let qcheck_flooding_route_admissible =
+  QCheck.Test.make ~name:"flooded route links all admit the floor" ~count:60
+    QCheck.(triple small_int (int_range 6 25) (pair small_int small_int))
+    (fun (seed, n, (a, b)) ->
+      let g = random_graph seed n in
+      let src = a mod n and dst = b mod n in
+      if src = dst then true
+      else begin
+        let net = Net_state.create ~capacity:1000 g in
+        let req = Flooding.request ~src ~dst ~floor:250 () in
+        match Flooding.primary_route net req with
+        | None -> false (* connected and empty: must route *)
+        | Some p ->
+          Paths.is_valid g p
+          && List.for_all
+               (fun dl ->
+                 Link_state.admissible_primary (Net_state.link net dl) ~b_min:250)
+               (Dirlink.of_path g p)
+      end)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "flooding",
+        [
+          Alcotest.test_case "min hop" `Quick test_primary_route_min_hop;
+          Alcotest.test_case "capacity respected" `Quick test_primary_route_respects_capacity;
+          Alcotest.test_case "allowance tiebreak" `Quick
+            test_primary_route_allowance_tiebreak;
+          Alcotest.test_case "hop bound" `Quick test_primary_route_hop_bound;
+          Alcotest.test_case "failures avoided" `Quick test_primary_route_avoids_failures;
+          Alcotest.test_case "directional capacity" `Quick
+            test_primary_route_directional_capacity;
+          Alcotest.test_case "backup disjoint" `Quick test_backup_route_disjoint;
+          Alcotest.test_case "maximally disjoint fallback" `Quick
+            test_backup_route_maximally_disjoint_fallback;
+          Alcotest.test_case "multiplexing aware" `Quick test_backup_route_multiplexing_aware;
+          Alcotest.test_case "message count" `Quick test_message_count;
+          Alcotest.test_case "request validation" `Quick test_request_validation;
+        ] );
+      ( "disjoint",
+        [
+          Alcotest.test_case "three paths" `Quick test_disjoint_paths;
+          Alcotest.test_case "exhaustion" `Quick test_disjoint_exhaustion;
+          Alcotest.test_case "filter" `Quick test_disjoint_respects_filter;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "matches flooding hops" `Quick
+            test_sequential_matches_flooding_hops;
+          Alcotest.test_case "skips inadmissible" `Quick test_sequential_skips_inadmissible;
+          Alcotest.test_case "exhausts candidates" `Quick test_sequential_exhausts_candidates;
+          Alcotest.test_case "backup disjoint" `Quick test_sequential_backup_disjoint;
+          Alcotest.test_case "rejects useless backup" `Quick
+            test_sequential_backup_rejects_useless;
+          Alcotest.test_case "probe count" `Quick test_sequential_probe_count;
+        ] );
+      ( "yen",
+        [
+          Alcotest.test_case "ordering & distinctness" `Quick
+            test_yen_ordering_and_distinctness;
+          Alcotest.test_case "k=1 is bfs" `Quick test_yen_k1_is_bfs;
+          Alcotest.test_case "disconnected" `Quick test_yen_disconnected;
+          Alcotest.test_case "first admissible" `Quick test_first_admissible;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_disjoint_really_disjoint;
+            qcheck_yen_sorted_distinct;
+            qcheck_flooding_route_admissible;
+          ] );
+    ]

@@ -1,0 +1,207 @@
+(* End-to-end tests of the experiment runner.  Configurations are kept
+   small so the whole file runs in seconds; the paper-scale sweeps live in
+   bench/. *)
+
+(* Small topology with 2 Mbps links so that a few hundred connections
+   already contend (20 floors per link). *)
+let tiny ?(offered = 120) ?(nodes = 30) ?(gamma = 0.) ?(seed = 3) () =
+  {
+    Scenario.default with
+    Scenario.topology = Scenario.Waxman (Waxman.spec ~nodes ~alpha:0.5 ~beta:0.3 ());
+    capacity = Bandwidth.mbps 2;
+    offered;
+    gamma;
+    warmup_events = 50;
+    churn_events = 200;
+    seed;
+  }
+
+let in_qos_range x = x >= 100. -. 1e-6 && x <= 500. +. 1e-6
+
+let test_runs_and_is_sane () =
+  let r = Scenario.run (tiny ()) in
+  Alcotest.(check bool) "carried within offered" true
+    (r.Scenario.carried_initial <= r.Scenario.offered);
+  Alcotest.(check bool) "sim avg within QoS range" true
+    (in_qos_range r.Scenario.sim_avg_bandwidth);
+  Alcotest.(check bool) "model avg within QoS range" true
+    (in_qos_range r.Scenario.model_avg_bandwidth);
+  Alcotest.(check bool) "ideal positive" true (r.Scenario.ideal_avg_bandwidth > 0.);
+  Alcotest.(check bool) "hops positive" true (r.Scenario.avg_hops > 0.);
+  let dist_total = Array.fold_left ( +. ) 0. r.Scenario.channel_bandwidth_dist in
+  Alcotest.check (Alcotest.float 1e-6) "distribution normalised" 1. dist_total;
+  Alcotest.(check int) "9 levels" 9 (Array.length r.Scenario.channel_bandwidth_dist)
+
+let test_deterministic_in_seed () =
+  let r1 = Scenario.run (tiny ()) in
+  let r2 = Scenario.run (tiny ()) in
+  Alcotest.(check int) "same carried" r1.Scenario.carried_initial
+    r2.Scenario.carried_initial;
+  Alcotest.check (Alcotest.float 1e-12) "same sim average" r1.Scenario.sim_avg_bandwidth
+    r2.Scenario.sim_avg_bandwidth;
+  Alcotest.check (Alcotest.float 1e-12) "same model average"
+    r1.Scenario.model_avg_bandwidth r2.Scenario.model_avg_bandwidth
+
+let test_seed_changes_result () =
+  let r1 = Scenario.run (tiny ~seed:3 ()) in
+  let r2 = Scenario.run (tiny ~seed:4 ()) in
+  Alcotest.(check bool) "different topology or trajectory" true
+    (r1.Scenario.sim_avg_bandwidth <> r2.Scenario.sim_avg_bandwidth)
+
+let test_load_monotonicity () =
+  (* More offered connections -> lower average bandwidth (Fig. 2's core
+     shape). *)
+  let light = Scenario.run (tiny ~offered:40 ()) in
+  let heavy = Scenario.run (tiny ~offered:400 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "light %.0f > heavy %.0f" light.Scenario.sim_avg_bandwidth
+       heavy.Scenario.sim_avg_bandwidth)
+    true
+    (light.Scenario.sim_avg_bandwidth > heavy.Scenario.sim_avg_bandwidth);
+  (* And the analytic model must agree on the direction. *)
+  Alcotest.(check bool) "model agrees" true
+    (light.Scenario.model_avg_bandwidth > heavy.Scenario.model_avg_bandwidth)
+
+let test_light_load_sits_at_ceiling () =
+  let r = Scenario.run (tiny ~offered:10 ()) in
+  Alcotest.(check bool) "sim at ceiling" true (r.Scenario.sim_avg_bandwidth > 480.);
+  Alcotest.(check bool) "model at ceiling" true (r.Scenario.model_avg_bandwidth > 480.)
+
+let test_failures_injected_and_survived () =
+  let r = Scenario.run (tiny ~gamma:0.0005 ()) in
+  Alcotest.(check bool) "some failures happened" true (r.Scenario.failures_injected > 0);
+  (* The service must keep running and the measurement stay in range. *)
+  Alcotest.(check bool) "avg still sane" true (in_qos_range r.Scenario.sim_avg_bandwidth)
+
+let test_transit_stub_topology_runs () =
+  let cfg =
+    {
+      (tiny ~offered:150 ()) with
+      Scenario.topology = Scenario.Transit_stub Transit_stub.paper_spec;
+    }
+  in
+  let r = Scenario.run cfg in
+  (* The tiered core saturates early: rejections are the expected
+     signature (Table 1's "Tier" column). *)
+  Alcotest.(check bool) "ran" true (r.Scenario.carried_initial > 0);
+  Alcotest.(check int) "offered preserved" 150 r.Scenario.offered
+
+let test_fixed_topology () =
+  let g = Waxman.generate (Prng.create 77) (Waxman.spec ~nodes:20 ~alpha:0.5 ~beta:0.3 ()) in
+  let cfg = { (tiny ~offered:30 ()) with Scenario.topology = Scenario.Fixed g } in
+  let r = Scenario.run cfg in
+  Alcotest.(check int) "same graph" (Graph.edge_count g)
+    (Graph.edge_count r.Scenario.graph)
+
+let test_increment_size_insensitivity () =
+  (* Table 1's claim: 5-state and 9-state chains give nearly the same
+     average. *)
+  let base = tiny ~offered:200 () in
+  let r50 = Scenario.run { base with Scenario.qos = Qos.paper_spec ~increment:50 } in
+  let r100 = Scenario.run { base with Scenario.qos = Qos.paper_spec ~increment:100 } in
+  let gap = Float.abs (r50.Scenario.sim_avg_bandwidth -. r100.Scenario.sim_avg_bandwidth) in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 12%% (gap %.1f)" gap)
+    true
+    (gap < 0.12 *. r50.Scenario.sim_avg_bandwidth)
+
+let test_multi_backup_scenario () =
+  let cfg = { (tiny ~offered:100 ~gamma:0.0005 ()) with Scenario.backups_per_connection = 2 } in
+  let r = Scenario.run cfg in
+  Alcotest.(check bool) "ran with failures" true (r.Scenario.failures_injected > 0);
+  Alcotest.(check bool) "in range" true (in_qos_range r.Scenario.sim_avg_bandwidth)
+
+let test_restoration_scenario () =
+  let cfg =
+    {
+      (tiny ~offered:150 ~gamma:0.001 ()) with
+      Scenario.with_backups = false;
+      require_backup = false;
+      restore_on_failure = true;
+    }
+  in
+  let r = Scenario.run cfg in
+  Alcotest.(check bool) "restorations happened" true (r.Scenario.restored_from_scratch > 0);
+  Alcotest.(check int) "no backup switches" 0 r.Scenario.recovered_by_backup
+
+let test_sequential_route_search_scenario () =
+  let flood = Scenario.run (tiny ~offered:150 ()) in
+  let seq =
+    Scenario.run { (tiny ~offered:150 ()) with Scenario.route_search = `Sequential 8 }
+  in
+  (* Both strategies must carry comparable populations at light load. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "flooding %d vs sequential %d" flood.Scenario.carried_initial
+       seq.Scenario.carried_initial)
+    true
+    (abs (flood.Scenario.carried_initial - seq.Scenario.carried_initial) < 15)
+
+let test_rate_validation () =
+  Alcotest.check_raises "bad lambda"
+    (Invalid_argument "Scenario.run: lambda and mu must be positive") (fun () ->
+      ignore (Scenario.run { (tiny ()) with Scenario.lambda = 0. }))
+
+let test_single_value_qos_scenario () =
+  (* The inelastic baseline: channels never leave their floor, so the
+     simulated average equals b_min when floors are all that is granted. *)
+  let cfg = { (tiny ~offered:150 ()) with Scenario.qos = Qos.single_value 100 } in
+  let r = Scenario.run cfg in
+  Alcotest.check (Alcotest.float 1e-6) "pinned to floor" 100.
+    r.Scenario.sim_avg_bandwidth
+
+let test_replications_summary () =
+  let cfg = { (tiny ~offered:80 ()) with Scenario.churn_events = 80; warmup_events = 20 } in
+  let s = Scenario.run_replications ~seeds:[ 1; 2; 3 ] cfg in
+  Alcotest.(check int) "runs" 3 s.Scenario.runs;
+  let lo, hi = s.Scenario.sim_ci in
+  Alcotest.(check bool) "ci contains mean" true
+    (lo <= s.Scenario.sim_mean && s.Scenario.sim_mean <= hi);
+  Alcotest.(check bool) "mean in range" true
+    (s.Scenario.sim_mean >= 100. -. 1e-6 && s.Scenario.sim_mean <= 500. +. 1e-6);
+  Alcotest.(check bool) "carried positive" true (s.Scenario.carried_mean > 0.);
+  (* Deterministic given the same seed list. *)
+  let s' = Scenario.run_replications ~seeds:[ 1; 2; 3 ] cfg in
+  Alcotest.check (Alcotest.float 1e-12) "deterministic" s.Scenario.sim_mean
+    s'.Scenario.sim_mean
+
+let test_replications_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Scenario.run_replications: no seeds")
+    (fun () -> ignore (Scenario.run_replications ~seeds:[] (tiny ())))
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "runs and is sane" `Quick test_runs_and_is_sane;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_in_seed;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_result;
+          Alcotest.test_case "rate validation" `Quick test_rate_validation;
+        ] );
+      ( "paper-shapes",
+        [
+          Alcotest.test_case "load monotonicity" `Quick test_load_monotonicity;
+          Alcotest.test_case "light load at ceiling" `Quick test_light_load_sits_at_ceiling;
+          Alcotest.test_case "failures survived" `Quick test_failures_injected_and_survived;
+          Alcotest.test_case "increment insensitivity" `Quick
+            test_increment_size_insensitivity;
+          Alcotest.test_case "single-value baseline" `Quick test_single_value_qos_scenario;
+        ] );
+      ( "knobs",
+        [
+          Alcotest.test_case "multi-backup" `Quick test_multi_backup_scenario;
+          Alcotest.test_case "restoration" `Quick test_restoration_scenario;
+          Alcotest.test_case "sequential search" `Quick
+            test_sequential_route_search_scenario;
+        ] );
+      ( "replications",
+        [
+          Alcotest.test_case "summary aggregates" `Quick test_replications_summary;
+          Alcotest.test_case "empty seeds" `Quick test_replications_validation;
+        ] );
+      ( "topologies",
+        [
+          Alcotest.test_case "transit-stub" `Quick test_transit_stub_topology_runs;
+          Alcotest.test_case "fixed graph" `Quick test_fixed_topology;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+(* Tests for the discrete-event substrate and statistics. *)
+
+let approx = Alcotest.float 1e-9
+
+(* --- Event queue --- *)
+
+let test_queue_time_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:3. "c");
+  ignore (Event_queue.add q ~time:1. "a");
+  ignore (Event_queue.add q ~time:2. "b");
+  let pop () = Option.get (Event_queue.pop q) in
+  Alcotest.(check (pair (float 0.) string)) "first" (1., "a") (pop ());
+  Alcotest.(check (pair (float 0.) string)) "second" (2., "b") (pop ());
+  Alcotest.(check (pair (float 0.) string)) "third" (3., "c") (pop ());
+  Alcotest.(check bool) "drained" true (Event_queue.pop q = None)
+
+let test_queue_fifo_on_ties () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:1. "first");
+  ignore (Event_queue.add q ~time:1. "second");
+  ignore (Event_queue.add q ~time:1. "third");
+  let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] order
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.add q ~time:1. "a" in
+  ignore (Event_queue.add q ~time:2. "b");
+  Alcotest.(check bool) "cancel pending" true (Event_queue.cancel q h1);
+  Alcotest.(check bool) "double cancel" false (Event_queue.cancel q h1);
+  Alcotest.(check int) "one live" 1 (Event_queue.size q);
+  Alcotest.(check (pair (float 0.) string)) "skips cancelled" (2., "b")
+    (Option.get (Event_queue.pop q))
+
+let test_queue_cancel_after_fire () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:1. "a" in
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "cancel after fire" false (Event_queue.cancel q h)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  let h = Event_queue.add q ~time:5. "x" in
+  Alcotest.(check (option (float 0.))) "peek" (Some 5.) (Event_queue.peek_time q);
+  ignore (Event_queue.cancel q h);
+  Alcotest.(check (option (float 0.))) "peek skips cancelled" None
+    (Event_queue.peek_time q);
+  Alcotest.(check bool) "empty again" true (Event_queue.is_empty q)
+
+let test_queue_non_finite_time () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: non-finite time")
+    (fun () -> ignore (Event_queue.add q ~time:Float.nan "x"))
+
+let test_queue_many_random () =
+  let q = Event_queue.create () in
+  let rng = Prng.create 5 in
+  let times = List.init 1000 (fun _ -> Prng.float rng 100.) in
+  List.iter (fun t -> ignore (Event_queue.add q ~time:t ())) times;
+  let rec drain last acc =
+    match Event_queue.pop q with
+    | None -> acc
+    | Some (t, ()) ->
+      Alcotest.(check bool) "monotone" true (t >= last);
+      drain t (acc + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0)
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2. (fun _ -> log := "b" :: !log));
+  ignore (Engine.schedule e ~delay:1. (fun _ -> log := "a" :: !log));
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "order" [ "b"; "a" ] !log;
+  Alcotest.check approx "clock at last event" 2. (Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0. in
+  ignore
+    (Engine.schedule e ~delay:1. (fun e ->
+         ignore (Engine.schedule e ~delay:1.5 (fun e -> fired := Engine.now e))));
+  ignore (Engine.run e);
+  Alcotest.check approx "nested time" 2.5 !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    ignore (Engine.schedule engine ~delay:1. tick)
+  in
+  ignore (Engine.schedule e ~delay:1. tick);
+  let handled = Engine.run ~until:5.5 e in
+  Alcotest.(check int) "five events" 5 handled;
+  Alcotest.check approx "clock clamped to until" 5.5 (Engine.now e);
+  Alcotest.(check int) "next still pending" 1 (Engine.pending e)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let rec tick engine = ignore (Engine.schedule engine ~delay:1. tick) in
+  ignore (Engine.schedule e ~delay:1. tick);
+  let handled = Engine.run ~max_events:7 e in
+  Alcotest.(check int) "stopped by budget" 7 handled
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1. (fun _ -> fired := true) in
+  Alcotest.(check bool) "cancelled" true (Engine.cancel e h);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "did not fire" false !fired
+
+let test_engine_past_rejected () =
+  let e = Engine.create ~start_time:10. () in
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Engine.schedule_at e ~time:9. (fun _ -> ())))
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  ignore (Engine.schedule e ~delay:1. (fun _ -> ()));
+  Alcotest.(check bool) "one step" true (Engine.step e)
+
+(* --- Welford --- *)
+
+let test_welford_known () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.Welford.count w);
+  Alcotest.check approx "mean" 5. (Stats.Welford.mean w);
+  Alcotest.check approx "sample variance" (32. /. 7.) (Stats.Welford.variance w);
+  Alcotest.check approx "min" 2. (Stats.Welford.min_value w);
+  Alcotest.check approx "max" 9. (Stats.Welford.max_value w)
+
+let test_welford_empty () =
+  let w = Stats.Welford.create () in
+  Alcotest.check approx "mean 0" 0. (Stats.Welford.mean w);
+  Alcotest.check approx "variance 0" 0. (Stats.Welford.variance w)
+
+let test_welford_ci () =
+  let w = Stats.Welford.create () in
+  for i = 1 to 100 do
+    Stats.Welford.add w (float_of_int (i mod 10))
+  done;
+  let lo, hi = Stats.Welford.confidence_interval w in
+  let mean = Stats.Welford.mean w in
+  Alcotest.(check bool) "contains mean" true (lo <= mean && mean <= hi);
+  Alcotest.(check bool) "non-degenerate" true (hi > lo)
+
+let test_welford_merge () =
+  let all = Stats.Welford.create () in
+  let a = Stats.Welford.create () and b = Stats.Welford.create () in
+  let rng = Prng.create 9 in
+  for i = 1 to 1000 do
+    let x = Prng.float rng 10. in
+    Stats.Welford.add all x;
+    Stats.Welford.add (if i <= 400 then a else b) x
+  done;
+  let merged = Stats.Welford.merge a b in
+  Alcotest.check (Alcotest.float 1e-7) "mean" (Stats.Welford.mean all)
+    (Stats.Welford.mean merged);
+  Alcotest.check (Alcotest.float 1e-6) "variance" (Stats.Welford.variance all)
+    (Stats.Welford.variance merged);
+  Alcotest.(check int) "count" 1000 (Stats.Welford.count merged)
+
+(* --- Timed average --- *)
+
+let test_timed_average_piecewise () =
+  let t = Stats.Timed_average.create ~start:0. ~value:10. in
+  Stats.Timed_average.update t ~time:2. ~value:20.;
+  (* 10 for 2s, then 20 for 2s -> 15. *)
+  Alcotest.check approx "average" 15. (Stats.Timed_average.average t ~upto:4.);
+  Alcotest.check approx "current" 20. (Stats.Timed_average.value t)
+
+let test_timed_average_instant_double_update () =
+  let t = Stats.Timed_average.create ~start:0. ~value:1. in
+  Stats.Timed_average.update t ~time:1. ~value:100.;
+  Stats.Timed_average.update t ~time:1. ~value:2.;
+  (* The 100 lasted zero time. *)
+  Alcotest.check approx "average" 1.5 (Stats.Timed_average.average t ~upto:2.)
+
+let test_timed_average_empty_window () =
+  let t = Stats.Timed_average.create ~start:5. ~value:42. in
+  Alcotest.check approx "empty window" 42. (Stats.Timed_average.average t ~upto:5.)
+
+let test_timed_average_monotonicity_check () =
+  let t = Stats.Timed_average.create ~start:0. ~value:1. in
+  Stats.Timed_average.update t ~time:2. ~value:1.;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timed_average.update: time went backwards") (fun () ->
+      Stats.Timed_average.update t ~time:1. ~value:1.)
+
+(* --- Histogram --- *)
+
+let test_histogram_buckets () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:5 in
+  List.iter (Stats.Histogram.add h) [ 0.; 1.9; 2.; 5.; 9.9 ];
+  Alcotest.(check (array int)) "counts" [| 2; 1; 1; 0; 1 |]
+    (Stats.Histogram.bucket_counts h);
+  Alcotest.(check int) "total" 5 (Stats.Histogram.count h)
+
+let test_histogram_outliers () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:2 in
+  Stats.Histogram.add h (-5.);
+  Stats.Histogram.add h 50.;
+  Alcotest.(check (array int)) "clamped" [| 1; 1 |] (Stats.Histogram.bucket_counts h)
+
+let test_histogram_quantile () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:100. ~buckets:10 in
+  for i = 0 to 99 do
+    Stats.Histogram.add h (float_of_int i)
+  done;
+  let median = Stats.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "median near 50" true (Float.abs (median -. 50.) <= 10.)
+
+let test_histogram_bounds () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:4 in
+  Alcotest.(check (pair approx approx)) "bucket 1" (2.5, 5.)
+    (Stats.Histogram.bucket_bounds h 1)
+
+(* Properties *)
+
+let qcheck_welford_matches_naive =
+  QCheck.Test.make ~name:"welford matches direct mean/variance" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 60) (float_range (-100.) 100.))
+    (fun xs ->
+      let w = Stats.Welford.create () in
+      List.iter (Stats.Welford.add w) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+      in
+      Float.abs (Stats.Welford.mean w -. mean) < 1e-6
+      && Float.abs (Stats.Welford.variance w -. var) < 1e-5)
+
+let qcheck_timed_average_bounded =
+  QCheck.Test.make ~name:"timed average lies within observed values" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (float_range 0. 100.))
+    (fun values ->
+      let t = Stats.Timed_average.create ~start:0. ~value:(List.hd values) in
+      List.iteri
+        (fun i v -> Stats.Timed_average.update t ~time:(float_of_int (i + 1)) ~value:v)
+        values;
+      let upto = float_of_int (List.length values + 1) in
+      let avg = Stats.Timed_average.average t ~upto in
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      avg >= lo -. 1e-9 && avg <= hi +. 1e-9)
+
+let qcheck_event_queue_sorts =
+  QCheck.Test.make ~name:"event queue pops in sorted order" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 100) (float_range 0. 1000.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.add q ~time:t ())) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, ()) -> drain (t :: acc)
+      in
+      drain [] = List.sort compare times)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event-queue",
+        [
+          Alcotest.test_case "time order" `Quick test_queue_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_on_ties;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "cancel after fire" `Quick test_queue_cancel_after_fire;
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "non-finite time" `Quick test_queue_non_finite_time;
+          Alcotest.test_case "1000 random events" `Quick test_queue_many_random;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "welford",
+        [
+          Alcotest.test_case "known values" `Quick test_welford_known;
+          Alcotest.test_case "empty" `Quick test_welford_empty;
+          Alcotest.test_case "confidence interval" `Quick test_welford_ci;
+          Alcotest.test_case "merge" `Quick test_welford_merge;
+        ] );
+      ( "timed-average",
+        [
+          Alcotest.test_case "piecewise" `Quick test_timed_average_piecewise;
+          Alcotest.test_case "instant double update" `Quick
+            test_timed_average_instant_double_update;
+          Alcotest.test_case "empty window" `Quick test_timed_average_empty_window;
+          Alcotest.test_case "monotonicity" `Quick test_timed_average_monotonicity_check;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "outliers" `Quick test_histogram_outliers;
+          Alcotest.test_case "quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "bounds" `Quick test_histogram_bounds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_welford_matches_naive;
+            qcheck_timed_average_bounded;
+            qcheck_event_queue_sorts;
+          ] );
+    ]
