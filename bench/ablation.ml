@@ -484,6 +484,7 @@ let restoration scale =
   Exp.note "halves of the paper's §1 argument."
 
 let run scale =
+  Exp.with_manifest "ablations" scale @@ fun () ->
   multiplexing scale;
   elasticity scale;
   policies scale;

@@ -75,3 +75,36 @@ let run_timed cfg =
   let t0 = Unix.gettimeofday () in
   let r = Scenario.run cfg in
   (r, Unix.gettimeofday () -. t0)
+
+(* Every experiment runs under a fresh metrics registry and leaves a
+   machine-readable manifest — <name>.metrics.json in the --out directory
+   (or the working directory) — recording scale, per-phase timings, and
+   event counts.  These files anchor cross-PR performance trajectories:
+   later optimisation work diffs them against earlier runs. *)
+let with_manifest name scale f =
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  Obs.set_default obs;
+  let t0 = Unix.gettimeofday () in
+  let result = Fun.protect ~finally:(fun () -> Obs.set_default Obs.null) f in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let path =
+    let file = name ^ ".metrics.json" in
+    match !out_dir with Some dir -> Filename.concat dir file | None -> file
+  in
+  let doc =
+    Jsonx.Obj
+      [
+        ("experiment", Jsonx.String name);
+        ("scale", Jsonx.String (match scale with Full -> "full" | Quick -> "quick"));
+        ("churn_events", Jsonx.Int (churn scale));
+        ("warmup_events", Jsonx.Int (warmup scale));
+        ("wall_s", Jsonx.Float wall_s);
+        ("metrics", Obs.metrics_json obs);
+      ]
+  in
+  let oc = open_out path in
+  Jsonx.output oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(metrics manifest written to %s)\n" path;
+  result

@@ -14,6 +14,7 @@ let offered_points = function
   | Exp.Quick -> [ 200; 600; 1000; 1400 ]
 
 let run scale =
+  Exp.with_manifest "fig2" scale @@ fun () ->
   Exp.section "Figure 2: average bandwidth vs number of DR-connections";
   Exp.note
     "network: 100-node Waxman (alpha 0.33, beta calibrated to 354 links), 10 Mbps links";

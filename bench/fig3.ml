@@ -14,6 +14,7 @@ let node_points = function
 let offered = function Exp.Full -> 3000 | Exp.Quick -> 600
 
 let run scale =
+  Exp.with_manifest "fig3" scale @@ fun () ->
   Exp.section "Figure 3: average bandwidth vs number of nodes (3000 connections)";
   let rows =
     List.map

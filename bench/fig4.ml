@@ -13,6 +13,7 @@ let gammas = function
 let loads = function Exp.Full -> [ 2000; 3000 ] | Exp.Quick -> [ 600 ]
 
 let run scale =
+  Exp.with_manifest "fig4" scale @@ fun () ->
   Exp.section "Figure 4: average bandwidth vs link failure rate";
   Exp.note "lambda = mu = 0.001; repairs at rate 0.01 per failed edge";
   let rows =

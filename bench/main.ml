@@ -8,9 +8,12 @@
 
    All experiments are deterministic (fixed seeds). *)
 
-let usage () =
-  print_endline
-    "usage: main.exe [all|fig2|table1|fig3|fig4|ablations|micro] [--quick] [--out DIR]";
+let commands = [ "all"; "fig2"; "table1"; "fig3"; "fig4"; "ablations"; "micro" ]
+
+let usage ?error () =
+  Option.iter (fun msg -> Printf.eprintf "error: %s\n" msg) error;
+  Printf.eprintf "usage: main.exe [%s] [--quick] [--out DIR]\n"
+    (String.concat "|" commands);
   exit 2
 
 let () =
@@ -18,6 +21,7 @@ let () =
   let scale = Exp.scale_of_args args in
   (* Consume --out DIR. *)
   let rec strip_out acc = function
+    | [ "--out" ] -> usage ~error:"--out requires a directory argument" ()
     | "--out" :: dir :: rest ->
       Exp.set_out_dir dir;
       strip_out acc rest
@@ -28,8 +32,9 @@ let () =
   let which =
     match List.filter (fun a -> a <> "--quick") args with
     | [] -> "all"
-    | [ w ] -> w
-    | _ -> usage ()
+    | [ w ] when List.mem w commands -> w
+    | [ w ] -> usage ~error:(Printf.sprintf "unknown sub-command %S" w) ()
+    | _ -> usage ~error:"expected at most one sub-command" ()
   in
   let t0 = Unix.gettimeofday () in
   Printf.printf

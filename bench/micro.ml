@@ -83,7 +83,8 @@ let tests =
     Test.make ~name:"100-node Waxman generation" (bench_waxman ());
   ]
 
-let run _scale =
+let run scale =
+  Exp.with_manifest "micro" scale @@ fun () ->
   Exp.section "Micro-benchmarks (bechamel)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let instances = [ Instance.monotonic_clock ] in

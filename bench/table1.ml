@@ -17,6 +17,7 @@ let offered_points = function
 let tier_topology = Scenario.Transit_stub Transit_stub.paper_spec
 
 let run scale =
+  Exp.with_manifest "table1" scale @@ fun () ->
   Exp.section "Table 1: average bandwidth, 5-state vs 9-state chains, Random vs Tier";
   let cell cfg =
     let r, _ = Exp.run_timed cfg in

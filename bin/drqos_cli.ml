@@ -38,6 +38,61 @@ let policy_conv =
   in
   Arg.conv (parse, Policy.pp)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured event trace (admissions, rejections, elastic \
+           retreats/upgrades, failures, backup activations, solver calls) to \
+           $(docv) as JSON Lines; $(b,-) pretty-prints to stdout instead.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a metrics manifest (counters, gauges, phase timers, solver \
+           timings, run metadata) to $(docv) as JSON.")
+
+(* Build the observability context the run-like commands share: a live
+   tracer when --trace is given, a live registry when --metrics is, and
+   the disabled singletons otherwise.  Installed as the process default
+   so solver internals (Linsolve, Ctmc) report too. *)
+let open_out_or_exit path =
+  try open_out path
+  with Sys_error msg ->
+    Printf.eprintf "drqos_cli: cannot open output file: %s\n" msg;
+    exit 1
+
+let make_obs ~trace ~metrics =
+  let tracer =
+    match trace with
+    | None -> Trace.disabled
+    | Some "-" -> Trace.create (Trace.console_sink ())
+    | Some path -> Trace.create (Trace.jsonl_sink (open_out_or_exit path))
+  in
+  let registry =
+    match metrics with
+    | None -> Metrics.disabled
+    | Some path ->
+      (* Validate writability now, not after a long run. *)
+      close_out (open_out_or_exit path);
+      Metrics.create ()
+  in
+  let obs = Obs.create ~metrics:registry ~trace:tracer () in
+  Obs.set_default obs;
+  obs
+
+let write_metrics_manifest obs ~path ~meta =
+  let doc = Jsonx.Obj (meta @ [ ("metrics", Obs.metrics_json obs) ]) in
+  let oc = open_out_or_exit path in
+  Jsonx.output oc doc;
+  output_char oc '\n';
+  close_out oc
+
 let scenario_topology nodes = function
   | `Waxman -> Scenario.Waxman (Waxman.paper_spec ~nodes)
   | `Transit_stub ->
@@ -93,7 +148,7 @@ let run_cmd =
       & info [ "no-backups" ] ~doc:"Disable backup channels entirely (baseline).")
   in
   let run seed nodes topo capacity offered lambda mu gamma increment policy churn
-      warmup no_multiplexing no_backups =
+      warmup no_multiplexing no_backups trace metrics =
     let cfg =
       {
         Scenario.default with
@@ -113,7 +168,10 @@ let run_cmd =
         seed;
       }
     in
-    let r = Scenario.run cfg in
+    let obs = make_obs ~trace ~metrics in
+    let t0 = Unix.gettimeofday () in
+    let r = Scenario.run ~obs cfg in
+    let wall_s = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." Scenario.pp_result r;
     Format.printf "level distribution (time-weighted):@.";
     Array.iteri
@@ -121,13 +179,34 @@ let run_cmd =
         Format.printf "  %3d Kbps: %5.1f%%@."
           (Qos.bandwidth_of_level cfg.Scenario.qos i)
           (100. *. p))
-      r.Scenario.channel_bandwidth_dist
+      r.Scenario.channel_bandwidth_dist;
+    Option.iter
+      (fun path ->
+        write_metrics_manifest obs ~path
+          ~meta:
+            [
+              ("command", Jsonx.String "run");
+              ("seed", Jsonx.Int seed);
+              ("nodes", Jsonx.Int nodes);
+              ("offered", Jsonx.Int offered);
+              ("churn_events", Jsonx.Int churn);
+              ("warmup_events", Jsonx.Int warmup);
+              ("wall_s", Jsonx.Float wall_s);
+              ("estimator", Estimator.to_json r.Scenario.estimator);
+            ];
+        Format.printf "metrics written to %s@." path)
+      metrics;
+    Option.iter
+      (fun path ->
+        Obs.close obs;
+        if path <> "-" then Format.printf "trace written to %s@." path)
+      trace
   in
   let term =
     Term.(
       const run $ seed_arg $ nodes_arg $ topology_arg $ capacity_arg $ offered
       $ lambda $ mu $ gamma $ increment $ policy $ churn $ warmup $ no_multiplexing
-      $ no_backups)
+      $ no_backups $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -175,7 +254,8 @@ let chain_cmd =
   let increment =
     Arg.(value & opt int 50 & info [ "increment" ] ~doc:"Elastic increment in Kbps.")
   in
-  let run p_f p_s lambda mu gamma increment =
+  let run p_f p_s lambda mu gamma increment trace metrics =
+    let obs = make_obs ~trace ~metrics in
     let qos = Qos.paper_spec ~increment in
     let n = Qos.levels qos in
     (* Synthetic structure, the paper's qualitative shapes: an arrival
@@ -211,9 +291,25 @@ let chain_cmd =
         Format.printf "  %-7s %12.1f@." label (Model.sensitivity p ~qos knob))
       [
         ("lambda", `Lambda); ("mu", `Mu); ("gamma", `Gamma); ("P_f", `P_f); ("P_s", `P_s);
-      ]
+      ];
+    Option.iter
+      (fun path ->
+        write_metrics_manifest obs ~path
+          ~meta:
+            [
+              ("command", Jsonx.String "chain");
+              ("states", Jsonx.Int n);
+              ("increment", Jsonx.Int increment);
+            ];
+        Format.printf "metrics written to %s@." path)
+      metrics;
+    Option.iter (fun path -> if path <> "-" then Obs.close obs) trace
   in
-  let term = Term.(const run $ p_f $ p_s $ lambda $ mu $ gamma $ increment) in
+  let term =
+    Term.(
+      const run $ p_f $ p_s $ lambda $ mu $ gamma $ increment $ trace_arg
+      $ metrics_arg)
+  in
   Cmd.v
     (Cmd.info "chain"
        ~doc:"Solve a synthetic instance of the paper's Markov chain from CLI parameters.")

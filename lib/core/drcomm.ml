@@ -39,12 +39,25 @@ type t = {
   mutable next_id : int;
   mutable dropped : int;
   mutable auto_redistribute : bool;
+  obs : Obs.t;
+  m_admits : Metrics.counter;
+  m_rejects : Metrics.counter;
+  m_terminations : Metrics.counter;
+  m_upgrades : Metrics.counter;
+  m_retreats : Metrics.counter;
+  m_link_failures : Metrics.counter;
+  m_link_repairs : Metrics.counter;
+  m_backup_activations : Metrics.counter;
+  m_backup_losses : Metrics.counter;
+  m_drops : Metrics.counter;
+  m_restores : Metrics.counter;
 }
 
-let create ?(config = default_config) net =
+let create ?(config = default_config) ?obs net =
   if config.hop_bound < 1 then invalid_arg "Drcomm.create: hop_bound >= 1";
   if config.with_backups && config.backups_per_connection < 1 then
     invalid_arg "Drcomm.create: with_backups needs backups_per_connection >= 1";
+  let obs = match obs with Some o -> o | None -> Obs.default () in
   {
     net;
     cfg = config;
@@ -52,6 +65,18 @@ let create ?(config = default_config) net =
     next_id = 0;
     dropped = 0;
     auto_redistribute = true;
+    obs;
+    m_admits = Obs.counter obs "drcomm.admits";
+    m_rejects = Obs.counter obs "drcomm.rejects";
+    m_terminations = Obs.counter obs "drcomm.terminations";
+    m_upgrades = Obs.counter obs "drcomm.elastic_upgrades";
+    m_retreats = Obs.counter obs "drcomm.elastic_retreats";
+    m_link_failures = Obs.counter obs "drcomm.link_failures";
+    m_link_repairs = Obs.counter obs "drcomm.link_repairs";
+    m_backup_activations = Obs.counter obs "drcomm.backup_activations";
+    m_backup_losses = Obs.counter obs "drcomm.backup_losses";
+    m_drops = Obs.counter obs "drcomm.drops";
+    m_restores = Obs.counter obs "drcomm.restores";
   }
 
 let set_auto_redistribute t flag = t.auto_redistribute <- flag
@@ -104,6 +129,12 @@ let set_level t ch lvl =
     let bw = bandwidth_at ch lvl in
     List.iter (fun dl -> Link_state.set_primary (Net_state.link t.net dl) ~channel:ch.id bw)
       ch.primary;
+    if lvl > ch.level then Metrics.incr t.m_upgrades else Metrics.incr t.m_retreats;
+    if Obs.tracing t.obs then
+      Obs.event t.obs
+        (if lvl > ch.level then
+           Trace.Upgrade { channel = ch.id; from_level = ch.level; to_level = lvl }
+         else Trace.Retreat { channel = ch.id; from_level = ch.level; to_level = lvl });
     ch.level <- lvl
   end
 
@@ -304,8 +335,21 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
   if src = dst then invalid_arg "Drcomm.admit: src = dst";
   let floor = qos.Qos.b_min in
   let req = Flooding.request ~hop_bound:t.cfg.hop_bound ~src ~dst ~floor () in
+  let rejected reason =
+    Metrics.incr t.m_rejects;
+    if Obs.tracing t.obs then
+      Obs.event t.obs
+        (Trace.Reject
+           {
+             reason =
+               (match reason with
+               | No_primary_route -> "no_primary_route"
+               | No_backup_route -> "no_backup_route");
+           });
+    Rejected reason
+  in
   match find_primary_route t req with
-  | None -> Rejected No_primary_route
+  | None -> rejected No_primary_route
   | Some ppath -> (
     let plinks = Dirlink.of_path g ppath in
     let pedges = ppath.Paths.edges in
@@ -353,7 +397,7 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
         (fun dl -> Link_state.release_primary (Net_state.link t.net dl) ~channel:id)
         plinks;
       if t.auto_redistribute then redistribute t ~dirty;
-      Rejected No_backup_route
+      rejected No_backup_route
     | _ ->
       t.next_id <- id + 1;
       Hashtbl.replace t.channels id ch;
@@ -370,6 +414,15 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
             @ transitions_of ~chained:`Indirect indirect_snap;
         }
       in
+      Metrics.incr t.m_admits;
+      if Obs.tracing t.obs then
+        Obs.event t.obs
+          (Trace.Admit
+             {
+               channel = id;
+               direct = report.direct_count;
+               indirect = report.indirect_count;
+             });
       Admitted (id, report))
 
 (* ------------------------------------------------------------------ *)
@@ -393,6 +446,8 @@ let terminate t id =
   unregister_backup_links t ch;
   Hashtbl.remove t.channels id;
   if t.auto_redistribute then redistribute t ~dirty:ch.primary;
+  Metrics.incr t.m_terminations;
+  if Obs.tracing t.obs then Obs.event t.obs (Trace.Terminate { channel = id });
   {
     existing;
     direct_count = List.length direct;
@@ -548,6 +603,8 @@ let fail_edge t e =
   if Net_state.edge_failed t.net e then { recoveries = []; event = { existing = Hashtbl.length t.channels; direct_count = 0; indirect_count = 0; transitions = [] } }
   else begin
     Net_state.fail_edge t.net e;
+    Metrics.incr t.m_link_failures;
+    if Obs.tracing t.obs then Obs.event t.obs (Trace.Link_fail { edge = e });
     let existing = Hashtbl.length t.channels in
     let victims_primary = ref [] and victims_backup = ref [] in
     let crosses blinks = List.exists (fun dl -> Dirlink.edge dl = e) blinks in
@@ -600,6 +657,19 @@ let fail_edge t e =
             unregister_backup_links t ch;
             drop_or_restore ()
         in
+        (match outcome with
+        | `Switched_to_backup reprotected ->
+          Metrics.incr t.m_backup_activations;
+          if Obs.tracing t.obs then
+            Obs.event t.obs (Trace.Backup_activate { channel = ch.id; reprotected })
+        | `Dropped ->
+          Metrics.incr t.m_drops;
+          if Obs.tracing t.obs then Obs.event t.obs (Trace.Drop { channel = ch.id })
+        | `Restored with_backup ->
+          Metrics.incr t.m_restores;
+          if Obs.tracing t.obs then
+            Obs.event t.obs (Trace.Restore { channel = ch.id; with_backup })
+        | `Backup_lost _ -> ());
         recoveries := { victim = ch.id; outcome } :: !recoveries)
       victims_primary;
     List.iter
@@ -609,9 +679,11 @@ let fail_edge t e =
         let lost, kept = List.partition crosses ch.backups in
         List.iter (unregister_backup_path t ch) lost;
         ch.backups <- kept;
-        recoveries :=
-          { victim = ch.id; outcome = `Backup_lost (try_new_backup t ch) }
-          :: !recoveries)
+        let replaced = try_new_backup t ch in
+        Metrics.incr t.m_backup_losses;
+        if Obs.tracing t.obs then
+          Obs.event t.obs (Trace.Backup_lost { channel = ch.id; replaced });
+        recoveries := { victim = ch.id; outcome = `Backup_lost replaced } :: !recoveries)
       victims_backup;
     let retreated_snap = List.rev !retreated in
     if t.auto_redistribute then redistribute t ~dirty:!dirty;
@@ -633,7 +705,10 @@ let fail_edge t e =
     }
   end
 
-let repair_edge t e = Net_state.repair_edge t.net e
+let repair_edge t e =
+  Net_state.repair_edge t.net e;
+  Metrics.incr t.m_link_repairs;
+  if Obs.tracing t.obs then Obs.event t.obs (Trace.Link_repair { edge = e })
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)

@@ -59,7 +59,17 @@ val default_config : config
 (** Equal-utility water-filling ([Equal_share]), hop bound 16, backups
     required. *)
 
-val create : ?config:config -> Net_state.t -> t
+val create : ?config:config -> ?obs:Obs.t -> Net_state.t -> t
+(** [obs] (default {!Obs.default}) receives the service's
+    instrumentation: counters [drcomm.admits], [drcomm.rejects],
+    [drcomm.terminations], [drcomm.elastic_upgrades],
+    [drcomm.elastic_retreats], [drcomm.link_failures],
+    [drcomm.link_repairs], [drcomm.backup_activations],
+    [drcomm.backup_losses], [drcomm.drops], [drcomm.restores]; and the
+    trace events [Admit], [Reject], [Terminate], [Upgrade], [Retreat],
+    [Link_fail], [Link_repair], [Backup_activate], [Backup_lost],
+    [Drop], [Restore].  Timestamps come from the context's clock (see
+    {!Obs.set_clock}). *)
 
 val net : t -> Net_state.t
 val config : t -> config

@@ -125,6 +125,19 @@ let a_row_count t i =
   if i < 0 || i >= t.levels then invalid_arg "Estimator.a_row_count: out of range";
   counts_row_total t.a i
 
+let to_json t =
+  Jsonx.Obj
+    [
+      ("arrivals", Jsonx.Int t.arrivals);
+      ("terminations", Jsonx.Int t.terminations);
+      ("failures", Jsonx.Int t.failures);
+      ("adaptations", Jsonx.Int t.adaptations);
+      ("adaptation_rate", Jsonx.Float (adaptation_rate t));
+      ("p_f", Jsonx.Float (p_f t));
+      ("p_s", Jsonx.Float (p_s t));
+      ("p_f_termination", Jsonx.Float (p_f_termination t));
+    ]
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "@[<v>estimator: %d arrivals, %d terminations, %d failures@,\

@@ -65,4 +65,8 @@ val adaptation_rate : t -> float
 (** {!adaptations} per observed churn event (arrivals + terminations +
     failures); 0 when nothing observed. *)
 
+val to_json : t -> Jsonx.t
+(** Event totals and the measured chaining probabilities, for the
+    metrics manifests written by the CLI and bench harness. *)
+
 val pp_summary : Format.formatter -> t -> unit

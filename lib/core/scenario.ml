@@ -140,11 +140,16 @@ type churn = {
   mutable switched : int;
   mutable restored : int;
   mutable stop_after : int;
+  m_arrivals : Metrics.counter;
+  m_terminations : Metrics.counter;
+  m_failures : Metrics.counter;
+  m_repairs : Metrics.counter;
 }
 
 let random_pair rng n = Prng.sample_distinct_pair rng n
 
 let churn_arrival c =
+  Metrics.incr c.m_arrivals;
   let g = Net_state.graph (Drcomm.net c.service) in
   let src, dst = random_pair c.rng (Graph.node_count g) in
   match Drcomm.admit ~want_indirect:c.measuring c.service ~src ~dst ~qos:c.cfg.qos with
@@ -158,6 +163,7 @@ let churn_arrival c =
     ()
 
 let churn_termination c =
+  Metrics.incr c.m_terminations;
   match Drcomm.active_channels c.service with
   | [] -> ()
   | ids ->
@@ -167,6 +173,7 @@ let churn_termination c =
     if c.measuring then Estimator.observe_termination c.est report
 
 let churn_failure c =
+  Metrics.incr c.m_failures;
   let net = Drcomm.net c.service in
   let g = Net_state.graph net in
   let working =
@@ -190,6 +197,7 @@ let churn_failure c =
     if c.measuring then Estimator.observe_failure c.est freport.Drcomm.event
 
 let churn_repair c =
+  Metrics.incr c.m_repairs;
   let net = Drcomm.net c.service in
   match Net_state.failed_edges net with
   | [] -> ()
@@ -219,7 +227,8 @@ let rec schedule_churn c engine =
     end
   end
 
-let run (cfg : config) =
+let run ?obs (cfg : config) =
+  let obs = match obs with Some o -> o | None -> Obs.default () in
   if cfg.offered < 0 then invalid_arg "Scenario.run: negative offered count";
   if cfg.lambda <= 0. || cfg.mu <= 0. then
     invalid_arg "Scenario.run: lambda and mu must be positive";
@@ -240,21 +249,22 @@ let run (cfg : config) =
       restore_on_failure = cfg.restore_on_failure;
     }
   in
-  let service = Drcomm.create ~config:dr_config net in
+  let service = Drcomm.create ~config:dr_config ~obs net in
   (* Load phase: attempt [offered] set-ups.  Redistribution is deferred to
      one global pass — per-event adaptation only matters once we measure,
      and the warmup churn re-equilibrates the allocation anyway. *)
   let rejected_load = ref 0 in
   let n = Graph.node_count graph in
-  Drcomm.set_auto_redistribute service false;
-  for _ = 1 to cfg.offered do
-    let src, dst = random_pair workload_rng n in
-    match Drcomm.admit ~want_indirect:false service ~src ~dst ~qos:cfg.qos with
-    | Admitted _ -> ()
-    | Rejected _ -> incr rejected_load
-  done;
-  Drcomm.redistribute_all service;
-  Drcomm.set_auto_redistribute service true;
+  Obs.span obs "load" (fun () ->
+      Drcomm.set_auto_redistribute service false;
+      for _ = 1 to cfg.offered do
+        let src, dst = random_pair workload_rng n in
+        match Drcomm.admit ~want_indirect:false service ~src ~dst ~qos:cfg.qos with
+        | Admitted _ -> ()
+        | Rejected _ -> incr rejected_load
+      done;
+      Drcomm.redistribute_all service;
+      Drcomm.set_auto_redistribute service true);
   let carried_initial = Drcomm.count service in
   let avg_hops =
     match Drcomm.active_channels service with
@@ -270,7 +280,9 @@ let run (cfg : config) =
   (* Churn phase. *)
   let levels = Qos.levels cfg.qos in
   let est = Estimator.create ~levels in
-  let engine = Engine.create () in
+  let engine = Engine.create ~obs () in
+  (* Trace timestamps now follow the simulation clock. *)
+  Obs.set_clock obs (fun () -> Engine.now engine);
   let probe = probe_create ~levels ~start:0. in
   let churn =
     {
@@ -286,11 +298,16 @@ let run (cfg : config) =
       switched = 0;
       restored = 0;
       stop_after = cfg.warmup_events;
+      m_arrivals = Obs.counter obs "scenario.churn_arrivals";
+      m_terminations = Obs.counter obs "scenario.churn_terminations";
+      m_failures = Obs.counter obs "scenario.churn_failures";
+      m_repairs = Obs.counter obs "scenario.churn_repairs";
     }
   in
   (* Warmup: churn without measuring. *)
-  schedule_churn churn engine;
-  ignore (Engine.run engine);
+  Obs.span obs "warmup" (fun () ->
+      schedule_churn churn engine;
+      ignore (Engine.run engine));
   (* Reset measurement state and run the measured window. *)
   churn.measuring <- true;
   churn.rejected <- 0;
@@ -300,14 +317,18 @@ let run (cfg : config) =
   probe.weighted_occupancy <- Array.make levels 0.;
   probe.span <- 0.;
   churn.stop_after <- cfg.warmup_events + cfg.churn_events;
-  schedule_churn churn engine;
-  ignore (Engine.run engine);
+  Obs.span obs "measure" (fun () ->
+      schedule_churn churn engine;
+      ignore (Engine.run engine));
   probe_tick probe service ~now:(Engine.now engine) ~qos:cfg.qos;
   Drcomm.check_invariants service;
-  let params =
-    Model.params_of_estimator ~lambda:cfg.lambda ~mu:cfg.mu ~gamma:cfg.gamma est
+  let model_avg =
+    Obs.span obs "solve" (fun () ->
+        let params =
+          Model.params_of_estimator ~lambda:cfg.lambda ~mu:cfg.mu ~gamma:cfg.gamma est
+        in
+        Model.average_bandwidth_regularized params ~qos:cfg.qos)
   in
-  let model_avg = Model.average_bandwidth_regularized params ~qos:cfg.qos in
   let ideal =
     let hops = if avg_hops > 0. then avg_hops else Paths.average_hops graph in
     let channels = max 1 carried_initial in

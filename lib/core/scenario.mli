@@ -72,8 +72,15 @@ type result = {
           (time-weighted share of channel-time spent at each level). *)
 }
 
-val run : config -> result
-(** Deterministic in [config] (all randomness from [seed]). *)
+val run : ?obs:Obs.t -> config -> result
+(** Deterministic in [config] (all randomness from [seed]).
+
+    [obs] (default {!Obs.default}) observes the whole run: phases
+    [load], [warmup], [measure] and [solve] are timed and traced, churn
+    events are counted under [scenario.churn_*], and the context is
+    threaded into the {!Drcomm} service and the {!Engine} (whose clock
+    drives the trace timestamps).  Observability never perturbs the
+    simulation itself. *)
 
 (** Aggregate over independent replications (different seeds — fresh
     topology instance and workload each). *)

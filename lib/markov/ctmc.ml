@@ -39,7 +39,18 @@ let generator c =
   done;
   q
 
-let stationary c = Linsolve.solve_left_nullvector (generator c)
+let stationary c =
+  let obs = Obs.default () in
+  if not (Obs.enabled obs) then Linsolve.solve_left_nullvector (generator c)
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let pi = Linsolve.solve_left_nullvector (generator c) in
+    let dt = Unix.gettimeofday () -. t0 in
+    Metrics.incr (Obs.counter obs "markov.stationary_solves");
+    Metrics.observe (Obs.timer obs "markov.stationary_s") dt;
+    Obs.event obs (Trace.Solve { what = "ctmc.stationary"; states = c.n; seconds = dt });
+    pi
+  end
 
 let mean_reward c reward =
   let pi = stationary c in
@@ -189,6 +200,15 @@ let transient c ~p0 ~horizon ?(eps = 1e-10) () =
         cumulative := !cumulative +. !weight;
         accumulate !weight !current
       done;
+      let obs = Obs.default () in
+      if Obs.enabled obs then begin
+        (* Uniformisation is the one iterative solver here: expose how
+           many matrix-vector products the truncation needed. *)
+        Metrics.incr (Obs.counter obs "markov.transient_solves");
+        Metrics.add (Obs.counter obs "markov.transient_steps") !k;
+        Obs.event obs
+          (Trace.Solve { what = "ctmc.transient"; states = c.n; seconds = 0. })
+      end;
       (* Renormalise the truncation remainder. *)
       let total = Array.fold_left ( +. ) 0. result in
       if total > 0. then Array.map (fun x -> x /. total) result else result

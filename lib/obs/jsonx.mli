@@ -1,0 +1,40 @@
+(** Minimal JSON documents: construction, compact printing, and a small
+    reader.
+
+    Kept dependency-free on purpose (the container bakes no JSON
+    library): {!Metrics} snapshots, {!Trace} sinks, and the bench
+    manifests all build on this, and the tests round-trip through
+    {!of_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  NaN renders as [null], infinities
+    as the out-of-range literals [1e999] / [-1e999] (which read back as
+    infinities). *)
+
+val output : out_channel -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parses one JSON document; raises {!Parse_error} on malformed input or
+    trailing garbage.  Numbers without [.], [e] or overflow come back as
+    [Int], everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key], [None] for
+    non-objects and missing keys. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] accepts both [Float] and [Int]. *)
+
+val to_str : t -> string option

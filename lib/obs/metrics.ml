@@ -1,0 +1,128 @@
+type t = {
+  mutable on : bool;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+}
+
+and counter = { c_reg : t; mutable count : int }
+
+and gauge = {
+  g_reg : t;
+  mutable last : float;
+  mutable peak : float;
+  mutable updates : int;
+}
+
+and timer = { t_reg : t; spans : Stats.Welford.t }
+
+let create ?(enabled = true) () =
+  {
+    on = enabled;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    timers = Hashtbl.create 16;
+  }
+
+(* The shared no-op registry: instruments minted from it keep their
+   [on = false] check forever (it is never enabled), so instrumented hot
+   paths cost one load and one branch when observability is off. *)
+let disabled = create ~enabled:false ()
+
+let enabled t = t.on
+
+let set_enabled t flag =
+  if t == disabled then invalid_arg "Metrics.set_enabled: the shared disabled registry";
+  t.on <- flag
+
+let intern table name make =
+  match Hashtbl.find_opt table name with
+  | Some x -> x
+  | None ->
+    let x = make () in
+    Hashtbl.replace table name x;
+    x
+
+let counter t name = intern t.counters name (fun () -> { c_reg = t; count = 0 })
+
+let incr c = if c.c_reg.on then c.count <- c.count + 1
+
+let add c n = if c.c_reg.on then c.count <- c.count + n
+
+let count c = c.count
+
+let gauge t name =
+  intern t.gauges name (fun () ->
+      { g_reg = t; last = 0.; peak = neg_infinity; updates = 0 })
+
+let set g v =
+  if g.g_reg.on then begin
+    g.last <- v;
+    if v > g.peak then g.peak <- v;
+    g.updates <- g.updates + 1
+  end
+
+let value g = g.last
+let peak g = if g.updates = 0 then 0. else g.peak
+
+let timer t name = intern t.timers name (fun () -> { t_reg = t; spans = Stats.Welford.create () })
+
+let observe tm seconds = if tm.t_reg.on then Stats.Welford.add tm.spans seconds
+
+let time tm f =
+  if tm.t_reg.on then begin
+    let t0 = Unix.gettimeofday () in
+    let finally () = Stats.Welford.add tm.spans (Unix.gettimeofday () -. t0) in
+    Fun.protect ~finally f
+  end
+  else f ()
+
+let timer_count tm = Stats.Welford.count tm.spans
+let timer_total tm = Stats.Welford.mean tm.spans *. float_of_int (Stats.Welford.count tm.spans)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let sorted_bindings table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot t =
+  let counters =
+    List.map (fun (name, c) -> (name, Jsonx.Int c.count)) (sorted_bindings t.counters)
+  in
+  let gauges =
+    List.map
+      (fun (name, g) ->
+        ( name,
+          Jsonx.Obj
+            [
+              ("value", Jsonx.Float g.last);
+              ("peak", Jsonx.Float (peak g));
+              ("updates", Jsonx.Int g.updates);
+            ] ))
+      (sorted_bindings t.gauges)
+  in
+  let timers =
+    List.map
+      (fun (name, tm) ->
+        let w = tm.spans in
+        let n = Stats.Welford.count w in
+        ( name,
+          Jsonx.Obj
+            [
+              ("count", Jsonx.Int n);
+              ("total_s", Jsonx.Float (timer_total tm));
+              ("mean_s", Jsonx.Float (Stats.Welford.mean w));
+              ("min_s", Jsonx.Float (if n = 0 then 0. else Stats.Welford.min_value w));
+              ("max_s", Jsonx.Float (if n = 0 then 0. else Stats.Welford.max_value w));
+            ] ))
+      (sorted_bindings t.timers)
+  in
+  Jsonx.Obj
+    [
+      ("enabled", Jsonx.Bool t.on);
+      ("counters", Jsonx.Obj counters);
+      ("gauges", Jsonx.Obj gauges);
+      ("timers", Jsonx.Obj timers);
+    ]

@@ -1,0 +1,59 @@
+(** Named counters, gauges, and latency timers.
+
+    Instruments are interned by name in a registry and keep a pointer
+    back to it, so a disabled registry reduces every record call to one
+    load and one branch — no allocation, no hashing.  Hot paths mint
+    their instruments once (at component creation) and call {!incr} /
+    {!set} / {!observe} unconditionally.
+
+    A snapshot serialises the whole registry to a {!Jsonx} document with
+    deterministic (name-sorted) field order. *)
+
+type t
+type counter
+type gauge
+type timer
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh registry; [enabled] defaults to [true]. *)
+
+val disabled : t
+(** The shared always-off registry.  {!set_enabled} rejects it, so
+    instruments minted from it are no-ops forever. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Raises [Invalid_argument] on {!disabled}. *)
+
+val counter : t -> string -> counter
+(** Interned by name: two calls with the same name return the same
+    counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val value : gauge -> float
+val peak : gauge -> float
+(** Largest value ever {!set}; [0.] before the first update. *)
+
+val timer : t -> string -> timer
+
+val observe : timer -> float -> unit
+(** Record one span of [seconds]. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk and record its wall-clock duration (even on raise).
+    When the registry is disabled the thunk runs without any clock
+    reads. *)
+
+val timer_count : timer -> int
+val timer_total : timer -> float
+
+val snapshot : t -> Jsonx.t
+(** [{"enabled": bool, "counters": {...}, "gauges": {name: {value, peak,
+    updates}}, "timers": {name: {count, total_s, mean_s, min_s,
+    max_s}}}]. *)

@@ -1,0 +1,50 @@
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  mutable clock : unit -> float;
+}
+
+let zero_clock () = 0.
+
+let null = { metrics = Metrics.disabled; trace = Trace.disabled; clock = zero_clock }
+
+let create ?(metrics = Metrics.disabled) ?(trace = Trace.disabled) () =
+  { metrics; trace; clock = zero_clock }
+
+let metrics t = t.metrics
+let trace t = t.trace
+
+let enabled t = Metrics.enabled t.metrics || Trace.enabled t.trace
+let tracing t = Trace.enabled t.trace
+
+let set_clock t f = if t != null then t.clock <- f
+let now t = t.clock ()
+
+let default_ref = ref null
+let default () = !default_ref
+let set_default t = default_ref := t
+
+let counter t name = Metrics.counter t.metrics name
+let gauge t name = Metrics.gauge t.metrics name
+let timer t name = Metrics.timer t.metrics name
+
+let event t ev = if Trace.enabled t.trace then Trace.emit t.trace ~time:(t.clock ()) ev
+
+(* Phases are both timed (metrics timer [phase.<name>]) and traced
+   (Phase_begin/Phase_end at the current sim clock). *)
+let span t name f =
+  if not (enabled t) then f ()
+  else begin
+    event t (Trace.Phase_begin { name });
+    let t0 = Unix.gettimeofday () in
+    let finally () =
+      let dt = Unix.gettimeofday () -. t0 in
+      Metrics.observe (Metrics.timer t.metrics ("phase." ^ name)) dt;
+      event t (Trace.Phase_end { name; seconds = dt })
+    in
+    Fun.protect ~finally f
+  end
+
+let metrics_json t = Metrics.snapshot t.metrics
+
+let close t = Trace.close t.trace

@@ -1,0 +1,52 @@
+(** The observability context: a {!Metrics} registry, a {!Trace} tracer,
+    and a simulation clock, bundled so instrumented components take one
+    value.
+
+    Components accept [?obs] at creation and default to the process-wide
+    {!default} (initially {!null}, so nothing is recorded until an
+    entry point — CLI, bench harness — installs a real context).  The
+    clock maps trace timestamps to simulation time; {!Scenario.run}
+    points it at its engine. *)
+
+type t
+
+val null : t
+(** The shared disabled context: no-op metrics, no tracer, clock pinned
+    at [0.].  {!set_clock} ignores it. *)
+
+val create : ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
+(** Both default to their disabled instances. *)
+
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+
+val enabled : t -> bool
+(** True when either the metrics registry or the tracer is live. *)
+
+val tracing : t -> bool
+(** True when the tracer is live — guard event construction with this so
+    a disabled trace allocates nothing. *)
+
+val set_clock : t -> (unit -> float) -> unit
+val now : t -> float
+
+val default : unit -> t
+val set_default : t -> unit
+
+val counter : t -> string -> Metrics.counter
+val gauge : t -> string -> Metrics.gauge
+val timer : t -> string -> Metrics.timer
+
+val event : t -> Trace.event -> unit
+(** Emit at the current clock; no-op when not tracing. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f], records its wall time under the metrics
+    timer [phase.<name>], and brackets it with [Phase_begin]/[Phase_end]
+    trace events.  When the context is fully disabled the thunk runs
+    untouched. *)
+
+val metrics_json : t -> Jsonx.t
+
+val close : t -> unit
+(** Close the tracer's sink. *)

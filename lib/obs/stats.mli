@@ -1,0 +1,68 @@
+(** Statistics accumulators for simulation output analysis. *)
+
+(** Streaming mean/variance (Welford's algorithm): numerically stable,
+    O(1) memory. *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0 with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val confidence_interval : ?z:float -> t -> float * float
+  (** Normal-approximation CI around the mean (default [z = 1.96], 95%).
+      Degenerate (mean, mean) with fewer than two samples. *)
+
+  val merge : t -> t -> t
+  (** Combine two accumulators (Chan's parallel update). *)
+end
+
+(** Time-weighted average of a piecewise-constant signal — the estimator
+    for "average bandwidth reserved", which must weight each level by how
+    long it was held, not by how many events touched it. *)
+module Timed_average : sig
+  type t
+
+  val create : start:float -> value:float -> t
+
+  val update : t -> time:float -> value:float -> unit
+  (** The signal takes [value] from [time] on.  [time] must not decrease;
+      equal times are fine (instantaneous double transition). *)
+
+  val value : t -> float
+  (** Current signal value. *)
+
+  val average : t -> upto:float -> float
+  (** Time-weighted mean over [[start, upto]].  Does not disturb the
+      accumulator.  Returns the current value if the window is empty. *)
+
+  val elapsed : t -> upto:float -> float
+end
+
+(** Fixed-width bucket histogram over [[lo, hi)]; outliers go to the first
+    and last buckets. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  val bucket_bounds : t -> int -> float * float
+  val quantile : t -> float -> float
+  (** Approximate quantile (bucket midpoint); [q] in [0, 1].  [nan] on an
+      empty histogram.  [q = 0] is the first populated bucket, [q = 1]
+      the last; out-of-range samples live in the clamping edge
+      buckets. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,121 @@
+type event =
+  | Admit of { channel : int; direct : int; indirect : int }
+  | Reject of { reason : string }
+  | Terminate of { channel : int }
+  | Upgrade of { channel : int; from_level : int; to_level : int }
+  | Retreat of { channel : int; from_level : int; to_level : int }
+  | Link_fail of { edge : int }
+  | Link_repair of { edge : int }
+  | Backup_activate of { channel : int; reprotected : bool }
+  | Backup_lost of { channel : int; replaced : bool }
+  | Drop of { channel : int }
+  | Restore of { channel : int; with_backup : bool }
+  | Solve of { what : string; states : int; seconds : float }
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string; seconds : float }
+  | Note of { name : string; fields : (string * Jsonx.t) list }
+
+let kind = function
+  | Admit _ -> "admit"
+  | Reject _ -> "reject"
+  | Terminate _ -> "terminate"
+  | Upgrade _ -> "upgrade"
+  | Retreat _ -> "retreat"
+  | Link_fail _ -> "link_fail"
+  | Link_repair _ -> "link_repair"
+  | Backup_activate _ -> "backup_activate"
+  | Backup_lost _ -> "backup_lost"
+  | Drop _ -> "drop"
+  | Restore _ -> "restore"
+  | Solve _ -> "solve"
+  | Phase_begin _ -> "phase_begin"
+  | Phase_end _ -> "phase_end"
+  | Note _ -> "note"
+
+let fields = function
+  | Admit { channel; direct; indirect } ->
+    [
+      ("channel", Jsonx.Int channel);
+      ("direct", Jsonx.Int direct);
+      ("indirect", Jsonx.Int indirect);
+    ]
+  | Reject { reason } -> [ ("reason", Jsonx.String reason) ]
+  | Terminate { channel } -> [ ("channel", Jsonx.Int channel) ]
+  | Upgrade { channel; from_level; to_level }
+  | Retreat { channel; from_level; to_level } ->
+    [
+      ("channel", Jsonx.Int channel);
+      ("from", Jsonx.Int from_level);
+      ("to", Jsonx.Int to_level);
+    ]
+  | Link_fail { edge } | Link_repair { edge } -> [ ("edge", Jsonx.Int edge) ]
+  | Backup_activate { channel; reprotected } ->
+    [ ("channel", Jsonx.Int channel); ("reprotected", Jsonx.Bool reprotected) ]
+  | Backup_lost { channel; replaced } ->
+    [ ("channel", Jsonx.Int channel); ("replaced", Jsonx.Bool replaced) ]
+  | Drop { channel } -> [ ("channel", Jsonx.Int channel) ]
+  | Restore { channel; with_backup } ->
+    [ ("channel", Jsonx.Int channel); ("with_backup", Jsonx.Bool with_backup) ]
+  | Solve { what; states; seconds } ->
+    [
+      ("what", Jsonx.String what);
+      ("states", Jsonx.Int states);
+      ("seconds", Jsonx.Float seconds);
+    ]
+  | Phase_begin { name } -> [ ("name", Jsonx.String name) ]
+  | Phase_end { name; seconds } ->
+    [ ("name", Jsonx.String name); ("seconds", Jsonx.Float seconds) ]
+  | Note { name; fields } -> ("name", Jsonx.String name) :: fields
+
+let to_json ~time ev =
+  Jsonx.Obj (("t", Jsonx.Float time) :: ("ev", Jsonx.String (kind ev)) :: fields ev)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+type sink = { emit : float -> event -> unit; close : unit -> unit }
+
+let null_sink = { emit = (fun _ _ -> ()); close = (fun () -> ()) }
+
+let jsonl_sink oc =
+  {
+    emit =
+      (fun time ev ->
+        Jsonx.output oc (to_json ~time ev);
+        output_char oc '\n');
+    close = (fun () -> close_out oc);
+  }
+
+let console_sink ?(oc = stdout) () =
+  {
+    emit =
+      (fun time ev ->
+        let detail =
+          fields ev
+          |> List.map (fun (k, v) ->
+                 let s =
+                   match v with
+                   | Jsonx.String s -> s
+                   | other -> Jsonx.to_string other
+                 in
+                 Printf.sprintf "%s=%s" k s)
+          |> String.concat " "
+        in
+        Printf.fprintf oc "[%12.4f] %-16s %s\n" time (kind ev) detail);
+    close = (fun () -> flush oc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+
+type t = { on : bool; sink : sink }
+
+let disabled = { on = false; sink = null_sink }
+
+let create sink = { on = true; sink }
+
+let enabled t = t.on
+
+let emit t ~time ev = if t.on then t.sink.emit time ev
+
+let close t = t.sink.close ()

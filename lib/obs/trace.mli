@@ -1,0 +1,67 @@
+(** Typed trace events and pluggable sinks.
+
+    Every event the paper's evaluation reasons about — admissions,
+    rejections, elastic retreats/upgrades, failures, backup activations —
+    has a dedicated constructor, so instrumented code cannot emit a
+    malformed record.  Events are serialised on one JSONL line each:
+
+    {v {"t": <sim time>, "ev": "<kind>", ...event fields} v}
+
+    Emission through a disabled tracer is one load and one branch; call
+    sites should still guard event {e construction} with {!enabled} so a
+    disabled trace allocates nothing. *)
+
+type event =
+  | Admit of { channel : int; direct : int; indirect : int }
+      (** Connection admitted; [direct]/[indirect] count the chained
+          channels its arrival retreated (the paper's §3.1 sets). *)
+  | Reject of { reason : string }
+      (** ["no_primary_route"] or ["no_backup_route"]. *)
+  | Terminate of { channel : int }
+  | Upgrade of { channel : int; from_level : int; to_level : int }
+      (** Elastic water-filling granted increments. *)
+  | Retreat of { channel : int; from_level : int; to_level : int }
+      (** Channel fell back toward its floor. *)
+  | Link_fail of { edge : int }
+  | Link_repair of { edge : int }
+  | Backup_activate of { channel : int; reprotected : bool }
+      (** A backup became the primary; [reprotected] is whether a new
+          backup was found afterwards. *)
+  | Backup_lost of { channel : int; replaced : bool }
+  | Drop of { channel : int }
+  | Restore of { channel : int; with_backup : bool }
+      (** Reactive from-scratch re-establishment (ablation baseline). *)
+  | Solve of { what : string; states : int; seconds : float }
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string; seconds : float }
+  | Note of { name : string; fields : (string * Jsonx.t) list }
+      (** Escape hatch for component-specific events. *)
+
+val kind : event -> string
+(** The ["ev"] discriminator, e.g. ["backup_activate"]. *)
+
+val to_json : time:float -> event -> Jsonx.t
+
+(** A sink consumes timestamped events; [close] flushes and releases the
+    underlying resource. *)
+type sink = { emit : float -> event -> unit; close : unit -> unit }
+
+val null_sink : sink
+
+val jsonl_sink : out_channel -> sink
+(** One compact JSON document per line; [close] closes the channel. *)
+
+val console_sink : ?oc:out_channel -> unit -> sink
+(** Human-readable one-line rendering (default [stdout]); [close]
+    flushes but does not close. *)
+
+type t
+
+val disabled : t
+val create : sink -> t
+val enabled : t -> bool
+
+val emit : t -> time:float -> event -> unit
+(** No-op on a disabled tracer. *)
+
+val close : t -> unit

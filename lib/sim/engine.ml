@@ -1,8 +1,24 @@
-type t = { queue : (t -> unit) Event_queue.t; mutable clock : float }
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable clock : float;
+  obs : Obs.t;
+  ev_dispatched : Metrics.counter;
+  queue_depth : Metrics.gauge;
+  run_timer : Metrics.timer;
+}
 
 type handle = Event_queue.handle
 
-let create ?(start_time = 0.) () = { queue = Event_queue.create (); clock = start_time }
+let create ?(start_time = 0.) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.default () in
+  {
+    queue = Event_queue.create ();
+    clock = start_time;
+    obs;
+    ev_dispatched = Obs.counter obs "engine.events";
+    queue_depth = Obs.gauge obs "engine.queue_depth";
+    run_timer = Obs.timer obs "engine.run_s";
+  }
 
 let now t = t.clock
 
@@ -23,11 +39,14 @@ let step t =
   | None -> false
   | Some (time, f) ->
     t.clock <- time;
+    Metrics.incr t.ev_dispatched;
     f t;
     true
 
 let run ?(until = infinity) ?(max_events = max_int) t =
   let handled = ref 0 in
+  let instrumented = Metrics.enabled (Obs.metrics t.obs) in
+  let t0 = if instrumented then Unix.gettimeofday () else 0. in
   let continue = ref true in
   while !continue && !handled < max_events do
     match Event_queue.peek_time t.queue with
@@ -36,9 +55,13 @@ let run ?(until = infinity) ?(max_events = max_int) t =
       t.clock <- until;
       continue := false
     | Some _ ->
+      (* Sampled before dispatch, so the gauge's peak is the true high
+         watermark of live events. *)
+      if instrumented then Metrics.set t.queue_depth (float_of_int (Event_queue.size t.queue));
       ignore (step t);
       incr handled
   done;
   (* Close the interval even if we drained the queue first. *)
   if Float.is_finite until && t.clock < until then t.clock <- until;
+  if instrumented then Metrics.observe t.run_timer (Unix.gettimeofday () -. t0);
   !handled

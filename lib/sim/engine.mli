@@ -8,7 +8,13 @@ type t
 
 type handle = Event_queue.handle
 
-val create : ?start_time:float -> unit -> t
+val create : ?start_time:float -> ?obs:Obs.t -> unit -> t
+(** [obs] (default {!Obs.default}) receives the engine's instrumentation:
+    counter [engine.events] (dispatched events), gauge
+    [engine.queue_depth] (live events sampled before each dispatch, peak
+    = high watermark), timer [engine.run_s] (wall time per {!run}
+    call).  With a disabled context the per-event overhead is one
+    branch. *)
 
 val now : t -> float
 (** Current simulation time: the timestamp of the event being handled, or

@@ -45,10 +45,15 @@ type t = {
   propagation_delay : float;
   mutable next_flow : int;
   mutable delivered_total : int;
+  m_sent : Metrics.counter;
+  m_delivered : Metrics.counter;
+  m_missed : Metrics.counter;
+  m_skipped : Metrics.counter;
 }
 
-let create ?(propagation_delay = 0.) engine graph ~rate_of =
+let create ?(propagation_delay = 0.) ?obs engine graph ~rate_of =
   if propagation_delay < 0. then invalid_arg "Netsim.create: negative propagation delay";
+  let obs = match obs with Some o -> o | None -> Obs.default () in
   {
     engine;
     servers =
@@ -60,6 +65,10 @@ let create ?(propagation_delay = 0.) engine graph ~rate_of =
     propagation_delay;
     next_flow = 0;
     delivered_total = 0;
+    m_sent = Obs.counter obs "netsim.packets_sent";
+    m_delivered = Obs.counter obs "netsim.packets_delivered";
+    m_missed = Obs.counter obs "netsim.deadline_misses";
+    m_skipped = Obs.counter obs "netsim.packets_skipped";
   }
 
 let insert_by_deadline p queue =
@@ -74,10 +83,14 @@ let deliver t flow_state p ~now =
   let delay = now -. p.created in
   flow_state.delivered <- flow_state.delivered + 1;
   t.delivered_total <- t.delivered_total + 1;
+  Metrics.incr t.m_delivered;
   Stats.Welford.add flow_state.delay_acc delay;
   if delay > flow_state.worst then flow_state.worst <- delay;
   let on_time = now <= p.e2e_deadline in
-  if not on_time then flow_state.missed <- flow_state.missed + 1;
+  if not on_time then begin
+    flow_state.missed <- flow_state.missed + 1;
+    Metrics.incr t.m_missed
+  end;
   Option.iter
     (fun mon -> Interval_qos.record mon ~delivered:on_time)
     flow_state.monitor
@@ -129,12 +142,14 @@ let rec source_tick t flow_state () =
     if Traffic_spec.Bucket.try_consume flow_state.bucket ~now then begin
       if should_skip t flow_state then begin
         flow_state.skipped <- flow_state.skipped + 1;
+        Metrics.incr t.m_skipped;
         Option.iter
           (fun mon -> Interval_qos.record mon ~delivered:false)
           flow_state.monitor
       end
       else begin
         flow_state.sent <- flow_state.sent + 1;
+        Metrics.incr t.m_sent;
         let p =
           {
             flow = flow_state.fid;

@@ -13,10 +13,13 @@ type t
 
 type flow_id = int
 
-val create : ?propagation_delay:float -> Engine.t -> Graph.t ->
+val create : ?propagation_delay:float -> ?obs:Obs.t -> Engine.t -> Graph.t ->
   rate_of:(Dirlink.id -> Bandwidth.t) -> t
 (** One server per directed link of the graph.  [propagation_delay]
-    (seconds per hop, default 0) is added after each transmission. *)
+    (seconds per hop, default 0) is added after each transmission.
+    [obs] (default {!Obs.default}) receives the counters
+    [netsim.packets_sent], [netsim.packets_delivered],
+    [netsim.deadline_misses] and [netsim.packets_skipped]. *)
 
 val add_flow :
   t ->

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Extended local verification gate: build, tests, formatting (when the
+# formatter is installed), and a quick bench smoke run that must produce
+# a metrics manifest.  Tier-1 remains `dune build && dune runtest`
+# (ROADMAP.md); this script is the fuller pre-push check.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "dune build"
+dune build @all
+
+step "dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  step "dune fmt (check only)"
+  dune build @fmt
+else
+  step "fmt check skipped (ocamlformat not installed)"
+fi
+
+step "bench smoke: fig2 --quick"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bench/main.exe -- fig2 --quick --out "$tmpdir" >/dev/null
+test -s "$tmpdir/fig2.metrics.json" || {
+  echo "FAIL: fig2 --quick did not write a metrics manifest" >&2
+  exit 1
+}
+
+step "CLI smoke: trace + metrics"
+dune exec bin/drqos_cli.exe -- run --offered 100 --churn 100 --warmup 20 \
+  --trace "$tmpdir/t.jsonl" --metrics "$tmpdir/m.json" >/dev/null
+test -s "$tmpdir/t.jsonl" && test -s "$tmpdir/m.json" || {
+  echo "FAIL: CLI run did not write trace/metrics files" >&2
+  exit 1
+}
+
+echo
+echo "verify: OK"

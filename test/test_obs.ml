@@ -1,0 +1,264 @@
+(* Tests for the observability layer: JSON documents, the metrics
+   registry, trace sinks, and the Stats edge cases the registry leans
+   on. *)
+
+let approx = Alcotest.float 1e-9
+
+let get_exn = function Some x -> x | None -> Alcotest.fail "missing JSON member"
+
+let member_exn key json = get_exn (Jsonx.member key json)
+
+(* --- Jsonx --- *)
+
+let test_jsonx_roundtrip () =
+  let doc =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String "line\n\"quoted\"\tand\\slashed");
+        ("count", Jsonx.Int (-42));
+        ("ratio", Jsonx.Float 0.125);
+        ("flags", Jsonx.List [ Jsonx.Bool true; Jsonx.Bool false; Jsonx.Null ]);
+        ("nested", Jsonx.Obj [ ("k", Jsonx.Int 7) ]);
+      ]
+  in
+  let back = Jsonx.of_string (Jsonx.to_string doc) in
+  Alcotest.(check bool) "identical after round-trip" true (back = doc)
+
+let test_jsonx_special_floats () =
+  Alcotest.(check string) "nan is null" "null" (Jsonx.to_string (Jsonx.Float nan));
+  let inf = Jsonx.of_string (Jsonx.to_string (Jsonx.Float infinity)) in
+  Alcotest.(check bool) "infinity survives" true (Jsonx.to_float inf = Some infinity)
+
+let test_jsonx_rejects_garbage () =
+  let bad s =
+    match Jsonx.of_string s with
+    | exception Jsonx.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "bare word" true (bad "qos")
+
+(* --- Metrics registry --- *)
+
+let test_metrics_counters_and_snapshot () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "events" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 40;
+  Alcotest.(check int) "counter value" 42 (Metrics.count c);
+  Alcotest.(check bool) "interned by name" true (Metrics.counter reg "events" == c);
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set g 3.;
+  Metrics.set g 10.;
+  Metrics.set g 2.;
+  let tm = Metrics.timer reg "solve" in
+  Metrics.observe tm 0.5;
+  Metrics.observe tm 1.5;
+  let snap = Metrics.snapshot reg in
+  (* The snapshot must survive a JSON round-trip and expose the values. *)
+  let snap = Jsonx.of_string (Jsonx.to_string snap) in
+  let counters = member_exn "counters" snap in
+  Alcotest.(check int) "snapshot counter" 42
+    (get_exn (Jsonx.to_int (member_exn "events" counters)));
+  let depth = member_exn "depth" (member_exn "gauges" snap) in
+  Alcotest.check approx "gauge last" 2.
+    (get_exn (Jsonx.to_float (member_exn "value" depth)));
+  Alcotest.check approx "gauge peak" 10.
+    (get_exn (Jsonx.to_float (member_exn "peak" depth)));
+  let solve = member_exn "solve" (member_exn "timers" snap) in
+  Alcotest.(check int) "timer count" 2
+    (get_exn (Jsonx.to_int (member_exn "count" solve)));
+  Alcotest.check approx "timer total" 2.
+    (get_exn (Jsonx.to_float (member_exn "total_s" solve)));
+  Alcotest.check approx "timer mean" 1.
+    (get_exn (Jsonx.to_float (member_exn "mean_s" solve)))
+
+let test_metrics_disabled_is_noop () =
+  let c = Metrics.counter Metrics.disabled "never" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Alcotest.(check int) "disabled counter stays 0" 0 (Metrics.count c);
+  let g = Metrics.gauge Metrics.disabled "never_g" in
+  Metrics.set g 5.;
+  Alcotest.check approx "disabled gauge stays 0" 0. (Metrics.value g);
+  let tm = Metrics.timer Metrics.disabled "never_t" in
+  let ran = Metrics.time tm (fun () -> 123) in
+  Alcotest.(check int) "thunk still runs" 123 ran;
+  Alcotest.(check int) "disabled timer records nothing" 0 (Metrics.timer_count tm);
+  Alcotest.(check bool) "cannot enable the shared registry" true
+    (match Metrics.set_enabled Metrics.disabled true with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_metrics_toggle () =
+  let reg = Metrics.create ~enabled:false () in
+  let c = Metrics.counter reg "toggled" in
+  Metrics.incr c;
+  Metrics.set_enabled reg true;
+  Metrics.incr c;
+  Alcotest.(check int) "only counted while enabled" 1 (Metrics.count c)
+
+(* --- Trace sinks --- *)
+
+let events_fixture =
+  [
+    (0., Trace.Admit { channel = 0; direct = 2; indirect = 5 });
+    (1.5, Trace.Reject { reason = "no_backup_route" });
+    (2.25, Trace.Retreat { channel = 0; from_level = 8; to_level = 0 });
+    (2.25, Trace.Upgrade { channel = 3; from_level = 0; to_level = 1 });
+    (3., Trace.Link_fail { edge = 17 });
+    (3., Trace.Backup_activate { channel = 0; reprotected = true });
+    (4., Trace.Solve { what = "ctmc.stationary"; states = 9; seconds = 0.001 });
+  ]
+
+let test_jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "drqos_trace" ".jsonl" in
+  let tracer = Trace.create (Trace.jsonl_sink (open_out path)) in
+  List.iter (fun (time, ev) -> Trace.emit tracer ~time ev) events_fixture;
+  Trace.close tracer;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Sys.remove path;
+  Alcotest.(check int) "one line per event" (List.length events_fixture)
+    (List.length lines);
+  List.iter2
+    (fun (time, ev) line ->
+      let json = Jsonx.of_string line in
+      Alcotest.(check string) "kind" (Trace.kind ev)
+        (get_exn (Jsonx.to_str (member_exn "ev" json)));
+      Alcotest.check approx "timestamp" time
+        (get_exn (Jsonx.to_float (member_exn "t" json)));
+      (* The parsed line must equal the direct serialisation. *)
+      Alcotest.(check bool) "document round-trips" true
+        (json = Jsonx.of_string (Jsonx.to_string (Trace.to_json ~time ev))))
+    events_fixture lines;
+  (* Spot-check one payload field survived the file round-trip. *)
+  let activate = Jsonx.of_string (List.nth lines 5) in
+  Alcotest.(check bool) "reprotected flag" true
+    (Jsonx.member "reprotected" activate = Some (Jsonx.Bool true))
+
+let test_disabled_tracer_emits_nothing () =
+  let hit = ref 0 in
+  let sink = { Trace.emit = (fun _ _ -> incr hit); close = (fun () -> ()) } in
+  ignore sink.Trace.emit;
+  Trace.emit Trace.disabled ~time:1. (Trace.Drop { channel = 1 });
+  Alcotest.(check int) "no emission" 0 !hit
+
+(* --- Obs context --- *)
+
+let test_obs_span_and_clock () =
+  let events = ref [] in
+  let sink =
+    { Trace.emit = (fun time ev -> events := (time, ev) :: !events);
+      close = (fun () -> ()) }
+  in
+  let obs = Obs.create ~metrics:(Metrics.create ()) ~trace:(Trace.create sink) () in
+  Obs.set_clock obs (fun () -> 42.);
+  let result = Obs.span obs "work" (fun () -> 7) in
+  Alcotest.(check int) "span returns the thunk's value" 7 result;
+  (match List.rev !events with
+  | [ (t1, Trace.Phase_begin { name = n1 }); (t2, Trace.Phase_end { name = n2; _ }) ] ->
+    Alcotest.(check string) "begin name" "work" n1;
+    Alcotest.(check string) "end name" "work" n2;
+    Alcotest.check approx "begin at clock" 42. t1;
+    Alcotest.check approx "end at clock" 42. t2
+  | evs -> Alcotest.failf "expected begin/end pair, got %d events" (List.length evs));
+  let timers = Jsonx.member "timers" (Obs.metrics_json obs) in
+  Alcotest.(check bool) "phase timer recorded" true
+    (match timers with
+    | Some (Jsonx.Obj fields) -> List.mem_assoc "phase.work" fields
+    | _ -> false)
+
+let test_obs_null_ignores_clock () =
+  Obs.set_clock Obs.null (fun () -> 99.);
+  Alcotest.check approx "null clock pinned at 0" 0. (Obs.now Obs.null)
+
+(* --- Stats edge cases (satellite coverage) --- *)
+
+let test_quantile_empty () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:4 in
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (Stats.Histogram.quantile h 0.5))
+
+let test_quantile_bounds_q () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:4 in
+  Stats.Histogram.add h 1.;
+  Alcotest.(check bool) "q < 0 rejected" true
+    (match Stats.Histogram.quantile h (-0.1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "q > 1 rejected" true
+    (match Stats.Histogram.quantile h 1.1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_quantile_extremes () =
+  (* Data only in the second and fourth of four [0,10) buckets. *)
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:4 in
+  List.iter (Stats.Histogram.add h) [ 3.; 3.; 9.; 9.; 9. ];
+  Alcotest.check approx "q=0 hits the first populated bucket" 3.75
+    (Stats.Histogram.quantile h 0.);
+  Alcotest.check approx "q=1 hits the last populated bucket" 8.75
+    (Stats.Histogram.quantile h 1.)
+
+let test_quantile_outlier_buckets () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:4 in
+  (* Outliers clamp into the edge buckets. *)
+  Stats.Histogram.add h (-100.);
+  Stats.Histogram.add h 1e9;
+  Alcotest.(check int) "both counted" 2 (Stats.Histogram.count h);
+  Alcotest.check approx "low outlier in bucket 0" 1.25
+    (Stats.Histogram.quantile h 0.);
+  Alcotest.check approx "high outlier in last bucket" 8.75
+    (Stats.Histogram.quantile h 1.)
+
+let test_timed_average_empty_window () =
+  let t = Stats.Timed_average.create ~start:3. ~value:17. in
+  Alcotest.check approx "zero-span average is the current value" 17.
+    (Stats.Timed_average.average t ~upto:3.)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "special floats" `Quick test_jsonx_special_floats;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonx_rejects_garbage;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and snapshot" `Quick
+            test_metrics_counters_and_snapshot;
+          Alcotest.test_case "disabled is no-op" `Quick test_metrics_disabled_is_noop;
+          Alcotest.test_case "toggle" `Quick test_metrics_toggle;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_sink_roundtrip;
+          Alcotest.test_case "disabled tracer" `Quick
+            test_disabled_tracer_emits_nothing;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "span and clock" `Quick test_obs_span_and_clock;
+          Alcotest.test_case "null ignores clock" `Quick test_obs_null_ignores_clock;
+        ] );
+      ( "stats-edges",
+        [
+          Alcotest.test_case "quantile empty" `Quick test_quantile_empty;
+          Alcotest.test_case "quantile q bounds" `Quick test_quantile_bounds_q;
+          Alcotest.test_case "quantile extremes" `Quick test_quantile_extremes;
+          Alcotest.test_case "quantile outliers" `Quick test_quantile_outlier_buckets;
+          Alcotest.test_case "timed average empty window" `Quick
+            test_timed_average_empty_window;
+        ] );
+    ]
