@@ -10,38 +10,44 @@ let offered_for = function Exp.Full -> 3000 | Exp.Quick -> 800
 (* 1. Backup multiplexing on/off: how many DR-connections fit, and how
    much bandwidth the backup pools consume. *)
 let multiplexing scale =
-  Exp.section "Ablation A: backup-channel multiplexing (overbooking) on/off";
-  Exp.note "2 Mbps links so that backup pools contend with floors";
-  let rows =
-    List.map
-      (fun multiplexing ->
-        let cfg =
+  {
+    Exp.name = "ablation_a_multiplexing";
+    points =
+      List.map
+        (fun multiplexing ->
           { (Exp.paper_config ~scale ~offered:(offered_for scale) ~increment:50 ~seed:1) with
             Scenario.multiplexing;
-            capacity = Bandwidth.mbps 2 }
+            capacity = Bandwidth.mbps 2 })
+        [ true; false ];
+    render =
+      (fun results ->
+        Exp.section "Ablation A: backup-channel multiplexing (overbooking) on/off";
+        Exp.note "2 Mbps links so that backup pools contend with floors";
+        let rows =
+          List.map
+            (fun (r, _) ->
+              [
+                (if r.Scenario.config.Scenario.multiplexing then "multiplexed"
+                 else "dedicated");
+                string_of_int r.Scenario.offered;
+                string_of_int r.Scenario.carried_initial;
+                string_of_int r.Scenario.rejected_load;
+                Exp.kbps r.Scenario.sim_avg_bandwidth;
+              ])
+            results
         in
-        let r, _ = Exp.run_timed cfg in
-        [
-          (if multiplexing then "multiplexed" else "dedicated");
-          string_of_int r.Scenario.offered;
-          string_of_int r.Scenario.carried_initial;
-          string_of_int r.Scenario.rejected_load;
-          Exp.kbps r.Scenario.sim_avg_bandwidth;
-        ])
-      [ true; false ]
-  in
-  Exp.table ~export:"ablation_a_multiplexing"
-    ~header:[ "backup pools"; "offered"; "carried"; "rejected"; "sim Kbps" ]
-    ~rows ();
-  Exp.note
-    "expected: dedicated (non-multiplexed) backup reservations crowd out floors,";
-  Exp.note "admitting fewer DR-connections — the paper's overbooking argument."
+        Exp.table ~export:"ablation_a_multiplexing"
+          ~header:[ "backup pools"; "offered"; "carried"; "rejected"; "sim Kbps" ]
+          ~rows ();
+        Exp.note
+          "expected: dedicated (non-multiplexed) backup reservations crowd out floors,";
+        Exp.note "admitting fewer DR-connections — the paper's overbooking argument.");
+  }
 
 (* 2. Elastic vs single-value QoS: the paper's introduction in one table.
    A single-value client asking for the maximum blocks the network; one
    asking for the minimum wastes idle capacity; elastic gets both. *)
 let elasticity scale =
-  Exp.section "Ablation B: elastic QoS vs single-value QoS";
   let offered = offered_for scale in
   let variants =
     [
@@ -50,31 +56,38 @@ let elasticity scale =
       ("elastic 100..500K", Qos.paper_spec ~increment:50);
     ]
   in
-  let rows =
-    List.map
-      (fun (label, qos) ->
-        let cfg =
-          { (Exp.paper_config ~scale ~offered ~increment:50 ~seed:1) with Scenario.qos }
+  {
+    Exp.name = "ablation_b_elasticity";
+    points =
+      List.map
+        (fun (_, qos) ->
+          { (Exp.paper_config ~scale ~offered ~increment:50 ~seed:1) with Scenario.qos })
+        variants;
+    render =
+      (fun results ->
+        Exp.section "Ablation B: elastic QoS vs single-value QoS";
+        let rows =
+          List.map2
+            (fun (label, _) (r, _) ->
+              [
+                label;
+                string_of_int offered;
+                string_of_int r.Scenario.carried_initial;
+                Exp.kbps r.Scenario.sim_avg_bandwidth;
+                (* Served volume: carried x average bandwidth, in Mbps. *)
+                Printf.sprintf "%.0f"
+                  (float_of_int r.Scenario.carried_initial
+                  *. r.Scenario.sim_avg_bandwidth /. 1000.);
+              ])
+            variants results
         in
-        let r, _ = Exp.run_timed cfg in
-        [
-          label;
-          string_of_int offered;
-          string_of_int r.Scenario.carried_initial;
-          Exp.kbps r.Scenario.sim_avg_bandwidth;
-          (* Served volume: carried x average bandwidth, in Mbps. *)
-          Printf.sprintf "%.0f"
-            (float_of_int r.Scenario.carried_initial
-            *. r.Scenario.sim_avg_bandwidth /. 1000.);
-        ])
-      variants
-  in
-  Exp.table ~export:"ablation_b_elasticity"
-    ~header:[ "QoS model"; "offered"; "carried"; "avg Kbps"; "served Mbps" ]
-    ~rows ();
-  Exp.note "expected: 500K single-value accepts fewest; 100K single-value accepts";
-  Exp.note "many but serves each minimally; elastic accepts like 100K and serves";
-  Exp.note "like 500K while capacity lasts — the paper's utilisation claim."
+        Exp.table ~export:"ablation_b_elasticity"
+          ~header:[ "QoS model"; "offered"; "carried"; "avg Kbps"; "served Mbps" ]
+          ~rows ();
+        Exp.note "expected: 500K single-value accepts fewest; 100K single-value accepts";
+        Exp.note "many but serves each minimally; elastic accepts like 100K and serves";
+        Exp.note "like 500K while capacity lasts — the paper's utilisation claim.");
+  }
 
 (* 3. Redistribution policies with mixed utilities: two client classes
    (utility 1 and 4) on the paper network; how does each policy share the
@@ -414,39 +427,20 @@ let backup_depth scale =
    an instantaneous event model cannot price; this table isolates the
    success-rate argument only.) *)
 let restoration scale =
-  Exp.section "Ablation I: backup channels vs reactive restoration under congestion";
-  Exp.note "single-value 300 Kbps QoS; 2 Mbps links (floors saturate)";
   let heavy = match scale with Exp.Full -> 3000 | Exp.Quick -> 900 in
   let churn = match scale with Exp.Full -> 1500 | Exp.Quick -> 400 in
-  let run_mode label ~offered cfg_mod =
-    let cfg =
-      cfg_mod
-        {
-          Scenario.default with
-          Scenario.capacity = Bandwidth.mbps 2;
-          qos = Qos.single_value 300;
-          offered;
-          gamma = 0.0005;
-          churn_events = churn;
-          warmup_events = churn / 4;
-          seed = 1;
-        }
-    in
-    let r = Scenario.run cfg in
-    let victims =
-      r.Scenario.recovered_by_backup + r.Scenario.restored_from_scratch
-      + r.Scenario.dropped
-    in
-    [
-      label;
-      string_of_int offered;
-      string_of_int victims;
-      string_of_int r.Scenario.recovered_by_backup;
-      string_of_int r.Scenario.restored_from_scratch;
-      string_of_int r.Scenario.dropped;
-      Printf.sprintf "%.1f%%"
-        (100. *. float_of_int r.Scenario.dropped /. float_of_int (max 1 victims));
-    ]
+  let mode_cfg ~offered cfg_mod =
+    cfg_mod
+      {
+        Scenario.default with
+        Scenario.capacity = Bandwidth.mbps 2;
+        qos = Qos.single_value 300;
+        offered;
+        gamma = 0.0005;
+        churn_events = churn;
+        warmup_events = churn / 4;
+        seed = 1;
+      }
   in
   let backup c = c in
   let restor c =
@@ -461,36 +455,72 @@ let restoration scale =
     { c with Scenario.with_backups = false; require_backup = false }
   in
   let light = heavy / 3 in
-  let rows =
+  let modes =
     [
-      run_mode "backup channels" ~offered:light backup;
-      run_mode "backup channels" ~offered:heavy backup;
-      run_mode "reactive restoration" ~offered:light restor;
-      run_mode "reactive restoration" ~offered:heavy restor;
-      run_mode "no protection" ~offered:heavy unprotected;
+      ("backup channels", light, backup);
+      ("backup channels", heavy, backup);
+      ("reactive restoration", light, restor);
+      ("reactive restoration", heavy, restor);
+      ("no protection", heavy, unprotected);
     ]
   in
-  Exp.table ~export:"ablation_i_restoration"
-    ~header:
-      [ "scheme"; "offered"; "victims"; "switched"; "restored"; "dropped"; "loss rate" ]
-    ~rows ();
-  Exp.note "reading: backup losses are *structural* — connections whose only";
-  Exp.note "backup shared an edge with the primary (leaf-adjacent endpoints on";
-  Exp.note "this degree-3.5 topology) — and roughly load-independent, with the";
-  Exp.note "switchover itself instantaneous and guaranteed by reservation.";
-  Exp.note "Restoration's losses grow with load (no spare floors post-failure),";
-  Exp.note "and every successful restoration still pays signalling + re-routing";
-  Exp.note "latency that an instantaneous event model does not price — the two";
-  Exp.note "halves of the paper's §1 argument."
+  {
+    Exp.name = "ablation_i_restoration";
+    points = List.map (fun (_, offered, cfg_mod) -> mode_cfg ~offered cfg_mod) modes;
+    render =
+      (fun results ->
+        Exp.section
+          "Ablation I: backup channels vs reactive restoration under congestion";
+        Exp.note "single-value 300 Kbps QoS; 2 Mbps links (floors saturate)";
+        let rows =
+          List.map2
+            (fun (label, offered, _) (r, _) ->
+              let victims =
+                r.Scenario.recovered_by_backup + r.Scenario.restored_from_scratch
+                + r.Scenario.dropped
+              in
+              [
+                label;
+                string_of_int offered;
+                string_of_int victims;
+                string_of_int r.Scenario.recovered_by_backup;
+                string_of_int r.Scenario.restored_from_scratch;
+                string_of_int r.Scenario.dropped;
+                Printf.sprintf "%.1f%%"
+                  (100. *. float_of_int r.Scenario.dropped
+                  /. float_of_int (max 1 victims));
+              ])
+            modes results
+        in
+        Exp.table ~export:"ablation_i_restoration"
+          ~header:
+            [
+              "scheme"; "offered"; "victims"; "switched"; "restored"; "dropped";
+              "loss rate";
+            ]
+          ~rows ();
+        Exp.note "reading: backup losses are *structural* — connections whose only";
+        Exp.note "backup shared an edge with the primary (leaf-adjacent endpoints on";
+        Exp.note "this degree-3.5 topology) — and roughly load-independent, with the";
+        Exp.note "switchover itself instantaneous and guaranteed by reservation.";
+        Exp.note "Restoration's losses grow with load (no spare floors post-failure),";
+        Exp.note "and every successful restoration still pays signalling + re-routing";
+        Exp.note "latency that an instantaneous event model does not price — the two";
+        Exp.note "halves of the paper's §1 argument.");
+  }
 
+(* Ablations A, B and I are plain scenario sweeps and go through the
+   declarative driver (parallel across their points); C-H drive the
+   service layer directly and stay imperative.  All share one metrics
+   manifest. *)
 let run scale =
   Exp.with_manifest "ablations" scale @@ fun () ->
-  multiplexing scale;
-  elasticity scale;
+  Exp.run_sweep (multiplexing scale);
+  Exp.run_sweep (elasticity scale);
   policies scale;
   replication scale;
   flooding scale;
   runtime_delay scale;
   route_search scale;
   backup_depth scale;
-  restoration scale
+  Exp.run_sweep (restoration scale)

@@ -1,10 +1,10 @@
-(* Shared infrastructure for the paper-reproduction benches. *)
+(* Shared infrastructure for the paper-reproduction benches: the
+   declarative experiment API, its parallel driver, table rendering, and
+   the common command-line options. *)
 
 (* Scale of the sweeps: [Full] runs the paper's exact points; [Quick]
    shrinks loads and measurement windows ~4x for smoke runs. *)
 type scale = Full | Quick
-
-let scale_of_args args = if List.mem "--quick" args then Quick else Full
 
 let churn = function Full -> 2000 | Quick -> 500
 let warmup = function Full -> 400 | Quick -> 100
@@ -24,12 +24,30 @@ let row widths cells =
 
 (* Optional machine-readable export: every table also lands in
    <dir>/<export>.dat as tab-separated values with a '#' header line —
-   ready for gnuplot / pandas. *)
+   ready for gnuplot / pandas.  Exported rows carry no wall-clock
+   columns, so a .dat file is byte-identical across runs and across
+   --jobs settings (the determinism gate in scripts/verify.sh diffs
+   them). *)
 let out_dir = ref None
 
+let rec mkdir_p dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      failwith (Printf.sprintf "%s exists and is not a directory" dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* A concurrent creator is fine; anything else is not. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
 let set_out_dir dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  out_dir := Some dir
+  match mkdir_p dir with
+  | () ->
+    out_dir := Some dir;
+    Ok ()
+  | exception (Failure msg | Sys_error msg) -> Error msg
 
 let export_rows name ~header ~rows =
   match !out_dir with
@@ -59,6 +77,86 @@ let table ?export ~header ~rows () =
 
 let kbps x = Printf.sprintf "%.0f" x
 
+(* ------------------------------------------------------------------ *)
+(* Common command-line options                                         *)
+
+(* Worker-pool width for every sweep; set once by [parse_args]. *)
+let jobs = ref (Sweep.recommended_jobs ())
+
+(* The tiny arg table every bench driver shares: a flag either stands
+   alone or consumes the next argument.  Unknown arguments pass through
+   to the caller (sub-command selection). *)
+type flag_spec =
+  | Unit of (unit -> unit)
+  | Value of (string -> (unit, string) result)
+
+let parse_jobs v =
+  match int_of_string_opt v with
+  | Some j when j >= 1 ->
+    jobs := j;
+    Ok ()
+  | Some _ | None ->
+    Error (Printf.sprintf "--jobs expects a count >= 1, got %S" v)
+
+let common_flags scale =
+  [
+    ("--quick", Unit (fun () -> scale := Quick));
+    ("--out", Value set_out_dir);
+    ("--jobs", Value parse_jobs);
+  ]
+
+let parse_args args =
+  let scale = ref Full in
+  let flags = common_flags scale in
+  let rec go acc = function
+    | [] -> Ok (!scale, List.rev acc)
+    | arg :: rest -> (
+      match List.assoc_opt arg flags with
+      | Some (Unit apply) ->
+        apply ();
+        go acc rest
+      | Some (Value _) when rest = [] ->
+        Error (Printf.sprintf "%s requires an argument" arg)
+      | Some (Value apply) -> (
+        match apply (List.hd rest) with
+        | Ok () -> go acc (List.tl rest)
+        | Error _ as e -> e)
+      | None -> go (arg :: acc) rest)
+  in
+  go [] args
+
+(* ------------------------------------------------------------------ *)
+(* The experiment API                                                  *)
+
+(* An experiment declares its scenario points and how to render the
+   results; the shared driver below owns execution — it fans the points
+   out over the worker pool, times them, and (via [run_experiment])
+   writes the metrics manifest.  [render] receives one (result, seconds)
+   pair per point, in point order. *)
+type experiment = {
+  name : string;
+  points : Scenario.config list;
+  render : (Scenario.result * float) list -> unit;
+}
+
+let run_points points =
+  let obs = Obs.default () in
+  Sweep.map ~jobs:!jobs ~obs
+    (fun obs cfg ->
+      let t0 = Unix.gettimeofday () in
+      let r = Scenario.run ~obs cfg in
+      (r, Unix.gettimeofday () -. t0))
+    points
+
+(* Run one experiment's sweep and render it (no manifest — used for
+   sub-experiments sharing a manifest, e.g. the ablations). *)
+let run_sweep e =
+  let t0 = Unix.gettimeofday () in
+  let results = run_points e.points in
+  let wall = Unix.gettimeofday () -. t0 in
+  e.render results;
+  note "(%d points in %.1fs, %d jobs)" (List.length e.points) wall !jobs
+
 (* The paper's base configuration (Fig. 2): calibrated 100-node Waxman,
    10 Mbps links, 100-500 Kbps elastic QoS, lambda = mu = 0.001. *)
 let paper_config ~scale ~offered ~increment ~seed =
@@ -71,16 +169,12 @@ let paper_config ~scale ~offered ~increment ~seed =
     seed;
   }
 
-let run_timed cfg =
-  let t0 = Unix.gettimeofday () in
-  let r = Scenario.run cfg in
-  (r, Unix.gettimeofday () -. t0)
-
 (* Every experiment runs under a fresh metrics registry and leaves a
    machine-readable manifest — <name>.metrics.json in the --out directory
-   (or the working directory) — recording scale, per-phase timings, and
-   event counts.  These files anchor cross-PR performance trajectories:
-   later optimisation work diffs them against earlier runs. *)
+   (or the working directory) — recording scale, jobs, per-phase timings,
+   and event counts.  These files anchor cross-PR performance
+   trajectories: later optimisation work diffs them against earlier
+   runs. *)
 let with_manifest name scale f =
   let obs = Obs.create ~metrics:(Metrics.create ()) () in
   Obs.set_default obs;
@@ -98,6 +192,7 @@ let with_manifest name scale f =
         ("scale", Jsonx.String (match scale with Full -> "full" | Quick -> "quick"));
         ("churn_events", Jsonx.Int (churn scale));
         ("warmup_events", Jsonx.Int (warmup scale));
+        ("jobs", Jsonx.Int !jobs);
         ("wall_s", Jsonx.Float wall_s);
         ("metrics", Obs.metrics_json obs);
       ]
@@ -108,3 +203,5 @@ let with_manifest name scale f =
   close_out oc;
   Printf.printf "(metrics manifest written to %s)\n" path;
   result
+
+let run_experiment scale e = with_manifest e.name scale (fun () -> run_sweep e)

@@ -13,34 +13,41 @@ let offered_points = function
   | Exp.Full -> [ 500; 1000; 1500; 2000; 2500; 3000; 3500; 4000; 4500; 5000 ]
   | Exp.Quick -> [ 200; 600; 1000; 1400 ]
 
-let run scale =
-  Exp.with_manifest "fig2" scale @@ fun () ->
-  Exp.section "Figure 2: average bandwidth vs number of DR-connections";
-  Exp.note
-    "network: 100-node Waxman (alpha 0.33, beta calibrated to 354 links), 10 Mbps links";
-  Exp.note "QoS: 100..500 Kbps, increment 50 (9-state chain); lambda = mu = 0.001";
-  let rows =
-    List.map
-      (fun offered ->
-        let cfg = Exp.paper_config ~scale ~offered ~increment:50 ~seed:1 in
-        let r, dt = Exp.run_timed cfg in
-        [
-          string_of_int offered;
-          string_of_int r.Scenario.carried_initial;
-          Exp.kbps r.Scenario.sim_avg_bandwidth;
-          Exp.kbps r.Scenario.model_avg_bandwidth;
-          Exp.kbps r.Scenario.ideal_avg_bandwidth;
-          Printf.sprintf "%.3f" (Estimator.p_f r.Scenario.estimator);
-          Printf.sprintf "%.3f" (Estimator.p_s r.Scenario.estimator);
-          Printf.sprintf "%.0fs" dt;
-        ])
-      (offered_points scale)
-  in
-  Exp.table ~export:"fig2"
-    ~header:
-      [ "offered"; "carried"; "sim Kbps"; "markov Kbps"; "ideal Kbps"; "P_f"; "P_s"; "t" ]
-    ~rows ();
-  Exp.note
-    "paper shape: ceiling at light load; decay toward the floor as load grows;";
-  Exp.note
-    "ideal line above both until saturation; analytic tracks simulation from below."
+let experiment scale =
+  {
+    Exp.name = "fig2";
+    points =
+      List.map
+        (fun offered -> Exp.paper_config ~scale ~offered ~increment:50 ~seed:1)
+        (offered_points scale);
+    render =
+      (fun results ->
+        Exp.section "Figure 2: average bandwidth vs number of DR-connections";
+        Exp.note
+          "network: 100-node Waxman (alpha 0.33, beta calibrated to 354 links), 10 Mbps links";
+        Exp.note "QoS: 100..500 Kbps, increment 50 (9-state chain); lambda = mu = 0.001";
+        let rows =
+          List.map
+            (fun (r, _) ->
+              [
+                string_of_int r.Scenario.offered;
+                string_of_int r.Scenario.carried_initial;
+                Exp.kbps r.Scenario.sim_avg_bandwidth;
+                Exp.kbps r.Scenario.model_avg_bandwidth;
+                Exp.kbps r.Scenario.ideal_avg_bandwidth;
+                Printf.sprintf "%.3f" (Estimator.p_f r.Scenario.estimator);
+                Printf.sprintf "%.3f" (Estimator.p_s r.Scenario.estimator);
+              ])
+            results
+        in
+        Exp.table ~export:"fig2"
+          ~header:
+            [ "offered"; "carried"; "sim Kbps"; "markov Kbps"; "ideal Kbps"; "P_f"; "P_s" ]
+          ~rows ();
+        Exp.note
+          "paper shape: ceiling at light load; decay toward the floor as load grows;";
+        Exp.note
+          "ideal line above both until saturation; analytic tracks simulation from below.");
+  }
+
+let run scale = Exp.run_experiment scale (experiment scale)

@@ -13,31 +13,38 @@ let node_points = function
 
 let offered = function Exp.Full -> 3000 | Exp.Quick -> 600
 
-let run scale =
-  Exp.with_manifest "fig3" scale @@ fun () ->
-  Exp.section "Figure 3: average bandwidth vs number of nodes (3000 connections)";
-  let rows =
-    List.map
-      (fun nodes ->
-        let cfg =
+let experiment scale =
+  let nodes_points = node_points scale in
+  {
+    Exp.name = "fig3";
+    points =
+      List.map
+        (fun nodes ->
           { (Exp.paper_config ~scale ~offered:(offered scale) ~increment:50 ~seed:1) with
-            Scenario.topology = Scenario.Waxman (Waxman.paper_spec ~nodes) }
+            Scenario.topology = Scenario.Waxman (Waxman.paper_spec ~nodes) })
+        nodes_points;
+    render =
+      (fun results ->
+        Exp.section "Figure 3: average bandwidth vs number of nodes (3000 connections)";
+        let rows =
+          List.map2
+            (fun nodes (r, _) ->
+              [
+                string_of_int nodes;
+                string_of_int (Graph.edge_count r.Scenario.graph * 2);
+                string_of_int r.Scenario.carried_initial;
+                Exp.kbps r.Scenario.sim_avg_bandwidth;
+                Exp.kbps r.Scenario.model_avg_bandwidth;
+                Exp.kbps r.Scenario.ideal_avg_bandwidth;
+              ])
+            nodes_points results
         in
-        let r, dt = Exp.run_timed cfg in
-        [
-          string_of_int nodes;
-          string_of_int (Graph.edge_count r.Scenario.graph * 2);
-          string_of_int r.Scenario.carried_initial;
-          Exp.kbps r.Scenario.sim_avg_bandwidth;
-          Exp.kbps r.Scenario.model_avg_bandwidth;
-          Exp.kbps r.Scenario.ideal_avg_bandwidth;
-          Printf.sprintf "%.0fs" dt;
-        ])
-      (node_points scale)
-  in
-  Exp.table ~export:"fig3"
-    ~header:[ "nodes"; "links"; "carried"; "sim Kbps"; "markov Kbps"; "ideal Kbps"; "t" ]
-    ~rows ();
-  Exp.note
-    "paper shape: link count grows superlinearly with nodes; the fixed load";
-  Exp.note "becomes lighter, so average bandwidth rises toward the ceiling."
+        Exp.table ~export:"fig3"
+          ~header:[ "nodes"; "links"; "carried"; "sim Kbps"; "markov Kbps"; "ideal Kbps" ]
+          ~rows ();
+        Exp.note
+          "paper shape: link count grows superlinearly with nodes; the fixed load";
+        Exp.note "becomes lighter, so average bandwidth rises toward the ceiling.");
+  }
+
+let run scale = Exp.run_experiment scale (experiment scale)

@@ -12,36 +12,43 @@ let gammas = function
 
 let loads = function Exp.Full -> [ 2000; 3000 ] | Exp.Quick -> [ 600 ]
 
-let run scale =
-  Exp.with_manifest "fig4" scale @@ fun () ->
-  Exp.section "Figure 4: average bandwidth vs link failure rate";
-  Exp.note "lambda = mu = 0.001; repairs at rate 0.01 per failed edge";
-  let rows =
+let experiment scale =
+  let grid =
     List.concat_map
-      (fun gamma ->
-        List.map
-          (fun offered ->
-            let cfg =
-              { (Exp.paper_config ~scale ~offered ~increment:50 ~seed:1) with
-                Scenario.gamma }
-            in
-            let r, dt = Exp.run_timed cfg in
-            [
-              Printf.sprintf "%.0e" gamma;
-              string_of_int offered;
-              Exp.kbps r.Scenario.sim_avg_bandwidth;
-              Exp.kbps r.Scenario.model_avg_bandwidth;
-              string_of_int r.Scenario.failures_injected;
-              string_of_int r.Scenario.dropped;
-              Printf.sprintf "%.0fs" dt;
-            ])
-          (loads scale))
+      (fun gamma -> List.map (fun offered -> (gamma, offered)) (loads scale))
       (gammas scale)
   in
-  Exp.table ~export:"fig4"
-    ~header:
-      [ "gamma"; "channels"; "sim Kbps"; "markov Kbps"; "failures"; "dropped"; "t" ]
-    ~rows ();
-  Exp.note
-    "paper shape: flat across gamma << lambda; the backup scheme absorbs the";
-  Exp.note "rare failures (dropped stays near zero until gamma approaches lambda)."
+  {
+    Exp.name = "fig4";
+    points =
+      List.map
+        (fun (gamma, offered) ->
+          { (Exp.paper_config ~scale ~offered ~increment:50 ~seed:1) with
+            Scenario.gamma })
+        grid;
+    render =
+      (fun results ->
+        Exp.section "Figure 4: average bandwidth vs link failure rate";
+        Exp.note "lambda = mu = 0.001; repairs at rate 0.01 per failed edge";
+        let rows =
+          List.map2
+            (fun (gamma, offered) (r, _) ->
+              [
+                Printf.sprintf "%.0e" gamma;
+                string_of_int offered;
+                Exp.kbps r.Scenario.sim_avg_bandwidth;
+                Exp.kbps r.Scenario.model_avg_bandwidth;
+                string_of_int r.Scenario.failures_injected;
+                string_of_int r.Scenario.dropped;
+              ])
+            grid results
+        in
+        Exp.table ~export:"fig4"
+          ~header:[ "gamma"; "channels"; "sim Kbps"; "markov Kbps"; "failures"; "dropped" ]
+          ~rows ();
+        Exp.note
+          "paper shape: flat across gamma << lambda; the backup scheme absorbs the";
+        Exp.note "rare failures (dropped stays near zero until gamma approaches lambda).");
+  }
+
+let run scale = Exp.run_experiment scale (experiment scale)

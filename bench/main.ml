@@ -5,32 +5,28 @@
      dune exec bench/main.exe                 # everything, full scale
      dune exec bench/main.exe -- fig2         # one experiment
      dune exec bench/main.exe -- all --quick  # ~4x smaller sweeps
+     dune exec bench/main.exe -- fig2 --jobs 4  # sweep on 4 domains
 
-   All experiments are deterministic (fixed seeds). *)
+   All experiments are deterministic (fixed seeds): the tables and .dat
+   exports are byte-identical whatever --jobs is. *)
 
 let commands = [ "all"; "fig2"; "table1"; "fig3"; "fig4"; "ablations"; "micro" ]
 
 let usage ?error () =
   Option.iter (fun msg -> Printf.eprintf "error: %s\n" msg) error;
-  Printf.eprintf "usage: main.exe [%s] [--quick] [--out DIR]\n"
+  Printf.eprintf "usage: main.exe [%s] [--quick] [--jobs N] [--out DIR]\n"
     (String.concat "|" commands);
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let scale = Exp.scale_of_args args in
-  (* Consume --out DIR. *)
-  let rec strip_out acc = function
-    | [ "--out" ] -> usage ~error:"--out requires a directory argument" ()
-    | "--out" :: dir :: rest ->
-      Exp.set_out_dir dir;
-      strip_out acc rest
-    | x :: rest -> strip_out (x :: acc) rest
-    | [] -> List.rev acc
+  let scale, rest =
+    match Exp.parse_args args with
+    | Ok x -> x
+    | Error msg -> usage ~error:msg ()
   in
-  let args = strip_out [] args in
   let which =
-    match List.filter (fun a -> a <> "--quick") args with
+    match rest with
     | [] -> "all"
     | [ w ] when List.mem w commands -> w
     | [ w ] -> usage ~error:(Printf.sprintf "unknown sub-command %S" w) ()
@@ -38,10 +34,11 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   Printf.printf
-    "drqos reproduction benches — %s scale\n\
+    "drqos reproduction benches — %s scale, %d jobs\n\
      paper: Kim & Shin, \"Performance Evaluation of Dependable Real-Time\n\
      Communication with Elastic QoS\", DSN 2001\n"
-    (match scale with Exp.Full -> "full" | Exp.Quick -> "quick");
+    (match scale with Exp.Full -> "full" | Exp.Quick -> "quick")
+    !Exp.jobs;
   let run_fig2 () = Fig2.run scale in
   let run_table1 () = Table1.run scale in
   let run_fig3 () = Fig3.run scale in

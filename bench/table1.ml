@@ -16,59 +16,84 @@ let offered_points = function
 
 let tier_topology = Scenario.Transit_stub Transit_stub.paper_spec
 
-let run scale =
-  Exp.with_manifest "table1" scale @@ fun () ->
-  Exp.section "Table 1: average bandwidth, 5-state vs 9-state chains, Random vs Tier";
-  let cell cfg =
-    let r, _ = Exp.run_timed cfg in
-    ( Exp.kbps r.Scenario.model_avg_bandwidth,
-      Exp.kbps r.Scenario.sim_avg_bandwidth,
-      r.Scenario.carried_initial,
-      Estimator.adaptation_rate r.Scenario.estimator )
-  in
-  let adapt5 = ref 0. and adapt9 = ref 0. and points = ref 0 in
-  let rows =
-    List.map
-      (fun offered ->
-        let random inc = Exp.paper_config ~scale ~offered ~increment:inc ~seed:1 in
-        let tier inc =
-          { (Exp.paper_config ~scale ~offered ~increment:inc ~seed:1) with
-            Scenario.topology = tier_topology }
+(* Four cells per table row: Random/Tier x 5-state/9-state. *)
+let cells_per_row = 4
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let head, rest = take n [] l in
+    head :: chunk n rest
+
+let experiment scale =
+  let offereds = offered_points scale in
+  {
+    Exp.name = "table1";
+    points =
+      List.concat_map
+        (fun offered ->
+          let random inc = Exp.paper_config ~scale ~offered ~increment:inc ~seed:1 in
+          let tier inc =
+            { (Exp.paper_config ~scale ~offered ~increment:inc ~seed:1) with
+              Scenario.topology = tier_topology }
+          in
+          [ random 100; random 50; tier 100; tier 50 ])
+        offereds;
+    render =
+      (fun results ->
+        Exp.section "Table 1: average bandwidth, 5-state vs 9-state chains, Random vs Tier";
+        let cell (r, _) =
+          ( Exp.kbps r.Scenario.model_avg_bandwidth,
+            Exp.kbps r.Scenario.sim_avg_bandwidth,
+            r.Scenario.carried_initial,
+            Estimator.adaptation_rate r.Scenario.estimator )
         in
-        let r5, r5s, _, a5 = cell (random 100) in
-        let r9, r9s, _, a9 = cell (random 50) in
-        let t5, t5s, carried5, _ = cell (tier 100) in
-        let t9, t9s, _, _ = cell (tier 50) in
-        adapt5 := !adapt5 +. a5;
-        adapt9 := !adapt9 +. a9;
-        incr points;
-        [
-          string_of_int offered;
-          Printf.sprintf "%s (%s)" r5 r5s;
-          Printf.sprintf "%s (%s)" r9 r9s;
-          Printf.sprintf "%s (%s)" t5 t5s;
-          Printf.sprintf "%s (%s)" t9 t9s;
-          string_of_int carried5;
-        ])
-      (offered_points scale)
-  in
-  Exp.table ~export:"table1"
-    ~header:
-      [
-        "offered";
-        "Random 5-state";
-        "Random 9-state";
-        "Tier 5-state";
-        "Tier 9-state";
-        "Tier carried";
-      ]
-    ~rows ();
-  Exp.note "cells: markov Kbps (simulation Kbps in parentheses)";
-  Exp.note
-    "paper shape: 5- and 9-state averages nearly equal; Tier carries far fewer";
-  Exp.note "connections than offered (core saturation) yet shows the same agreement.";
-  let pts = float_of_int (max 1 !points) in
-  Exp.note "adaptation cost on the Random network (level changes per churn event):";
-  Exp.note "  increment 100 Kbps (5-state): %.1f" (!adapt5 /. pts);
-  Exp.note "  increment  50 Kbps (9-state): %.1f" (!adapt9 /. pts);
-  Exp.note "— same average QoS, more re-adjustment traffic: the paper's trade-off."
+        let adapt5 = ref 0. and adapt9 = ref 0. and points = ref 0 in
+        let rows =
+          List.map2
+            (fun offered group ->
+              match List.map cell group with
+              | [ (r5, r5s, _, a5); (r9, r9s, _, a9); (t5, t5s, carried5, _);
+                  (t9, t9s, _, _) ] ->
+                adapt5 := !adapt5 +. a5;
+                adapt9 := !adapt9 +. a9;
+                incr points;
+                [
+                  string_of_int offered;
+                  Printf.sprintf "%s (%s)" r5 r5s;
+                  Printf.sprintf "%s (%s)" r9 r9s;
+                  Printf.sprintf "%s (%s)" t5 t5s;
+                  Printf.sprintf "%s (%s)" t9 t9s;
+                  string_of_int carried5;
+                ]
+              | _ -> assert false)
+            offereds (chunk cells_per_row results)
+        in
+        Exp.table ~export:"table1"
+          ~header:
+            [
+              "offered";
+              "Random 5-state";
+              "Random 9-state";
+              "Tier 5-state";
+              "Tier 9-state";
+              "Tier carried";
+            ]
+          ~rows ();
+        Exp.note "cells: markov Kbps (simulation Kbps in parentheses)";
+        Exp.note
+          "paper shape: 5- and 9-state averages nearly equal; Tier carries far fewer";
+        Exp.note "connections than offered (core saturation) yet shows the same agreement.";
+        let pts = float_of_int (max 1 !points) in
+        Exp.note "adaptation cost on the Random network (level changes per churn event):";
+        Exp.note "  increment 100 Kbps (5-state): %.1f" (!adapt5 /. pts);
+        Exp.note "  increment  50 Kbps (9-state): %.1f" (!adapt9 /. pts);
+        Exp.note "— same average QoS, more re-adjustment traffic: the paper's trade-off.");
+  }
+
+let run scale = Exp.run_experiment scale (experiment scale)

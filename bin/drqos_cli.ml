@@ -1,10 +1,12 @@
 (* Command-line driver for the drqos library.
 
      drqos_cli run   — run a full scenario (simulate, estimate, solve)
+     drqos_cli sweep — sweep offered load (and failure rate) in parallel
      drqos_cli topo  — generate a topology and print its statistics
      drqos_cli chain — solve a synthetic instance of the paper's chain
 
-   Every command is deterministic in its --seed. *)
+   Every command is deterministic in its --seed — including sweep,
+   whatever --jobs is. *)
 
 open Cmdliner
 
@@ -213,6 +215,197 @@ let run_cmd =
        ~doc:"Run a full experiment: load, churn, estimate parameters, solve the chain.")
     term
 
+(* --- sweep --- *)
+
+let rec mkdir_p dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then begin
+      Printf.eprintf "drqos_cli: %s exists and is not a directory\n" dir;
+      exit 1
+    end
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let sweep_cmd =
+  let offered_from =
+    Arg.(
+      value & opt int 500
+      & info [ "offered-from" ] ~docv:"N" ~doc:"First offered-load point.")
+  in
+  let offered_to =
+    Arg.(
+      value & opt int 5000
+      & info [ "offered-to" ] ~docv:"N" ~doc:"Last offered-load point (inclusive).")
+  in
+  let offered_step =
+    Arg.(
+      value & opt int 500
+      & info [ "offered-step" ] ~docv:"N" ~doc:"Offered-load stride.")
+  in
+  let gammas =
+    Arg.(
+      value & opt_all float []
+      & info [ "gamma" ] ~docv:"RATE"
+          ~doc:
+            "Link failure rate; repeatable — the sweep runs the full offered \
+             range at every given rate.  Default: a single failure-free sweep.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Sweep.recommended_jobs ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains evaluating sweep points in parallel.  Results are \
+             byte-identical whatever $(docv) is (each point carries its own \
+             seed; worker metrics merge at join).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Also write the sweep as $(docv)/sweep.dat (TSV, gnuplot/pandas \
+             ready) and $(docv)/sweep.metrics.json (created recursively).")
+  in
+  let lambda =
+    Arg.(value & opt float 0.001 & info [ "lambda" ] ~doc:"Arrival rate.")
+  in
+  let mu = Arg.(value & opt float 0.001 & info [ "mu" ] ~doc:"Termination rate.") in
+  let increment =
+    Arg.(
+      value & opt int 50
+      & info [ "increment" ] ~docv:"KBPS"
+          ~doc:"Elastic increment (50 = 9-state chain, 100 = 5-state).")
+  in
+  let policy =
+    Arg.(
+      value & opt policy_conv Policy.Equal_share
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Adaptation policy: equal-share, proportional or max-utility.")
+  in
+  let churn =
+    Arg.(value & opt int 2000 & info [ "churn" ] ~doc:"Measured churn events.")
+  in
+  let warmup =
+    Arg.(value & opt int 400 & info [ "warmup" ] ~doc:"Warmup churn events.")
+  in
+  let run seed nodes topo capacity offered_from offered_to offered_step gammas jobs
+      out lambda mu increment policy churn warmup =
+    if offered_step < 1 then begin
+      Printf.eprintf "drqos_cli: --offered-step must be >= 1\n";
+      exit 2
+    end;
+    if offered_from < 0 || offered_to < offered_from then begin
+      Printf.eprintf "drqos_cli: need 0 <= --offered-from <= --offered-to\n";
+      exit 2
+    end;
+    if jobs < 1 then begin
+      Printf.eprintf "drqos_cli: --jobs must be >= 1\n";
+      exit 2
+    end;
+    let gammas = match gammas with [] -> [ 0. ] | gs -> gs in
+    let offereds =
+      let rec up acc o = if o > offered_to then List.rev acc else up (o :: acc) (o + offered_step) in
+      up [] offered_from
+    in
+    let grid =
+      List.concat_map
+        (fun gamma -> List.map (fun offered -> (gamma, offered)) offereds)
+        gammas
+    in
+    let point (gamma, offered) =
+      {
+        Scenario.default with
+        Scenario.topology = scenario_topology nodes topo;
+        capacity;
+        qos = Qos.paper_spec ~increment;
+        policy;
+        offered;
+        lambda;
+        mu;
+        gamma;
+        churn_events = churn;
+        warmup_events = warmup;
+        seed;
+      }
+    in
+    let obs = Obs.create ~metrics:(Metrics.create ()) () in
+    Obs.set_default obs;
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Sweep.map ~jobs ~obs (fun obs cfg -> Scenario.run ~obs cfg) (List.map point grid)
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let header =
+      [ "gamma"; "offered"; "carried"; "sim Kbps"; "markov Kbps"; "ideal Kbps";
+        "P_f"; "P_s" ]
+    in
+    let rows =
+      List.map2
+        (fun (gamma, offered) r ->
+          [
+            Printf.sprintf "%g" gamma;
+            string_of_int offered;
+            string_of_int r.Scenario.carried_initial;
+            Printf.sprintf "%.1f" r.Scenario.sim_avg_bandwidth;
+            Printf.sprintf "%.1f" r.Scenario.model_avg_bandwidth;
+            Printf.sprintf "%.1f" r.Scenario.ideal_avg_bandwidth;
+            Printf.sprintf "%.3f" (Estimator.p_f r.Scenario.estimator);
+            Printf.sprintf "%.3f" (Estimator.p_s r.Scenario.estimator);
+          ])
+        grid results
+    in
+    let print_tsv oc =
+      Printf.fprintf oc "# %s\n" (String.concat "\t" header);
+      List.iter (fun row -> Printf.fprintf oc "%s\n" (String.concat "\t" row)) rows
+    in
+    print_tsv stdout;
+    Printf.eprintf "sweep: %d points in %.1fs (%d jobs)\n" (List.length grid) wall_s
+      jobs;
+    Option.iter
+      (fun dir ->
+        mkdir_p dir;
+        let dat = Filename.concat dir "sweep.dat" in
+        let oc = open_out dat in
+        print_tsv oc;
+        close_out oc;
+        let manifest = Filename.concat dir "sweep.metrics.json" in
+        write_metrics_manifest obs ~path:manifest
+          ~meta:
+            [
+              ("command", Jsonx.String "sweep");
+              ("seed", Jsonx.Int seed);
+              ("nodes", Jsonx.Int nodes);
+              ("points", Jsonx.Int (List.length grid));
+              ("jobs", Jsonx.Int jobs);
+              ("churn_events", Jsonx.Int churn);
+              ("warmup_events", Jsonx.Int warmup);
+              ("wall_s", Jsonx.Float wall_s);
+            ];
+        Printf.eprintf "sweep data written to %s, metrics to %s\n" dat manifest)
+      out
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ nodes_arg $ topology_arg $ capacity_arg $ offered_from
+      $ offered_to $ offered_step $ gammas $ jobs $ out $ lambda $ mu $ increment
+      $ policy $ churn $ warmup)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep offered load (and optionally failure rate) over a range of \
+          scenario points, evaluated in parallel on a deterministic domain \
+          pool; emits the table as TSV on stdout and optionally as \
+          sweep.dat / sweep.metrics.json under --out.")
+    term
+
 (* --- topo --- *)
 
 let topo_cmd =
@@ -318,4 +511,4 @@ let chain_cmd =
 let () =
   let doc = "dependable real-time communication with elastic QoS (Kim & Shin, DSN 2001)" in
   let info = Cmd.info "drqos_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; topo_cmd; chain_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; topo_cmd; chain_cmd ]))

@@ -70,6 +70,6 @@ let () =
       warmup_events = 100;
     }
   in
-  let s = Scenario.run_replications ~seeds:[ 1; 2; 3 ] knee_cfg in
+  let _, s = Scenario.run_replications ~seeds:[ 1; 2; 3 ] knee_cfg in
   printf "\nknee-point check across 3 topology replications:\n%s\n"
     (Format.asprintf "%a" Scenario.pp_summary s)

@@ -376,22 +376,20 @@ type summary = {
   dropped_total : int;
 }
 
-let run_replications ?(seeds = [ 1; 2; 3; 4; 5 ]) (cfg : config) =
-  if seeds = [] then invalid_arg "Scenario.run_replications: no seeds";
+let summarize results =
   let sim = Stats.Welford.create () in
   let model = Stats.Welford.create () in
   let carried = Stats.Welford.create () in
   let dropped = ref 0 in
   List.iter
-    (fun seed ->
-      let r = run { cfg with seed } in
+    (fun r ->
       Stats.Welford.add sim r.sim_avg_bandwidth;
       Stats.Welford.add model r.model_avg_bandwidth;
       Stats.Welford.add carried (float_of_int r.carried_initial);
       dropped := !dropped + r.dropped)
-    seeds;
+    results;
   {
-    runs = List.length seeds;
+    runs = List.length results;
     sim_mean = Stats.Welford.mean sim;
     sim_ci = Stats.Welford.confidence_interval sim;
     model_mean = Stats.Welford.mean model;
@@ -399,6 +397,11 @@ let run_replications ?(seeds = [ 1; 2; 3; 4; 5 ]) (cfg : config) =
     carried_mean = Stats.Welford.mean carried;
     dropped_total = !dropped;
   }
+
+let run_replications ?(seeds = [ 1; 2; 3; 4; 5 ]) ?obs ?jobs (cfg : config) =
+  if seeds = [] then invalid_arg "Scenario.run_replications: no seeds";
+  let results = Sweep.map ?jobs ?obs (fun obs seed -> run ~obs { cfg with seed }) seeds in
+  (results, summarize results)
 
 let pp_summary ppf s =
   let lo, hi = s.sim_ci and mlo, mhi = s.model_ci in

@@ -94,9 +94,19 @@ type summary = {
   dropped_total : int;
 }
 
-val run_replications : ?seeds:int list -> config -> summary
+val run_replications :
+  ?seeds:int list -> ?obs:Obs.t -> ?jobs:int -> config -> result list * summary
 (** Replicates [config] once per seed (default seeds 1..5; the config's
-    own seed is ignored).  Raises [Invalid_argument] on an empty list. *)
+    own seed is ignored) and returns the per-seed results, in seed-list
+    order, alongside their aggregate.  Replications run through
+    {!Sweep.map}: [jobs] (default [Sweep.recommended_jobs ()]) bounds
+    the worker domains, [obs] (default {!Obs.default}) receives every
+    worker's merged metrics, and the results are bit-for-bit identical
+    to a sequential run.  Raises [Invalid_argument] on an empty list. *)
+
+val summarize : result list -> summary
+(** Aggregate independent results ({!run_replications} over its per-seed
+    list); zero/degenerate statistics on an empty list. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

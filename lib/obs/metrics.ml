@@ -14,7 +14,7 @@ and gauge = {
   mutable updates : int;
 }
 
-and timer = { t_reg : t; spans : Stats.Welford.t }
+and timer = { t_reg : t; mutable spans : Stats.Welford.t }
 
 let create ?(enabled = true) () =
   {
@@ -79,6 +79,41 @@ let time tm f =
 
 let timer_count tm = Stats.Welford.count tm.spans
 let timer_total tm = Stats.Welford.mean tm.spans *. float_of_int (Stats.Welford.count tm.spans)
+
+(* ------------------------------------------------------------------ *)
+(* Merging                                                             *)
+
+(* Counter and timer merges are exact sums, so a parallel sweep whose
+   workers record into private registries snapshots the same counts as a
+   sequential run (timer durations are wall-clock and vary run to run
+   regardless).  A gauge's last value is taken from [src] only when [src]
+   actually updated it — under dynamic work assignment which worker wrote
+   last is scheduling-dependent, so gauges are best-effort. *)
+let merge_into ~into src =
+  (* Disabled target first: forks of a disabled context all share the
+     [disabled] singleton, and merging nothing into nothing is fine. *)
+  if into.on then begin
+    if into == src then invalid_arg "Metrics.merge_into: registry merged into itself";
+    Hashtbl.iter
+      (fun name (c : counter) ->
+        let d = counter into name in
+        d.count <- d.count + c.count)
+      src.counters;
+    Hashtbl.iter
+      (fun name (g : gauge) ->
+        let d = gauge into name in
+        if g.updates > 0 then begin
+          d.last <- g.last;
+          if g.peak > d.peak then d.peak <- g.peak;
+          d.updates <- d.updates + g.updates
+        end)
+      src.gauges;
+    Hashtbl.iter
+      (fun name (tm : timer) ->
+        let d = timer into name in
+        d.spans <- Stats.Welford.merge d.spans tm.spans)
+      src.timers
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)

@@ -53,6 +53,14 @@ val time : timer -> (unit -> 'a) -> 'a
 val timer_count : timer -> int
 val timer_total : timer -> float
 
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s instruments into [into], interning by name: counters and
+    timer observations add exactly (so a parallel sweep merging private
+    worker registries counts the same as a sequential run); gauge peaks
+    take the max, last values are best-effort (taken from the source when
+    it recorded any update).  A no-op when [into] is disabled; raises
+    [Invalid_argument] when both arguments are the same registry. *)
+
 val snapshot : t -> Jsonx.t
 (** [{"enabled": bool, "counters": {...}, "gauges": {name: {value, peak,
     updates}}, "timers": {name: {count, total_s, mean_s, min_s,

@@ -20,9 +20,21 @@ let tracing t = Trace.enabled t.trace
 let set_clock t f = if t != null then t.clock <- f
 let now t = t.clock ()
 
-let default_ref = ref null
-let default () = !default_ref
-let set_default t = default_ref := t
+(* Domain-local, so a worker domain installing its private context (see
+   Sweep) never races the main domain's — deep call sites that read the
+   default (Linsolve, Ctmc) stay single-domain by construction. *)
+let default_key = Domain.DLS.new_key (fun () -> null)
+let default () = Domain.DLS.get default_key
+let set_default t = Domain.DLS.set default_key t
+
+let fork t =
+  let metrics =
+    if Metrics.enabled t.metrics then Metrics.create () else Metrics.disabled
+  in
+  create ~metrics ()
+
+let absorb ~into worker =
+  if worker != into then Metrics.merge_into ~into:into.metrics worker.metrics
 
 let counter t name = Metrics.counter t.metrics name
 let gauge t name = Metrics.gauge t.metrics name

@@ -32,6 +32,21 @@ val now : t -> float
 
 val default : unit -> t
 val set_default : t -> unit
+(** The default context is {e domain-local}: each domain starts at
+    {!null}, and installing a context in one domain is invisible to the
+    others.  Worker domains (see [Sweep]) install a {!fork} of the
+    caller's context so nothing they record crosses a domain boundary
+    until the merge at join time. *)
+
+val fork : t -> t
+(** A worker-private context mirroring [t]: a fresh metrics registry
+    (enabled iff [t]'s is), no tracer (traces do not cross domains), an
+    independent clock. *)
+
+val absorb : into:t -> t -> unit
+(** Merge a {!fork}ed worker's metrics back into [into]'s registry
+    ({!Metrics.merge_into}); call it after joining the worker's domain.
+    A no-op when the two contexts are the same. *)
 
 val counter : t -> string -> Metrics.counter
 val gauge : t -> string -> Metrics.gauge

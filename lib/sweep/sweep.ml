@@ -1,0 +1,53 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let map ?jobs ?obs f points =
+  let obs = match obs with Some o -> o | None -> Obs.default () in
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  if jobs < 1 then invalid_arg "Sweep.map: jobs must be >= 1";
+  let items = Array.of_list points in
+  let n = Array.length items in
+  let workers = min jobs n in
+  if workers <= 1 then begin
+    (* One effective worker: run in the calling domain, but still install
+       [obs] as the domain default for the duration — exactly what a
+       worker does with its fork — so deep call sites that read the
+       default (the solvers) record the same instruments either way. *)
+    let saved = Obs.default () in
+    Obs.set_default obs;
+    Fun.protect
+      ~finally:(fun () -> Obs.set_default saved)
+      (fun () -> List.map (f obs) points)
+  end
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Each worker pulls the next unclaimed index; every cell is written
+       by exactly one domain, and [Domain.join] orders those writes
+       before our reads. *)
+    let worker () =
+      let wobs = Obs.fork obs in
+      Obs.set_default wobs;
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f wobs items.(i) with
+          | r -> results.(i) <- Some r
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ();
+      wobs
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    let forks = Array.map Domain.join domains in
+    Array.iter (fun w -> Obs.absorb ~into:obs w) forks;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end

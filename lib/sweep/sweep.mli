@@ -1,0 +1,43 @@
+(** Deterministic parallel map over OCaml 5 domains — the substrate every
+    experiment sweep (bench figures, CLI sweeps, replicated runs) fans
+    out on.
+
+    The pool evaluates independent points concurrently and returns the
+    results {e in submission order}, bit-for-bit identical to a
+    sequential run: each point carries its own randomness (the scenario
+    seed travels inside the point), workers share no mutable state, and
+    each worker records observability into a private {!Obs.fork} of the
+    caller's context, merged back into it after all domains join.
+    Tracing does not cross domains — worker forks carry no tracer. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default pool width. *)
+
+val map : ?jobs:int -> ?obs:Obs.t -> (Obs.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs ~obs f points] evaluates [f worker_obs point] for every
+    point and returns the results in the order the points were given.
+
+    [jobs] (default {!recommended_jobs}) bounds the number of worker
+    domains; the pool never spawns more workers than points.  With one
+    effective worker the pool degenerates to a plain sequential [List.map]
+    in the calling domain — no domain is spawned; [f] receives [obs]
+    itself, installed as the domain default for the duration (exactly
+    what each worker does with its fork, so deep call sites reading the
+    default record the same instruments either way).  Raises
+    [Invalid_argument] when [jobs < 1].
+
+    [obs] defaults to the calling domain's {!Obs.default}.  Each worker
+    domain receives a private {!Obs.fork} of it, installs that fork as
+    its domain-local default (so deep call sites reading the default
+    record into the worker's registry), and the forks' metrics are merged
+    back into [obs] after the join — counters and timer counts are exact
+    sums, identical to a sequential run.
+
+    Points are handed to idle workers dynamically (an atomic cursor), so
+    uneven point costs balance; determinism is unaffected because results
+    are stored by submission index.
+
+    If [f] raises on any point, every domain still finishes its remaining
+    points and is joined, worker metrics are still merged, and then the
+    exception of the {e lowest-index} failing point is re-raised with its
+    backtrace. *)

@@ -31,6 +31,14 @@ test -s "$tmpdir/fig2.metrics.json" || {
   exit 1
 }
 
+step "bench determinism: fig2 --quick --jobs 2 vs --jobs 1"
+dune exec bench/main.exe -- fig2 --quick --jobs 2 --out "$tmpdir/verify-bench-j2" >/dev/null
+dune exec bench/main.exe -- fig2 --quick --jobs 1 --out "$tmpdir/verify-bench-j1" >/dev/null
+diff "$tmpdir/verify-bench-j1/fig2.dat" "$tmpdir/verify-bench-j2/fig2.dat" || {
+  echo "FAIL: parallel fig2 sweep diverged from the sequential run" >&2
+  exit 1
+}
+
 step "CLI smoke: trace + metrics"
 dune exec bin/drqos_cli.exe -- run --offered 100 --churn 100 --warmup 20 \
   --trace "$tmpdir/t.jsonl" --metrics "$tmpdir/m.json" >/dev/null

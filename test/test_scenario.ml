@@ -151,18 +151,30 @@ let test_single_value_qos_scenario () =
 
 let test_replications_summary () =
   let cfg = { (tiny ~offered:80 ()) with Scenario.churn_events = 80; warmup_events = 20 } in
-  let s = Scenario.run_replications ~seeds:[ 1; 2; 3 ] cfg in
+  let results, s = Scenario.run_replications ~seeds:[ 1; 2; 3 ] cfg in
   Alcotest.(check int) "runs" 3 s.Scenario.runs;
+  Alcotest.(check int) "one result per seed" 3 (List.length results);
+  Alcotest.(check (list int)) "results in seed order" [ 1; 2; 3 ]
+    (List.map (fun r -> r.Scenario.config.Scenario.seed) results);
   let lo, hi = s.Scenario.sim_ci in
   Alcotest.(check bool) "ci contains mean" true
     (lo <= s.Scenario.sim_mean && s.Scenario.sim_mean <= hi);
   Alcotest.(check bool) "mean in range" true
     (s.Scenario.sim_mean >= 100. -. 1e-6 && s.Scenario.sim_mean <= 500. +. 1e-6);
   Alcotest.(check bool) "carried positive" true (s.Scenario.carried_mean > 0.);
-  (* Deterministic given the same seed list. *)
-  let s' = Scenario.run_replications ~seeds:[ 1; 2; 3 ] cfg in
+  (* The summary is the fold of the returned per-seed results. *)
+  let mean =
+    List.fold_left (fun acc r -> acc +. r.Scenario.sim_avg_bandwidth) 0. results /. 3.
+  in
+  Alcotest.check (Alcotest.float 1e-9) "summary folds the results" mean
+    s.Scenario.sim_mean;
+  (* Deterministic given the same seed list, sequential or parallel. *)
+  let _, s' = Scenario.run_replications ~seeds:[ 1; 2; 3 ] ~jobs:1 cfg in
   Alcotest.check (Alcotest.float 1e-12) "deterministic" s.Scenario.sim_mean
-    s'.Scenario.sim_mean
+    s'.Scenario.sim_mean;
+  let _, s2 = Scenario.run_replications ~seeds:[ 1; 2; 3 ] ~jobs:3 cfg in
+  Alcotest.check (Alcotest.float 1e-12) "parallel equals sequential"
+    s.Scenario.sim_mean s2.Scenario.sim_mean
 
 let test_replications_validation () =
   Alcotest.check_raises "empty" (Invalid_argument "Scenario.run_replications: no seeds")

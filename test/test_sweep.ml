@@ -1,0 +1,115 @@
+(* The deterministic domain pool: parallel sweeps must be bit-for-bit
+   equal to sequential ones — results in submission order, merged worker
+   metrics counting exactly what a single registry would — and a raising
+   point must surface only after every domain has joined. *)
+
+(* Sixteen small scenario points with distinct loads and seeds, cheap
+   enough that even a single-core machine runs the parallel cases in
+   seconds. *)
+let points =
+  List.init 16 (fun i ->
+      {
+        Scenario.default with
+        Scenario.topology = Scenario.Waxman (Waxman.spec ~nodes:24 ~alpha:0.5 ~beta:0.3 ());
+        capacity = Bandwidth.mbps 2;
+        offered = 20 + (5 * i);
+        warmup_events = 10;
+        churn_events = 40;
+        seed = i + 1;
+      })
+
+let run_point obs cfg = Scenario.run ~obs cfg
+
+let test_parallel_equals_sequential () =
+  let seq = List.map (fun cfg -> Scenario.run cfg) points in
+  let par = Sweep.map ~jobs:4 run_point points in
+  Alcotest.(check int) "same length" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "offered order preserved" a.Scenario.offered
+        b.Scenario.offered;
+      Alcotest.(check int) "same carried" a.Scenario.carried_initial
+        b.Scenario.carried_initial;
+      Alcotest.(check int) "same final population" a.Scenario.carried_final
+        b.Scenario.carried_final;
+      (* Bit-for-bit: no tolerance. *)
+      Alcotest.(check bool) "same sim average" true
+        (Float.equal a.Scenario.sim_avg_bandwidth b.Scenario.sim_avg_bandwidth);
+      Alcotest.(check bool) "same model average" true
+        (Float.equal a.Scenario.model_avg_bandwidth b.Scenario.model_avg_bandwidth))
+    seq par
+
+let counters_of obs =
+  match Jsonx.member "counters" (Obs.metrics_json obs) with
+  | Some c -> Jsonx.to_string c
+  | None -> Alcotest.fail "metrics snapshot has no counters"
+
+let test_merged_metrics_equal_sequential () =
+  let live () = Obs.create ~metrics:(Metrics.create ()) () in
+  let seq_obs = live () in
+  ignore (Sweep.map ~jobs:1 ~obs:seq_obs run_point points);
+  let par_obs = live () in
+  ignore (Sweep.map ~jobs:4 ~obs:par_obs run_point points);
+  Alcotest.(check string) "merged counters equal sequential registry's"
+    (counters_of seq_obs) (counters_of par_obs)
+
+let test_jobs_one_degenerates_to_map () =
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  let saw_parent = ref true in
+  let out =
+    Sweep.map ~jobs:1 ~obs
+      (fun o x ->
+        if o != obs then saw_parent := false;
+        x * x)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check (list int)) "plain map" [ 1; 4; 9; 16; 25 ] out;
+  Alcotest.(check bool) "caller's obs passed through, no fork" true !saw_parent;
+  Alcotest.(check (list int)) "empty input" []
+    (Sweep.map ~jobs:4 (fun _ (x : int) -> x) [])
+
+let test_exception_propagates_after_join () =
+  let finished = Atomic.make 0 in
+  let f _ i =
+    if i = 5 then failwith "boom 5"
+    else if i = 11 then failwith "boom 11"
+    else begin
+      Atomic.incr finished;
+      i
+    end
+  in
+  Alcotest.check_raises "lowest-index failure wins" (Failure "boom 5") (fun () ->
+      ignore (Sweep.map ~jobs:4 f (List.init 16 Fun.id)));
+  (* Every non-raising point still ran: the pool joined all domains
+     before re-raising. *)
+  Alcotest.(check int) "all other points completed" 14 (Atomic.get finished)
+
+let test_jobs_validation () =
+  Alcotest.check_raises "jobs = 0" (Invalid_argument "Sweep.map: jobs must be >= 1")
+    (fun () -> ignore (Sweep.map ~jobs:0 (fun _ (x : int) -> x) [ 1 ]))
+
+let test_more_jobs_than_points () =
+  let out = Sweep.map ~jobs:64 (fun _ x -> x + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "surplus workers are harmless" [ 2; 3; 4 ] out
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel equals sequential" `Quick
+            test_parallel_equals_sequential;
+          Alcotest.test_case "merged metrics" `Quick
+            test_merged_metrics_equal_sequential;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "jobs=1 is plain map" `Quick
+            test_jobs_one_degenerates_to_map;
+          Alcotest.test_case "exception after join" `Quick
+            test_exception_propagates_after_join;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+          Alcotest.test_case "more jobs than points" `Quick
+            test_more_jobs_than_points;
+        ] );
+    ]
