@@ -508,7 +508,131 @@ let chain_cmd =
        ~doc:"Solve a synthetic instance of the paper's Markov chain from CLI parameters.")
     term
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let ops =
+    Arg.(
+      value & opt int 10_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per topology family.")
+  in
+  let families =
+    let fam =
+      Arg.enum
+        (List.map (fun f -> (Fuzz.family_name f, f)) Fuzz.all_families)
+    in
+    Arg.(
+      value & opt_all fam []
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"Topology family to fuzz (repeatable): $(b,waxman), $(b,torus) \
+                or $(b,transit-stub).  Default: all three.")
+  in
+  let fuzz_nodes =
+    Arg.(value & opt int 20 & info [ "nodes" ] ~docv:"N" ~doc:"Approximate node count.")
+  in
+  let capacity =
+    Arg.(value & opt int 1200 & info [ "capacity" ] ~docv:"KBPS" ~doc:"Link capacity.")
+  in
+  let backups =
+    Arg.(value & opt int 2 & info [ "backups" ] ~docv:"K" ~doc:"Backups per connection.")
+  in
+  let restore =
+    Arg.(value & flag & info [ "restore" ] ~doc:"Reactive-restoration baseline.")
+  in
+  let no_mux =
+    Arg.(value & flag & info [ "no-multiplexing" ] ~doc:"Dedicated (unshared) backup pools.")
+  in
+  let policy =
+    let pol =
+      Arg.enum
+        (List.map (fun p -> (Format.asprintf "%a" Policy.pp p, p)) Policy.all)
+    in
+    Arg.(
+      value & opt pol Policy.Equal_share
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Redistribution policy.")
+  in
+  let deep_every =
+    Arg.(
+      value & opt int 20
+      & info [ "deep-every" ] ~docv:"N"
+          ~doc:"Run the single-failure-safety check every N ops (0 = never).")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Print the raw failing prefix unshrunk.")
+  in
+  let replay_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a reproducer script instead of generating operations.")
+  in
+  let pp_stats fmt (s : Fuzz.stats) =
+    Format.fprintf fmt
+      "%d ops: %d admitted, %d rejected, %d terminated, %d qos changes (%d \
+       refused), %d edge failures, %d repairs, %d activations, %d backup \
+       losses, %d drops, %d restores; %d live"
+      s.Fuzz.ops_run s.admitted s.rejected s.terminated s.qos_changed
+      s.qos_refused s.edge_failures s.edge_repairs s.activations
+      s.backup_losses s.drops s.restores s.live
+  in
+  let run seed ops families nodes capacity backups restore no_mux policy
+      deep_every no_shrink replay_file =
+    match replay_file with
+    | Some path -> (
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Fuzz.parse_script text with
+      | Error msg ->
+        Format.eprintf "cannot parse %s: %s@." path msg;
+        exit 2
+      | Ok (cfg, script) -> (
+        let r = Fuzz.replay cfg script in
+        match r.Fuzz.violation with
+        | None ->
+          Format.printf "replay of %s passed (%a)@." path pp_stats r.Fuzz.stats
+        | Some v ->
+          Format.printf "replay of %s fails at op %d (%a): %s@." path
+            v.Fuzz.index Op.pp v.Fuzz.op v.Fuzz.message;
+          exit 1))
+    | None ->
+      let families = if families = [] then Fuzz.all_families else families in
+      let violations =
+        List.filter_map
+          (fun family ->
+            let cfg =
+              Fuzz.config ~nodes ~capacity ~backups ~restore
+                ~multiplexing:(not no_mux) ~policy ~deep_every ~family ~seed
+                ~ops ()
+            in
+            match Fuzz.run ~shrink:(not no_shrink) cfg with
+            | Ok stats ->
+              Format.printf "%-12s seed=%d ok, %a@." (Fuzz.family_name family)
+                seed pp_stats stats;
+              None
+            | Error f ->
+              Format.printf "%-12s seed=%d VIOLATION at op %d: %s@."
+                (Fuzz.family_name family) seed f.Fuzz.violation.Fuzz.index
+                f.Fuzz.violation.Fuzz.message;
+              Format.printf "reproducer (%d ops, shrunk from %d):@.%s"
+                (Array.length f.Fuzz.script) f.Fuzz.stats.Fuzz.ops_run
+                (Fuzz.to_script f);
+              Some f)
+          families
+      in
+      if violations <> [] then exit 1
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ ops $ families $ fuzz_nodes $ capacity $ backups
+      $ restore $ no_mux $ policy $ deep_every $ no_shrink $ replay_file)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the DR-connection service with random op sequences, checking \
+             the full invariant suite after every operation; on violation, \
+             print a shrunk replayable reproducer.")
+    term
+
 let () =
   let doc = "dependable real-time communication with elastic QoS (Kim & Shin, DSN 2001)" in
   let info = Cmd.info "drqos_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; topo_cmd; chain_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; topo_cmd; chain_cmd; fuzz_cmd ]))

@@ -1,0 +1,445 @@
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type family = Waxman | Torus | Transit_stub
+
+let family_name = function
+  | Waxman -> "waxman"
+  | Torus -> "torus"
+  | Transit_stub -> "transit-stub"
+
+let family_of_string = function
+  | "waxman" | "random" -> Some Waxman
+  | "torus" -> Some Torus
+  | "transit-stub" | "tier" -> Some Transit_stub
+  | _ -> None
+
+let all_families = [ Waxman; Torus; Transit_stub ]
+
+type config = {
+  family : family;
+  seed : int;
+  ops : int;
+  nodes : int;
+  capacity : int;
+  backups_per_connection : int;
+  restore_on_failure : bool;
+  multiplexing : bool;
+  policy : Policy.t;
+  deep_every : int;
+}
+
+let config ?(nodes = 20) ?(capacity = 1200) ?(backups = 2) ?(restore = false)
+    ?(multiplexing = true) ?(policy = Policy.Equal_share) ?(deep_every = 20)
+    ~family ~seed ~ops () =
+  {
+    family;
+    seed;
+    ops;
+    nodes;
+    capacity;
+    backups_per_connection = backups;
+    restore_on_failure = restore;
+    multiplexing;
+    policy;
+    deep_every;
+  }
+
+(* The topology is part of the reproducer: derived from the seed alone
+   (via an independent split of the stream) so a printed script plus its
+   config line rebuilds the exact same network. *)
+let topology cfg =
+  let rng = Prng.create (cfg.seed lxor 0x2545f4914f6cdd1d) in
+  match cfg.family with
+  | Waxman ->
+    Waxman.generate rng (Waxman.spec ~nodes:(max 4 cfg.nodes) ~alpha:0.6 ~beta:0.5 ())
+  | Torus ->
+    let n = max 9 cfg.nodes in
+    let rows = max 3 (int_of_float (sqrt (float_of_int n))) in
+    Torus.generate ~rows ~cols:(max 3 (n / rows))
+  | Transit_stub ->
+    let stub_size = max 2 ((max 12 cfg.nodes - 4) / 8) in
+    (Transit_stub.generate rng
+       (Transit_stub.spec ~transit_domains:1 ~transit_size:4
+          ~stubs_per_transit_node:2 ~stub_size ()))
+      .Transit_stub.graph
+
+(* Mix of elastic ranges (incl. the paper's 100–500 spec at two
+   increments), utility outliers for the utility-aware policies, and an
+   inelastic single-value spec. *)
+let qos_palette =
+  [|
+    Qos.paper_spec ~increment:100;
+    Qos.paper_spec ~increment:50;
+    Qos.make ~utility:2.0 ~b_min:100 ~b_max:300 ~increment:100 ();
+    Qos.make ~utility:0.7 ~b_min:200 ~b_max:400 ~increment:50 ();
+    Qos.make ~b_min:50 ~b_max:250 ~increment:50 ();
+    Qos.single_value 150;
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+
+let gen_op rng =
+  let raw () = Prng.int rng 100_000 in
+  let dice = Prng.int rng 100 in
+  if dice < 34 then
+    let src = raw () in
+    let dst = raw () in
+    let qos = raw () in
+    Op.Admit { src; dst; qos }
+  else if dice < 59 then Op.Terminate (raw ())
+  else if dice < 69 then Op.Fail (raw ())
+  else if dice < 79 then Op.Repair (raw ())
+  else if dice < 87 then
+    let k = raw () in
+    let q = raw () in
+    Op.Change_qos (k, q)
+  else if dice < 90 then Op.Set_auto false
+  else if dice < 94 then Op.Set_auto true
+  else Op.Redistribute_all
+
+let gen_ops cfg =
+  let rng = Prng.create cfg.seed in
+  Array.init cfg.ops (fun _ -> gen_op rng)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+type stats = {
+  ops_run : int;
+  admitted : int;
+  rejected : int;
+  terminated : int;
+  qos_changed : int;
+  qos_refused : int;
+  edge_failures : int;
+  edge_repairs : int;
+  activations : int;
+  drops : int;
+  restores : int;
+  backup_losses : int;
+  live : int;
+}
+
+type violation = { index : int; op : Op.t; message : string }
+
+type run = { stats : stats; violation : violation option }
+
+let replay ?(extra_invariant = fun (_ : Drcomm.t) -> ()) cfg (ops : Op.t array) =
+  let g = topology cfg in
+  let n = Graph.node_count g in
+  let ec = Graph.edge_count g in
+  let metrics = Metrics.create () in
+  let obs = Obs.create ~metrics () in
+  let net =
+    Net_state.create ~multiplexing:cfg.multiplexing ~capacity:cfg.capacity g
+  in
+  let dconfig =
+    {
+      Drcomm.default_config with
+      policy = cfg.policy;
+      require_backup = false;
+      with_backups = true;
+      backups_per_connection = cfg.backups_per_connection;
+      restore_on_failure = cfg.restore_on_failure;
+    }
+  in
+  let t = Drcomm.create ~config:dconfig ~obs net in
+  let admitted = ref 0
+  and rejected = ref 0
+  and terminated = ref 0
+  and qos_changed = ref 0
+  and qos_refused = ref 0
+  and edge_failures = ref 0
+  and edge_repairs = ref 0
+  and activations = ref 0
+  and drops = ref 0
+  and restores = ref 0
+  and backup_losses = ref 0 in
+  (* Expected drcomm.* counters, predicted from the returned reports. *)
+  let exp_admits = ref 0
+  and exp_rejects = ref 0
+  and exp_terms = ref 0
+  and exp_fail = ref 0
+  and exp_rep = ref 0
+  and exp_act = ref 0
+  and exp_lost = ref 0
+  and exp_drops = ref 0
+  and exp_rest = ref 0 in
+  let expected () =
+    {
+      Invariants.admits = !exp_admits;
+      rejects = !exp_rejects;
+      terminations = !exp_terms;
+      link_failures = !exp_fail;
+      link_repairs = !exp_rep;
+      backup_activations = !exp_act;
+      backup_losses = !exp_lost;
+      drops = !exp_drops;
+      restores = !exp_rest;
+    }
+  in
+  let live_sorted () = List.sort compare (Drcomm.active_channels t) in
+  let apply op =
+    match op with
+    | Op.Admit { src; dst; qos } ->
+      let src = src mod n in
+      let dst = if n <= 1 then src else (src + 1 + (dst mod (n - 1))) mod n in
+      let qos = qos_palette.(qos mod Array.length qos_palette) in
+      (match Drcomm.admit t ~src ~dst ~qos with
+      | Drcomm.Admitted _ ->
+        incr admitted;
+        incr exp_admits
+      | Drcomm.Rejected _ ->
+        incr rejected;
+        incr exp_rejects)
+    | Op.Terminate k -> (
+      match live_sorted () with
+      | [] -> ()
+      | ids ->
+        ignore (Drcomm.terminate t (List.nth ids (k mod List.length ids)));
+        incr terminated;
+        incr exp_terms)
+    | Op.Change_qos (k, q) -> (
+      match live_sorted () with
+      | [] -> ()
+      | ids -> (
+        let id = List.nth ids (k mod List.length ids) in
+        match
+          Drcomm.change_qos t id qos_palette.(q mod Array.length qos_palette)
+        with
+        | `Changed -> incr qos_changed
+        | `Rejected -> incr qos_refused))
+    | Op.Fail k ->
+      if ec > 0 then begin
+        let e = k mod ec in
+        let fresh = not (Net_state.edge_failed net e) in
+        let r = Drcomm.fail_edge t e in
+        if fresh then begin
+          incr edge_failures;
+          incr exp_fail
+        end
+        else if
+          r.Drcomm.recoveries <> [] || r.Drcomm.event.Drcomm.transitions <> []
+        then failwith "fail_edge on an already-failed edge was not a no-op";
+        List.iter
+          (fun { Drcomm.outcome; _ } ->
+            match outcome with
+            | `Switched_to_backup _ ->
+              incr activations;
+              incr exp_act
+            | `Dropped ->
+              incr drops;
+              incr exp_drops;
+              (* A failed restoration attempt is an internal admit
+                 rejection. *)
+              if cfg.restore_on_failure then incr exp_rejects
+            | `Restored _ ->
+              incr restores;
+              incr exp_rest;
+              (* A successful restoration is an internal admit. *)
+              incr exp_admits
+            | `Backup_lost _ ->
+              incr backup_losses;
+              incr exp_lost)
+          r.Drcomm.recoveries
+      end
+    | Op.Repair k ->
+      if ec > 0 then begin
+        match List.sort compare (Net_state.failed_edges net) with
+        | [] ->
+          (* Nothing failed: aim at a healthy edge — must be a strict
+             no-op, counters included. *)
+          Drcomm.repair_edge t (k mod ec)
+        | failed ->
+          Drcomm.repair_edge t (List.nth failed (k mod List.length failed));
+          incr edge_repairs;
+          incr exp_rep
+      end
+    | Op.Set_auto b ->
+      let was = Drcomm.auto_redistribute t in
+      Drcomm.set_auto_redistribute t b;
+      (* Re-establish the water-filling fixed point the invariant
+         expects whenever redistribution comes back on. *)
+      if b && not was then Drcomm.redistribute_all t
+    | Op.Redistribute_all -> Drcomm.redistribute_all t
+  in
+  let violation = ref None in
+  let at = ref 0 in
+  (try
+     Array.iteri
+       (fun i op ->
+         at := i;
+         apply op;
+         let deep = cfg.deep_every > 0 && (i + 1) mod cfg.deep_every = 0 in
+         Invariants.check_all ~expected:(expected ()) ~metrics ~deep t;
+         extra_invariant t)
+       ops
+   with e ->
+     let message =
+       match e with Failure m -> m | e -> Printexc.to_string e
+     in
+     violation := Some { index = !at; op = ops.(!at); message });
+  let stats =
+    {
+      ops_run =
+        (match !violation with
+        | Some v -> v.index + 1
+        | None -> Array.length ops);
+      admitted = !admitted;
+      rejected = !rejected;
+      terminated = !terminated;
+      qos_changed = !qos_changed;
+      qos_refused = !qos_refused;
+      edge_failures = !edge_failures;
+      edge_repairs = !edge_repairs;
+      activations = !activations;
+      drops = !drops;
+      restores = !restores;
+      backup_losses = !backup_losses;
+      live = Drcomm.count t;
+    }
+  in
+  { stats; violation = !violation }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: classic ddmin over the op script                         *)
+
+let shrink_script ?extra_invariant cfg ops =
+  let fails lst =
+    (replay ?extra_invariant cfg (Array.of_list lst)).violation <> None
+  in
+  let rec ddmin lst gran =
+    let len = List.length lst in
+    if len < 2 then lst
+    else begin
+      let chunk = max 1 (len / gran) in
+      let rec attempt start =
+        if start >= len then None
+        else
+          let cand =
+            List.filteri (fun i _ -> i < start || i >= start + chunk) lst
+          in
+          if cand <> [] && fails cand then Some cand else attempt (start + chunk)
+      in
+      match attempt 0 with
+      | Some smaller -> ddmin smaller (max 2 (gran - 1))
+      | None -> if chunk <= 1 then lst else ddmin lst (min len (gran * 2))
+    end
+  in
+  Array.of_list (ddmin (Array.to_list ops) 2)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level runs and the reproducer format                            *)
+
+type failure = {
+  config : config;
+  script : Op.t array;
+  violation : violation;
+  stats : stats;
+}
+
+let run ?extra_invariant ?(shrink = true) cfg =
+  let ops = gen_ops cfg in
+  let r = replay ?extra_invariant cfg ops in
+  match r.violation with
+  | None -> Ok r.stats
+  | Some v ->
+    let prefix = Array.sub ops 0 (v.index + 1) in
+    let script =
+      if shrink then shrink_script ?extra_invariant cfg prefix else prefix
+    in
+    let violation =
+      match (replay ?extra_invariant cfg script).violation with
+      | Some v' -> v'
+      | None -> v
+    in
+    Error { config = cfg; script; violation; stats = r.stats }
+
+let config_line cfg =
+  Printf.sprintf
+    "# fuzz family=%s seed=%d nodes=%d capacity=%d backups=%d restore=%b \
+     multiplexing=%b policy=%s deep-every=%d"
+    (family_name cfg.family) cfg.seed cfg.nodes cfg.capacity
+    cfg.backups_per_connection cfg.restore_on_failure cfg.multiplexing
+    (Format.asprintf "%a" Policy.pp cfg.policy)
+    cfg.deep_every
+
+let to_script f =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "# drqos fuzz reproducer\n";
+  Buffer.add_string b (config_line f.config);
+  Buffer.add_char b '\n';
+  Printf.bprintf b "# violation at op %d (%s): %s\n" f.violation.index
+    (Op.to_string f.violation.op)
+    f.violation.message;
+  Array.iter
+    (fun op ->
+      Buffer.add_string b (Op.to_string op);
+      Buffer.add_char b '\n')
+    f.script;
+  Buffer.contents b
+
+let apply_kv cfg kv =
+  match String.index_opt kv '=' with
+  | None -> Error (Printf.sprintf "malformed key=value %S" kv)
+  | Some i ->
+    let key = String.sub kv 0 i in
+    let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+    let as_int f =
+      match int_of_string_opt v with
+      | Some n -> Ok (f n)
+      | None -> Error (Printf.sprintf "bad integer for %s: %S" key v)
+    in
+    let as_bool f =
+      match bool_of_string_opt v with
+      | Some b -> Ok (f b)
+      | None -> Error (Printf.sprintf "bad boolean for %s: %S" key v)
+    in
+    (match key with
+    | "family" -> (
+      match family_of_string v with
+      | Some f -> Ok { cfg with family = f }
+      | None -> Error (Printf.sprintf "unknown family %S" v))
+    | "seed" -> as_int (fun n -> { cfg with seed = n })
+    | "nodes" -> as_int (fun n -> { cfg with nodes = n })
+    | "capacity" -> as_int (fun n -> { cfg with capacity = n })
+    | "backups" -> as_int (fun n -> { cfg with backups_per_connection = n })
+    | "deep-every" -> as_int (fun n -> { cfg with deep_every = n })
+    | "restore" -> as_bool (fun b -> { cfg with restore_on_failure = b })
+    | "multiplexing" -> as_bool (fun b -> { cfg with multiplexing = b })
+    | "policy" -> (
+      match Policy.of_string v with
+      | Some p -> Ok { cfg with policy = p }
+      | None -> Error (Printf.sprintf "unknown policy %S" v))
+    | _ -> Error (Printf.sprintf "unknown config key %S" key))
+
+let parse_script text =
+  let base = config ~family:Waxman ~seed:1 ~ops:0 () in
+  let rec fold cfg ops = function
+    | [] -> Ok (cfg, Array.of_list (List.rev ops))
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" then fold cfg ops rest
+      else if line.[0] = '#' then
+        match String.split_on_char ' ' line with
+        | "#" :: "fuzz" :: kvs -> (
+          let cfg' =
+            List.fold_left
+              (fun acc kv ->
+                match acc with
+                | Error _ -> acc
+                | Ok c -> if kv = "" then acc else apply_kv c kv)
+              (Ok cfg) kvs
+          in
+          match cfg' with Ok cfg -> fold cfg ops rest | Error _ as e -> e)
+        | _ -> fold cfg ops rest
+      else
+        match Op.of_string line with
+        | Some op -> fold cfg (op :: ops) rest
+        | None -> Error (Printf.sprintf "unparseable op %S" line))
+  in
+  match fold base [] (String.split_on_char '\n' text) with
+  | Ok (cfg, ops) -> Ok ({ cfg with ops = Array.length ops }, ops)
+  | Error _ as e -> e

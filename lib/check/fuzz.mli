@@ -1,0 +1,113 @@
+(** Seeded operation fuzzer for the {!Drcomm} service.
+
+    A run draws a topology and an op script from one integer seed,
+    executes the script against a fresh service, and audits the full
+    {!Invariants} suite (plus predicted [drcomm.*] counters) after
+    {e every} operation.  On a violation a delta-debugging pass shrinks
+    the script to a locally-minimal failing sequence and renders it in a
+    self-contained text format: the config line plus the script rebuild
+    the exact network and replay the failure verbatim. *)
+
+type family = Waxman | Torus | Transit_stub
+
+val family_name : family -> string
+val family_of_string : string -> family option
+val all_families : family list
+
+type config = {
+  family : family;
+  seed : int;
+  ops : int;
+  nodes : int;  (** approximate — each family rounds to its own grid. *)
+  capacity : int;
+  backups_per_connection : int;
+  restore_on_failure : bool;
+  multiplexing : bool;
+  policy : Policy.t;
+  deep_every : int;
+      (** run the superlinear single-failure-safety check every this
+          many ops (0 = never). *)
+}
+
+val config :
+  ?nodes:int ->
+  ?capacity:int ->
+  ?backups:int ->
+  ?restore:bool ->
+  ?multiplexing:bool ->
+  ?policy:Policy.t ->
+  ?deep_every:int ->
+  family:family ->
+  seed:int ->
+  ops:int ->
+  unit ->
+  config
+(** Defaults: 20 nodes, capacity 1200, 2 backups per connection, no
+    restoration, multiplexing on, [Equal_share], deep check every 20
+    ops. *)
+
+val topology : config -> Graph.t
+(** The seed-determined network a run executes on. *)
+
+val qos_palette : Qos.t array
+(** The specs [Admit]/[Change_qos] ops index into. *)
+
+val gen_ops : config -> Op.t array
+(** The seed-determined op script of a run. *)
+
+type stats = {
+  ops_run : int;
+  admitted : int;
+  rejected : int;
+  terminated : int;
+  qos_changed : int;
+  qos_refused : int;
+  edge_failures : int;
+  edge_repairs : int;
+  activations : int;
+  drops : int;
+  restores : int;
+  backup_losses : int;
+  live : int;  (** channels still up when the run ended. *)
+}
+
+type violation = { index : int; op : Op.t; message : string }
+
+type run = { stats : stats; violation : violation option }
+
+val replay :
+  ?extra_invariant:(Drcomm.t -> unit) -> config -> Op.t array -> run
+(** Execute a script (generated or parsed back from a reproducer)
+    against a fresh service on the config's topology.
+    [extra_invariant] runs after the per-op invariant suite — tests use
+    it to inject artificial faults and exercise the shrinker. *)
+
+type failure = {
+  config : config;
+  script : Op.t array;  (** minimal failing script (or the raw prefix). *)
+  violation : violation;  (** as reported by replaying [script]. *)
+  stats : stats;  (** of the original, unshrunk run. *)
+}
+
+val run :
+  ?extra_invariant:(Drcomm.t -> unit) ->
+  ?shrink:bool ->
+  config ->
+  (stats, failure) result
+(** Generate and execute the config's script; on violation, shrink
+    (unless [~shrink:false]) and return the reproducer. *)
+
+val shrink_script :
+  ?extra_invariant:(Drcomm.t -> unit) -> config -> Op.t array -> Op.t array
+(** ddmin: a locally-minimal subsequence that still fails under
+    {!replay} (1-minimal — removing any single remaining op makes the
+    failure disappear). *)
+
+val to_script : failure -> string
+(** Self-contained reproducer: header comments (config + diagnosis)
+    followed by one op per line. *)
+
+val parse_script : string -> (config * Op.t array, string) result
+(** Parse a reproducer (or any hand-written script): [# fuzz k=v ...]
+    comment lines set the config, other [#] lines are ignored, the rest
+    must be {!Op.of_string}-parseable. *)

@@ -1,0 +1,37 @@
+type t =
+  | Admit of { src : int; dst : int; qos : int }
+  | Terminate of int
+  | Change_qos of int * int
+  | Fail of int
+  | Repair of int
+  | Set_auto of bool
+  | Redistribute_all
+
+let to_string = function
+  | Admit { src; dst; qos } -> Printf.sprintf "admit %d %d %d" src dst qos
+  | Terminate k -> Printf.sprintf "terminate %d" k
+  | Change_qos (k, q) -> Printf.sprintf "chqos %d %d" k q
+  | Fail k -> Printf.sprintf "fail %d" k
+  | Repair k -> Printf.sprintf "repair %d" k
+  | Set_auto b -> if b then "auto on" else "auto off"
+  | Redistribute_all -> "redistribute"
+
+let of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "admit"; a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some src, Some dst, Some qos -> Some (Admit { src; dst; qos })
+    | _ -> None)
+  | [ "terminate"; a ] -> Option.map (fun k -> Terminate k) (int_of_string_opt a)
+  | [ "chqos"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some k, Some q -> Some (Change_qos (k, q))
+    | _ -> None)
+  | [ "fail"; a ] -> Option.map (fun k -> Fail k) (int_of_string_opt a)
+  | [ "repair"; a ] -> Option.map (fun k -> Repair k) (int_of_string_opt a)
+  | [ "auto"; "on" ] -> Some (Set_auto true)
+  | [ "auto"; "off" ] -> Some (Set_auto false)
+  | [ "redistribute" ] -> Some Redistribute_all
+  | _ -> None
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)

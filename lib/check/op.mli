@@ -1,0 +1,29 @@
+(** The fuzzer's operation language over a {!Drcomm} service.
+
+    An op is a {e closed} description: its integer parameters are raw
+    draws that the executor reduces modulo the state it finds (node
+    count, live-channel list, failed-edge list...), and an op whose
+    target does not exist is a no-op.  This makes {e every} subsequence
+    of an op script executable, which is what lets the delta-debugging
+    shrinker prune a failing sequence without re-planning it — and makes
+    a printed script replayable verbatim. *)
+
+type t =
+  | Admit of { src : int; dst : int; qos : int }
+      (** [src]/[dst] reduced modulo the node count (forced distinct);
+          [qos] indexes the executor's QoS palette. *)
+  | Terminate of int  (** index into the sorted live-channel list. *)
+  | Change_qos of int * int  (** channel index, QoS palette index. *)
+  | Fail of int  (** undirected edge id modulo the edge count. *)
+  | Repair of int  (** index into the sorted failed-edge list. *)
+  | Set_auto of bool
+      (** toggle auto-redistribution; turning it back on runs one global
+          pass so the water-filling fixed point is re-established. *)
+  | Redistribute_all
+
+val to_string : t -> string
+(** One line, parseable back by {!of_string} — the reproducer format. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -475,16 +475,18 @@ let change_qos t id qos' =
   (* Swap the primary floor link by link, tracking progress for
      rollback. *)
   let swapped = ref [] in
-  let swap_floor ~from_floor ~to_floor dl =
+  (* Restores go through [~force]: the old floor was already held when
+     this call started, so putting it back must never be re-admitted —
+     on a link whose guarantee constraint is transiently broken (the
+     multi-failure corner) the normal floors-plus-pool test would
+     spuriously reject its own standing reservation. *)
+  let restore_floor ~floor dl =
     let l = Net_state.link t.net dl in
-    ignore from_floor;
     Link_state.release_primary l ~channel:id;
-    Link_state.reserve_primary l ~channel:id ~b_min:to_floor
+    Link_state.reserve_primary ~force:true l ~channel:id ~b_min:floor
   in
   let swap_back () =
-    (* Undo the successful swaps (old floor always fits back: nothing
-       else changed since we released it). *)
-    List.iter (swap_floor ~from_floor:new_floor ~to_floor:old_floor) !swapped;
+    List.iter (restore_floor ~floor:old_floor) !swapped;
     swapped := []
   in
   let rollback () =
@@ -504,7 +506,7 @@ let change_qos t id qos' =
       | exception Invalid_argument _ ->
         (* This link was already released: restore its old floor before
            unwinding the fully-swapped ones. *)
-        Link_state.reserve_primary l ~channel:id ~b_min:old_floor;
+        Link_state.reserve_primary ~force:true l ~channel:id ~b_min:old_floor;
         rollback ())
   in
   match swap_all ch.primary with
@@ -589,12 +591,18 @@ let activate_backup t ch blinks ~retreated =
     ch.level <- 0;
     (* Remaining backups: re-key their pool accounting to the new primary
        (they are disjoint from it by construction — backups were mutually
-       disjoint).  A re-registration can fail if the pool no longer fits;
-       such a backup is dropped and replaced later if possible. *)
+       disjoint).  Only still-usable paths qualify: a backup crossing the
+       edge that just failed could never activate, and keeping it
+       registered would both pin phantom pool demand and falsely report
+       the connection as protected.  A re-registration can also fail if
+       the pool no longer fits; either way the backup is dropped and
+       replaced later if possible. *)
     List.iter (unregister_backup_path t ch) remaining;
     ch.backups <- [];
     List.iter
-      (fun b -> if try_register_backup_path t ch b then ch.backups <- ch.backups @ [ b ])
+      (fun b ->
+        if path_usable t b && try_register_backup_path t ch b then
+          ch.backups <- ch.backups @ [ b ])
       remaining;
     true
   end
@@ -686,6 +694,11 @@ let fail_edge t e =
         recoveries := { victim = ch.id; outcome = `Backup_lost replaced } :: !recoveries)
       victims_backup;
     let retreated_snap = List.rev !retreated in
+    (* A bystander retreated by an activation freed spare on its whole
+       path, not just on the activated links — its other links must be
+       water-filled too, exactly as admission treats direct sharers. *)
+    dirty :=
+      List.concat_map (fun (ch, _) -> ch.primary) retreated_snap @ !dirty;
     if t.auto_redistribute then redistribute t ~dirty:!dirty;
     let transitions =
       List.map
@@ -706,9 +719,13 @@ let fail_edge t e =
   end
 
 let repair_edge t e =
-  Net_state.repair_edge t.net e;
-  Metrics.incr t.m_link_repairs;
-  if Obs.tracing t.obs then Obs.event t.obs (Trace.Link_repair { edge = e })
+  (* Idempotent like fail_edge: repairing a healthy edge is a no-op and
+     must not count as a repair or emit an event. *)
+  if Net_state.edge_failed t.net e then begin
+    Net_state.repair_edge t.net e;
+    Metrics.incr t.m_link_repairs;
+    if Obs.tracing t.obs then Obs.event t.obs (Trace.Link_repair { edge = e })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)

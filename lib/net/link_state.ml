@@ -139,6 +139,19 @@ let has_backup t ~channel = Hashtbl.mem t.backups channel
 
 let backup_channels t = Hashtbl.fold (fun ch _ acc -> ch :: acc) t.backups []
 
+let multiplexing t = t.multiplexing
+
+let backup_registration t ~channel =
+  Option.map
+    (fun b -> (b.b_min, b.primary_edges))
+    (Hashtbl.find_opt t.backups channel)
+
+let backup_demand_for_edge t e =
+  Option.value ~default:0 (Hashtbl.find_opt t.pool_by_edge e)
+
+let edge_demands t =
+  Hashtbl.fold (fun e demand acc -> (e, demand) :: acc) t.pool_by_edge []
+
 let check_invariant t =
   let sum_reserved = Hashtbl.fold (fun _ p acc -> acc + p.reserved) t.primaries 0 in
   let sum_floor = Hashtbl.fold (fun _ p acc -> acc + p.floor) t.primaries 0 in
@@ -153,4 +166,26 @@ let check_invariant t =
       if p.reserved < p.floor then
         failwith (Printf.sprintf "Link_state: channel %d below floor" ch))
     t.primaries;
-  if t.primary_total > t.capacity then failwith "Link_state: link overbooked"
+  if t.primary_total > t.capacity then failwith "Link_state: link overbooked";
+  (* The per-edge activation-demand index must agree exactly with the
+     backup registrations it summarises: every registration contributes
+     its floor to each of its primary's edges, and nothing else does. *)
+  let recomputed = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter
+        (fun e ->
+          let existing = Option.value ~default:0 (Hashtbl.find_opt recomputed e) in
+          Hashtbl.replace recomputed e (existing + b.b_min))
+        b.primary_edges)
+    t.backups;
+  Hashtbl.iter
+    (fun e demand ->
+      if Option.value ~default:0 (Hashtbl.find_opt recomputed e) <> demand then
+        failwith (Printf.sprintf "Link_state: stale pool demand on edge %d" e))
+    t.pool_by_edge;
+  Hashtbl.iter
+    (fun e demand ->
+      if Option.value ~default:0 (Hashtbl.find_opt t.pool_by_edge e) <> demand then
+        failwith (Printf.sprintf "Link_state: missing pool demand on edge %d" e))
+    recomputed

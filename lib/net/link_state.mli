@@ -81,6 +81,23 @@ val has_backup : t -> channel:int -> bool
 val backup_channels : t -> int list
 val backup_pool : t -> Bandwidth.t
 
+val multiplexing : t -> bool
+
+val backup_registration : t -> channel:int -> (Bandwidth.t * int list) option
+(** The registered floor and the primary's undirected edges for one
+    channel's backup here, if any — what external auditors (the fuzzer's
+    cross-layer invariants) compare against the service's own records. *)
+
+val backup_demand_for_edge : t -> int -> Bandwidth.t
+(** Activation demand this link would face if the given undirected edge
+    failed: sum of floors of backups registered here whose primary
+    traverses it.  0 for edges no registered primary uses.  With
+    multiplexing, {!backup_pool} is the max of these over all edges. *)
+
+val edge_demands : t -> (int * Bandwidth.t) list
+(** Every [(edge, demand)] pair with non-zero recorded demand,
+    unordered. *)
+
 val backup_dedicated_demand : t -> Bandwidth.t
 (** What the pool would be {e without} multiplexing: the plain sum of
     registered backup floors.  [backup_pool <= backup_dedicated_demand];

@@ -2,57 +2,61 @@ type handle = int
 
 type 'a entry = { time : float; seq : int; payload : 'a }
 
+(* Pending handles are tracked positively: a seq is in [pending] iff the
+   event is scheduled and has neither fired nor been cancelled.  The
+   previous encoding kept the complement (every fired/cancelled seq,
+   forever), which grew without bound over the life of the queue; this
+   table is O(live).  Vacated heap slots are nulled so popped payloads
+   become collectable immediately (hence the option array). *)
 type 'a t = {
-  mutable heap : 'a entry array option; (* None means empty storage *)
+  mutable heap : 'a entry option array;
   mutable size_heap : int;
   mutable next_seq : int;
-  cancelled : (int, unit) Hashtbl.t;
-  mutable live : int;
+  pending : (int, unit) Hashtbl.t;
 }
 
 let create () =
-  { heap = None; size_heap = 0; next_seq = 0; cancelled = Hashtbl.create 64; live = 0 }
+  { heap = [||]; size_heap = 0; next_seq = 0; pending = Hashtbl.create 64 }
 
 let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let ensure_capacity t dummy =
-  match t.heap with
-  | None -> t.heap <- Some (Array.make 64 dummy)
-  | Some arr ->
-    if t.size_heap = Array.length arr then begin
-      let bigger = Array.make (2 * t.size_heap) dummy in
-      Array.blit arr 0 bigger 0 t.size_heap;
-      t.heap <- Some bigger
-    end
+let get arr i = match arr.(i) with Some e -> e | None -> assert false
+
+let ensure_capacity t =
+  let len = Array.length t.heap in
+  if t.size_heap = len then begin
+    let bigger = Array.make (max 64 (2 * len)) None in
+    Array.blit t.heap 0 bigger 0 t.size_heap;
+    t.heap <- bigger
+  end
 
 let add t ~time payload =
   if not (Float.is_finite time) then invalid_arg "Event_queue.add: non-finite time";
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  ensure_capacity t entry;
-  let arr = Option.get t.heap in
+  ensure_capacity t;
+  let arr = t.heap in
   let i = ref t.size_heap in
-  arr.(!i) <- entry;
+  arr.(!i) <- Some entry;
   t.size_heap <- t.size_heap + 1;
-  while !i > 0 && earlier arr.(!i) arr.((!i - 1) / 2) do
+  while !i > 0 && earlier (get arr !i) (get arr ((!i - 1) / 2)) do
     let parent = (!i - 1) / 2 in
     let tmp = arr.(!i) in
     arr.(!i) <- arr.(parent);
     arr.(parent) <- tmp;
     i := parent
   done;
-  t.live <- t.live + 1;
+  Hashtbl.replace t.pending entry.seq ();
   entry.seq
 
-(* Invariant: a seq is in [cancelled] iff that event has fired (pop marks
-   it) or was cancelled.  So membership alone decides "still pending". *)
+(* A handle outside [pending] has fired or been cancelled already (or was
+   never issued), so late cancels return false as before. *)
 let cancel t h =
-  if h < 0 || h >= t.next_seq || Hashtbl.mem t.cancelled h then false
-  else begin
-    Hashtbl.replace t.cancelled h ();
-    t.live <- t.live - 1;
+  if Hashtbl.mem t.pending h then begin
+    Hashtbl.remove t.pending h;
     true
   end
+  else false
 
 let sift_down arr size =
   let i = ref 0 in
@@ -60,8 +64,8 @@ let sift_down arr size =
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < size && earlier arr.(l) arr.(!smallest) then smallest := l;
-    if r < size && earlier arr.(r) arr.(!smallest) then smallest := r;
+    if l < size && earlier (get arr l) (get arr !smallest) then smallest := l;
+    if r < size && earlier (get arr r) (get arr !smallest) then smallest := r;
     if !smallest = !i then continue := false
     else begin
       let tmp = arr.(!i) in
@@ -71,37 +75,40 @@ let sift_down arr size =
     end
   done
 
+(* Remove and return the root, nulling the vacated slot. *)
+let remove_top t =
+  let arr = t.heap in
+  let top = get arr 0 in
+  t.size_heap <- t.size_heap - 1;
+  arr.(0) <- arr.(t.size_heap);
+  arr.(t.size_heap) <- None;
+  sift_down arr t.size_heap;
+  top
+
 let rec pop t =
   if t.size_heap = 0 then None
   else begin
-    let arr = Option.get t.heap in
-    let top = arr.(0) in
-    t.size_heap <- t.size_heap - 1;
-    arr.(0) <- arr.(t.size_heap);
-    sift_down arr t.size_heap;
-    if Hashtbl.mem t.cancelled top.seq then pop t
-    else begin
-      t.live <- t.live - 1;
-      (* Mark as fired so a late cancel returns false. *)
-      Hashtbl.replace t.cancelled top.seq ();
+    let top = remove_top t in
+    if Hashtbl.mem t.pending top.seq then begin
+      Hashtbl.remove t.pending top.seq;
       Some (top.time, top.payload)
     end
+    else pop t (* cancelled: slot already nulled, keep draining *)
   end
 
 let rec peek_time t =
   if t.size_heap = 0 then None
   else begin
-    let arr = Option.get t.heap in
-    let top = arr.(0) in
-    if Hashtbl.mem t.cancelled top.seq then begin
-      t.size_heap <- t.size_heap - 1;
-      arr.(0) <- arr.(t.size_heap);
-      sift_down arr t.size_heap;
+    let top = get t.heap 0 in
+    if Hashtbl.mem t.pending top.seq then Some top.time
+    else begin
+      ignore (remove_top t);
       peek_time t
     end
-    else Some top.time
   end
 
-let size t = max 0 t.live
+let size t = Hashtbl.length t.pending
+
+let footprint t = Hashtbl.length t.pending + t.size_heap
 
 let is_empty t = peek_time t = None

@@ -26,4 +26,11 @@ val peek_time : 'a t -> float option
 val size : 'a t -> int
 (** Number of live (non-cancelled) events. *)
 
+val footprint : 'a t -> int
+(** Bookkeeping entries currently retained: pending-table entries plus
+    occupied heap slots.  Bounded by live events plus
+    cancelled-but-not-yet-drained ones — {e not} by the queue's history.
+    Regression guard for the former fired-set leak, where the table
+    gained one entry per fired event forever. *)
+
 val is_empty : 'a t -> bool

@@ -39,6 +39,15 @@ diff "$tmpdir/verify-bench-j1/fig2.dat" "$tmpdir/verify-bench-j2/fig2.dat" || {
   exit 1
 }
 
+step "fuzz: 2000 ops per topology family, fixed seed"
+# The full invariant suite (link accounting, failed-edge unroutability,
+# single-failure safety, counter prediction) is audited after every op;
+# any violation prints a shrunk reproducer and fails the gate.
+dune exec bin/drqos_cli.exe -- fuzz --seed 1 --ops 2000 || {
+  echo "FAIL: fuzzer found an invariant violation (reproducer above)" >&2
+  exit 1
+}
+
 step "CLI smoke: trace + metrics"
 dune exec bin/drqos_cli.exe -- run --offered 100 --churn 100 --warmup 20 \
   --trace "$tmpdir/t.jsonl" --metrics "$tmpdir/m.json" >/dev/null

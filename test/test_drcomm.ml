@@ -621,6 +621,179 @@ let soak ?(backups = 1) seed ops =
       (Drcomm.active_channels t)
   done
 
+(* --- Regressions for bugs found by the lib/check fuzzer. ----------- *)
+
+(* Fuzzer bug: [repair_edge] incremented [drcomm.link_repairs] (and
+   emitted a trace event) even when the edge was healthy, so counters
+   diverged from reality on the very first redundant repair. *)
+let test_repair_idempotent_metrics () =
+  let metrics = Metrics.create ~enabled:true () in
+  let obs = Obs.create ~metrics () in
+  let g = Graph.create 4 in
+  let e01 = Graph.add_edge g 0 1 in
+  let e12 = Graph.add_edge g 1 2 in
+  ignore (Graph.add_edge g 2 3);
+  ignore (Graph.add_edge g 3 0);
+  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let t = Drcomm.create ~config:cfg ~obs (Net_state.create ~capacity:1000 g) in
+  let repairs () = Metrics.count (Metrics.counter metrics "drcomm.link_repairs") in
+  (* Repairing a healthy edge is a no-op, not a repair. *)
+  Drcomm.repair_edge t e12;
+  Alcotest.(check int) "healthy repair uncounted" 0 (repairs ());
+  ignore (Drcomm.fail_edge t e01);
+  Drcomm.repair_edge t e01;
+  Drcomm.repair_edge t e01;
+  Drcomm.repair_edge t e12;
+  Alcotest.(check int) "one real repair" 1 (repairs ());
+  Alcotest.(check int) "one real failure" 1
+    (Metrics.count (Metrics.counter metrics "drcomm.link_failures"))
+
+(* Double failure of the same edge, then repair: the second [fail_edge]
+   must be a pure no-op and the repaired edge must carry traffic again
+   with the full invariant suite intact. *)
+let test_double_fail_repair_invariants () =
+  let t, _, (e01, _, _, _) = ring ~capacity:1000 () in
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  let r1 = Drcomm.fail_edge t e01 in
+  Alcotest.(check int) "first failure recovers" 1 (List.length r1.Drcomm.recoveries);
+  let reserved_after_first = Drcomm.reserved_bandwidth t id in
+  let again = Drcomm.fail_edge t e01 in
+  Alcotest.(check int) "double fail: no recoveries" 0
+    (List.length again.Drcomm.recoveries);
+  Alcotest.(check int) "double fail: allocation untouched" reserved_after_first
+    (Drcomm.reserved_bandwidth t id);
+  Invariants.check_all ~deep:true t;
+  Drcomm.repair_edge t e01;
+  Invariants.check_all ~deep:true t;
+  (* The repaired edge is routable again: a fresh connection takes the
+     1-hop route. *)
+  (match Drcomm.admit t ~src:0 ~dst:1 ~qos:qos5 with
+  | Drcomm.Admitted (nid, _) ->
+    Alcotest.(check int) "direct route back" 1
+      (List.length (Drcomm.primary_links t nid))
+  | Drcomm.Rejected _ -> Alcotest.fail "repaired ring should admit");
+  Invariants.check_all ~deep:true t
+
+(* Fuzzer bug: when a backup activated, the victim's *other* backups
+   were re-registered without checking that they avoid the just-failed
+   edge, leaving a phantom registration whose pool demand pinned real
+   capacity and violated failed-edge unroutability.  Fixture: primary
+   0-1-2 with a disjoint backup 0-3-5-2 and a best-effort second backup
+   0-4-1-2 that crosses the primary's edge 1-2; failing 1-2 activates
+   the first backup and must discard the second. *)
+let test_stale_backup_discarded_on_activation () =
+  let g = Graph.create 6 in
+  ignore (Graph.add_edge g 0 1);
+  let e12 = Graph.add_edge g 1 2 in
+  ignore (Graph.add_edge g 0 3);
+  ignore (Graph.add_edge g 3 5);
+  ignore (Graph.add_edge g 5 2);
+  ignore (Graph.add_edge g 0 4);
+  ignore (Graph.add_edge g 4 1);
+  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 2 } in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:1000 g) in
+  let id, _ = admit_ok t ~src:0 ~dst:2 ~qos:qos5 in
+  (* Precondition: the second backup really does cross edge 1-2 (it is
+     only best-effort disjoint) — otherwise this test checks nothing. *)
+  (match Drcomm.all_backup_links t id with
+  | [ _; b2 ] ->
+    Alcotest.(check bool) "fixture: 2nd backup crosses e12" true
+      (List.exists (fun dl -> Dirlink.edge dl = e12) b2)
+  | _ -> Alcotest.fail "fixture: expected two backups");
+  let r = Drcomm.fail_edge t e12 in
+  (match r.Drcomm.recoveries with
+  | [ { Drcomm.outcome = `Switched_to_backup false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected switch without replacement");
+  (* The stale second backup must be gone, not silently re-registered
+     over the failed edge. *)
+  Alcotest.(check (list (list int))) "no backups survive" []
+    (List.map (List.map Dirlink.edge) (Drcomm.all_backup_links t id));
+  Alcotest.(check bool) "has_backup agrees" false (Drcomm.has_backup t id);
+  Invariants.check_failed_edge_unroutability t;
+  Invariants.check_all ~deep:true t
+
+(* Fuzzer bug: [change_qos]'s all-or-nothing rollback re-admitted the
+   channel's own floor through the regular admission test.  On a link
+   whose guarantee was transiently broken by a forced backup activation
+   (a multi-failure corner) that test rejects the restore, so the
+   rollback raised and corrupted state.  Fixture: hub edge 0-1 carries
+   channel A plus two force-activated backups (300/300 committed) while
+   a third backup still registers pool demand — guarantee broken — then
+   A renegotiates to a bigger floor and must be cleanly rejected. *)
+let test_change_qos_rollback_under_broken_guarantee () =
+  let g = Graph.create 8 in
+  let e01 = Graph.add_edge g 0 1 in
+  let e23 = Graph.add_edge g 2 3 in
+  let e45 = Graph.add_edge g 4 5 in
+  ignore (Graph.add_edge g 6 7);
+  ignore (Graph.add_edge g 2 0);
+  ignore (Graph.add_edge g 1 3);
+  ignore (Graph.add_edge g 4 0);
+  ignore (Graph.add_edge g 1 5);
+  ignore (Graph.add_edge g 6 0);
+  ignore (Graph.add_edge g 1 7);
+  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:300 g) in
+  let q100 = Qos.single_value 100 in
+  let a, _ = admit_ok t ~src:0 ~dst:1 ~qos:q100 in
+  let _b, _ = admit_ok t ~src:2 ~dst:3 ~qos:q100 in
+  let _c, _ = admit_ok t ~src:4 ~dst:5 ~qos:q100 in
+  let _d, _ = admit_ok t ~src:6 ~dst:7 ~qos:q100 in
+  (* Two failures force-activate B's and C's hub backups onto 0-1. *)
+  ignore (Drcomm.fail_edge t e23);
+  ignore (Drcomm.fail_edge t e45);
+  let l01 = Net_state.link (Drcomm.net t) e01 in
+  Alcotest.(check bool) "fixture: guarantee broken on the hub" false
+    (Link_state.guarantee_holds l01);
+  Alcotest.(check int) "fixture: hub floors saturated" 300
+    (Link_state.primary_min_total l01);
+  (* The renegotiation cannot fit; the rollback must restore A exactly
+     (the old code raised Invalid_argument out of change_qos here). *)
+  (match Drcomm.change_qos t a (Qos.single_value 150) with
+  | `Rejected -> ()
+  | `Changed -> Alcotest.fail "150 floor cannot fit on a saturated hub");
+  Alcotest.(check bool) "A survives" true (Drcomm.mem t a);
+  Alcotest.(check int) "A's contract intact" 100 (Drcomm.reserved_bandwidth t a);
+  Invariants.check_all ~deep:true t
+
+(* Fuzzer bug: [fail_edge] water-filled the victims' and activated
+   links but not the full paths of bystanders that retreated during
+   activation, leaving spare capacity unclaimed.  Fixture: failing d-b
+   moves V onto a-d, a-b; Z (a-b-c) retreats for it, freeing room on
+   b-c that W (b-c alone) must immediately claim. *)
+let test_fail_edge_redistributes_bystander_paths () =
+  let g = Graph.create 4 in
+  (* 0 = a, 1 = b, 2 = c, 3 = d *)
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  ignore (Graph.add_edge g 0 3);
+  let db = Graph.add_edge g 3 1 in
+  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:600 g) in
+  let z, _ =
+    admit_ok t ~src:0 ~dst:2 ~qos:(Qos.make ~b_min:100 ~b_max:300 ~increment:100 ())
+  in
+  let w, _ = admit_ok t ~src:1 ~dst:2 ~qos:qos5 in
+  let v, _ = admit_ok t ~src:3 ~dst:1 ~qos:(Qos.single_value 400) in
+  Alcotest.(check int) "fixture: Z at 300" 300 (Drcomm.reserved_bandwidth t z);
+  Alcotest.(check int) "fixture: W at 300" 300 (Drcomm.reserved_bandwidth t w);
+  let r = Drcomm.fail_edge t db in
+  (* Z's backup also crossed d-b, so the report holds two recoveries:
+     V switches, Z merely loses its backup. *)
+  Alcotest.(check bool) "V switched" true
+    (List.exists
+       (fun rc ->
+         rc.Drcomm.victim = v
+         && match rc.Drcomm.outcome with `Switched_to_backup _ -> true | _ -> false)
+       r.Drcomm.recoveries);
+  (* V's activation onto a-b squeezes Z down one level; the level Z
+     frees on b-c belongs to W, which shares no link with V — only the
+     bystander-path propagation reaches it. *)
+  Alcotest.(check int) "Z retreated" 200 (Drcomm.reserved_bandwidth t z);
+  Alcotest.(check int) "W claimed the freed level" 400 (Drcomm.reserved_bandwidth t w);
+  Invariants.check_redistribution_complete t;
+  Invariants.check_all ~deep:true t
+
 let test_soak_short () = soak 11 150
 let test_soak_other_seed () = soak 23 150
 let test_soak_two_backups () = soak ~backups:2 31 150
@@ -698,6 +871,19 @@ let () =
           Alcotest.test_case "k=1 vs k=2 under storm" `Quick
             test_single_backup_drops_on_second_failure;
           Alcotest.test_case "validation" `Quick test_backups_validation;
+        ] );
+      ( "fuzzer-regressions",
+        [
+          Alcotest.test_case "repair idempotent in metrics" `Quick
+            test_repair_idempotent_metrics;
+          Alcotest.test_case "double fail then repair" `Quick
+            test_double_fail_repair_invariants;
+          Alcotest.test_case "stale backup discarded" `Quick
+            test_stale_backup_discarded_on_activation;
+          Alcotest.test_case "chqos rollback, broken guarantee" `Quick
+            test_change_qos_rollback_under_broken_guarantee;
+          Alcotest.test_case "bystander paths refilled" `Quick
+            test_fail_edge_redistributes_bystander_paths;
         ] );
       ( "soak",
         [

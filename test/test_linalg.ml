@@ -136,6 +136,25 @@ let test_nullvector_reducible () =
   Alcotest.check_raises "reducible" Linsolve.Singular (fun () ->
       ignore (Linsolve.solve_left_nullvector q))
 
+let test_nullvector_two_component_generator () =
+  (* A generator whose chain splits into two irreducible components
+     ({0,1} and {2,3}): every convex mix of the component stationaries
+     solves pi Q = 0, so there is no unique answer and the solver must
+     refuse rather than silently pick one.  (Regression: a reducible
+     generator built from a disconnected topology reached the solver
+     through the model pipeline.) *)
+  let q =
+    Matrix.of_arrays
+      [|
+        [| -1.; 1.; 0.; 0. |];
+        [| 1.; -1.; 0.; 0. |];
+        [| 0.; 0.; -2.; 2. |];
+        [| 0.; 0.; 2.; -2. |];
+      |]
+  in
+  Alcotest.check_raises "two components" Linsolve.Singular (fun () ->
+      ignore (Linsolve.solve_left_nullvector q))
+
 let test_residual () =
   let a = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
   let b = [| 3.; 5. |] in
@@ -214,6 +233,8 @@ let () =
           Alcotest.test_case "two-state stationary" `Quick test_nullvector_two_state;
           Alcotest.test_case "stationary normalised" `Quick test_nullvector_sums_to_one;
           Alcotest.test_case "reducible chain" `Quick test_nullvector_reducible;
+          Alcotest.test_case "two-component generator" `Quick
+            test_nullvector_two_component_generator;
           Alcotest.test_case "residual" `Quick test_residual;
         ] );
       ( "properties",

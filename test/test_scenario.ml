@@ -136,6 +136,35 @@ let test_sequential_route_search_scenario () =
     true
     (abs (flood.Scenario.carried_initial - seq.Scenario.carried_initial) < 15)
 
+let test_pf_estimators_agree () =
+  (* Property (fuzzer satellite): the two P_f estimators — the
+     event-triggered one and the per-termination one — measure the same
+     quantity and must agree closely when arrivals and departures are
+     balanced (lambda = mu).  Measured gap over seeds 1..8 is < 5e-4;
+     0.005 leaves an order of magnitude of slack without admitting a
+     real divergence. *)
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          (tiny ~offered:200 ~seed ()) with
+          Scenario.lambda = 0.001;
+          mu = 0.001;
+          warmup_events = 100;
+          churn_events = 1500;
+        }
+      in
+      let r = Scenario.run cfg in
+      let e = r.Scenario.estimator in
+      let pf = Estimator.p_f e and pft = Estimator.p_f_termination e in
+      Alcotest.(check bool) (Printf.sprintf "seed %d: non-vacuous (p_f %.4f)" seed pf)
+        true (pf > 0.);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: p_f %.4f vs p_f_termination %.4f" seed pf pft)
+        true
+        (Float.abs (pf -. pft) < 0.005))
+    [ 1; 2; 3 ]
+
 let test_rate_validation () =
   Alcotest.check_raises "bad lambda"
     (Invalid_argument "Scenario.run: lambda and mu must be positive") (fun () ->
@@ -198,6 +227,7 @@ let () =
           Alcotest.test_case "increment insensitivity" `Quick
             test_increment_size_insensitivity;
           Alcotest.test_case "single-value baseline" `Quick test_single_value_qos_scenario;
+          Alcotest.test_case "p_f estimators agree" `Quick test_pf_estimators_agree;
         ] );
       ( "knobs",
         [

@@ -54,6 +54,28 @@ let test_queue_non_finite_time () =
   Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: non-finite time")
     (fun () -> ignore (Event_queue.add q ~time:Float.nan "x"))
 
+(* Regression: the queue once retained every cancelled and popped slot
+   until the matching heap entry drained, so a churn workload under a
+   far-future long-lived timer grew without bound.  Storage must stay
+   proportional to the *live* population, not to the total ever added. *)
+let test_queue_footprint_bounded () =
+  let q = Event_queue.create () in
+  (* Long-lived timers parked far in the future... *)
+  for i = 1 to 10 do
+    ignore (Event_queue.add q ~time:(1e6 +. float_of_int i) "long-lived")
+  done;
+  (* ...while 10k transient events churn through underneath them. *)
+  for i = 1 to 10_000 do
+    let h = Event_queue.add q ~time:(float_of_int i) "transient" in
+    if i mod 3 = 0 then ignore (Event_queue.cancel q h)
+    else ignore (Event_queue.pop q)
+  done;
+  Alcotest.(check int) "live population" 10 (Event_queue.size q);
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint O(live), got %d" (Event_queue.footprint q))
+    true
+    (Event_queue.footprint q <= 50)
+
 let test_queue_many_random () =
   let q = Event_queue.create () in
   let rng = Prng.create 5 in
@@ -279,6 +301,7 @@ let () =
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "non-finite time" `Quick test_queue_non_finite_time;
           Alcotest.test_case "1000 random events" `Quick test_queue_many_random;
+          Alcotest.test_case "footprint bounded" `Quick test_queue_footprint_bounded;
         ] );
       ( "engine",
         [
