@@ -169,39 +169,77 @@ let paper_config ~scale ~offered ~increment ~seed =
     seed;
   }
 
-(* Every experiment runs under a fresh metrics registry and leaves a
-   machine-readable manifest — <name>.metrics.json in the --out directory
-   (or the working directory) — recording scale, jobs, per-phase timings,
-   and event counts.  These files anchor cross-PR performance
-   trajectories: later optimisation work diffs them against earlier
-   runs. *)
-let with_manifest name scale f =
-  let obs = Obs.create ~metrics:(Metrics.create ()) () in
-  Obs.set_default obs;
-  let t0 = Unix.gettimeofday () in
-  let result = Fun.protect ~finally:(fun () -> Obs.set_default Obs.null) f in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  let path =
-    let file = name ^ ".metrics.json" in
-    match !out_dir with Some dir -> Filename.concat dir file | None -> file
-  in
-  let doc =
-    Jsonx.Obj
-      [
-        ("experiment", Jsonx.String name);
-        ("scale", Jsonx.String (match scale with Full -> "full" | Quick -> "quick"));
-        ("churn_events", Jsonx.Int (churn scale));
-        ("warmup_events", Jsonx.Int (warmup scale));
-        ("jobs", Jsonx.Int !jobs);
-        ("wall_s", Jsonx.Float wall_s);
-        ("metrics", Obs.metrics_json obs);
-      ]
-  in
+(* Every experiment runs under a fresh metrics registry and span
+   profiler and leaves two machine-readable files in the --out directory
+   (or the working directory):
+
+   - <name>.metrics.json — scale, jobs, per-phase timings (with
+     p50/p95/p99), event counts, and span aggregates;
+   - BENCH_<name>.json — the compact perf record `perfdiff` compares:
+     wall time, main-domain GC deltas, and the span aggregates.
+
+   These files anchor cross-PR performance trajectories: later
+   optimisation work diffs them against earlier runs
+   (scripts/perf_diff.sh).  Worker-domain spans reach the profiler
+   through Sweep's fork/absorb; the GC deltas are main-domain only
+   (Gc.quick_stat is per-domain), so allocation inside workers shows up
+   in the span aggregates, not under "gc". *)
+let in_out_dir file =
+  match !out_dir with Some dir -> Filename.concat dir file | None -> file
+
+let write_json path doc =
   let oc = open_out path in
   Jsonx.output oc doc;
   output_char oc '\n';
-  close_out oc;
+  close_out oc
+
+let with_manifest name scale f =
+  let obs = Obs.create ~metrics:(Metrics.create ()) ~spans:(Span.create ()) () in
+  Obs.set_default obs;
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let result = Fun.protect ~finally:(fun () -> Obs.set_default Obs.null) f in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let scale_str = match scale with Full -> "full" | Quick -> "quick" in
+  let spans_json = Span.to_json (Obs.spans obs) in
+  let path = in_out_dir (name ^ ".metrics.json") in
+  write_json path
+    (Jsonx.Obj
+       [
+         ("experiment", Jsonx.String name);
+         ("scale", Jsonx.String scale_str);
+         ("churn_events", Jsonx.Int (churn scale));
+         ("warmup_events", Jsonx.Int (warmup scale));
+         ("jobs", Jsonx.Int !jobs);
+         ("wall_s", Jsonx.Float wall_s);
+         ("metrics", Obs.metrics_json obs);
+         ("spans", spans_json);
+       ]);
   Printf.printf "(metrics manifest written to %s)\n" path;
+  let bench_path = in_out_dir ("BENCH_" ^ name ^ ".json") in
+  write_json bench_path
+    (Jsonx.Obj
+       [
+         ("experiment", Jsonx.String name);
+         ("scale", Jsonx.String scale_str);
+         ("jobs", Jsonx.Int !jobs);
+         ("wall_s", Jsonx.Float wall_s);
+         ( "gc",
+           Jsonx.Obj
+             [
+               ("minor_words", Jsonx.Float (g1.Gc.minor_words -. g0.Gc.minor_words));
+               ( "promoted_words",
+                 Jsonx.Float (g1.Gc.promoted_words -. g0.Gc.promoted_words) );
+               ("major_words", Jsonx.Float (g1.Gc.major_words -. g0.Gc.major_words));
+               ( "minor_collections",
+                 Jsonx.Int (g1.Gc.minor_collections - g0.Gc.minor_collections) );
+               ( "major_collections",
+                 Jsonx.Int (g1.Gc.major_collections - g0.Gc.major_collections) );
+             ] );
+         ("spans", spans_json);
+       ]);
+  Printf.printf "(perf record written to %s)\n" bench_path;
   result
 
 let run_experiment scale e = with_manifest e.name scale (fun () -> run_sweep e)

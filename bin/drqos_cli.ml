@@ -59,17 +59,31 @@ let metrics_arg =
           "Write a metrics manifest (counters, gauges, phase timers, solver \
            timings, run metadata) to $(docv) as JSON.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach the span profiler: hierarchical engine / admission / \
+           water-filling spans land in the trace (as $(b,span_begin) / \
+           $(b,span_end) events, wall time and GC words included) and the \
+           metrics manifest gains their aggregates.  Profiled traces carry \
+           wall-clock values and are not byte-reproducible; analyse them with \
+           $(b,drqos_cli analyze).")
+
 (* Build the observability context the run-like commands share: a live
-   tracer when --trace is given, a live registry when --metrics is, and
-   the disabled singletons otherwise.  Installed as the process default
-   so solver internals (Linsolve, Ctmc) report too. *)
+   tracer when --trace is given, a live registry when --metrics is, a
+   span profiler under --profile, and the disabled singletons otherwise.
+   Installed as the process default (with an at_exit flush) so solver
+   internals (Linsolve, Ctmc) report too and an abnormal exit cannot
+   lose buffered trace output. *)
 let open_out_or_exit path =
   try open_out path
   with Sys_error msg ->
     Printf.eprintf "drqos_cli: cannot open output file: %s\n" msg;
     exit 1
 
-let make_obs ~trace ~metrics =
+let make_obs ?(profile = false) ~trace ~metrics () =
   let tracer =
     match trace with
     | None -> Trace.disabled
@@ -84,12 +98,16 @@ let make_obs ~trace ~metrics =
       close_out (open_out_or_exit path);
       Metrics.create ()
   in
-  let obs = Obs.create ~metrics:registry ~trace:tracer () in
-  Obs.set_default obs;
+  let spans = if profile then Span.create () else Span.disabled in
+  let obs = Obs.create ~metrics:registry ~trace:tracer ~spans () in
+  Obs.install obs;
   obs
 
 let write_metrics_manifest obs ~path ~meta =
-  let doc = Jsonx.Obj (meta @ [ ("metrics", Obs.metrics_json obs) ]) in
+  let spans =
+    if Obs.profiling obs then [ ("spans", Span.to_json (Obs.spans obs)) ] else []
+  in
+  let doc = Jsonx.Obj (meta @ [ ("metrics", Obs.metrics_json obs) ] @ spans) in
   let oc = open_out_or_exit path in
   Jsonx.output oc doc;
   output_char oc '\n';
@@ -150,7 +168,7 @@ let run_cmd =
       & info [ "no-backups" ] ~doc:"Disable backup channels entirely (baseline).")
   in
   let run seed nodes topo capacity offered lambda mu gamma increment policy churn
-      warmup no_multiplexing no_backups trace metrics =
+      warmup no_multiplexing no_backups trace metrics profile =
     let cfg =
       {
         Scenario.default with
@@ -170,7 +188,10 @@ let run_cmd =
         seed;
       }
     in
-    let obs = make_obs ~trace ~metrics in
+    let obs = make_obs ~profile ~trace ~metrics () in
+    (* The protect (plus the at_exit hook in [make_obs]) flushes the
+       trace sink even when the run raises mid-way. *)
+    Fun.protect ~finally:(fun () -> Obs.close obs) @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let r = Scenario.run ~obs cfg in
     let wall_s = Unix.gettimeofday () -. t0 in
@@ -208,7 +229,7 @@ let run_cmd =
     Term.(
       const run $ seed_arg $ nodes_arg $ topology_arg $ capacity_arg $ offered
       $ lambda $ mu $ gamma $ increment $ policy $ churn $ warmup $ no_multiplexing
-      $ no_backups $ trace_arg $ metrics_arg)
+      $ no_backups $ trace_arg $ metrics_arg $ profile_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -448,28 +469,11 @@ let chain_cmd =
     Arg.(value & opt int 50 & info [ "increment" ] ~doc:"Elastic increment in Kbps.")
   in
   let run p_f p_s lambda mu gamma increment trace metrics =
-    let obs = make_obs ~trace ~metrics in
+    let obs = make_obs ~trace ~metrics () in
+    Fun.protect ~finally:(fun () -> Obs.close obs) @@ fun () ->
     let qos = Qos.paper_spec ~increment in
     let n = Qos.levels qos in
-    (* Synthetic structure, the paper's qualitative shapes: an arrival
-       retreats the channel to its floor (A row -> column 0); an indirect
-       arrival or a termination climbs one level (B and T
-       superdiagonal). *)
-    let a = Matrix.create n n in
-    let b = Matrix.create n n in
-    let t_mat = Matrix.create n n in
-    for i = 0 to n - 1 do
-      Matrix.set a i 0 1.;
-      if i < n - 1 then begin
-        Matrix.set b i (i + 1) 1.;
-        Matrix.set t_mat i (i + 1) 1.
-      end
-      else begin
-        Matrix.set b i i 1.;
-        Matrix.set t_mat i i 1.
-      end
-    done;
-    let p = { Model.lambda; mu; gamma; p_f; p_s; a; b; t_mat } in
+    let p = Model.synthetic ~lambda ~mu ~gamma ~p_f ~p_s ~levels:n in
     let pi = Ctmc.stationary (Model.build_regularized p) in
     Format.printf "stationary distribution of the %d-state chain:@." n;
     Array.iteri
@@ -495,8 +499,7 @@ let chain_cmd =
               ("increment", Jsonx.Int increment);
             ];
         Format.printf "metrics written to %s@." path)
-      metrics;
-    Option.iter (fun path -> if path <> "-" then Obs.close obs) trace
+      metrics
   in
   let term =
     Term.(
@@ -506,6 +509,270 @@ let chain_cmd =
   Cmd.v
     (Cmd.info "chain"
        ~doc:"Solve a synthetic instance of the paper's Markov chain from CLI parameters.")
+    term
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace file written by $(b,--trace).")
+  in
+  let audit_flag =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Compare the empirical level residency against the analytic \
+             stationary distribution of the paper's chain solved for the \
+             trace's own measured rates (overridable below); reports the \
+             max (L_inf) and total (L1) per-level error.")
+  in
+  let levels =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "levels" ] ~docv:"N"
+          ~doc:"Chain size for the audit (default: highest level observed + 1).")
+  in
+  let over name doc =
+    Arg.(value & opt (some float) None & info [ name ] ~docv:"X" ~doc)
+  in
+  let lambda = over "lambda" "Override the measured arrival rate in the audit." in
+  let mu = over "mu" "Override the measured termination rate in the audit." in
+  let gamma = over "gamma" "Override the measured failure rate in the audit." in
+  let p_f = over "pf" "Override the measured P_f in the audit." in
+  let p_s = over "ps" "Override the measured P_s in the audit." in
+  let window =
+    Arg.(
+      value & opt float 10.
+      & info [ "window" ] ~docv:"T"
+          ~doc:"Causality window after each link failure (simulation time units).")
+  in
+  let perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Also export the trace as Chrome/Perfetto trace-event JSON \
+             (open in ui.perfetto.dev or chrome://tracing).")
+  in
+  let top_spans =
+    Arg.(
+      value & opt int 5
+      & info [ "top-spans" ] ~docv:"N"
+          ~doc:"Show the N hottest profiler spans by self time (0 = none).")
+  in
+  let run trace_path audit_flag levels lambda mu gamma p_f p_s window perfetto
+      top_n =
+    let a =
+      try Analysis.of_file trace_path with
+      | Sys_error msg ->
+        Printf.eprintf "drqos_cli: %s\n" msg;
+        exit 1
+      | Jsonx.Line_error { line; message } ->
+        Printf.eprintf "drqos_cli: %s:%d: %s\n" trace_path line message;
+        exit 1
+    in
+    Format.printf "trace: %d events, horizon %g, %d channels@."
+      (Analysis.event_count a) (Analysis.horizon a)
+      (List.length (Analysis.channels a));
+    Format.printf "event counts:@.";
+    List.iter
+      (fun (k, n) -> Format.printf "  %-16s %8d@." k n)
+      (Analysis.event_counts a);
+    (match Analysis.rejections a with
+    | [] -> ()
+    | rs ->
+      Format.printf "rejections:@.";
+      List.iter (fun (k, n) -> Format.printf "  %-16s %8d@." k n) rs);
+    let resid = Analysis.residency ?levels a in
+    if Array.length resid > 0 then begin
+      Format.printf "level residency (fraction of channel-time):@.";
+      Array.iteri (fun i p -> Format.printf "  S%-2d %8.4f@." i p) resid
+    end;
+    let r = Analysis.estimate_rates a in
+    Format.printf
+      "estimated rates: lambda=%g mu=%g gamma=%g P_f=%.4f P_s=%.4f (%d \
+       arrivals, %d chain samples)@."
+      r.Analysis.lambda r.Analysis.mu r.Analysis.gamma r.Analysis.p_f
+      r.Analysis.p_s r.Analysis.arrivals r.Analysis.chain_samples;
+    (match Analysis.failure_windows ~window a with
+    | [] -> ()
+    | ws ->
+      let sum f = List.fold_left (fun acc w -> acc + f w) 0 ws in
+      Format.printf
+        "failure response (window %g): %d failures, %d retreats, %d upgrades, \
+         %d activations, %d drops@."
+        window (List.length ws)
+        (sum (fun w -> w.Analysis.retreats))
+        (sum (fun w -> w.Analysis.upgrades))
+        (sum (fun w -> w.Analysis.activations))
+        (sum (fun w -> w.Analysis.drops));
+      let dts = List.filter_map (fun w -> w.Analysis.first_activation_dt) ws in
+      match dts with
+      | [] -> ()
+      | _ ->
+        let mean = List.fold_left ( +. ) 0. dts /. float_of_int (List.length dts) in
+        Format.printf "  first backup activation: mean dt %g over %d failures@."
+          mean (List.length dts));
+    if audit_flag then begin
+      let au = Analysis.audit ?levels ?lambda ?mu ?gamma ?p_f ?p_s a in
+      let ru = au.Analysis.rates_used in
+      Format.printf
+        "audit vs %d-state chain (lambda=%g mu=%g gamma=%g P_f=%.4f P_s=%.4f):@."
+        au.Analysis.levels ru.Analysis.lambda ru.Analysis.mu ru.Analysis.gamma
+        ru.Analysis.p_f ru.Analysis.p_s;
+      Format.printf "  level  empirical  analytic@.";
+      Array.iteri
+        (fun i e ->
+          Format.printf "  S%-4d %9.4f %9.4f@." i e au.Analysis.analytic.(i))
+        au.Analysis.empirical;
+      Format.printf "  L_inf = %.4f, L1 = %.4f@." au.Analysis.linf au.Analysis.l1
+    end;
+    (if top_n > 0 then
+       match Analysis.top_spans ~limit:top_n a with
+       | [] -> ()
+       | spans ->
+         Format.printf "top spans (by self time):@.";
+         Format.printf "  %-24s %8s %12s %12s %14s %14s@." "name" "count"
+           "total_s" "self_s" "minor_words" "major_words";
+         List.iter
+           (fun s ->
+             Format.printf "  %-24s %8d %12.6f %12.6f %14.0f %14.0f@."
+               s.Analysis.span_name s.Analysis.span_count s.Analysis.span_total_s
+               s.Analysis.span_self_s s.Analysis.span_minor_words
+               s.Analysis.span_major_words)
+           spans;
+         Format.printf "  max span depth: %d@." (Analysis.max_span_depth a));
+    Option.iter
+      (fun path ->
+        let oc = open_out_or_exit path in
+        Jsonx.output oc (Analysis.to_perfetto a);
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "perfetto trace written to %s@." path)
+      perfetto
+  in
+  let term =
+    Term.(
+      const run $ trace_file $ audit_flag $ levels $ lambda $ mu $ gamma $ p_f
+      $ p_s $ window $ perfetto $ top_spans)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Replay a recorded JSONL trace into derived views: per-level \
+          residency, rejection breakdown, measured rates, failure-response \
+          windows, an empirical-vs-analytic chain audit, profiler span \
+          aggregates, and a Perfetto export.  Output is a pure function of \
+          the trace bytes.")
+    term
+
+(* --- perfdiff --- *)
+
+let perfdiff_cmd =
+  let base_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASE" ~doc:"Baseline BENCH_*.json perf record.")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate BENCH_*.json perf record.")
+  in
+  let max_regress =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Exit non-zero when NEW's wall time exceeds BASE's by more than \
+             $(docv) percent; without it the comparison is informational.")
+  in
+  let run base_path new_path max_regress =
+    let load path =
+      let text =
+        try In_channel.with_open_text path In_channel.input_all
+        with Sys_error msg ->
+          Printf.eprintf "drqos_cli: %s\n" msg;
+          exit 1
+      in
+      try Jsonx.of_string (String.trim text)
+      with Jsonx.Parse_error msg ->
+        Printf.eprintf "drqos_cli: %s: %s\n" path msg;
+        exit 1
+    in
+    let b = load base_path and n = load new_path in
+    let field doc key conv what path =
+      match Option.bind (Jsonx.member key doc) conv with
+      | Some v -> v
+      | None ->
+        Printf.eprintf "drqos_cli: %s: missing or ill-typed %s\n" path what;
+        exit 1
+    in
+    let wb = field b "wall_s" Jsonx.to_float "wall_s" base_path in
+    let wn = field n "wall_s" Jsonx.to_float "wall_s" new_path in
+    let pct from_v to_v = if from_v > 0. then 100. *. (to_v -. from_v) /. from_v else 0. in
+    Printf.printf "wall_s: %.3f -> %.3f (%+.1f%%)\n" wb wn (pct wb wn);
+    let gc_major doc =
+      Option.bind (Jsonx.member "gc" doc) (fun g ->
+          Option.bind (Jsonx.member "major_words" g) Jsonx.to_float)
+    in
+    (match (gc_major b, gc_major n) with
+    | Some gb, Some gn ->
+      Printf.printf "gc.major_words: %.0f -> %.0f (%+.1f%%)\n" gb gn (pct gb gn)
+    | _ -> ());
+    (* Per-span self-time comparison over the union of span names. *)
+    let spans doc =
+      match Jsonx.member "spans" doc with
+      | Some (Jsonx.List l) ->
+        List.filter_map
+          (fun s ->
+            match
+              ( Option.bind (Jsonx.member "name" s) Jsonx.to_str,
+                Option.bind (Jsonx.member "self_s" s) Jsonx.to_float )
+            with
+            | Some name, Some self -> Some (name, self)
+            | _ -> None)
+          l
+      | _ -> []
+    in
+    let sb = spans b and sn = spans n in
+    let names =
+      List.sort_uniq compare (List.map fst sb @ List.map fst sn)
+    in
+    if names <> [] then begin
+      Printf.printf "%-24s %12s %12s %9s\n" "span (self_s)" "base" "new" "delta";
+      List.iter
+        (fun name ->
+          match (List.assoc_opt name sb, List.assoc_opt name sn) with
+          | Some a, Some c ->
+            Printf.printf "%-24s %12.6f %12.6f %+8.1f%%\n" name a c (pct a c)
+          | Some a, None -> Printf.printf "%-24s %12.6f %12s %9s\n" name a "-" "-"
+          | None, Some c -> Printf.printf "%-24s %12s %12.6f %9s\n" name "-" c "-"
+          | None, None -> ())
+        names
+    end;
+    match max_regress with
+    | Some lim when wn > wb *. (1. +. (lim /. 100.)) ->
+      Printf.eprintf "perfdiff: wall time regressed %.1f%% (limit %.1f%%)\n"
+        (pct wb wn) lim;
+      exit 1
+    | _ -> ()
+  in
+  let term = Term.(const run $ base_file $ new_file $ max_regress) in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Compare two BENCH_*.json perf records (wall time, GC, per-span self \
+          times); with --max-regress, gate on the wall-time delta.")
     term
 
 (* --- fuzz --- *)
@@ -635,4 +902,10 @@ let fuzz_cmd =
 let () =
   let doc = "dependable real-time communication with elastic QoS (Kim & Shin, DSN 2001)" in
   let info = Cmd.info "drqos_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; topo_cmd; chain_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; sweep_cmd; topo_cmd; chain_cmd; analyze_cmd; perfdiff_cmd;
+            fuzz_cmd;
+          ]))

@@ -1,0 +1,427 @@
+type rates = {
+  lambda : float;
+  mu : float;
+  gamma : float;
+  p_f : float;
+  p_s : float;
+  arrivals : int;
+  chain_samples : int;
+}
+
+type failure_window = {
+  fail_time : float;
+  retreats : int;
+  upgrades : int;
+  activations : int;
+  drops : int;
+  first_activation_dt : float option;
+}
+
+type audit = {
+  levels : int;
+  rates_used : rates;
+  empirical : float array;
+  analytic : float array;
+  linf : float;
+  l1 : float;
+}
+
+type span_agg = {
+  span_name : string;
+  span_count : int;
+  span_total_s : float;
+  span_self_s : float;
+  span_minor_words : float;
+  span_major_words : float;
+}
+
+(* One channel's replayed belief: current level, when it got there, and
+   the full step history (newest first). *)
+type chan = {
+  mutable c_level : int;
+  mutable c_since : float;
+  mutable c_steps : (float * int) list;
+  mutable c_open : bool;
+}
+
+type t = {
+  events : (float * Trace.event) array;
+  horizon : float;
+  chans : (int, chan) Hashtbl.t;
+  residence : float array; (* seconds of channel-time at each level *)
+  counts : (string * int) list;
+  rejects : (string * int) list;
+  r : rates;
+  fails : float list; (* each in trace order *)
+  retreat_ts : float list;
+  upgrade_ts : float list;
+  activation_ts : float list;
+  drop_ts : float list;
+  spans : span_agg list;
+  max_depth : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type span_cell = {
+  mutable s_count : int;
+  mutable s_total : float;
+  mutable s_self : float;
+  mutable s_minor : float;
+  mutable s_major : float;
+}
+
+let of_events evs =
+  let events = Array.of_list evs in
+  let horizon = Array.fold_left (fun acc (tm, _) -> Float.max acc tm) 0. events in
+  let chans = Hashtbl.create 64 in
+  let residence = ref (Array.make 16 0.) in
+  let max_level = ref (-1) in
+  let live = ref 0 in
+  let accrue level dt =
+    if level > !max_level then max_level := level;
+    if level >= Array.length !residence then begin
+      let a = Array.make (max (level + 1) (2 * Array.length !residence)) 0. in
+      Array.blit !residence 0 a 0 (Array.length !residence);
+      residence := a
+    end;
+    !residence.(level) <- !residence.(level) +. dt
+  in
+  (* Admission emits the water-filling upgrades for the new channel
+     before its own [admit] record, so an unknown channel can first
+     appear through a level change: create it at that event's
+     [from_level] and let the later [admit] find it already live. *)
+  let ensure id ~level ~time =
+    match Hashtbl.find_opt chans id with
+    | Some c -> c
+    | None ->
+      accrue level 0.;
+      let c = { c_level = level; c_since = time; c_steps = [ (time, level) ]; c_open = true } in
+      Hashtbl.replace chans id c;
+      incr live;
+      c
+  in
+  let set_level id ~from_level ~to_level ~time =
+    let c = ensure id ~level:from_level ~time in
+    if c.c_open then begin
+      accrue c.c_level (time -. c.c_since);
+      c.c_level <- to_level;
+      c.c_since <- time;
+      c.c_steps <- (time, to_level) :: c.c_steps;
+      accrue to_level 0.
+    end
+  in
+  let close id ~time =
+    match Hashtbl.find_opt chans id with
+    | Some c when c.c_open ->
+      accrue c.c_level (time -. c.c_since);
+      c.c_open <- false;
+      decr live
+    | _ -> ()
+  in
+  let counts = Hashtbl.create 32 in
+  let rejects = Hashtbl.create 8 in
+  let arrivals = ref 0 in
+  let terminations = ref 0 in
+  let failures = ref 0 in
+  let direct_sum = ref 0 in
+  let indirect_sum = ref 0 in
+  let chain_samples = ref 0 in
+  let fails = ref [] in
+  let retreat_ts = ref [] in
+  let upgrade_ts = ref [] in
+  let activation_ts = ref [] in
+  let drop_ts = ref [] in
+  let span_cells : (string, span_cell) Hashtbl.t = Hashtbl.create 16 in
+  let depth = ref 0 in
+  let max_depth = ref 0 in
+  Array.iter
+    (fun (time, ev) ->
+      bump counts (Trace.kind ev);
+      match ev with
+      | Trace.Admit { channel; direct; indirect } ->
+        let known =
+          match Hashtbl.find_opt chans channel with Some c -> c.c_open | None -> false
+        in
+        let existing = if known then !live - 1 else !live in
+        ignore (ensure channel ~level:0 ~time);
+        if time > 0. then begin
+          incr arrivals;
+          if existing > 0 then begin
+            direct_sum := !direct_sum + direct;
+            indirect_sum := !indirect_sum + indirect;
+            chain_samples := !chain_samples + existing
+          end
+        end
+      | Reject { reason } ->
+        bump rejects reason;
+        if time > 0. then incr arrivals
+      | Terminate { channel } ->
+        close channel ~time;
+        if time > 0. then incr terminations
+      | Upgrade { channel; from_level; to_level } ->
+        set_level channel ~from_level ~to_level ~time;
+        upgrade_ts := time :: !upgrade_ts
+      | Retreat { channel; from_level; to_level } ->
+        set_level channel ~from_level ~to_level ~time;
+        retreat_ts := time :: !retreat_ts
+      | Link_fail _ ->
+        incr failures;
+        fails := time :: !fails
+      | Link_repair _ -> ()
+      | Backup_activate _ -> activation_ts := time :: !activation_ts
+      | Backup_lost _ -> ()
+      | Drop { channel } ->
+        close channel ~time;
+        drop_ts := time :: !drop_ts
+      | Restore _ ->
+        (* The channel survives re-establishment; its level history
+           continues through the upgrade/retreat events around it. *)
+        ()
+      | Solve _ -> ()
+      | Phase_begin _ | Phase_end _ | Note _ -> ()
+      | Span_begin _ ->
+        incr depth;
+        if !depth > !max_depth then max_depth := !depth
+      | Span_end { name; total_s; self_s; minor_words; major_words; _ } ->
+        if !depth > 0 then decr depth;
+        let c =
+          match Hashtbl.find_opt span_cells name with
+          | Some c -> c
+          | None ->
+            let c = { s_count = 0; s_total = 0.; s_self = 0.; s_minor = 0.; s_major = 0. } in
+            Hashtbl.replace span_cells name c;
+            c
+        in
+        c.s_count <- c.s_count + 1;
+        c.s_total <- c.s_total +. total_s;
+        c.s_self <- c.s_self +. self_s;
+        c.s_minor <- c.s_minor +. minor_words;
+        c.s_major <- c.s_major +. major_words)
+    events;
+  (* Channels still live at the end of the trace accrue to the horizon. *)
+  Hashtbl.iter (fun _ c -> if c.c_open then accrue c.c_level (horizon -. c.c_since)) chans;
+  let r =
+    let per_time n = if horizon > 0. then float_of_int n /. horizon else 0. in
+    let ratio num den = if den > 0 then float_of_int num /. float_of_int den else 0. in
+    {
+      lambda = per_time !arrivals;
+      mu = per_time !terminations;
+      gamma = per_time !failures;
+      p_f = ratio !direct_sum !chain_samples;
+      p_s = ratio !indirect_sum !chain_samples;
+      arrivals = !arrivals;
+      chain_samples = !chain_samples;
+    }
+  in
+  let spans =
+    Hashtbl.fold
+      (fun name c acc ->
+        {
+          span_name = name;
+          span_count = c.s_count;
+          span_total_s = c.s_total;
+          span_self_s = c.s_self;
+          span_minor_words = c.s_minor;
+          span_major_words = c.s_major;
+        }
+        :: acc)
+      span_cells []
+    |> List.sort (fun a b ->
+           match compare b.span_self_s a.span_self_s with
+           | 0 -> compare a.span_name b.span_name
+           | c -> c)
+  in
+  {
+    events;
+    horizon;
+    chans;
+    residence = Array.sub !residence 0 (max 0 (!max_level + 1));
+    counts = sorted_counts counts;
+    rejects = sorted_counts rejects;
+    r;
+    fails = List.rev !fails;
+    retreat_ts = List.rev !retreat_ts;
+    upgrade_ts = List.rev !upgrade_ts;
+    activation_ts = List.rev !activation_ts;
+    drop_ts = List.rev !drop_ts;
+    spans;
+    max_depth = !max_depth;
+  }
+
+let of_channel ic =
+  let evs =
+    Jsonx.fold_lines ic ~init:[] ~f:(fun acc ~line doc ->
+        match Trace.of_json doc with
+        | Ok te -> te :: acc
+        | Error message -> raise (Jsonx.Line_error { line; message }))
+  in
+  of_events (List.rev evs)
+
+let of_file path = In_channel.with_open_text path of_channel
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+
+let event_count t = Array.length t.events
+let horizon t = t.horizon
+let event_counts t = t.counts
+let rejections t = t.rejects
+
+let channels t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.chans [] |> List.sort compare
+
+let timeline t id =
+  match Hashtbl.find_opt t.chans id with
+  | None -> []
+  | Some c -> List.rev c.c_steps
+
+let residency ?(levels = 0) t =
+  let n = max levels (Array.length t.residence) in
+  let out = Array.make n 0. in
+  Array.blit t.residence 0 out 0 (Array.length t.residence);
+  let total = Array.fold_left ( +. ) 0. out in
+  if total > 0. then Array.map (fun x -> x /. total) out else out
+
+let estimate_rates t = t.r
+
+let failure_windows ?(window = 10.) t =
+  let in_window tf ts = List.filter (fun tv -> tv >= tf && tv <= tf +. window) ts in
+  List.map
+    (fun tf ->
+      let acts = in_window tf t.activation_ts in
+      {
+        fail_time = tf;
+        retreats = List.length (in_window tf t.retreat_ts);
+        upgrades = List.length (in_window tf t.upgrade_ts);
+        activations = List.length acts;
+        drops = List.length (in_window tf t.drop_ts);
+        first_activation_dt =
+          (match acts with [] -> None | _ -> Some (List.fold_left Float.min infinity acts -. tf));
+      })
+    t.fails
+
+let audit ?levels ?lambda ?mu ?gamma ?p_f ?p_s t =
+  let est = t.r in
+  let pick opt v = Option.value ~default:v opt in
+  let n = max (Option.value ~default:0 levels) (max 1 (Array.length t.residence)) in
+  let rates_used =
+    {
+      est with
+      lambda = pick lambda est.lambda;
+      mu = pick mu est.mu;
+      gamma = pick gamma est.gamma;
+      p_f = pick p_f est.p_f;
+      p_s = pick p_s est.p_s;
+    }
+  in
+  let p =
+    Model.synthetic ~lambda:rates_used.lambda ~mu:rates_used.mu ~gamma:rates_used.gamma
+      ~p_f:rates_used.p_f ~p_s:rates_used.p_s ~levels:n
+  in
+  let analytic = Ctmc.stationary (Model.build_regularized p) in
+  let empirical = residency ~levels:n t in
+  let linf = ref 0. and l1 = ref 0. in
+  Array.iteri
+    (fun i e ->
+      let d = Float.abs (e -. analytic.(i)) in
+      if d > !linf then linf := d;
+      l1 := !l1 +. d)
+    empirical;
+  { levels = n; rates_used; empirical; analytic; linf = !linf; l1 = !l1 }
+
+let top_spans ?limit t =
+  match limit with
+  | None -> t.spans
+  | Some n -> List.filteri (fun i _ -> i < n) t.spans
+
+let max_span_depth t = t.max_depth
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export                                                     *)
+
+(* Two tracks under one pid: tid 1 carries the profiler spans on their
+   wall-time axis, tid 2 carries the simulation (phases as spans, every
+   other event as an instant) on simulation time.  The two axes are
+   unrelated; the export keeps them on separate tracks precisely so the
+   viewer never mixes them.  Timestamps are clamped non-decreasing per
+   track so the file loads whatever the trace contains. *)
+let to_perfetto t =
+  let out = ref [] in
+  let push ev = out := ev :: !out in
+  let meta ~tid name =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String (if tid = 0 then "process_name" else "thread_name"));
+        ("ph", Jsonx.String "M");
+        ("pid", Jsonx.Int 1);
+        ("tid", Jsonx.Int tid);
+        ("args", Jsonx.Obj [ ("name", Jsonx.String name) ]);
+      ]
+  in
+  push (meta ~tid:0 "drqos trace");
+  push (meta ~tid:1 "profiler (wall time)");
+  push (meta ~tid:2 "simulation (sim time)");
+  let last = [| 0.; 0. |] in
+  (* track index 0 = tid 1, 1 = tid 2 *)
+  let clamp track ts =
+    let ts = if ts < last.(track) then last.(track) else ts in
+    last.(track) <- ts;
+    ts
+  in
+  let us x = x *. 1e6 in
+  let entry ~name ~ph ~tid ~ts args =
+    Jsonx.Obj
+      ([
+         ("name", Jsonx.String name);
+         ("ph", Jsonx.String ph);
+         ("pid", Jsonx.Int 1);
+         ("tid", Jsonx.Int tid);
+         ("ts", Jsonx.Float ts);
+       ]
+      @ args)
+  in
+  (* Event fields become Perfetto args; drop the envelope keys. *)
+  let args_of ~time ev =
+    match Trace.to_json ~time ev with
+    | Jsonx.Obj fields ->
+      let payload = List.filter (fun (k, _) -> k <> "t" && k <> "ev") fields in
+      if payload = [] then [] else [ ("args", Jsonx.Obj payload) ]
+    | _ -> []
+  in
+  Array.iter
+    (fun (time, ev) ->
+      match ev with
+      | Trace.Span_begin { name; wall_s } ->
+        push (entry ~name ~ph:"B" ~tid:1 ~ts:(clamp 0 (us wall_s)) [])
+      | Span_end { name; wall_s; total_s; self_s; minor_words; major_words } ->
+        push
+          (entry ~name ~ph:"E" ~tid:1 ~ts:(clamp 0 (us wall_s))
+             [
+               ( "args",
+                 Jsonx.Obj
+                   [
+                     ("total_s", Jsonx.Float total_s);
+                     ("self_s", Jsonx.Float self_s);
+                     ("minor_words", Jsonx.Float minor_words);
+                     ("major_words", Jsonx.Float major_words);
+                   ] );
+             ])
+      | Phase_begin { name } -> push (entry ~name ~ph:"B" ~tid:2 ~ts:(clamp 1 (us time)) [])
+      | Phase_end { name; seconds } ->
+        push
+          (entry ~name ~ph:"E" ~tid:2 ~ts:(clamp 1 (us time))
+             [ ("args", Jsonx.Obj [ ("seconds", Jsonx.Float seconds) ]) ])
+      | _ ->
+        push
+          (entry ~name:(Trace.kind ev) ~ph:"i" ~tid:2 ~ts:(clamp 1 (us time))
+             (("s", Jsonx.String "t") :: args_of ~time ev)))
+    t.events;
+  Jsonx.Obj [ ("traceEvents", Jsonx.List (List.rev !out)) ]

@@ -1,0 +1,166 @@
+(** Offline analytics over recorded JSONL traces.
+
+    A trace written by [--trace] is replayed event by event
+    ({!Trace.of_json} over {!Jsonx.fold_lines}) into derived views the
+    paper's evaluation reasons about:
+
+    - per-channel bandwidth-level {e timelines} and the aggregate
+      time-weighted {e residency} of channel-time in each level;
+    - the rejection breakdown and per-kind event counts;
+    - rate estimates [(λ, μ, γ, P_f, P_s)] measured from the trace
+      itself;
+    - causality {e windows} around each link failure (how many retreats,
+      upgrades, backup activations and drops follow, and how fast the
+      first activation lands);
+    - an {e audit} comparing the empirical residency against the
+      analytic stationary vector of the paper's chain
+      ({!Model.synthetic} + {!Ctmc.stationary}) for the same rates;
+    - profiler views: span aggregates from [Span_end] events and a
+      Chrome/Perfetto trace-event export.
+
+    Everything here is a pure function of the trace bytes, so analyses
+    are reproducible: same file, same output. *)
+
+type t
+(** A replayed trace. *)
+
+val of_events : (float * Trace.event) list -> t
+(** Replay an in-memory event list (in trace order). *)
+
+val of_channel : in_channel -> t
+(** Stream a JSONL trace.  Raises {!Jsonx.Line_error} on a malformed
+    line — both JSON syntax errors and well-formed lines that are not
+    trace events ({!Trace.of_json} errors), with the 1-based line
+    number. *)
+
+val of_file : string -> t
+(** {!of_channel} on a file ([Sys_error] if unreadable). *)
+
+(** {1 Basic views} *)
+
+val event_count : t -> int
+
+val horizon : t -> float
+(** Largest event timestamp; [0.] for an empty trace. *)
+
+val event_counts : t -> (string * int) list
+(** Events per {!Trace.kind}, name-sorted. *)
+
+val rejections : t -> (string * int) list
+(** Rejection count per reason, name-sorted. *)
+
+val channels : t -> int list
+(** Every channel id seen, ascending. *)
+
+val timeline : t -> int -> (float * int) list
+(** [(time, level)] steps of one channel in time order, starting at its
+    first appearance; empty for unknown ids.  A channel first seen
+    through a level-change event (admission emits the water-filling
+    upgrades {e before} the [admit] record) starts at that event's
+    [from_level]. *)
+
+(** {1 Residency} *)
+
+val residency : ?levels:int -> t -> float array
+(** Fraction of total channel-time spent at each bandwidth level,
+    time-weighted across all channels; live channels are closed at the
+    trace horizon.  The array covers the highest level observed (or
+    [levels] when larger); all zeros when no channel-time was
+    accumulated. *)
+
+(** {1 Rate estimation} *)
+
+type rates = {
+  lambda : float;  (** (admits + rejections) at [t > 0] per unit time. *)
+  mu : float;  (** terminations at [t > 0] per unit time. *)
+  gamma : float;  (** link failures per unit time. *)
+  p_f : float;  (** mean fraction of existing channels directly chained. *)
+  p_s : float;  (** mean fraction indirectly chained. *)
+  arrivals : int;  (** admission attempts behind [lambda]. *)
+  chain_samples : int;
+      (** channel-pairs behind [p_f]/[p_s]: the sum over measured
+          admissions of the live-channel count at that instant. *)
+}
+
+val estimate_rates : t -> rates
+(** Measured from the trace: only events at [t > 0] count (the bulk
+    load happens before the simulation clock starts), and [p_f]/[p_s]
+    are ratios of chained-set sizes to the live-channel population at
+    each admission.  Load-phase admissions skip the indirect set, so a
+    trace dominated by them biases [p_s] low — override it in {!audit}
+    when that matters.  All zeros when the trace spans no time. *)
+
+(** {1 Failure causality} *)
+
+type failure_window = {
+  fail_time : float;
+  retreats : int;
+  upgrades : int;
+  activations : int;
+  drops : int;
+  first_activation_dt : float option;
+      (** Delay from the failure to the first backup activation inside
+          the window; [None] if none landed. *)
+}
+
+val failure_windows : ?window:float -> t -> failure_window list
+(** One record per [link_fail], counting the response events inside
+    [[fail_time, fail_time + window]] (default 10 time units; failure
+    handling is immediate in the simulator, so even [window = 0.] sees
+    the synchronous response).  Windows of consecutive failures may
+    overlap; each event then counts in every window containing it. *)
+
+(** {1 Empirical-vs-analytic audit} *)
+
+type audit = {
+  levels : int;
+  rates_used : rates;
+  empirical : float array;  (** {!residency}, padded to [levels]. *)
+  analytic : float array;
+      (** stationary vector of the regularised synthetic chain. *)
+  linf : float;  (** max_i |empirical_i - analytic_i|. *)
+  l1 : float;  (** sum_i |empirical_i - analytic_i|. *)
+}
+
+val audit :
+  ?levels:int ->
+  ?lambda:float ->
+  ?mu:float ->
+  ?gamma:float ->
+  ?p_f:float ->
+  ?p_s:float ->
+  t ->
+  audit
+(** Compare the trace's empirical level residency against the paper's
+    chain solved for the same parameters: {!estimate_rates} supplies
+    every rate not overridden, {!Model.synthetic} builds the chain, and
+    {!Ctmc.stationary} on {!Model.build_regularized} solves it.  Raises
+    [Invalid_argument] (via {!Model.validate}) if the resulting
+    parameters are malformed, e.g. an overridden [p_f + p_s > 1]. *)
+
+(** {1 Profiler views} *)
+
+type span_agg = {
+  span_name : string;
+  span_count : int;
+  span_total_s : float;
+  span_self_s : float;
+  span_minor_words : float;
+  span_major_words : float;
+}
+
+val top_spans : ?limit:int -> t -> span_agg list
+(** Aggregated [span_end] events, sorted by self time (descending; name
+    breaks ties), truncated to [limit] (default all). *)
+
+val max_span_depth : t -> int
+(** Deepest [span_begin] nesting observed; [0] for a span-free trace. *)
+
+val to_perfetto : t -> Jsonx.t
+(** The trace as a Chrome/Perfetto trace-event document
+    ([{"traceEvents": [...]}], [ts] in microseconds): profiler spans as
+    ["B"]/["E"] pairs on one track (wall time since the profiler epoch),
+    simulation phases as ["B"]/["E"] and every other event as an instant
+    ["i"] on a second track (simulation time), with ["M"] metadata
+    naming both.  Timestamps are clamped non-decreasing per track, so
+    the file always loads. *)

@@ -191,7 +191,13 @@ let compare_candidates policy a b =
      scheme's fluid limit on the increment grid).
    - Max_utility: candidates in utility order, each drained to its
      ceiling before the next sees anything. *)
+(* Admission and redistribution run once per churn event, so their spans
+   fire only under a profiler — a trace-only or metrics-only run must not
+   pay (or log) a span pair per operation. *)
+let hot_span t name f = if Obs.profiling t.obs then Obs.span t.obs name f else f ()
+
 let redistribute t ~dirty =
+  hot_span t "drcomm.redistribute" @@ fun () ->
   let candidates =
     List.filter (fun ch -> Qos.is_elastic ch.qos) (channels_on_links t dirty)
   in
@@ -328,6 +334,7 @@ let top_up_backups t ch =
 (* Admission                                                           *)
 
 let admit ?(want_indirect = true) t ~src ~dst ~qos =
+  hot_span t "drcomm.admit" @@ fun () ->
   let g = Net_state.graph t.net in
   let n = Graph.node_count g in
   if src < 0 || src >= n || dst < 0 || dst >= n then

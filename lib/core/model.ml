@@ -23,6 +23,30 @@ let params_of_estimator ~lambda ~mu ~gamma est =
 
 let levels p = Matrix.rows p.a
 
+(* The paper's qualitative transition structure without an estimator: a
+   directly-chained arrival retreats the channel to its floor (every A
+   row points at column 0), while an indirectly-chained arrival or a
+   sharing termination climbs exactly one level (B and T superdiagonal,
+   identity at the top).  Shared by the [chain] CLI command and the
+   trace-vs-model audit in [lib/analysis]. *)
+let synthetic ~lambda ~mu ~gamma ~p_f ~p_s ~levels:n =
+  if n < 1 then invalid_arg "Model.synthetic: need at least one level";
+  let a = Matrix.create n n in
+  let b = Matrix.create n n in
+  let t_mat = Matrix.create n n in
+  for i = 0 to n - 1 do
+    Matrix.set a i 0 1.;
+    if i < n - 1 then begin
+      Matrix.set b i (i + 1) 1.;
+      Matrix.set t_mat i (i + 1) 1.
+    end
+    else begin
+      Matrix.set b i i 1.;
+      Matrix.set t_mat i i 1.
+    end
+  done;
+  { lambda; mu; gamma; p_f; p_s; a; b; t_mat }
+
 let validate p =
   let n = levels p in
   if n < 1 then invalid_arg "Model.validate: empty matrix";

@@ -32,6 +32,21 @@ val params_of_estimator :
 
 val levels : params -> int
 
+val synthetic :
+  lambda:float ->
+  mu:float ->
+  gamma:float ->
+  p_f:float ->
+  p_s:float ->
+  levels:int ->
+  params
+(** The paper's qualitative chain structure without measured matrices: a
+    direct-chain arrival retreats to the floor (A rows -> column 0), an
+    indirect-chain arrival or a sharing termination climbs one level
+    (B, T superdiagonal; identity at the top).  Used by the [chain] CLI
+    command and by the empirical-vs-analytic audit in [lib/analysis].
+    Raises [Invalid_argument] when [levels < 1]. *)
+
 val validate : params -> unit
 (** Raises [Invalid_argument] on malformed inputs: negative rates,
     probabilities outside [0, 1], non-square or mismatched matrices,

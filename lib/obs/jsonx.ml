@@ -249,6 +249,27 @@ let of_string s =
   v
 
 (* ------------------------------------------------------------------ *)
+(* Line-oriented streaming: one JSON document per line (JSONL).         *)
+
+exception Line_error of { line : int; message : string }
+
+let blank s = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) s
+
+let fold_lines ic ~init ~f =
+  let rec go acc line =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | text when blank text -> go acc (line + 1)
+    | text ->
+      let doc =
+        try of_string text
+        with Parse_error msg -> raise (Line_error { line; message = msg })
+      in
+      go (f acc ~line doc) (line + 1)
+  in
+  go init 1
+
+(* ------------------------------------------------------------------ *)
 (* Accessors used by tests and the bench harness. *)
 
 let member key = function

@@ -29,6 +29,16 @@ val of_string : string -> t
     trailing garbage.  Numbers without [.], [e] or overflow come back as
     [Int], everything else as [Float]. *)
 
+exception Line_error of { line : int; message : string }
+(** A malformed line in a JSONL stream; [line] is 1-based. *)
+
+val fold_lines : in_channel -> init:'a -> f:('a -> line:int -> t -> 'a) -> 'a
+(** [fold_lines ic ~init ~f] parses the channel as JSON Lines, folding
+    [f] over each document in order with its 1-based line number.
+    Blank lines are skipped; a malformed line (including a truncated
+    final one) raises {!Line_error} carrying its line number.  Streams:
+    only one line is held in memory beyond what [f] retains. *)
+
 val member : string -> t -> t option
 (** [member key (Obj fields)] is the first binding of [key], [None] for
     non-objects and missing keys. *)

@@ -53,6 +53,12 @@ val time : timer -> (unit -> 'a) -> 'a
 val timer_count : timer -> int
 val timer_total : timer -> float
 
+val timer_quantile : timer -> float -> float
+(** Approximate duration quantile from a fixed log-bucket histogram
+    (20 buckets per decade over 1 ns .. 1000 s — ~12% relative
+    resolution), deterministic with no sampling seed.  [q] in [0, 1];
+    0 on an empty timer; raises [Invalid_argument] outside the range. *)
+
 val merge_into : into:t -> t -> unit
 (** Fold [src]'s instruments into [into], interning by name: counters and
     timer observations add exactly (so a parallel sweep merging private
@@ -63,5 +69,6 @@ val merge_into : into:t -> t -> unit
 
 val snapshot : t -> Jsonx.t
 (** [{"enabled": bool, "counters": {...}, "gauges": {name: {value, peak,
-    updates}}, "timers": {name: {count, total_s, mean_s, min_s,
-    max_s}}}]. *)
+    updates}}, "timers": {name: {count, total_s, mean_s, min_s, max_s,
+    p50_s, p95_s, p99_s}}}] — the percentile fields come from
+    {!timer_quantile}'s log-bucket histogram. *)

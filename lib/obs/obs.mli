@@ -14,18 +14,23 @@ val null : t
 (** The shared disabled context: no-op metrics, no tracer, clock pinned
     at [0.].  {!set_clock} ignores it. *)
 
-val create : ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
-(** Both default to their disabled instances. *)
+val create : ?metrics:Metrics.t -> ?trace:Trace.t -> ?spans:Span.t -> unit -> t
+(** All three default to their disabled instances. *)
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
+val spans : t -> Span.t
 
 val enabled : t -> bool
-(** True when either the metrics registry or the tracer is live. *)
+(** True when the metrics registry, the tracer, or the span profiler is
+    live. *)
 
 val tracing : t -> bool
 (** True when the tracer is live — guard event construction with this so
     a disabled trace allocates nothing. *)
+
+val profiling : t -> bool
+(** True when a span profiler is attached. *)
 
 val set_clock : t -> (unit -> float) -> unit
 val now : t -> float
@@ -39,14 +44,15 @@ val set_default : t -> unit
     until the merge at join time. *)
 
 val fork : t -> t
-(** A worker-private context mirroring [t]: a fresh metrics registry
-    (enabled iff [t]'s is), no tracer (traces do not cross domains), an
-    independent clock. *)
+(** A worker-private context mirroring [t]: a fresh metrics registry and
+    span profiler (each enabled iff [t]'s is), no tracer (traces do not
+    cross domains), an independent clock. *)
 
 val absorb : into:t -> t -> unit
-(** Merge a {!fork}ed worker's metrics back into [into]'s registry
-    ({!Metrics.merge_into}); call it after joining the worker's domain.
-    A no-op when the two contexts are the same. *)
+(** Merge a {!fork}ed worker's metrics and span aggregates back into
+    [into] ({!Metrics.merge_into}, {!Span.merge_into}); call it after
+    joining the worker's domain.  A no-op when the two contexts are the
+    same. *)
 
 val counter : t -> string -> Metrics.counter
 val gauge : t -> string -> Metrics.gauge
@@ -57,11 +63,19 @@ val event : t -> Trace.event -> unit
 
 val span : t -> string -> (unit -> 'a) -> 'a
 (** [span t name f] runs [f], records its wall time under the metrics
-    timer [phase.<name>], and brackets it with [Phase_begin]/[Phase_end]
-    trace events.  When the context is fully disabled the thunk runs
-    untouched. *)
+    timer [phase.<name>] and — when a profiler is attached — as a
+    hierarchical {!Span} record (self vs total time, GC word deltas).
+    The tracer sees the span too: [Span_begin]/[Span_end] events when
+    profiling, the legacy flat [Phase_begin]/[Phase_end] pair otherwise.
+    When the context is fully disabled the thunk runs untouched. *)
 
 val metrics_json : t -> Jsonx.t
 
 val close : t -> unit
-(** Close the tracer's sink. *)
+(** Close the tracer's sink (idempotent, see {!Trace.close}). *)
+
+val install : t -> unit
+(** {!set_default} plus an [at_exit] {!close} hook: entry points call
+    this so a raised exception or mid-run [exit] cannot lose buffered
+    trace output.  Pair with [Fun.protect ~finally:(fun () -> close t)]
+    around the run itself to flush on the normal path too. *)

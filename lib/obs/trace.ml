@@ -13,6 +13,15 @@ type event =
   | Solve of { what : string; states : int; seconds : float }
   | Phase_begin of { name : string }
   | Phase_end of { name : string; seconds : float }
+  | Span_begin of { name : string; wall_s : float }
+  | Span_end of {
+      name : string;
+      wall_s : float;
+      total_s : float;
+      self_s : float;
+      minor_words : float;
+      major_words : float;
+    }
   | Note of { name : string; fields : (string * Jsonx.t) list }
 
 let kind = function
@@ -30,6 +39,8 @@ let kind = function
   | Solve _ -> "solve"
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
   | Note _ -> "note"
 
 let fields = function
@@ -65,10 +76,150 @@ let fields = function
   | Phase_begin { name } -> [ ("name", Jsonx.String name) ]
   | Phase_end { name; seconds } ->
     [ ("name", Jsonx.String name); ("seconds", Jsonx.Float seconds) ]
+  | Span_begin { name; wall_s } ->
+    [ ("name", Jsonx.String name); ("wall_s", Jsonx.Float wall_s) ]
+  | Span_end { name; wall_s; total_s; self_s; minor_words; major_words } ->
+    [
+      ("name", Jsonx.String name);
+      ("wall_s", Jsonx.Float wall_s);
+      ("total_s", Jsonx.Float total_s);
+      ("self_s", Jsonx.Float self_s);
+      ("minor_words", Jsonx.Float minor_words);
+      ("major_words", Jsonx.Float major_words);
+    ]
   | Note { name; fields } -> ("name", Jsonx.String name) :: fields
 
 let to_json ~time ev =
   Jsonx.Obj (("t", Jsonx.Float time) :: ("ev", Jsonx.String (kind ev)) :: fields ev)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (the inverse of [to_json], consumed by lib/analysis)         *)
+
+let of_json doc =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Jsonx.member name doc with
+    | None -> Error (Printf.sprintf "missing field %S" name)
+    | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+  in
+  let int name = field name Jsonx.to_int in
+  let num name = field name Jsonx.to_float in
+  let str name = field name Jsonx.to_str in
+  let bool name =
+    field name (function Jsonx.Bool b -> Some b | _ -> None)
+  in
+  let* time = num "t" in
+  let* k = str "ev" in
+  let* ev =
+    match k with
+    | "admit" ->
+      let* channel = int "channel" in
+      let* direct = int "direct" in
+      let* indirect = int "indirect" in
+      Ok (Admit { channel; direct; indirect })
+    | "reject" ->
+      let* reason = str "reason" in
+      Ok (Reject { reason })
+    | "terminate" ->
+      let* channel = int "channel" in
+      Ok (Terminate { channel })
+    | "upgrade" | "retreat" ->
+      let* channel = int "channel" in
+      let* from_level = int "from" in
+      let* to_level = int "to" in
+      Ok
+        (if k = "upgrade" then Upgrade { channel; from_level; to_level }
+         else Retreat { channel; from_level; to_level })
+    | "link_fail" | "link_repair" ->
+      let* edge = int "edge" in
+      Ok (if k = "link_fail" then Link_fail { edge } else Link_repair { edge })
+    | "backup_activate" ->
+      let* channel = int "channel" in
+      let* reprotected = bool "reprotected" in
+      Ok (Backup_activate { channel; reprotected })
+    | "backup_lost" ->
+      let* channel = int "channel" in
+      let* replaced = bool "replaced" in
+      Ok (Backup_lost { channel; replaced })
+    | "drop" ->
+      let* channel = int "channel" in
+      Ok (Drop { channel })
+    | "restore" ->
+      let* channel = int "channel" in
+      let* with_backup = bool "with_backup" in
+      Ok (Restore { channel; with_backup })
+    | "solve" ->
+      let* what = str "what" in
+      let* states = int "states" in
+      let* seconds = num "seconds" in
+      Ok (Solve { what; states; seconds })
+    | "phase_begin" ->
+      let* name = str "name" in
+      Ok (Phase_begin { name })
+    | "phase_end" ->
+      let* name = str "name" in
+      let* seconds = num "seconds" in
+      Ok (Phase_end { name; seconds })
+    | "span_begin" ->
+      let* name = str "name" in
+      let* wall_s = num "wall_s" in
+      Ok (Span_begin { name; wall_s })
+    | "span_end" ->
+      let* name = str "name" in
+      let* wall_s = num "wall_s" in
+      let* total_s = num "total_s" in
+      let* self_s = num "self_s" in
+      let* minor_words = num "minor_words" in
+      let* major_words = num "major_words" in
+      Ok (Span_end { name; wall_s; total_s; self_s; minor_words; major_words })
+    | "note" ->
+      let* name = str "name" in
+      let fields =
+        match doc with
+        | Jsonx.Obj fs ->
+          List.filter (fun (key, _) -> key <> "t" && key <> "ev" && key <> "name") fs
+        | _ -> []
+      in
+      Ok (Note { name; fields })
+    | other -> Error (Printf.sprintf "unknown event kind %S" other)
+  in
+  Ok (time, ev)
+
+(* One sample per constructor.  Extend this list together with the type:
+   the round-trip test in test_obs.ml iterates it, and [of_json] must
+   parse every sample back field-by-field, so a constructor added
+   without serialisation (or without a sample) fails CI. *)
+let all_samples =
+  [
+    Admit { channel = 3; direct = 2; indirect = 5 };
+    Reject { reason = "no_primary_route" };
+    Terminate { channel = 3 };
+    Upgrade { channel = 1; from_level = 0; to_level = 4 };
+    Retreat { channel = 2; from_level = 7; to_level = 0 };
+    Link_fail { edge = 17 };
+    Link_repair { edge = 17 };
+    Backup_activate { channel = 4; reprotected = false };
+    Backup_lost { channel = 4; replaced = true };
+    Drop { channel = 9 };
+    Restore { channel = 9; with_backup = true };
+    Solve { what = "ctmc.stationary"; states = 9; seconds = 0.125 };
+    Phase_begin { name = "measure" };
+    Phase_end { name = "measure"; seconds = 1.5 };
+    Span_begin { name = "engine.run"; wall_s = 0.25 };
+    Span_end
+      {
+        name = "engine.run";
+        wall_s = 0.75;
+        total_s = 0.5;
+        self_s = 0.375;
+        minor_words = 1024.;
+        major_words = 128.;
+      };
+    Note { name = "custom"; fields = [ ("k", Jsonx.Int 7) ] };
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
@@ -108,14 +259,20 @@ let console_sink ?(oc = stdout) () =
 (* ------------------------------------------------------------------ *)
 (* Tracer                                                              *)
 
-type t = { on : bool; sink : sink }
+type t = { on : bool; sink : sink; mutable closed : bool }
 
-let disabled = { on = false; sink = null_sink }
+let disabled = { on = false; sink = null_sink; closed = false }
 
-let create sink = { on = true; sink }
+let create sink = { on = true; sink; closed = false }
 
 let enabled t = t.on
 
 let emit t ~time ev = if t.on then t.sink.emit time ev
 
-let close t = t.sink.close ()
+(* Idempotent: the CLI and bench harness guard sinks with both
+   [Fun.protect] and [at_exit], so a normal path closes twice. *)
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.sink.close ()
+  end

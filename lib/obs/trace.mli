@@ -34,6 +34,17 @@ type event =
   | Solve of { what : string; states : int; seconds : float }
   | Phase_begin of { name : string }
   | Phase_end of { name : string; seconds : float }
+  | Span_begin of { name : string; wall_s : float }
+      (** A profiler span opened; [wall_s] is wall time since the
+          profiler's epoch (the ["t"] field stays simulation time). *)
+  | Span_end of {
+      name : string;
+      wall_s : float;  (** wall time at close. *)
+      total_s : float;
+      self_s : float;  (** total minus direct children's totals. *)
+      minor_words : float;  (** GC allocation over the span. *)
+      major_words : float;
+    }
   | Note of { name : string; fields : (string * Jsonx.t) list }
       (** Escape hatch for component-specific events. *)
 
@@ -41,6 +52,18 @@ val kind : event -> string
 (** The ["ev"] discriminator, e.g. ["backup_activate"]. *)
 
 val to_json : time:float -> event -> Jsonx.t
+
+val of_json : Jsonx.t -> (float * event, string) result
+(** Inverse of {!to_json}: a timestamped event from one trace document.
+    Total over everything {!to_json} writes; [Error] describes the
+    missing/ill-typed field or unknown kind.  [lib/analysis] replays
+    recorded JSONL traces through this. *)
+
+val all_samples : event list
+(** One sample per constructor — extend together with the type.  The
+    serialisation round-trip test iterates this list, so a constructor
+    added without {!to_json}/{!of_json} support (or without a sample
+    here) fails CI. *)
 
 (** A sink consumes timestamped events; [close] flushes and releases the
     underlying resource. *)
@@ -65,3 +88,6 @@ val emit : t -> time:float -> event -> unit
 (** No-op on a disabled tracer. *)
 
 val close : t -> unit
+(** Idempotent: the first call closes the sink, later calls are no-ops —
+    so entry points may guard the same tracer with both [Fun.protect]
+    and [at_exit]. *)

@@ -44,6 +44,7 @@ let step t =
     true
 
 let run ?(until = infinity) ?(max_events = max_int) t =
+  Obs.span t.obs "engine.run" @@ fun () ->
   let handled = ref 0 in
   let instrumented = Metrics.enabled (Obs.metrics t.obs) in
   let t0 = if instrumented then Unix.gettimeofday () else 0. in

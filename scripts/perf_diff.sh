@@ -1,0 +1,14 @@
+#!/bin/sh
+# Compare two BENCH_*.json perf records (written by `bench/main.exe`
+# into its --out directory): wall time, main-domain GC deltas, and
+# per-span self times.  Thin wrapper over `drqos_cli perfdiff` so the
+# comparison logic lives in OCaml (no jq/python dependency).
+#
+#   scripts/perf_diff.sh BASE.json NEW.json [--max-regress PCT]
+#
+# With --max-regress the script exits non-zero when NEW's wall time
+# exceeds BASE's by more than PCT percent — usable as a CI gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+exec dune exec bin/drqos_cli.exe -- perfdiff "$@"

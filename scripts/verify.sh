@@ -48,11 +48,46 @@ dune exec bin/drqos_cli.exe -- fuzz --seed 1 --ops 2000 || {
   exit 1
 }
 
-step "CLI smoke: trace + metrics"
+step "CLI smoke: trace + metrics (profiled)"
 dune exec bin/drqos_cli.exe -- run --offered 100 --churn 100 --warmup 20 \
-  --trace "$tmpdir/t.jsonl" --metrics "$tmpdir/m.json" >/dev/null
+  --trace "$tmpdir/t.jsonl" --metrics "$tmpdir/m.json" --profile >/dev/null
 test -s "$tmpdir/t.jsonl" && test -s "$tmpdir/m.json" || {
   echo "FAIL: CLI run did not write trace/metrics files" >&2
+  exit 1
+}
+grep -q '"span_end"' "$tmpdir/t.jsonl" || {
+  echo "FAIL: profiled trace carries no span events" >&2
+  exit 1
+}
+
+step "analyze determinism: same trace, byte-identical output"
+# analyze is a pure function of the trace bytes: two invocations on the
+# same file (including the Perfetto export) must agree exactly.
+dune exec bin/drqos_cli.exe -- analyze "$tmpdir/t.jsonl" --audit \
+  --perfetto "$tmpdir/p1.json" | grep -v '^perfetto trace written' > "$tmpdir/a1.txt"
+dune exec bin/drqos_cli.exe -- analyze "$tmpdir/t.jsonl" --audit \
+  --perfetto "$tmpdir/p2.json" | grep -v '^perfetto trace written' > "$tmpdir/a2.txt"
+diff "$tmpdir/a1.txt" "$tmpdir/a2.txt" && diff "$tmpdir/p1.json" "$tmpdir/p2.json" || {
+  echo "FAIL: analyze output diverged between runs on the same trace" >&2
+  exit 1
+}
+
+step "micro-bench smoke: BENCH_micro.json perf record"
+dune exec bench/main.exe -- micro --quick --out "$tmpdir/perf" >/dev/null
+test -s "$tmpdir/perf/BENCH_micro.json" || {
+  echo "FAIL: micro --quick did not write BENCH_micro.json" >&2
+  exit 1
+}
+for key in experiment wall_s gc spans; do
+  grep -q "\"$key\"" "$tmpdir/perf/BENCH_micro.json" || {
+    echo "FAIL: BENCH_micro.json is missing the \"$key\" field" >&2
+    exit 1
+  }
+done
+# A record must compare cleanly against itself (perf_diff smoke).
+scripts/perf_diff.sh "$tmpdir/perf/BENCH_micro.json" \
+  "$tmpdir/perf/BENCH_micro.json" --max-regress 1 >/dev/null || {
+  echo "FAIL: perf_diff rejected a record compared against itself" >&2
   exit 1
 }
 

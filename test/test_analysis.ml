@@ -1,0 +1,395 @@
+(* Tests for lib/analysis: trace replay arithmetic on hand-built event
+   lists, and the empirical-vs-analytic audit / Perfetto export on a
+   trace recorded from a real (deterministic) Drcomm run. *)
+
+let approx = Alcotest.float 1e-9
+
+(* --- replay arithmetic on in-memory event lists --- *)
+
+let test_residency_arithmetic () =
+  (* One channel: levels 0 for 2 units, 1 for 8 units, then gone. *)
+  let events =
+    [
+      (0., Trace.Admit { channel = 0; direct = 0; indirect = 0 });
+      (2., Trace.Upgrade { channel = 0; from_level = 0; to_level = 1 });
+      (10., Trace.Terminate { channel = 0 });
+    ]
+  in
+  let a = Analysis.of_events events in
+  Alcotest.(check int) "event count" 3 (Analysis.event_count a);
+  Alcotest.check approx "horizon" 10. (Analysis.horizon a);
+  Alcotest.(check (list int)) "channels" [ 0 ] (Analysis.channels a);
+  let r = Analysis.residency a in
+  Alcotest.(check int) "levels observed" 2 (Array.length r);
+  Alcotest.check approx "level 0 share" 0.2 r.(0);
+  Alcotest.check approx "level 1 share" 0.8 r.(1);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "timeline" [ (0., 0); (2., 1) ]
+    (Analysis.timeline a 0);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "unknown channel has no timeline" [] (Analysis.timeline a 99)
+
+let test_residency_closes_live_channels () =
+  (* A channel never terminated accrues up to the trace horizon. *)
+  let events =
+    [
+      (0., Trace.Admit { channel = 1; direct = 0; indirect = 0 });
+      (4., Trace.Upgrade { channel = 1; from_level = 0; to_level = 2 });
+      (8., Trace.Link_repair { edge = 0 });
+      (* horizon marker *)
+    ]
+  in
+  let r = Analysis.residency (Analysis.of_events events) in
+  Alcotest.(check int) "levels observed" 3 (Array.length r);
+  Alcotest.check approx "level 0 share" 0.5 r.(0);
+  Alcotest.check approx "level 2 share" 0.5 r.(2)
+
+let test_upgrade_before_admit () =
+  (* Admission emits the water-filling upgrades for the new channel
+     before the Admit record; the replay must not lose that segment. *)
+  let events =
+    [
+      (0., Trace.Upgrade { channel = 7; from_level = 0; to_level = 3 });
+      (0., Trace.Admit { channel = 7; direct = 0; indirect = 0 });
+      (5., Trace.Terminate { channel = 7 });
+    ]
+  in
+  let a = Analysis.of_events events in
+  let r = Analysis.residency a in
+  Alcotest.check approx "all channel-time at level 3" 1. r.(3);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "timeline starts at from_level" [ (0., 0); (0., 3) ]
+    (Analysis.timeline a 7)
+
+let test_rejection_breakdown () =
+  let events =
+    [
+      (1., Trace.Reject { reason = "no_primary_route" });
+      (2., Trace.Reject { reason = "no_backup_route" });
+      (3., Trace.Reject { reason = "no_primary_route" });
+    ]
+  in
+  let a = Analysis.of_events events in
+  Alcotest.(check (list (pair string int)))
+    "per-reason counts"
+    [ ("no_backup_route", 1); ("no_primary_route", 2) ]
+    (Analysis.rejections a);
+  Alcotest.(check (list (pair string int)))
+    "event counts" [ ("reject", 3) ] (Analysis.event_counts a)
+
+let test_failure_windows () =
+  let events =
+    [
+      (0., Trace.Admit { channel = 0; direct = 0; indirect = 0 });
+      (5., Trace.Link_fail { edge = 2 });
+      (5., Trace.Retreat { channel = 0; from_level = 3; to_level = 0 });
+      (5.5, Trace.Backup_activate { channel = 0; reprotected = true });
+      (6., Trace.Drop { channel = 1 });
+      (100., Trace.Link_fail { edge = 3 });
+    ]
+  in
+  match Analysis.failure_windows ~window:10. (Analysis.of_events events) with
+  | [ w1; w2 ] ->
+    Alcotest.check approx "first failure time" 5. w1.Analysis.fail_time;
+    Alcotest.(check int) "retreats" 1 w1.Analysis.retreats;
+    Alcotest.(check int) "activations" 1 w1.Analysis.activations;
+    Alcotest.(check int) "drops" 1 w1.Analysis.drops;
+    (match w1.Analysis.first_activation_dt with
+    | Some dt -> Alcotest.check approx "activation delay" 0.5 dt
+    | None -> Alcotest.fail "missing first activation delay");
+    Alcotest.(check int) "quiet window sees nothing" 0 w2.Analysis.retreats;
+    Alcotest.(check bool)
+      "quiet window has no activation" true
+      (w2.Analysis.first_activation_dt = None)
+  | ws ->
+    Alcotest.fail
+      (Printf.sprintf "expected 2 failure windows, got %d" (List.length ws))
+
+let test_estimate_rates () =
+  (* Bulk load at t = 0 must not count toward lambda; the two measured
+     arrivals and one termination over a horizon of 10 must. *)
+  let events =
+    [
+      (0., Trace.Admit { channel = 0; direct = 0; indirect = 0 });
+      (2., Trace.Admit { channel = 1; direct = 1; indirect = 0 });
+      (4., Trace.Reject { reason = "no_primary_route" });
+      (6., Trace.Terminate { channel = 0 });
+      (8., Trace.Link_fail { edge = 0 });
+      (10., Trace.Link_repair { edge = 0 });
+    ]
+  in
+  let r = Analysis.estimate_rates (Analysis.of_events events) in
+  Alcotest.(check int) "arrivals" 2 r.Analysis.arrivals;
+  Alcotest.check approx "lambda" 0.2 r.Analysis.lambda;
+  Alcotest.check approx "mu" 0.1 r.Analysis.mu;
+  Alcotest.check approx "gamma" 0.1 r.Analysis.gamma;
+  (* The t = 2 admission saw one live channel, and it was directly
+     chained: p_f = 1/1. *)
+  Alcotest.(check int) "chain samples" 1 r.Analysis.chain_samples;
+  Alcotest.check approx "p_f" 1. r.Analysis.p_f;
+  Alcotest.check approx "p_s" 0. r.Analysis.p_s
+
+let test_empty_trace () =
+  let a = Analysis.of_events [] in
+  Alcotest.(check int) "no events" 0 (Analysis.event_count a);
+  Alcotest.check approx "zero horizon" 0. (Analysis.horizon a);
+  Alcotest.(check (list int)) "no channels" [] (Analysis.channels a);
+  let r = Analysis.estimate_rates a in
+  Alcotest.check approx "zero lambda" 0. r.Analysis.lambda;
+  Alcotest.check approx "zero p_f" 0. r.Analysis.p_f
+
+(* --- a real recorded scenario: disjoint triangles ---
+
+   k disjoint 3-node components, each with a primary edge u-v and a
+   backup path u-w-v.  Channels on different triangles share no links,
+   so every measured chaining probability is exactly zero and each
+   channel water-fills straight to the QoS ceiling — both the empirical
+   residency and the analytic chain concentrate at the top level, which
+   is what the audit acceptance bound checks. *)
+
+let triangles = 6
+
+let triangle_graph () =
+  let g = Graph.create (3 * triangles) in
+  for i = 0 to triangles - 1 do
+    let u = 3 * i and v = (3 * i) + 1 and w = (3 * i) + 2 in
+    ignore (Graph.add_edge g u v);
+    ignore (Graph.add_edge g u w);
+    ignore (Graph.add_edge g w v)
+  done;
+  g
+
+let run_triangle_scenario () =
+  let path = Filename.temp_file "drqos_analysis" ".jsonl" in
+  let oc = open_out path in
+  let trace = Trace.create (Trace.jsonl_sink oc) in
+  let obs =
+    Obs.create ~metrics:(Metrics.create ()) ~trace ~spans:(Span.create ()) ()
+  in
+  let engine = Engine.create ~obs () in
+  Obs.set_clock obs (fun () -> Engine.now engine);
+  let net = Net_state.create (triangle_graph ()) in
+  let svc = Drcomm.create ~obs net in
+  let qos = Qos.paper_spec ~increment:50 in
+  let admit i =
+    match Drcomm.admit svc ~src:(3 * i) ~dst:((3 * i) + 1) ~qos with
+    | Drcomm.Admitted (id, _) -> id
+    | Drcomm.Rejected _ -> Alcotest.fail "triangle admission rejected"
+  in
+  (* Bulk load before the clock starts (excluded from rate estimates),
+     then a few measured arrivals/terminations so lambda and mu stay
+     positive; the last termination pins the trace horizon at t = 100. *)
+  let c0 = admit 0 in
+  let c1 = admit 1 in
+  ignore (admit 2);
+  ignore (Engine.schedule_at engine ~time:10. (fun _ -> ignore (admit 3)));
+  ignore (Engine.schedule_at engine ~time:20. (fun _ -> ignore (admit 4)));
+  ignore
+    (Engine.schedule_at engine ~time:40. (fun _ ->
+         ignore (Drcomm.terminate svc c0)));
+  ignore
+    (Engine.schedule_at engine ~time:100. (fun _ ->
+         ignore (Drcomm.terminate svc c1)));
+  Obs.span obs "measure" (fun () -> ignore (Engine.run engine));
+  Obs.close obs;
+  path
+
+let with_triangle_trace f =
+  let path = run_triangle_scenario () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_audit_acceptance () =
+  with_triangle_trace @@ fun path ->
+  let a = Analysis.of_file path in
+  let r = Analysis.estimate_rates a in
+  (* Disjoint triangles: nothing ever chains. *)
+  Alcotest.check approx "measured p_f" 0. r.Analysis.p_f;
+  Alcotest.check approx "measured p_s" 0. r.Analysis.p_s;
+  Alcotest.check approx "measured gamma" 0. r.Analysis.gamma;
+  Alcotest.(check bool) "measured lambda > 0" true (r.Analysis.lambda > 0.);
+  let audit = Analysis.audit a in
+  Alcotest.(check int) "paper spec levels" 9 audit.Analysis.levels;
+  (* The acceptance bound: empirical residency within 0.05 (L_inf) of
+     the analytic stationary distribution for the same rates. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "audit L_inf %.4f < 0.05" audit.Analysis.linf)
+    true
+    (audit.Analysis.linf < 0.05);
+  (* Both distributions concentrate at the QoS ceiling. *)
+  Alcotest.(check bool)
+    "empirical mass at top" true
+    (audit.Analysis.empirical.(8) > 0.95);
+  Alcotest.(check bool)
+    "analytic mass at top" true
+    (audit.Analysis.analytic.(8) > 0.95)
+
+(* Walk a Perfetto document: per-track (pid, tid) timestamp ordering,
+   balanced B/E nesting, and the nesting depth of named "B" events. *)
+let walk_perfetto doc =
+  let get name obj =
+    match obj with
+    | Jsonx.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let events =
+    match get "traceEvents" doc with
+    | Some (Jsonx.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let tracks = Hashtbl.create 4 in
+  (* tid -> (last ts, open-span stack) *)
+  let depth_of = Hashtbl.create 16 in
+  (* "B" name -> max stack depth at open *)
+  List.iter
+    (fun ev ->
+      let str name = match get name ev with Some (Jsonx.String s) -> s | _ -> "" in
+      let num name =
+        match get name ev with
+        | Some (Jsonx.Float x) -> x
+        | Some (Jsonx.Int i) -> float_of_int i
+        | _ -> Alcotest.fail (Printf.sprintf "missing numeric %S field" name)
+      in
+      match str "ph" with
+      | "M" -> ()
+      | ("B" | "E" | "i") as ph ->
+        let tid = int_of_float (num "tid") in
+        let ts = num "ts" in
+        let last, stack =
+          match Hashtbl.find_opt tracks tid with
+          | Some s -> s
+          | None -> (neg_infinity, [])
+        in
+        if ts < last then
+          Alcotest.fail
+            (Printf.sprintf "track %d: ts %.3f < %.3f" tid ts last);
+        let stack =
+          match ph with
+          | "B" ->
+            let name = str "name" in
+            let d = List.length stack in
+            let prev =
+              Option.value ~default:(-1) (Hashtbl.find_opt depth_of name)
+            in
+            Hashtbl.replace depth_of name (max prev d);
+            name :: stack
+          | "E" -> (
+            match stack with
+            | _ :: rest -> rest
+            | [] -> Alcotest.fail (Printf.sprintf "track %d: E underflow" tid))
+          | _ -> stack
+        in
+        Hashtbl.replace tracks tid (ts, stack)
+      | ph -> Alcotest.fail (Printf.sprintf "unexpected phase %S" ph))
+    events;
+  Hashtbl.iter
+    (fun tid (_, stack) ->
+      if stack <> [] then
+        Alcotest.fail (Printf.sprintf "track %d: %d unclosed spans" tid
+                         (List.length stack)))
+    tracks;
+  depth_of
+
+let test_perfetto_export () =
+  with_triangle_trace @@ fun path ->
+  let a = Analysis.of_file path in
+  let doc = Analysis.to_perfetto a in
+  (* The export must survive a JSON round-trip (i.e. be a valid file). *)
+  let doc = Jsonx.of_string (Jsonx.to_string doc) in
+  let depth_of = walk_perfetto doc in
+  (match Hashtbl.find_opt depth_of "engine.run" with
+  | Some d ->
+    Alcotest.(check bool)
+      (Printf.sprintf "engine.run nested (depth %d >= 1)" d)
+      true (d >= 1)
+  | None -> Alcotest.fail "no engine.run span in the export");
+  Alcotest.(check bool)
+    "profiler saw nesting too" true
+    (Analysis.max_span_depth a >= 2)
+
+let test_analysis_deterministic () =
+  (* Same trace bytes, same analysis — byte-for-byte. *)
+  with_triangle_trace @@ fun path ->
+  let a1 = Analysis.of_file path and a2 = Analysis.of_file path in
+  Alcotest.(check string)
+    "perfetto export identical"
+    (Jsonx.to_string (Analysis.to_perfetto a1))
+    (Jsonx.to_string (Analysis.to_perfetto a2));
+  Alcotest.(check (list (float 0.)))
+    "residency identical"
+    (Array.to_list (Analysis.residency a1))
+    (Array.to_list (Analysis.residency a2));
+  let d1 = (Analysis.audit a1).Analysis.linf
+  and d2 = (Analysis.audit a2).Analysis.linf in
+  Alcotest.check (Alcotest.float 0.) "audit identical" d1 d2
+
+let test_top_spans_from_trace () =
+  with_triangle_trace @@ fun path ->
+  let a = Analysis.of_file path in
+  let spans = Analysis.top_spans ~limit:3 a in
+  Alcotest.(check bool) "some spans aggregated" true (spans <> []);
+  Alcotest.(check bool) "limit respected" true (List.length spans <= 3);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Analysis.span_name ^ " count positive")
+        true (s.Analysis.span_count > 0);
+      Alcotest.(check bool)
+        (s.Analysis.span_name ^ " self <= total")
+        true
+        (s.Analysis.span_self_s <= s.Analysis.span_total_s +. 1e-9))
+    spans;
+  (* Sorted by self time, descending. *)
+  let selfs = List.map (fun s -> s.Analysis.span_self_s) spans in
+  Alcotest.(check (list (float 0.)))
+    "sorted by self time" (List.sort (Fun.flip compare) selfs) selfs
+
+let test_of_file_errors () =
+  let path = Filename.temp_file "drqos_analysis_bad" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"t\": 0.0, \"ev\": \"admit\", \"channel\": 0, ";
+  output_string oc "\"direct\": 0, \"indirect\": 0}\nnot json\n";
+  close_out oc;
+  (match Analysis.of_file path with
+  | exception Jsonx.Line_error { line; _ } ->
+    Alcotest.(check int) "syntax error names line 2" 2 line
+  | _ -> Alcotest.fail "malformed line accepted");
+  let oc = open_out path in
+  output_string oc "{\"t\": 0.0, \"ev\": \"no_such_kind\"}\n";
+  close_out oc;
+  (match Analysis.of_file path with
+  | exception Jsonx.Line_error { line; _ } ->
+    Alcotest.(check int) "unknown kind names line 1" 1 line
+  | _ -> Alcotest.fail "unknown event kind accepted");
+  Sys.remove path
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "residency arithmetic" `Quick
+            test_residency_arithmetic;
+          Alcotest.test_case "live channels close at horizon" `Quick
+            test_residency_closes_live_channels;
+          Alcotest.test_case "upgrade before admit" `Quick
+            test_upgrade_before_admit;
+          Alcotest.test_case "rejection breakdown" `Quick
+            test_rejection_breakdown;
+          Alcotest.test_case "failure windows" `Quick test_failure_windows;
+          Alcotest.test_case "rate estimation" `Quick test_estimate_rates;
+          Alcotest.test_case "empty trace" `Quick test_empty_trace;
+          Alcotest.test_case "of_file error reporting" `Quick
+            test_of_file_errors;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "empirical vs analytic (acceptance)" `Quick
+            test_audit_acceptance;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "perfetto export" `Quick test_perfetto_export;
+          Alcotest.test_case "deterministic" `Quick test_analysis_deterministic;
+          Alcotest.test_case "top spans" `Quick test_top_spans_from_trace;
+        ] );
+    ]

@@ -39,6 +39,55 @@ let test_jsonx_rejects_garbage () =
   Alcotest.(check bool) "unterminated string" true (bad "\"abc");
   Alcotest.(check bool) "bare word" true (bad "qos")
 
+(* --- Jsonx.fold_lines --- *)
+
+let fold_string text =
+  let path = Filename.temp_file "drqos_jsonl" ".jsonl" in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  let ic = open_in path in
+  let result =
+    match
+      Jsonx.fold_lines ic ~init:[] ~f:(fun acc ~line doc -> (line, doc) :: acc)
+    with
+    | docs -> Ok (List.rev docs)
+    | exception Jsonx.Line_error { line; message } -> Error (line, message)
+  in
+  close_in ic;
+  Sys.remove path;
+  result
+
+let test_fold_lines_good () =
+  match fold_string "{\"a\":1}\n\n  \n{\"b\":2}\n" with
+  | Error _ -> Alcotest.fail "good stream rejected"
+  | Ok docs ->
+    Alcotest.(check (list int)) "line numbers skip blanks" [ 1; 4 ]
+      (List.map fst docs);
+    Alcotest.(check bool) "documents parsed" true
+      (List.map snd docs
+      = [ Jsonx.Obj [ ("a", Jsonx.Int 1) ]; Jsonx.Obj [ ("b", Jsonx.Int 2) ] ])
+
+let test_fold_lines_truncated () =
+  (* A crash mid-write leaves a truncated final line; the reader must
+     name it rather than silently dropping data. *)
+  match fold_string "{\"a\":1}\n{\"b\": 2, \"c\"" with
+  | Ok _ -> Alcotest.fail "truncated final line accepted"
+  | Error (line, _) -> Alcotest.(check int) "error names line 2" 2 line
+
+let test_fold_lines_garbage_line () =
+  match fold_string "{\"a\":1}\nnot json at all\n{\"b\":2}\n" with
+  | Ok _ -> Alcotest.fail "garbage line accepted"
+  | Error (line, message) ->
+    Alcotest.(check int) "error names line 2" 2 line;
+    Alcotest.(check bool) "message is non-empty" true (String.length message > 0)
+
+let test_fold_lines_empty_stream () =
+  match fold_string "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "phantom documents"
+  | Error _ -> Alcotest.fail "empty stream rejected"
+
 (* --- Metrics registry --- *)
 
 let test_metrics_counters_and_snapshot () =
@@ -100,6 +149,72 @@ let test_metrics_toggle () =
   Metrics.incr c;
   Alcotest.(check int) "only counted while enabled" 1 (Metrics.count c)
 
+(* --- timer percentiles --- *)
+
+(* The log-bucket histogram has ~12% relative resolution, so quantile
+   answers must land within that of the exact value — deterministically,
+   with no sampling seed. *)
+let check_rel name expected actual =
+  let rel = Float.abs (actual -. expected) /. expected in
+  if rel > 0.15 then
+    Alcotest.failf "%s: expected ~%g, got %g (rel. error %.2f)" name expected
+      actual rel
+
+let test_timer_percentiles () =
+  let reg = Metrics.create () in
+  let tm = Metrics.timer reg "lat" in
+  (* 100 observations: 1 ms .. 100 ms. *)
+  for i = 1 to 100 do
+    Metrics.observe tm (float_of_int i *. 1e-3)
+  done;
+  check_rel "p50" 0.050 (Metrics.timer_quantile tm 0.50);
+  check_rel "p95" 0.095 (Metrics.timer_quantile tm 0.95);
+  check_rel "p99" 0.099 (Metrics.timer_quantile tm 0.99);
+  Alcotest.(check bool) "q out of range rejected" true
+    (match Metrics.timer_quantile tm 1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let empty = Metrics.timer reg "never" in
+  Alcotest.check approx "empty timer quantile is 0" 0.
+    (Metrics.timer_quantile empty 0.5)
+
+let test_timer_percentiles_in_snapshot () =
+  let reg = Metrics.create () in
+  let tm = Metrics.timer reg "solve" in
+  List.iter (Metrics.observe tm) [ 0.010; 0.010; 0.010; 0.500 ];
+  let snap = Jsonx.of_string (Jsonx.to_string (Metrics.snapshot reg)) in
+  let solve = member_exn "solve" (member_exn "timers" snap) in
+  let q name = get_exn (Jsonx.to_float (member_exn name solve)) in
+  check_rel "snapshot p50" 0.010 (q "p50_s");
+  check_rel "snapshot p99" 0.500 (q "p99_s");
+  Alcotest.(check bool) "p95 between p50 and p99" true
+    (q "p50_s" <= q "p95_s" && q "p95_s" <= q "p99_s")
+
+let test_timer_percentiles_merge () =
+  (* Percentiles over merged registries must equal percentiles over the
+     union of observations (bucket counts add exactly). *)
+  let a = Metrics.create () and b = Metrics.create () in
+  for i = 1 to 50 do
+    Metrics.observe (Metrics.timer a "t") (float_of_int i *. 1e-3)
+  done;
+  for i = 51 to 100 do
+    Metrics.observe (Metrics.timer b "t") (float_of_int i *. 1e-3)
+  done;
+  let whole = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.observe (Metrics.timer whole "t") (float_of_int i *. 1e-3)
+  done;
+  Metrics.merge_into ~into:a b;
+  let tm = Metrics.timer a "t" in
+  Alcotest.(check int) "merged count" 100 (Metrics.timer_count tm);
+  List.iter
+    (fun q ->
+      Alcotest.check approx
+        (Printf.sprintf "merged q=%g equals unsplit" q)
+        (Metrics.timer_quantile (Metrics.timer whole "t") q)
+        (Metrics.timer_quantile tm q))
+    [ 0.; 0.25; 0.5; 0.9; 0.95; 0.99; 1. ]
+
 (* --- Trace sinks --- *)
 
 let events_fixture =
@@ -152,6 +267,129 @@ let test_disabled_tracer_emits_nothing () =
   Trace.emit Trace.disabled ~time:1. (Trace.Drop { channel = 1 });
   Alcotest.(check int) "no emission" 0 !hit
 
+(* Every constructor must serialise and parse back: [Trace.all_samples]
+   holds one sample per constructor, so adding a constructor without
+   extending to_json/of_json (or the sample list) fails here. *)
+let test_trace_serialisation_total () =
+  let kinds = List.map Trace.kind Trace.all_samples in
+  Alcotest.(check int) "one distinct kind per constructor"
+    (List.length kinds)
+    (List.length (List.sort_uniq compare kinds));
+  List.iteri
+    (fun i ev ->
+      let time = 0.5 +. float_of_int i in
+      let doc = Jsonx.of_string (Jsonx.to_string (Trace.to_json ~time ev)) in
+      match Trace.of_json doc with
+      | Error msg -> Alcotest.failf "%s does not parse back: %s" (Trace.kind ev) msg
+      | Ok (time', ev') ->
+        Alcotest.check approx (Trace.kind ev ^ " timestamp") time time';
+        (* Structural equality covers every field of every constructor. *)
+        if ev' <> ev then
+          Alcotest.failf "%s fields changed across the round-trip:\n%s\nvs\n%s"
+            (Trace.kind ev)
+            (Jsonx.to_string (Trace.to_json ~time ev))
+            (Jsonx.to_string (Trace.to_json ~time:time' ev')))
+    Trace.all_samples
+
+let test_trace_of_json_rejects () =
+  let err doc =
+    match Trace.of_json (Jsonx.of_string doc) with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown kind" true
+    (err "{\"t\":1.0,\"ev\":\"frobnicate\"}");
+  Alcotest.(check bool) "missing field" true (err "{\"t\":1.0,\"ev\":\"admit\"}");
+  Alcotest.(check bool) "ill-typed field" true
+    (err "{\"t\":1.0,\"ev\":\"terminate\",\"channel\":\"three\"}");
+  Alcotest.(check bool) "missing timestamp" true (err "{\"ev\":\"link_fail\",\"edge\":1}")
+
+let test_tracer_close_idempotent () =
+  let closes = ref 0 in
+  let sink = { Trace.emit = (fun _ _ -> ()); close = (fun () -> incr closes) } in
+  let tracer = Trace.create sink in
+  Trace.close tracer;
+  Trace.close tracer;
+  Alcotest.(check int) "sink closed exactly once" 1 !closes
+
+(* --- Span profiler --- *)
+
+let test_span_nesting_and_self_time () =
+  let sp = Span.create () in
+  let outer = get_exn (Span.enter sp "outer") in
+  let inner = get_exn (Span.enter sp "inner") in
+  Alcotest.(check int) "inner depth" 1 (Span.depth sp - 1);
+  let ri = get_exn (Span.exit sp inner) in
+  let ro = get_exn (Span.exit sp outer) in
+  Alcotest.(check string) "inner name" "inner" ri.Span.name;
+  Alcotest.(check int) "inner depth recorded" 1 ri.Span.depth;
+  Alcotest.(check int) "outer depth recorded" 0 ro.Span.depth;
+  Alcotest.(check bool) "durations are non-negative" true
+    (ri.Span.total_s >= 0. && ro.Span.total_s >= 0.);
+  Alcotest.(check bool) "outer total covers inner" true
+    (ro.Span.total_s >= ri.Span.total_s);
+  Alcotest.(check bool) "outer self excludes inner" true
+    (ro.Span.self_s <= ro.Span.total_s -. ri.Span.total_s +. 1e-9);
+  Alcotest.(check int) "two records kept" 2 (List.length (Span.records sp));
+  (* Completion order: inner closed first. *)
+  (match Span.records sp with
+  | [ a; b ] ->
+    Alcotest.(check string) "inner completes first" "inner" a.Span.name;
+    Alcotest.(check string) "outer completes last" "outer" b.Span.name
+  | _ -> Alcotest.fail "expected exactly two records");
+  match Span.aggregate sp with
+  | aggs ->
+    Alcotest.(check int) "two aggregate rows" 2 (List.length aggs);
+    List.iter
+      (fun a -> Alcotest.(check int) ("count of " ^ a.Span.agg_name) 1 a.Span.count)
+      aggs
+
+let test_span_exit_order_enforced () =
+  let sp = Span.create () in
+  let outer = get_exn (Span.enter sp "outer") in
+  let _inner = get_exn (Span.enter sp "inner") in
+  Alcotest.(check bool) "closing the outer frame first is rejected" true
+    (match Span.exit sp outer with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_span_wrap_protects_on_raise () =
+  let sp = Span.create () in
+  (try Span.wrap sp "boom" (fun () -> failwith "kaboom") with Failure _ -> ());
+  Alcotest.(check int) "stack unwound" 0 (Span.depth sp);
+  Alcotest.(check int) "the raising span still recorded" 1
+    (List.length (Span.records sp))
+
+let test_span_record_cap () =
+  let sp = Span.create ~keep:3 () in
+  for _ = 1 to 5 do
+    Span.wrap sp "tick" (fun () -> ())
+  done;
+  Alcotest.(check int) "records capped" 3 (List.length (Span.records sp));
+  Alcotest.(check int) "overflow counted" 2 (Span.dropped_records sp);
+  match Span.aggregate sp with
+  | [ a ] -> Alcotest.(check int) "aggregate sees every span" 5 a.Span.count
+  | aggs -> Alcotest.failf "expected one aggregate row, got %d" (List.length aggs)
+
+let test_span_merge () =
+  let a = Span.create () and b = Span.create () in
+  Span.wrap a "shared" (fun () -> ());
+  Span.wrap b "shared" (fun () -> ());
+  Span.wrap b "worker_only" (fun () -> ());
+  Span.merge_into ~into:a b;
+  let find name =
+    List.find (fun x -> x.Span.agg_name = name) (Span.aggregate a)
+  in
+  Alcotest.(check int) "shared counts add" 2 (find "shared").Span.count;
+  Alcotest.(check int) "worker-only arrives" 1 (find "worker_only").Span.count;
+  Alcotest.(check bool) "self-merge rejected" true
+    (match Span.merge_into ~into:a a with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* Merging into/from the disabled profiler is a silent no-op. *)
+  Span.merge_into ~into:Span.disabled a;
+  Span.merge_into ~into:a Span.disabled
+
 (* --- Obs context --- *)
 
 let test_obs_span_and_clock () =
@@ -180,6 +418,76 @@ let test_obs_span_and_clock () =
 let test_obs_null_ignores_clock () =
   Obs.set_clock Obs.null (fun () -> 99.);
   Alcotest.check approx "null clock pinned at 0" 0. (Obs.now Obs.null)
+
+let test_obs_profiled_span_emits_span_events () =
+  let events = ref [] in
+  let sink =
+    { Trace.emit = (fun time ev -> events := (time, ev) :: !events);
+      close = (fun () -> ()) }
+  in
+  let obs =
+    Obs.create ~trace:(Trace.create sink) ~spans:(Span.create ()) ()
+  in
+  Alcotest.(check bool) "profiling on" true (Obs.profiling obs);
+  Obs.span obs "outer" (fun () -> Obs.span obs "inner" (fun () -> ()));
+  let kinds = List.rev_map (fun (_, ev) -> Trace.kind ev) !events in
+  Alcotest.(check (list string)) "span events, properly nested"
+    [ "span_begin"; "span_begin"; "span_end"; "span_end" ]
+    kinds;
+  match List.rev !events with
+  | [ _; _; (_, Trace.Span_end { name; total_s; self_s; _ }); (_, Trace.Span_end _) ]
+    ->
+    Alcotest.(check string) "inner closes first" "inner" name;
+    Alcotest.(check bool) "self <= total" true (self_s <= total_s +. 1e-9)
+  | _ -> Alcotest.fail "expected two span_end events"
+
+let test_obs_fork_absorb_spans () =
+  let parent = Obs.create ~spans:(Span.create ()) () in
+  let worker = Obs.fork parent in
+  Alcotest.(check bool) "fork mirrors profiling" true (Obs.profiling worker);
+  Obs.span worker "work" (fun () -> ());
+  Obs.absorb ~into:parent worker;
+  match Span.aggregate (Obs.spans parent) with
+  | [ a ] ->
+    Alcotest.(check string) "merged name" "work" a.Span.agg_name;
+    Alcotest.(check int) "merged count" 1 a.Span.count
+  | aggs -> Alcotest.failf "expected one merged aggregate, got %d" (List.length aggs)
+
+(* Regression: a scenario that raises mid-span must still flush its
+   buffered trace to the sink — the CLI guards the tracer with
+   [Fun.protect ~finally:close] (plus an [at_exit] hook), and [close]
+   must be safe to call on both paths. *)
+let test_obs_trace_flushed_on_raise () =
+  let path = Filename.temp_file "drqos_flush" ".jsonl" in
+  let obs =
+    Obs.create
+      ~trace:(Trace.create (Trace.jsonl_sink (open_out path)))
+      ~spans:(Span.create ()) ()
+  in
+  (try
+     Fun.protect
+       ~finally:(fun () -> Obs.close obs)
+       (fun () ->
+         Obs.span obs "doomed" (fun () ->
+             Obs.event obs (Trace.Link_fail { edge = 3 });
+             failwith "simulated crash"))
+   with Failure _ -> ());
+  (* Double close (Fun.protect now, at_exit later) must stay safe. *)
+  Obs.close obs;
+  let ic = open_in path in
+  let events =
+    Jsonx.fold_lines ic ~init:[] ~f:(fun acc ~line:_ doc ->
+        match Trace.of_json doc with
+        | Ok (_, ev) -> Trace.kind ev :: acc
+        | Error msg -> Alcotest.failf "unparseable flushed line: %s" msg)
+    |> List.rev
+  in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string))
+    "everything before and at the crash reached the file"
+    [ "span_begin"; "link_fail"; "span_end" ]
+    events
 
 (* --- Stats edge cases (satellite coverage) --- *)
 
@@ -233,6 +541,11 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "special floats" `Quick test_jsonx_special_floats;
           Alcotest.test_case "rejects garbage" `Quick test_jsonx_rejects_garbage;
+          Alcotest.test_case "fold_lines good stream" `Quick test_fold_lines_good;
+          Alcotest.test_case "fold_lines truncated" `Quick test_fold_lines_truncated;
+          Alcotest.test_case "fold_lines garbage line" `Quick
+            test_fold_lines_garbage_line;
+          Alcotest.test_case "fold_lines empty" `Quick test_fold_lines_empty_stream;
         ] );
       ( "metrics",
         [
@@ -240,17 +553,44 @@ let () =
             test_metrics_counters_and_snapshot;
           Alcotest.test_case "disabled is no-op" `Quick test_metrics_disabled_is_noop;
           Alcotest.test_case "toggle" `Quick test_metrics_toggle;
+          Alcotest.test_case "timer percentiles" `Quick test_timer_percentiles;
+          Alcotest.test_case "percentiles in snapshot" `Quick
+            test_timer_percentiles_in_snapshot;
+          Alcotest.test_case "percentiles merge exactly" `Quick
+            test_timer_percentiles_merge;
         ] );
       ( "trace",
         [
           Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_sink_roundtrip;
           Alcotest.test_case "disabled tracer" `Quick
             test_disabled_tracer_emits_nothing;
+          Alcotest.test_case "serialisation is total" `Quick
+            test_trace_serialisation_total;
+          Alcotest.test_case "of_json rejects bad docs" `Quick
+            test_trace_of_json_rejects;
+          Alcotest.test_case "close is idempotent" `Quick
+            test_tracer_close_idempotent;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting and self time" `Quick
+            test_span_nesting_and_self_time;
+          Alcotest.test_case "exit order enforced" `Quick
+            test_span_exit_order_enforced;
+          Alcotest.test_case "wrap protects on raise" `Quick
+            test_span_wrap_protects_on_raise;
+          Alcotest.test_case "record cap" `Quick test_span_record_cap;
+          Alcotest.test_case "merge" `Quick test_span_merge;
         ] );
       ( "obs",
         [
           Alcotest.test_case "span and clock" `Quick test_obs_span_and_clock;
           Alcotest.test_case "null ignores clock" `Quick test_obs_null_ignores_clock;
+          Alcotest.test_case "profiled span events" `Quick
+            test_obs_profiled_span_emits_span_events;
+          Alcotest.test_case "fork/absorb spans" `Quick test_obs_fork_absorb_spans;
+          Alcotest.test_case "trace flushed on raise" `Quick
+            test_obs_trace_flushed_on_raise;
         ] );
       ( "stats-edges",
         [
