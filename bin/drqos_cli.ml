@@ -902,10 +902,15 @@ let fuzz_cmd =
 let () =
   let doc = "dependable real-time communication with elastic QoS (Kim & Shin, DSN 2001)" in
   let info = Cmd.info "drqos_cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            run_cmd; sweep_cmd; topo_cmd; chain_cmd; analyze_cmd; perfdiff_cmd;
-            fuzz_cmd;
-          ]))
+  (* Repo convention (PR 1/PR 2, bench/main and drqos_lint alike): usage
+     errors — unknown sub-command, unknown flag, malformed argument —
+     exit 2 with usage on stderr, not cmdliner's default 124. *)
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           run_cmd; sweep_cmd; topo_cmd; chain_cmd; analyze_cmd; perfdiff_cmd;
+           fuzz_cmd;
+         ])
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

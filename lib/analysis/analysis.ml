@@ -235,7 +235,7 @@ let of_events evs =
         :: acc)
       span_cells []
     |> List.sort (fun a b ->
-           match compare b.span_self_s a.span_self_s with
+           match Float.compare b.span_self_s a.span_self_s with
            | 0 -> compare a.span_name b.span_name
            | c -> c)
   in
@@ -419,7 +419,11 @@ let to_perfetto t =
         push
           (entry ~name ~ph:"E" ~tid:2 ~ts:(clamp 1 (us time))
              [ ("args", Jsonx.Obj [ ("seconds", Jsonx.Float seconds) ]) ])
-      | _ ->
+      (* Everything else renders as an instant event.  Spelled out (not
+         [_]) so adding a Trace constructor forces a choice here. *)
+      | Admit _ | Reject _ | Terminate _ | Upgrade _ | Retreat _ | Link_fail _
+      | Link_repair _ | Backup_activate _ | Backup_lost _ | Drop _ | Restore _
+      | Solve _ | Note _ ->
         push
           (entry ~name:(Trace.kind ev) ~ph:"i" ~tid:2 ~ts:(clamp 1 (us time))
              (("s", Jsonx.String "t") :: args_of ~time ev)))

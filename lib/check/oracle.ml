@@ -40,7 +40,7 @@ let check_gamma0_agreement ?(tol = 1e-6) qos =
     Ideal.bandwidth_capped ~qos ~link_bandwidth:1_000_000 ~links:1000 ~channels:1
       ~avg_hops:1.0
   in
-  if abs_float (ideal -. bmax) > 1e-9 then
+  if not (Linsolve.approx_eq ideal bmax) then
     failf "uncontended ideal reference %.6f does not saturate at b_max = %.0f"
       ideal bmax
 

@@ -2,6 +2,8 @@ exception Singular
 
 let pivot_eps = 1e-13
 
+let approx_eq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
 (* In-place elimination on a working copy; returns the solution. *)
 let gaussian_kernel a b =
   let n = Matrix.rows a in
@@ -30,7 +32,7 @@ let gaussian_kernel a b =
     let pivot = Matrix.get m col col in
     for r = col + 1 to n - 1 do
       let factor = Matrix.get m r col /. pivot in
-      if factor <> 0. then begin
+      if not (Float.equal factor 0.) then begin
         Matrix.set m r col 0.;
         for j = col + 1 to n - 1 do
           Matrix.add_to m r j (-.factor *. Matrix.get m col j)

@@ -71,7 +71,7 @@ let mul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = get a i k in
-      if aik <> 0. then
+      if not (Float.equal aik 0.) then
         for j = 0 to b.cols - 1 do
           add_to r i j (aik *. get b k j)
         done

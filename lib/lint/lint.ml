@@ -1,0 +1,85 @@
+type rule_id = R1 | R2 | R3 | R4 | R5 | R6
+
+type severity = Error | Warning
+
+let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+
+let rule_of_name = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | "R6" -> Some R6
+  | _ -> None
+
+let severity = function
+  | R1 | R2 | R4 | R6 -> Error
+  | R3 | R5 -> Warning
+
+let describe = function
+  | R1 ->
+    "float equality: =, <> or polymorphic compare instantiated at float; use \
+     Float.equal/Float.compare (bit-exact intent) or Linalg.approx_eq"
+  | R2 ->
+    "catch-all _ pattern over a closed project variant (Trace.event, Op.t, \
+     ...) that would silently absorb future constructors"
+  | R3 ->
+    "partial stdlib function (List.hd, List.nth, Option.get, Hashtbl.find) in \
+     library code outside any exception handler"
+  | R4 -> "exception-swallowing `try ... with _ ->` that does not re-raise"
+  | R5 ->
+    "direct stdout printing (print_*, Printf.printf, Format.printf) from \
+     library code; route output through Obs or take an out_channel"
+  | R6 ->
+    "global observability state (Obs.set_default / Obs.install, or a value \
+     that transitively reaches one) used inside a Sweep.map worker function"
+
+type finding = {
+  rule : rule_id;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let rule_index = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5 | R6 -> 6
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = Int.compare (rule_index a.rule) (rule_index b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let finding_to_string f =
+  Printf.sprintf "%s:%d:%d: [%s/%s] %s" f.file f.line f.col (rule_name f.rule)
+    (severity_name (severity f.rule))
+    f.message
+
+let finding_to_json f =
+  Jsonx.Obj
+    [
+      ("rule", Jsonx.String (rule_name f.rule));
+      ("severity", Jsonx.String (severity_name (severity f.rule)));
+      ("file", Jsonx.String f.file);
+      ("line", Jsonx.Int f.line);
+      ("col", Jsonx.Int f.col);
+      ("message", Jsonx.String f.message);
+    ]

@@ -1,0 +1,91 @@
+type entry = {
+  b_rule : Lint.rule_id;
+  b_file : string;
+  b_line : int;
+  b_reason : string;
+}
+
+type outcome = {
+  kept : Lint.finding list;
+  suppressed : int;
+  stale : entry list;
+}
+
+let parse_line ~file ~n line =
+  let fail msg = Error (Printf.sprintf "%s:%d: %s" file n msg) in
+  match String.split_on_char ' ' (String.trim line) with
+  | rule :: loc :: (_ :: _ as reason_words) -> (
+    let reason = String.trim (String.concat " " reason_words) in
+    if reason = "" then fail "missing justification"
+    else
+      match Lint.rule_of_name rule with
+      | None -> fail (Printf.sprintf "unknown rule id %S" rule)
+      | Some b_rule -> (
+        match String.rindex_opt loc ':' with
+        | None -> fail (Printf.sprintf "expected <file>:<line>, got %S" loc)
+        | Some i -> (
+          let b_file = String.sub loc 0 i in
+          let ln = String.sub loc (i + 1) (String.length loc - i - 1) in
+          match int_of_string_opt ln with
+          | Some b_line when b_line > 0 ->
+            Ok { b_rule; b_file; b_line; b_reason = reason }
+          | _ -> fail (Printf.sprintf "bad line number %S" ln))))
+  | [ _ ] | [ _; _ ] | [] ->
+    fail "expected: <rule> <file>:<line> <justification>"
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    let lines = String.split_on_char '\n' text in
+    let rec go acc n = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        let t = String.trim line in
+        if t = "" || t.[0] = '#' then go acc (n + 1) rest
+        else (
+          match parse_line ~file:path ~n line with
+          | Error _ as e -> e
+          | Ok entry -> go (entry :: acc) (n + 1) rest)
+    in
+    go [] 1 lines
+
+let matches e (f : Lint.finding) =
+  e.b_rule = f.rule && e.b_file = f.file && e.b_line = f.line
+
+let apply entries findings =
+  let used = Array.make (List.length entries) false in
+  let kept =
+    List.filter
+      (fun f ->
+        let hit = ref false in
+        List.iteri
+          (fun i e ->
+            if matches e f then begin
+              used.(i) <- true;
+              hit := true
+            end)
+          entries;
+        not !hit)
+      findings
+  in
+  let stale =
+    List.filteri (fun i _ -> not used.(i)) entries
+  in
+  { kept; suppressed = List.length findings - List.length kept; stale }
+
+let of_finding ~reason (f : Lint.finding) =
+  { b_rule = f.rule; b_file = f.file; b_line = f.line; b_reason = reason }
+
+let entry_to_string e =
+  Printf.sprintf "%s %s:%d %s" (Lint.rule_name e.b_rule) e.b_file e.b_line
+    e.b_reason
+
+let entry_to_json e =
+  Jsonx.Obj
+    [
+      ("rule", Jsonx.String (Lint.rule_name e.b_rule));
+      ("file", Jsonx.String e.b_file);
+      ("line", Jsonx.Int e.b_line);
+      ("reason", Jsonx.String e.b_reason);
+    ]

@@ -1,0 +1,39 @@
+(** Suppression baselines: the allowlist of findings the project has
+    triaged and accepted, each with a mandatory justification.
+
+    One entry per line:
+
+    {v <rule> <file>:<line> <justification...> v}
+
+    e.g. [R3 lib/routing/yen.ml:37 guarded by the non-empty check above].
+    Blank lines and [#] comments are skipped.  An entry suppresses every
+    finding with the same rule, file and line; an entry matching no
+    finding is {e stale} and fails the gate, so suppressions cannot
+    outlive the code they excused. *)
+
+type entry = {
+  b_rule : Lint.rule_id;
+  b_file : string;
+  b_line : int;
+  b_reason : string;  (** never empty — unjustified entries are rejected. *)
+}
+
+type outcome = {
+  kept : Lint.finding list;  (** unsuppressed findings, original order. *)
+  suppressed : int;
+  stale : entry list;  (** entries that matched nothing, file order. *)
+}
+
+val load : string -> (entry list, string) result
+(** Reads a baseline file; [Error] carries a [file:line]-prefixed parse
+    message (missing justification, bad rule id, malformed location) or
+    the I/O failure. *)
+
+val apply : entry list -> Lint.finding list -> outcome
+
+val of_finding : reason:string -> Lint.finding -> entry
+
+val entry_to_string : entry -> string
+(** The file format, one line, no trailing newline. *)
+
+val entry_to_json : entry -> Jsonx.t

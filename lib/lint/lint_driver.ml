@@ -1,0 +1,113 @@
+type config = {
+  roots : string list;
+  rules : Lint.rule_id list;
+  protect : string list;
+  lib_prefix : string;
+}
+
+let default_protect = [ "Trace.event"; "Op.t"; "Policy.t" ]
+
+let default_config ~roots =
+  { roots; rules = Lint.all_rules; protect = default_protect; lib_prefix = "lib/" }
+
+(* ------------------------------------------------------------------ *)
+(* Input discovery.                                                    *)
+
+let is_cmt path = Filename.check_suffix path ".cmt"
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name -> walk acc (Filename.concat path name))
+      acc
+      (let names = Sys.readdir path in
+       Array.sort String.compare names;
+       names)
+  else if is_cmt path then path :: acc
+  else acc
+
+let find_cmts roots =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | root :: rest ->
+      if not (Sys.file_exists root) then
+        Error (Printf.sprintf "no such file or directory: %s" root)
+      else if (not (Sys.is_directory root)) && not (is_cmt root) then
+        Error (Printf.sprintf "not a .cmt file or directory: %s" root)
+      else go (walk acc root) rest
+  in
+  go [] roots
+
+(* ------------------------------------------------------------------ *)
+(* Loading.                                                            *)
+
+let load_unit path =
+  match Cmt_format.read_cmt path with
+  | exception Cmt_format.Error _ ->
+    Error (Printf.sprintf "%s: not a typedtree (wrong compiler version?)" path)
+  | exception Cmi_format.Error _ ->
+    Error (Printf.sprintf "%s: bad magic number (stale build artefact?)" path)
+  | exception Sys_error msg -> Error msg
+  | exception (Failure msg | Invalid_argument msg) ->
+    Error (Printf.sprintf "%s: %s" path msg)
+  | infos -> (
+    match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
+    | Cmt_format.Implementation structure, Some source ->
+      Ok
+        (Some
+           {
+             Lint_taint.u_source = source;
+             u_modname = infos.Cmt_format.cmt_modname;
+             u_structure = structure;
+           })
+    | _ -> Ok None (* interfaces, packs, partial saves: nothing to lint *))
+
+let load_units paths =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest -> (
+      match load_unit path with
+      | Error _ as e -> e
+      | Ok None -> go acc rest
+      | Ok (Some u) -> go (u :: acc) rest)
+  in
+  go [] paths
+
+(* ------------------------------------------------------------------ *)
+(* Running.                                                            *)
+
+let run config =
+  match find_cmts config.roots with
+  | Error _ as e -> e
+  | Ok paths -> (
+    match load_units paths with
+    | Error _ as e -> e
+    | Ok units ->
+      let findings = ref [] in
+      let emit f = findings := f :: !findings in
+      let enabled r = List.mem r config.rules in
+      List.iter
+        (fun u ->
+          Lint_rules.check_structure
+            {
+              Lint_rules.source = u.Lint_taint.u_source;
+              modname = u.Lint_taint.u_modname;
+              lib_prefix = config.lib_prefix;
+              protect = config.protect;
+              enabled;
+              emit;
+            }
+            u.Lint_taint.u_structure)
+        units;
+      if enabled Lint.R6 then Lint_taint.check ~emit units;
+      Ok (List.sort_uniq Lint.compare_finding !findings))
+
+let report_json ~findings ~suppressed ~stale =
+  Jsonx.Obj
+    [
+      ("findings", Jsonx.List (List.map Lint.finding_to_json findings));
+      ("suppressed", Jsonx.Int suppressed);
+      ( "stale_baseline",
+        Jsonx.List (List.map Lint_baseline.entry_to_json stale) );
+      ("clean", Jsonx.Bool (findings = [] && stale = []));
+    ]

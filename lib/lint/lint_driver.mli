@@ -1,0 +1,38 @@
+(** Orchestration: find [.cmt] files, load their typed ASTs, run every
+    enabled rule, and return the sorted findings.
+
+    The driver never prints — the executable owns presentation — and it
+    reports unreadable inputs as [Error] rather than skipping them: a
+    gate that silently analysed nothing would pass vacuously. *)
+
+type config = {
+  roots : string list;
+      (** files or directories searched recursively for [.cmt]; dune
+          puts them under [_build/default/<dir>/.<lib>.objs/byte]. *)
+  rules : Lint.rule_id list;  (** enabled rules. *)
+  protect : string list;  (** R2's closed variants, as [Module.type]. *)
+  lib_prefix : string;
+      (** source-path prefix delimiting library code for R3/R5
+          (production default ["lib/"]). *)
+}
+
+val default_protect : string list
+(** [Trace.event], [Op.t], [Policy.t] — the closed variants whose silent
+    absorption has already cost a fuzz or trace-audit cycle. *)
+
+val default_config : roots:string list -> config
+(** Every rule, {!default_protect}, [lib_prefix = "lib/"]. *)
+
+val run : config -> (Lint.finding list, string) result
+(** Sorted, deduplicated findings over every implementation [.cmt]
+    reachable from [roots].  [Error] on an unreadable root or a [.cmt]
+    that cannot be loaded. *)
+
+val report_json :
+  findings:Lint.finding list ->
+  suppressed:int ->
+  stale:Lint_baseline.entry list ->
+  Jsonx.t
+(** The [--format json] document:
+    [{"findings":[...],"suppressed":n,"stale_baseline":[...],"clean":b}]
+    where [clean] mirrors the process exit status. *)

@@ -1,0 +1,40 @@
+(** The per-compilation-unit syntactic rules (R1–R5).
+
+    Each check walks one typed AST with a {!Tast_iterator} and emits
+    {!Lint.finding}s through the context's [emit] callback.  The
+    cross-unit reachability rule (R6) lives in {!Lint_taint}; this
+    module only exposes the shared helpers it needs. *)
+
+type ctx = {
+  source : string;
+      (** build-root-relative source path recorded in the [.cmt], e.g.
+          [lib/obs/trace.ml] — findings carry it verbatim. *)
+  modname : string;  (** compilation unit name, e.g. [Trace]. *)
+  lib_prefix : string;
+      (** path prefix delimiting "library code" for the scoped rules
+          (R3, R5); [lib/] in production, the fixture directory in
+          tests. *)
+  protect : string list;
+      (** closed variant types R2 guards, as [Module.type] paths. *)
+  enabled : Lint.rule_id -> bool;
+  emit : Lint.finding -> unit;
+}
+
+val check_structure : ctx -> Typedtree.structure -> unit
+(** Run R1–R5 over one implementation. *)
+
+(** {2 Shared typed-AST helpers (used by {!Lint_taint})} *)
+
+val ident_name : Path.t -> string
+(** [Path.name] with any [Stdlib.] prefix stripped, so [=] and
+    [List.hd] read the same however they were written. *)
+
+val global_name : modname:string -> Path.t -> string option
+(** The project-global name a path refers to: [Some "M.x"] for a
+    cross-unit [M.x], [Some "<modname>.x"] for a unit-local top-level
+    [x] (resolved optimistically — local shadowing is ignored), [None]
+    for compiler-internal paths. *)
+
+val is_float : Types.type_expr -> bool
+(** The type is literally [float] (predefined path; abbreviations are
+    not expanded — a [type t = float] alias escapes R1). *)

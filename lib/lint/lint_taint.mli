@@ -1,0 +1,40 @@
+(** R6 — domain-safety of [Sweep.map] worker functions.
+
+    [Sweep.map] hands every worker a private {!Obs.fork}; mutating the
+    domain-local default context from inside a worker ([Obs.set_default],
+    [Obs.install], or any function that transitively reaches one)
+    clobbers that fork and re-introduces exactly the cross-domain
+    metrics races PR 2 removed.  Reading [Obs.default] through a
+    component's [?obs] fallback is sanctioned by the DLS design and not
+    flagged — but a worker lambda naming [Obs.default] {e directly} is:
+    it already receives the context it should use as its first argument.
+
+    The analysis is a cross-unit taint pass over every loaded [.cmt]:
+
+    + collect, per top-level value [M.x], the set of global names its
+      body references (unit-local idents are resolved optimistically to
+      [M.name]; shadowing is ignored);
+    + fix-point: a value is tainted when it references
+      [Obs.set_default] / [Obs.install] or a tainted value.  Taint does
+      not flow {e through} [Sweep.map] itself (it installs worker forks
+      by design);
+    + flag every identifier inside the worker argument of a
+      [Sweep.map] call site whose name is tainted, plus direct
+      [Obs.default] / [Obs.set_default] / [Obs.install] references.
+
+    Granularity is top-level [let]s; values inside nested modules are
+    not tracked (none of the observability mutators live there). *)
+
+type unit_info = {
+  u_source : string;  (** build-root-relative source path. *)
+  u_modname : string;
+  u_structure : Typedtree.structure;
+}
+
+val check : emit:(Lint.finding -> unit) -> unit_info list -> unit
+(** Run the whole pass over one load of the project.  [emit] receives
+    R6 findings only. *)
+
+val tainted_globals : unit_info list -> string list
+(** The fix-point's result (sorted), exposed for tests: global values
+    that transitively reach an observability mutator. *)

@@ -61,13 +61,13 @@ let mean_reward c reward =
 let holding_time c s =
   check c s "holding_time";
   let e = exit_rate c s in
-  if e = 0. then infinity else 1. /. e
+  if Float.equal e 0. then infinity else 1. /. e
 
 let embedded_dtmc c =
   let p = Matrix.create c.n c.n in
   for i = 0 to c.n - 1 do
     let e = exit_rate c i in
-    if e = 0. then Matrix.set p i i 1.
+    if Float.equal e 0. then Matrix.set p i i 1.
     else
       for j = 0 to c.n - 1 do
         if j <> i then Matrix.set p i j (c.rates.((i * c.n) + j) /. e)
@@ -91,6 +91,8 @@ let mean_first_passage c ~targets =
   let m = List.length others in
   let index = Hashtbl.create 16 in
   List.iteri (fun k s -> Hashtbl.replace index s k) others;
+  (* Every non-target state was indexed just above. *)
+  let row s = match Hashtbl.find_opt index s with Some k -> k | None -> assert false in
   let a = Matrix.create m m in
   let b = Array.make m (-1.) in
   List.iteri
@@ -99,7 +101,7 @@ let mean_first_passage c ~targets =
       List.iter
         (fun s' ->
           if s' <> s && not is_target.(s') then
-            Matrix.set a k (Hashtbl.find index s') c.rates.((s * c.n) + s'))
+            Matrix.set a k (row s') c.rates.((s * c.n) + s'))
         (List.init c.n Fun.id))
     others;
   let h = if m = 0 then [||] else Linsolve.gaussian a b in
@@ -129,6 +131,8 @@ let hitting_probability c ~targets ~avoid =
   let m = List.length others in
   let index = Hashtbl.create 16 in
   List.iteri (fun k s -> Hashtbl.replace index s k) others;
+  (* Every free state was indexed just above. *)
+  let row s = match Hashtbl.find_opt index s with Some k -> k | None -> assert false in
   (* p_s = sum_{s'} rate(s,s')/q_s * value(s'); rearranged into a linear
      system over free states. *)
   let a = Matrix.create m m in
@@ -136,7 +140,7 @@ let hitting_probability c ~targets ~avoid =
   List.iteri
     (fun k s ->
       let q = exit_rate c s in
-      if q = 0. then Matrix.set a k k 1. (* absorbing free state: never hits *)
+      if Float.equal q 0. then Matrix.set a k k 1. (* absorbing free state: never hits *)
       else begin
         Matrix.set a k k 1.;
         List.iter
@@ -144,7 +148,7 @@ let hitting_probability c ~targets ~avoid =
             if s' <> s then begin
               let w = c.rates.((s * c.n) + s') /. q in
               match kind.(s') with
-              | `Free -> Matrix.add_to a k (Hashtbl.find index s') (-.w)
+              | `Free -> Matrix.add_to a k (row s') (-.w)
               | `Target -> b.(k) <- b.(k) +. w
               | `Avoid -> ()
             end)
@@ -164,13 +168,13 @@ let hitting_probability c ~targets ~avoid =
 let transient c ~p0 ~horizon ?(eps = 1e-10) () =
   if Array.length p0 <> c.n then invalid_arg "Ctmc.transient: p0 size mismatch";
   if horizon < 0. then invalid_arg "Ctmc.transient: negative horizon";
-  if horizon = 0. then Array.copy p0
+  if Float.equal horizon 0. then Array.copy p0
   else begin
     let max_exit = ref 0. in
     for s = 0 to c.n - 1 do
       max_exit := Float.max !max_exit (exit_rate c s)
     done;
-    if !max_exit = 0. then Array.copy p0
+    if Float.equal !max_exit 0. then Array.copy p0
     else begin
       let lambda = !max_exit *. 1.02 in
       let p =

@@ -5,7 +5,7 @@ let check ~servers ~offered_load =
 (* Stable recursion: B(0) = 1, B(c) = a B(c-1) / (c + a B(c-1)). *)
 let erlang_b ~servers ~offered_load =
   check ~servers ~offered_load;
-  if offered_load = 0. then if servers = 0 then 1. else 0.
+  if Float.equal offered_load 0. then if servers = 0 then 1. else 0.
   else begin
     let b = ref 1. in
     for c = 1 to servers do

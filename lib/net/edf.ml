@@ -17,8 +17,8 @@ let transmission_time t bits =
   float_of_int bits /. (float_of_int t.rate *. 1000.)
 
 let packet_order a b =
-  match compare a.deadline b.deadline with
-  | 0 -> compare a.release b.release
+  match Float.compare a.deadline b.deadline with
+  | 0 -> Float.compare a.release b.release
   | c -> c
 
 let submit t p =

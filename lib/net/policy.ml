@@ -20,10 +20,10 @@ let compare_claims policy a b =
   | Equal_share -> compare a.extras_granted b.extras_granted
   | Proportional ->
     (* Fewest granted increments per unit of utility first. *)
-    compare
+    Float.compare
       (float_of_int a.extras_granted /. a.utility)
       (float_of_int b.extras_granted /. b.utility)
   | Max_utility -> (
-    match compare b.utility a.utility with
+    match Float.compare b.utility a.utility with
     | 0 -> compare a.extras_granted b.extras_granted
     | c -> c)

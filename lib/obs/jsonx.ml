@@ -31,7 +31,7 @@ let float_repr x =
   | _ ->
     let s = Printf.sprintf "%.17g" x in
     let shorter = Printf.sprintf "%.12g" x in
-    if float_of_string shorter = x then shorter else s
+    if Float.equal (float_of_string shorter) x then shorter else s
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
@@ -131,7 +131,7 @@ let parse_string_body cur =
           cur.pos <- cur.pos + 4;
           let code =
             try int_of_string ("0x" ^ hex)
-            with _ -> fail cur "bad \\u escape"
+            with Failure _ -> fail cur "bad \\u escape"
           in
           (* Only BMP code points below 0x80 map to one byte; others are
              emitted as UTF-8. *)

@@ -169,7 +169,7 @@ let aggregate t =
       :: acc)
     t.aggs []
   |> List.sort (fun a b ->
-         match compare b.agg_self_s a.agg_self_s with
+         match Float.compare b.agg_self_s a.agg_self_s with
          | 0 -> compare a.agg_name b.agg_name
          | c -> c)
 

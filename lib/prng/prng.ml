@@ -53,7 +53,7 @@ let exponential t rate =
   if rate <= 0. then invalid_arg "Prng.exponential: rate must be positive";
   let rec draw () =
     let u = float t 1. in
-    if u = 0. then draw () else -.log u /. rate
+    if Float.equal u 0. then draw () else -.log u /. rate
   in
   draw ()
 

@@ -18,7 +18,7 @@ type 'a t = {
 let create () =
   { heap = [||]; size_heap = 0; next_seq = 0; pending = Hashtbl.create 64 }
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b = a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 
 let get arr i = match arr.(i) with Some e -> e | None -> assert false
 

@@ -69,7 +69,7 @@ let node_betweenness g =
 let edge_usage_probability g =
   let n = Graph.node_count g in
   let pairs = float_of_int (n * (n - 1)) in
-  if pairs = 0. then Array.make (Graph.edge_count g) 0.
+  if Float.equal pairs 0. then Array.make (Graph.edge_count g) 0.
   else Array.map (fun b -> b /. pairs) (edge_betweenness g)
 
 (* P_f counts *directed*-link sharing (the reservation-competition notion

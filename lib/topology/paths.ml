@@ -136,7 +136,7 @@ let dijkstra ~weight ?(usable = all_usable) g src dst =
         (Graph.neighbors g u)
     end
   done;
-  if dist.(dst) = infinity then None
+  if Float.equal dist.(dst) infinity then None
   else Some (rebuild_path via src dst, dist.(dst))
 
 let widest_path ~width g src dst =
@@ -149,7 +149,7 @@ let widest_path ~width g src dst =
   let hops = Array.make n max_int in
   let via = Array.make n (-1, -1) in
   let settled = Array.make n false in
-  let better v b h = b > bottleneck.(v) || (b = bottleneck.(v) && h < hops.(v)) in
+  let better v b h = b > bottleneck.(v) || (Float.equal b bottleneck.(v) && h < hops.(v)) in
   bottleneck.(src) <- infinity;
   hops.(src) <- 0;
   let rec pick_next () =
@@ -159,7 +159,7 @@ let widest_path ~width g src dst =
       if (not settled.(v)) && bottleneck.(v) > neg_infinity then
         if !best < 0
            || bottleneck.(v) > bottleneck.(!best)
-           || (bottleneck.(v) = bottleneck.(!best) && hops.(v) < hops.(!best))
+           || (Float.equal bottleneck.(v) bottleneck.(!best) && hops.(v) < hops.(!best))
         then best := v
     done;
     if !best < 0 then ()
@@ -184,7 +184,7 @@ let widest_path ~width g src dst =
     end
   in
   pick_next ();
-  if bottleneck.(dst) = neg_infinity then None
+  if Float.equal bottleneck.(dst) neg_infinity then None
   else Some (rebuild_path via src dst, bottleneck.(dst))
 
 let eccentricity g u =

@@ -111,10 +111,14 @@ let rec start_service t dl =
            let now = Engine.now t.engine in
            p.hop <- p.hop + 1;
            if p.hop >= Array.length p.path then begin
-             let flow_state = Hashtbl.find t.flows p.flow in
-             deliver t flow_state p ~now:(now +. t.propagation_delay)
+             match Hashtbl.find_opt t.flows p.flow with
+             | None ->
+               (* Flows are registered before any packet is injected. *)
+               assert false
+             | Some flow_state ->
+               deliver t flow_state p ~now:(now +. t.propagation_delay)
            end
-           else if t.propagation_delay = 0. then arrive t p
+           else if Float.equal t.propagation_delay 0. then arrive t p
            else
              ignore
                (Engine.schedule t.engine ~delay:t.propagation_delay (fun _ ->

@@ -39,6 +39,25 @@ diff "$tmpdir/verify-bench-j1/fig2.dat" "$tmpdir/verify-bench-j2/fig2.dat" || {
   exit 1
 }
 
+step "lint: zero unbaselined findings, no stale baseline entries"
+# drqos_lint walks the .cmt files dune just built.  Exit 1 covers both
+# unbaselined findings and stale baseline entries (a fixed finding whose
+# suppression was not removed), so either fails the gate.
+dune exec bin/drqos_lint.exe -- --baseline lint.baseline \
+  _build/default/lib _build/default/bin _build/default/bench || {
+  echo "FAIL: lint gate (fix the finding or baseline it with a justification)" >&2
+  exit 1
+}
+
+step "lint self-check: fixture violations are still detected"
+# Negative control: the deliberately-bad fixture library must keep
+# tripping the linter, otherwise the gate above is vacuous.
+if dune exec bin/drqos_lint.exe -- --lib-prefix test/ \
+  _build/default/test/lintfix >/dev/null; then
+  echo "FAIL: linter reported the violation fixtures as clean" >&2
+  exit 1
+fi
+
 step "fuzz: 2000 ops per topology family, fixed seed"
 # The full invariant suite (link accounting, failed-edge unroutability,
 # single-failure safety, counter prediction) is audited after every op;

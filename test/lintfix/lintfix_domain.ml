@@ -1,0 +1,30 @@
+(* R6 fixtures: global observability state inside Sweep.map workers. *)
+
+(* A mutator of the domain-local default, and a value that reaches it
+   only transitively — the taint fix-point must catch both. *)
+let install_metrics () = Obs.set_default (Obs.create ())
+
+let helper () = install_metrics ()
+
+let tainted_hit points =
+  Sweep.map (fun _obs x -> helper (); x) points (* line 10: R6 (helper) *)
+
+let direct_hit points =
+  Sweep.map
+    (fun _obs x ->
+      ignore (Obs.default ()); (* line 15: R6 (direct read) *)
+      x)
+    points
+
+(* Clean controls: a worker that records only into the Obs.t it is
+   handed, and a mutator called outside any worker. *)
+let worker_ok points =
+  Sweep.map
+    (fun wobs x ->
+      Metrics.incr (Metrics.counter (Obs.metrics wobs) "points");
+      x)
+    points
+
+let outside_ok points =
+  install_metrics ();
+  Sweep.map (fun _obs x -> x) points

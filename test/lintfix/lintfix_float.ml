@@ -1,0 +1,15 @@
+(* R1 fixtures: polymorphic comparison instantiated at float.
+   Line numbers are load-bearing — test_lint's goldens name them. *)
+
+let eq_hit a b = a = b +. 1.0 (* line 4: R1 *)
+
+let neq_hit a = a <> 0.0 (* line 6: R1 *)
+
+let compare_hit (a : float) b = compare a b (* line 8: R1 *)
+
+let sort_hit (l : float list) = List.sort compare l (* line 10: R1 *)
+
+(* Clean controls: int comparison, Float.equal, Float.compare. *)
+let int_ok a b = a = b + 1
+
+let float_ok a b = Float.equal a b && Float.compare a b <= 0

@@ -1,0 +1,29 @@
+(* R2 fixtures: catch-alls over closed project variants. *)
+
+let wildcard_hit (ev : Trace.event) =
+  match ev with
+  | Trace.Admit _ -> "admit"
+  | _ -> "other" (* line 6: R2 *)
+
+let binder_hit (op : Op.t) =
+  match op with
+  | Op.Fail _ -> 1
+  | other -> 0 (* line 11: R2 *)
+
+let function_hit = function
+  | Trace.Reject _ -> true
+  | _ -> false (* line 15: R2 *)
+
+(* Clean controls: total match over Policy.t; catch-all over a
+   non-protected (local) variant; plain fun binder. *)
+let total_ok (p : Policy.t) =
+  match p with
+  | Policy.Equal_share -> 0
+  | Policy.Proportional -> 1
+  | Policy.Max_utility -> 2
+
+type local = A | B
+
+let local_ok (l : local) = match l with A -> 0 | _ -> 1
+
+let lambda_ok = fun (ev : Trace.event) -> Trace.kind ev

@@ -1,0 +1,18 @@
+(* R3 fixtures: partial stdlib functions in "library" code (the test
+   passes --lib-prefix test/ so these count as library sources). *)
+
+let hd_hit l = List.hd l (* line 4: R3 *)
+
+let nth_hit l = List.nth l 3 (* line 6: R3 *)
+
+let get_hit o = Option.get o (* line 8: R3 *)
+
+let find_hit tbl k = Hashtbl.find tbl k (* line 10: R3 *)
+
+(* Clean controls: a surrounding handler, and the _opt variants. *)
+let handled_ok tbl k = try Hashtbl.find tbl k with Not_found -> 0
+
+let match_exception_ok l =
+  match List.hd l with x -> x | exception Failure _ -> 0
+
+let opt_ok tbl k = Hashtbl.find_opt tbl k

@@ -1,0 +1,14 @@
+(* R5 fixtures: direct stdout printing from "library" code. *)
+
+let endline_hit msg = print_endline msg (* line 3: R5 *)
+
+let printf_hit n = Printf.printf "count=%d\n" n (* line 5: R5 *)
+
+let format_hit n = Format.printf "count=%d@." n (* line 7: R5 *)
+
+(* Clean controls: explicit channel, stderr, Buffer-based printing. *)
+let fprintf_ok oc n = Printf.fprintf oc "count=%d\n" n
+
+let stderr_ok msg = prerr_endline msg
+
+let sprintf_ok n = Printf.sprintf "count=%d" n

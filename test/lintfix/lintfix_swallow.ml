@@ -1,0 +1,19 @@
+(* R4 fixtures: exception-swallowing try ... with. *)
+
+let swallow_hit f = try f () with _ -> () (* line 3: R4 *)
+
+let binder_swallow_hit f x =
+  try f x with e -> ignore e (* line 6: R4 *)
+
+(* Clean controls: narrowed handler, re-raise, conversion, assert. *)
+let narrowed_ok f = try f () with Not_found -> ()
+
+let reraise_ok f =
+  try f ()
+  with e ->
+    prerr_endline "cleanup";
+    raise e
+
+let convert_ok f = try f () with _ -> failwith "wrapped"
+
+let exit_ok f = try f () with _ -> exit 1

@@ -1,0 +1,95 @@
+(* Exit-code hygiene for the CLIs, table-driven.
+
+   Convention (DESIGN.md): 0 = success, 1 = findings / failed run,
+   2 = usage error. Every drqos_cli sub-command must exit 2 on an
+   unknown flag (cmdliner's Cmd.Exit.cli_error is remapped in
+   bin/drqos_cli.ml), and drqos_lint hand-rolls the same contract. *)
+
+let cli = "../bin/drqos_cli.exe"
+let lint = "../bin/drqos_lint.exe"
+
+let exit_of cmd =
+  (* Quiet both streams: these invocations exist only for their exit
+     codes, and usage errors print to stderr. *)
+  Sys.command (cmd ^ " >/dev/null 2>/dev/null")
+
+let subcommands =
+  [ "run"; "sweep"; "topo"; "chain"; "analyze"; "perfdiff"; "fuzz" ]
+
+let stderr_mentions_usage cmd =
+  let tmp = Filename.temp_file "drqos_cli" ".stderr" in
+  ignore (Sys.command (Printf.sprintf "%s >/dev/null 2>%s" cmd tmp));
+  let ic = open_in tmp in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  let lower = String.lowercase_ascii text in
+  let needle = "usage" in
+  let nl = String.length needle in
+  let rec scan i =
+    i + nl <= String.length lower
+    && (String.sub lower i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_unknown_flag_exits_2 () =
+  List.iter
+    (fun sub ->
+      let cmd = Printf.sprintf "%s %s --definitely-not-a-flag" cli sub in
+      Alcotest.(check int) (sub ^ ": unknown flag exits 2") 2 (exit_of cmd);
+      Alcotest.(check bool)
+        (sub ^ ": usage printed on stderr")
+        true
+        (stderr_mentions_usage cmd))
+    subcommands
+
+let test_unknown_subcommand_exits_2 () =
+  Alcotest.(check int) "unknown subcommand exits 2" 2
+    (exit_of (cli ^ " no-such-subcommand"))
+
+let test_help_exits_0 () =
+  Alcotest.(check int) "top-level --help" 0 (exit_of (cli ^ " --help"));
+  List.iter
+    (fun sub ->
+      Alcotest.(check int)
+        (sub ^ " --help")
+        0
+        (exit_of (Printf.sprintf "%s %s --help" cli sub)))
+    subcommands
+
+let test_lint_usage_errors_exit_2 () =
+  Alcotest.(check int) "unknown option" 2
+    (exit_of (lint ^ " --definitely-not-a-flag"));
+  Alcotest.(check int) "no roots" 2 (exit_of lint);
+  Alcotest.(check int) "bad --format" 2
+    (exit_of (lint ^ " --format yaml some-root"));
+  Alcotest.(check int) "unknown rule id" 2
+    (exit_of (lint ^ " --rules R99 some-root"));
+  Alcotest.(check int) "--help exits 0" 0 (exit_of (lint ^ " --help"));
+  Alcotest.(check int) "--list-rules exits 0" 0
+    (exit_of (lint ^ " --list-rules"))
+
+let test_lint_findings_exit_1 () =
+  (* The fixture tree always has violations: exercising the "findings
+     present" exit code end-to-end through the executable. *)
+  Alcotest.(check int) "fixture violations exit 1" 1
+    (exit_of
+       (lint ^ " --lib-prefix test/ lintfix/.lint_fixtures.objs/byte"))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "unknown flag per sub-command" `Quick
+            test_unknown_flag_exits_2;
+          Alcotest.test_case "unknown subcommand" `Quick
+            test_unknown_subcommand_exits_2;
+          Alcotest.test_case "--help" `Quick test_help_exits_0;
+          Alcotest.test_case "drqos_lint usage errors" `Quick
+            test_lint_usage_errors_exit_2;
+          Alcotest.test_case "drqos_lint findings" `Quick
+            test_lint_findings_exit_1;
+        ] );
+    ]

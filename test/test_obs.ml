@@ -39,6 +39,24 @@ let test_jsonx_rejects_garbage () =
   Alcotest.(check bool) "unterminated string" true (bad "\"abc");
   Alcotest.(check bool) "bare word" true (bad "qos")
 
+let test_jsonx_bad_unicode_escape () =
+  (* Regression: the \u handler used to catch every exception around
+     int_of_string; it now narrows to Failure. Malformed hex digits
+     must still surface as Parse_error, not escape as something else. *)
+  let bad s =
+    match Jsonx.of_string s with
+    | exception Jsonx.Parse_error _ -> true
+    | exception _ -> false
+    | _ -> false
+  in
+  Alcotest.(check bool) "non-hex digits" true (bad "\"\\uZZZZ\"");
+  Alcotest.(check bool) "truncated escape" true (bad "\"\\u12\"");
+  (* And a well-formed escape still parses. *)
+  Alcotest.(check bool) "valid escape accepted" true
+    (match Jsonx.of_string "\"\\u0041\"" with
+    | Jsonx.String s -> s = "A"
+    | _ -> false)
+
 (* --- Jsonx.fold_lines --- *)
 
 let fold_string text =
@@ -541,6 +559,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "special floats" `Quick test_jsonx_special_floats;
           Alcotest.test_case "rejects garbage" `Quick test_jsonx_rejects_garbage;
+          Alcotest.test_case "bad unicode escape" `Quick
+            test_jsonx_bad_unicode_escape;
           Alcotest.test_case "fold_lines good stream" `Quick test_fold_lines_good;
           Alcotest.test_case "fold_lines truncated" `Quick test_fold_lines_truncated;
           Alcotest.test_case "fold_lines garbage line" `Quick
