@@ -49,6 +49,9 @@ let set_out_dir dir =
     Ok ()
   | exception (Failure msg | Sys_error msg) -> Error msg
 
+let in_out_dir file =
+  match !out_dir with Some dir -> Filename.concat dir file | None -> file
+
 let export_rows name ~header ~rows =
   match !out_dir with
   | None -> ()
@@ -98,9 +101,19 @@ let parse_jobs v =
   | Some _ | None ->
     Error (Printf.sprintf "--jobs expects a count >= 1, got %S" v)
 
+(* Live telemetry: --heartbeat attaches a snapshot emitter (one tick
+   every [hb_sim_every] simulation time units) to every sweep point and
+   concatenates the streams in point order into <name>.heartbeat.jsonl,
+   then replays the file into an ops/sim-time series (<name>.hb.dat).
+   Snapshot contents are purely sim-derived, so like the .dat exports
+   the stream is byte-identical across --jobs (verify.sh diffs it). *)
+let heartbeat = ref false
+let hb_sim_every = 5000.
+
 let common_flags scale =
   [
     ("--quick", Unit (fun () -> scale := Quick));
+    ("--heartbeat", Unit (fun () -> heartbeat := true));
     ("--out", Value set_out_dir);
     ("--jobs", Value parse_jobs);
   ]
@@ -139,20 +152,59 @@ type experiment = {
   render : (Scenario.result * float) list -> unit;
 }
 
-let run_points points =
+let run_points ~name points =
   let obs = Obs.default () in
-  Sweep.map ~jobs:!jobs ~obs
-    (fun obs cfg ->
-      let t0 = Unix.gettimeofday () in
-      let r = Scenario.run ~obs cfg in
-      (r, Unix.gettimeofday () -. t0))
-    points
+  (* One buffer per point: each index is written by exactly one worker,
+     so the buffers need no locking, and concatenating them in index
+     order reproduces the sequential stream whatever --jobs is. *)
+  let bufs =
+    if !heartbeat then
+      Some (Array.init (List.length points) (fun _ -> Buffer.create 256))
+    else None
+  in
+  let results =
+    Sweep.map ~jobs:!jobs ~obs
+      (fun obs (i, cfg) ->
+        let snapshot =
+          Option.map
+            (fun bufs ->
+              let buf = bufs.(i) in
+              Snapshot.create ~sim_every:hb_sim_every
+                ~sink:(fun line ->
+                  Buffer.add_string buf line;
+                  Buffer.add_char buf '\n')
+                ())
+            bufs
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Scenario.run ~obs ?snapshot cfg in
+        (r, Unix.gettimeofday () -. t0))
+      (List.mapi (fun i cfg -> (i, cfg)) points)
+  in
+  Option.iter
+    (fun bufs ->
+      let path = in_out_dir (name ^ ".heartbeat.jsonl") in
+      let oc = open_out path in
+      Array.iter (Buffer.output_buffer oc) bufs;
+      close_out oc;
+      let a = Analysis.of_file path in
+      let series = Analysis.ops_series a in
+      let dat = in_out_dir (name ^ ".hb.dat") in
+      let oc = open_out dat in
+      Printf.fprintf oc "# t\tevents_per_simt\n";
+      List.iter (fun (t, r) -> Printf.fprintf oc "%g\t%g\n" t r) series;
+      close_out oc;
+      note "(%d telemetry snapshots written to %s; ops series to %s)"
+        (List.length (Analysis.snapshots a))
+        path dat)
+    bufs;
+  results
 
 (* Run one experiment's sweep and render it (no manifest — used for
    sub-experiments sharing a manifest, e.g. the ablations). *)
 let run_sweep e =
   let t0 = Unix.gettimeofday () in
-  let results = run_points e.points in
+  let results = run_points ~name:e.name e.points in
   let wall = Unix.gettimeofday () -. t0 in
   e.render results;
   note "(%d points in %.1fs, %d jobs)" (List.length e.points) wall !jobs
@@ -184,9 +236,6 @@ let paper_config ~scale ~offered ~increment ~seed =
    through Sweep's fork/absorb; the GC deltas are main-domain only
    (Gc.quick_stat is per-domain), so allocation inside workers shows up
    in the span aggregates, not under "gc". *)
-let in_out_dir file =
-  match !out_dir with Some dir -> Filename.concat dir file | None -> file
-
 let write_json path doc =
   let oc = open_out path in
   Jsonx.output oc doc;
@@ -194,7 +243,10 @@ let write_json path doc =
   close_out oc
 
 let with_manifest name scale f =
-  let obs = Obs.create ~metrics:(Metrics.create ()) ~spans:(Span.create ()) () in
+  let obs =
+    Obs.create ~metrics:(Metrics.create ()) ~spans:(Span.create ())
+      ~heavy:(Heavy.create ()) ()
+  in
   Obs.set_default obs;
   let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in

@@ -83,7 +83,7 @@ let open_out_or_exit path =
     Printf.eprintf "drqos_cli: cannot open output file: %s\n" msg;
     exit 1
 
-let make_obs ?(profile = false) ~trace ~metrics () =
+let make_obs ?(profile = false) ?heavy ?flight ~trace ~metrics () =
   let tracer =
     match trace with
     | None -> Trace.disabled
@@ -99,7 +99,7 @@ let make_obs ?(profile = false) ~trace ~metrics () =
       Metrics.create ()
   in
   let spans = if profile then Span.create () else Span.disabled in
-  let obs = Obs.create ~metrics:registry ~trace:tracer ~spans () in
+  let obs = Obs.create ~metrics:registry ~trace:tracer ~spans ?heavy ?flight () in
   Obs.install obs;
   obs
 
@@ -167,8 +167,39 @@ let run_cmd =
       value & flag
       & info [ "no-backups" ] ~doc:"Disable backup channels entirely (baseline).")
   in
+  let heartbeat =
+    Arg.(
+      value & opt (some string) None
+      & info [ "heartbeat" ] ~docv:"FILE"
+          ~doc:
+            "Write periodic telemetry snapshots (JSONL) to $(docv); feed it to \
+             $(b,drqos_cli top).")
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt float 5000.
+      & info [ "heartbeat-every" ] ~docv:"T"
+          ~doc:"Simulation-time interval between snapshots.")
+  in
+  let heartbeat_wall =
+    Arg.(
+      value & opt (some float) None
+      & info [ "heartbeat-wall" ] ~docv:"S"
+          ~doc:
+            "Also emit wall-clock heartbeats every $(docv) seconds (progress / \
+             GC / stall telemetry; non-deterministic lines).")
+  in
+  let flight_dump =
+    Arg.(
+      value & opt string "drqos.flight.jsonl"
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Where the crash flight recorder dumps the last trace events if \
+             the run dies.")
+  in
   let run seed nodes topo capacity offered lambda mu gamma increment policy churn
-      warmup no_multiplexing no_backups trace metrics profile =
+      warmup no_multiplexing no_backups trace metrics profile heartbeat
+      heartbeat_every heartbeat_wall flight_dump =
     let cfg =
       {
         Scenario.default with
@@ -188,12 +219,39 @@ let run_cmd =
         seed;
       }
     in
-    let obs = make_obs ~profile ~trace ~metrics () in
+    (* Heavy-hitter sketches only pay for themselves when something will
+       read them — the snapshot stream's hottest-links field. *)
+    let heavy = if heartbeat <> None then Heavy.create () else Heavy.disabled in
+    let obs =
+      make_obs ~profile ~trace ~metrics ~heavy
+        ~flight:(Flight.create ~capacity:2048 ()) ()
+    in
+    Obs.set_flight_dump obs flight_dump;
+    let hb_oc = Option.map open_out_or_exit heartbeat in
+    let snapshot =
+      Option.map
+        (fun oc ->
+          Snapshot.create ~sim_every:heartbeat_every ?wall_every:heartbeat_wall
+            ~sink:(fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            ())
+        hb_oc
+    in
     (* The protect (plus the at_exit hook in [make_obs]) flushes the
-       trace sink even when the run raises mid-way. *)
-    Fun.protect ~finally:(fun () -> Obs.close obs) @@ fun () ->
+       trace sink — and dumps the flight recorder — even when the run
+       raises mid-way. *)
+    Fun.protect
+      ~finally:(fun () ->
+        (match Obs.dump_flight obs with
+        | Some path -> Format.eprintf "flight recorder dumped to %s@." path
+        | None -> ());
+        Option.iter close_out hb_oc;
+        Obs.close obs)
+    @@ fun () ->
     let t0 = Unix.gettimeofday () in
-    let r = Scenario.run ~obs cfg in
+    let r = Scenario.run ~obs ?snapshot cfg in
+    Obs.cancel_flight_dump obs;
     let wall_s = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." Scenario.pp_result r;
     Format.printf "level distribution (time-weighted):@.";
@@ -223,13 +281,19 @@ let run_cmd =
       (fun path ->
         Obs.close obs;
         if path <> "-" then Format.printf "trace written to %s@." path)
-      trace
+      trace;
+    Option.iter
+      (fun path ->
+        let n = match snapshot with Some s -> Snapshot.emitted s | None -> 0 in
+        Format.printf "%d telemetry snapshots written to %s@." n path)
+      heartbeat
   in
   let term =
     Term.(
       const run $ seed_arg $ nodes_arg $ topology_arg $ capacity_arg $ offered
       $ lambda $ mu $ gamma $ increment $ policy $ churn $ warmup $ no_multiplexing
-      $ no_backups $ trace_arg $ metrics_arg $ profile_arg)
+      $ no_backups $ trace_arg $ metrics_arg $ profile_arg $ heartbeat
+      $ heartbeat_every $ heartbeat_wall $ flight_dump)
   in
   Cmd.v
     (Cmd.info "run"
@@ -882,6 +946,17 @@ let fuzz_cmd =
               Format.printf "reproducer (%d ops, shrunk from %d):@.%s"
                 (Array.length f.Fuzz.script) f.Fuzz.stats.Fuzz.ops_run
                 (Fuzz.to_script f);
+              (* Black box: the shrunk replay's last trace events,
+                 timestamped with op indices into the script above. *)
+              let flight_path =
+                Printf.sprintf "%s-seed%d.flight.jsonl"
+                  (Fuzz.family_name family) seed
+              in
+              let oc = open_out_or_exit flight_path in
+              Flight.dump_events f.Fuzz.flight oc;
+              close_out oc;
+              Format.printf "flight recorder (%d events) written to %s@."
+                (List.length f.Fuzz.flight) flight_path;
               Some f)
           families
       in
@@ -899,6 +974,147 @@ let fuzz_cmd =
              print a shrunk replayable reproducer.")
     term
 
+(* --- top --- *)
+
+let top_cmd =
+  let hb_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HEARTBEAT"
+          ~doc:"Telemetry JSONL written by a $(b,--heartbeat) run.")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:"Re-read the file and refresh the view until interrupted.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S"
+          ~doc:"Refresh period in $(b,--follow) mode (seconds).")
+  in
+  let stall_factor =
+    Arg.(
+      value & opt float 3.0
+      & info [ "stall-factor" ] ~docv:"X"
+          ~doc:
+            "Flag a wall-clock stall when a heartbeat gap exceeds $(docv) \
+             times the expected cadence (median observed gap).")
+  in
+  let links =
+    Arg.(
+      value & opt int 5
+      & info [ "links" ] ~docv:"K" ~doc:"Hottest links shown.")
+  in
+  let take k l =
+    let rec go k = function
+      | x :: tl when k > 0 -> x :: go (k - 1) tl
+      | _ -> []
+    in
+    go k l
+  in
+  let render path ~stall_factor ~links =
+    let a = Analysis.of_file path in
+    let snaps = Analysis.snapshots a in
+    let hbs = Analysis.heartbeats a in
+    Format.printf "drqos top — %s (%d snapshots, %d heartbeats)@." path
+      (List.length snaps) (List.length hbs);
+    (match List.rev snaps with
+    | [] -> Format.printf "no snapshots yet@."
+    | last :: _ ->
+      Format.printf
+        "sim t=%g  events=%d  live=%d (peak %d)  queue=%d (peak %d)  \
+         footprint=%d@."
+        last.Analysis.sn_time last.Analysis.sn_events last.Analysis.sn_live
+        last.Analysis.sn_peak_live last.Analysis.sn_queue
+        last.Analysis.sn_peak_queue last.Analysis.sn_footprint;
+      Format.printf "live by level:";
+      List.iteri (fun i n -> Format.printf " S%d:%d" i n)
+        last.Analysis.sn_live_by_level;
+      Format.printf "@.";
+      (match Analysis.ops_series a with
+      | [] -> ()
+      | series ->
+        let n = List.length series in
+        let mean =
+          List.fold_left (fun acc (_, r) -> acc +. r) 0. series /. float_of_int n
+        in
+        let _, last_rate = List.nth series (n - 1) in
+        Format.printf "dispatch rate: %.4g ev/simt (mean %.4g over %d intervals)@."
+          last_rate mean n);
+      (match take links last.Analysis.sn_hot with
+      | [] -> ()
+      | hot ->
+        Format.printf "hottest links (churn):";
+        List.iter (fun (dl, n) -> Format.printf " %d:%d" dl n) hot;
+        Format.printf "@.");
+      (match take 6 last.Analysis.sn_counters with
+      | [] -> ()
+      | cs ->
+        Format.printf "counter deltas:";
+        List.iter (fun (name, d) -> Format.printf " %s:%+d" name d) cs;
+        Format.printf "@."));
+    (match List.rev hbs with
+    | [] -> ()
+    | last :: _ ->
+      Format.printf
+        "wall t=%.1fs  %.0f ops/s  gc: %.0f minor + %.0f major words/beat, \
+         heap %d words@."
+        last.Analysis.hb_wall_s last.Analysis.hb_ops_per_s
+        last.Analysis.hb_minor_words last.Analysis.hb_major_words
+        last.Analysis.hb_heap_words);
+    match Analysis.stalls ~factor:stall_factor a with
+    | [] -> if hbs <> [] then Format.printf "no stalls detected@."
+    | stalls ->
+      Format.printf "STALLS (%d):" (List.length stalls);
+      List.iter
+        (fun (at, gap) -> Format.printf " %.1fs gap at wall t=%.1fs;" gap at)
+        stalls;
+      Format.printf "@."
+  in
+  let run path follow interval stall_factor links =
+    if stall_factor <= 0. then begin
+      Format.eprintf "drqos_cli: --stall-factor must be positive@.";
+      exit 2
+    end;
+    let render_once ~soft =
+      try
+        render path ~stall_factor ~links;
+        true
+      with
+      | Sys_error msg ->
+        Format.eprintf "drqos_cli: %s@." msg;
+        soft
+      | Jsonx.Line_error { line; message } ->
+        (* In follow mode a line may be mid-write; try again next tick. *)
+        Format.eprintf "drqos_cli: %s:%d: %s@." path line message;
+        soft
+    in
+    if not follow then begin
+      if not (render_once ~soft:false) then exit 1
+    end
+    else
+      while true do
+        print_string "\027[H\027[2J";
+        ignore (render_once ~soft:true);
+        Format.printf "%!";
+        Unix.sleepf (max 0.05 interval)
+      done
+  in
+  let term =
+    Term.(const run $ hb_file $ follow $ interval $ stall_factor $ links)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Terminal view of a heartbeat telemetry stream: dispatch rate, live \
+          channels by level, hottest links, GC pressure and wall-clock stall \
+          detection.  With $(b,--follow), tails a run in progress.")
+    term
+
 let () =
   let doc = "dependable real-time communication with elastic QoS (Kim & Shin, DSN 2001)" in
   let info = Cmd.info "drqos_cli" ~version:"1.0.0" ~doc in
@@ -910,7 +1126,7 @@ let () =
       (Cmd.group info
          [
            run_cmd; sweep_cmd; topo_cmd; chain_cmd; analyze_cmd; perfdiff_cmd;
-           fuzz_cmd;
+           fuzz_cmd; top_cmd;
          ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -35,6 +35,32 @@ type span_agg = {
   span_major_words : float;
 }
 
+type snapshot_point = {
+  sn_time : float;
+  sn_seq : int;
+  sn_events : int;
+  sn_d_events : int;
+  sn_live : int;
+  sn_live_by_level : int list;
+  sn_queue : int;
+  sn_footprint : int;
+  sn_peak_live : int;
+  sn_peak_queue : int;
+  sn_hot : (int * int) list;
+  sn_counters : (string * int) list;
+}
+
+type heartbeat_point = {
+  hb_time : float;
+  hb_seq : int;
+  hb_wall_s : float;
+  hb_d_events : int;
+  hb_ops_per_s : float;
+  hb_minor_words : float;
+  hb_major_words : float;
+  hb_heap_words : int;
+}
+
 (* One channel's replayed belief: current level, when it got there, and
    the full step history (newest first). *)
 type chan = {
@@ -59,6 +85,8 @@ type t = {
   drop_ts : float list;
   spans : span_agg list;
   max_depth : int;
+  snaps : snapshot_point list; (* in trace order *)
+  hbs : heartbeat_point list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +170,8 @@ let of_events evs =
   let span_cells : (string, span_cell) Hashtbl.t = Hashtbl.create 16 in
   let depth = ref 0 in
   let max_depth = ref 0 in
+  let snaps = ref [] in
+  let hbs = ref [] in
   Array.iter
     (fun (time, ev) ->
       bump counts (Trace.kind ev);
@@ -204,7 +234,51 @@ let of_events evs =
         c.s_total <- c.s_total +. total_s;
         c.s_self <- c.s_self +. self_s;
         c.s_minor <- c.s_minor +. minor_words;
-        c.s_major <- c.s_major +. major_words)
+        c.s_major <- c.s_major +. major_words
+      | Snapshot
+          {
+            seq;
+            events = sn_events;
+            d_events;
+            live;
+            live_by_level;
+            queue;
+            footprint;
+            peak_live;
+            peak_queue;
+            hot;
+            counters;
+          } ->
+        snaps :=
+          {
+            sn_time = time;
+            sn_seq = seq;
+            sn_events;
+            sn_d_events = d_events;
+            sn_live = live;
+            sn_live_by_level = live_by_level;
+            sn_queue = queue;
+            sn_footprint = footprint;
+            sn_peak_live = peak_live;
+            sn_peak_queue = peak_queue;
+            sn_hot = hot;
+            sn_counters = counters;
+          }
+          :: !snaps
+      | Heartbeat { seq; wall_s; d_events; ops_per_s; minor_words; major_words; heap_words }
+        ->
+        hbs :=
+          {
+            hb_time = time;
+            hb_seq = seq;
+            hb_wall_s = wall_s;
+            hb_d_events = d_events;
+            hb_ops_per_s = ops_per_s;
+            hb_minor_words = minor_words;
+            hb_major_words = major_words;
+            hb_heap_words = heap_words;
+          }
+          :: !hbs)
     events;
   (* Channels still live at the end of the trace accrue to the horizon. *)
   Hashtbl.iter (fun _ c -> if c.c_open then accrue c.c_level (horizon -. c.c_since)) chans;
@@ -254,6 +328,8 @@ let of_events evs =
     drop_ts = List.rev !drop_ts;
     spans;
     max_depth = !max_depth;
+    snaps = List.rev !snaps;
+    hbs = List.rev !hbs;
   }
 
 let of_channel ic =
@@ -345,6 +421,55 @@ let top_spans ?limit t =
 let max_span_depth t = t.max_depth
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry views                                                     *)
+
+let snapshots t = t.snaps
+let heartbeats t = t.hbs
+
+(* Event-dispatch rate between successive snapshots of the same stream:
+   streams restart their sequence at 0 per run (a concatenated sweep
+   file contains several), so only consecutive points with increasing
+   seq and time form an interval. *)
+let ops_series t =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let dt = b.sn_time -. a.sn_time in
+      let acc =
+        if b.sn_seq > a.sn_seq && dt > 0. then
+          (b.sn_time, float_of_int (b.sn_events - a.sn_events) /. dt) :: acc
+        else acc
+      in
+      go acc rest
+    | _ -> List.rev acc
+  in
+  go [] t.snaps
+
+let median = function
+  | [] -> 0.
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    a.(Array.length a / 2)
+
+let stalls ?(factor = 3.) ?expected t =
+  if factor <= 0. then invalid_arg "Analysis.stalls: factor must be positive";
+  let rec gaps acc = function
+    | a :: (b :: _ as rest) ->
+      let acc =
+        if b.hb_seq > a.hb_seq then (b.hb_wall_s, b.hb_wall_s -. a.hb_wall_s) :: acc
+        else acc
+      in
+      gaps acc rest
+    | _ -> List.rev acc
+  in
+  let gaps = gaps [] t.hbs in
+  let expected =
+    match expected with Some e -> e | None -> median (List.map snd gaps)
+  in
+  if expected <= 0. then []
+  else List.filter (fun (_, gap) -> gap > factor *. expected) gaps
+
+(* ------------------------------------------------------------------ *)
 (* Perfetto export                                                     *)
 
 (* Two tracks under one pid: tid 1 carries the profiler spans on their
@@ -419,11 +544,26 @@ let to_perfetto t =
         push
           (entry ~name ~ph:"E" ~tid:2 ~ts:(clamp 1 (us time))
              [ ("args", Jsonx.Obj [ ("seconds", Jsonx.Float seconds) ]) ])
+      (* Telemetry snapshots render as Perfetto counter tracks, so the
+         viewer plots live channels and queue depth as curves over
+         simulation time. *)
+      | Snapshot { live; queue; footprint; _ } ->
+        push
+          (entry ~name:"telemetry" ~ph:"C" ~tid:2 ~ts:(clamp 1 (us time))
+             [
+               ( "args",
+                 Jsonx.Obj
+                   [
+                     ("live", Jsonx.Int live);
+                     ("queue", Jsonx.Int queue);
+                     ("footprint", Jsonx.Int footprint);
+                   ] );
+             ])
       (* Everything else renders as an instant event.  Spelled out (not
          [_]) so adding a Trace constructor forces a choice here. *)
       | Admit _ | Reject _ | Terminate _ | Upgrade _ | Retreat _ | Link_fail _
       | Link_repair _ | Backup_activate _ | Backup_lost _ | Drop _ | Restore _
-      | Solve _ | Note _ ->
+      | Solve _ | Note _ | Heartbeat _ ->
         push
           (entry ~name:(Trace.kind ev) ~ph:"i" ~tid:2 ~ts:(clamp 1 (us time))
              (("s", Jsonx.String "t") :: args_of ~time ev)))

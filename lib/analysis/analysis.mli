@@ -156,11 +156,65 @@ val top_spans : ?limit:int -> t -> span_agg list
 val max_span_depth : t -> int
 (** Deepest [span_begin] nesting observed; [0] for a span-free trace. *)
 
+(** {1 Telemetry views}
+
+    Replayed {!Trace.Snapshot} / {!Trace.Heartbeat} streams (the
+    heartbeat JSONL written by [--heartbeat] runs).  A concatenated
+    sweep file carries one stream per point; streams are delimited by
+    their sequence numbers restarting at 0. *)
+
+type snapshot_point = {
+  sn_time : float;  (** simulation time of the tick. *)
+  sn_seq : int;
+  sn_events : int;
+  sn_d_events : int;
+  sn_live : int;
+  sn_live_by_level : int list;
+  sn_queue : int;
+  sn_footprint : int;
+  sn_peak_live : int;
+  sn_peak_queue : int;
+  sn_hot : (int * int) list;
+  sn_counters : (string * int) list;
+}
+
+type heartbeat_point = {
+  hb_time : float;
+  hb_seq : int;
+  hb_wall_s : float;
+  hb_d_events : int;
+  hb_ops_per_s : float;
+  hb_minor_words : float;
+  hb_major_words : float;
+  hb_heap_words : int;
+}
+
+val snapshots : t -> snapshot_point list
+(** Event-time snapshots in trace order. *)
+
+val heartbeats : t -> heartbeat_point list
+(** Wall-clock heartbeats in trace order. *)
+
+val ops_series : t -> (float * float) list
+(** Event-dispatch rate over simulation time: one [(time, d_events/dt)]
+    point per consecutive snapshot pair of the same stream (sequence
+    increasing, time strictly advancing — pairs across stream
+    boundaries in a concatenated file are skipped). *)
+
+val stalls : ?factor:float -> ?expected:float -> t -> (float * float) list
+(** Wall-clock stalls in the heartbeat stream: [(wall_s, gap)] for every
+    inter-heartbeat gap exceeding [factor] (default 3, must be positive)
+    times the expected cadence ([expected] seconds; default: the median
+    observed gap).  A gapped stream is how a hung or GC-thrashing run
+    shows up while the simulation clock stands still.  Empty when fewer
+    than two heartbeats of one stream exist. *)
+
 val to_perfetto : t -> Jsonx.t
 (** The trace as a Chrome/Perfetto trace-event document
     ([{"traceEvents": [...]}], [ts] in microseconds): profiler spans as
     ["B"]/["E"] pairs on one track (wall time since the profiler epoch),
-    simulation phases as ["B"]/["E"] and every other event as an instant
-    ["i"] on a second track (simulation time), with ["M"] metadata
-    naming both.  Timestamps are clamped non-decreasing per track, so
-    the file always loads. *)
+    simulation phases as ["B"]/["E"], telemetry snapshots as ["C"]
+    counter samples (live channels, queue size, footprint) and every
+    other event as an instant ["i"] on a second track (simulation time),
+    with ["M"] metadata naming both.  Timestamps are clamped
+    non-decreasing per track, so the file always loads. *)

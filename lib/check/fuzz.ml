@@ -124,14 +124,22 @@ type stats = {
 
 type violation = { index : int; op : Op.t; message : string }
 
-type run = { stats : stats; violation : violation option }
+type run = {
+  stats : stats;
+  violation : violation option;
+  flight : (float * Trace.event) list;
+}
 
 let replay ?(extra_invariant = fun (_ : Drcomm.t) -> ()) cfg (ops : Op.t array) =
   let g = topology cfg in
   let n = Graph.node_count g in
   let ec = Graph.edge_count g in
   let metrics = Metrics.create () in
-  let obs = Obs.create ~metrics () in
+  (* Always-on flight recorder: replays are fully deterministic, so the
+     ring's tail is a black box of the trace events leading into a
+     violation, with the op index as the time axis. *)
+  let flight = Flight.create ~capacity:256 () in
+  let obs = Obs.create ~metrics ~flight () in
   let net =
     Net_state.create ~multiplexing:cfg.multiplexing ~capacity:cfg.capacity g
   in
@@ -267,6 +275,7 @@ let replay ?(extra_invariant = fun (_ : Drcomm.t) -> ()) cfg (ops : Op.t array) 
   in
   let violation = ref None in
   let at = ref 0 in
+  Obs.set_clock obs (fun () -> float_of_int !at);
   (try
      Array.iteri
        (fun i op ->
@@ -301,7 +310,7 @@ let replay ?(extra_invariant = fun (_ : Drcomm.t) -> ()) cfg (ops : Op.t array) 
       live = Drcomm.count t;
     }
   in
-  { stats; violation = !violation }
+  { stats; violation = !violation; flight = Flight.events flight }
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking: classic ddmin over the op script                         *)
@@ -338,6 +347,7 @@ type failure = {
   script : Op.t array;
   violation : violation;
   stats : stats;
+  flight : (float * Trace.event) list;
 }
 
 let run ?extra_invariant ?(shrink = true) cfg =
@@ -350,12 +360,11 @@ let run ?extra_invariant ?(shrink = true) cfg =
     let script =
       if shrink then shrink_script ?extra_invariant cfg prefix else prefix
     in
-    let violation =
-      match (replay ?extra_invariant cfg script).violation with
-      | Some v' -> v'
-      | None -> v
-    in
-    Error { config = cfg; script; violation; stats = r.stats }
+    (* The black box comes from the final (shrunk) replay, so its events
+       line up with the reproducer script's op indices. *)
+    let final = replay ?extra_invariant cfg script in
+    let violation = match final.violation with Some v' -> v' | None -> v in
+    Error { config = cfg; script; violation; stats = r.stats; flight = final.flight }
 
 let config_line cfg =
   Printf.sprintf

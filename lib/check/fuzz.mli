@@ -73,7 +73,14 @@ type stats = {
 
 type violation = { index : int; op : Op.t; message : string }
 
-type run = { stats : stats; violation : violation option }
+type run = {
+  stats : stats;
+  violation : violation option;
+  flight : (float * Trace.event) list;
+      (** black box: the last trace events before the run ended (ring of
+          256), timestamped with the op index that emitted them.  Dump
+          with {!Flight.dump_events}. *)
+}
 
 val replay :
   ?extra_invariant:(Drcomm.t -> unit) -> config -> Op.t array -> run
@@ -87,6 +94,9 @@ type failure = {
   script : Op.t array;  (** minimal failing script (or the raw prefix). *)
   violation : violation;  (** as reported by replaying [script]. *)
   stats : stats;  (** of the original, unshrunk run. *)
+  flight : (float * Trace.event) list;
+      (** black box of the {e final} (shrunk) replay, so event times are
+          op indices into [script]. *)
 }
 
 val run :

@@ -51,6 +51,13 @@ type t = {
   m_backup_losses : Metrics.counter;
   m_drops : Metrics.counter;
   m_restores : Metrics.counter;
+  live_hwm : Metrics.hwm;
+  (* Per-run (standalone) link-churn sketch: interning it in the obs
+     registry would accumulate across runs sharing a worker registry,
+     making per-run "hottest links" depend on sweep scheduling.  It is
+     folded into the registry sketch by [absorb_heavy] at run end. *)
+  h_churn : Heavy.sketch;
+  h_reject : Heavy.sketch;
 }
 
 let create ?(config = default_config) ?obs net =
@@ -77,6 +84,9 @@ let create ?(config = default_config) ?obs net =
     m_backup_losses = Obs.counter obs "drcomm.backup_losses";
     m_drops = Obs.counter obs "drcomm.drops";
     m_restores = Obs.counter obs "drcomm.restores";
+    live_hwm = Metrics.hwm (Obs.metrics obs) "drcomm.live_hwm";
+    h_churn = Heavy.standalone ~enabled:(Heavy.enabled (Obs.heavy obs)) ();
+    h_reject = Obs.heavy_sketch obs "drcomm.reject_endpoints";
   }
 
 let set_auto_redistribute t flag = t.auto_redistribute <- flag
@@ -124,11 +134,19 @@ let find t id =
 
 let bandwidth_at ch lvl = Qos.bandwidth_of_level ch.qos lvl
 
+(* One churn unit per link the operation touched: admissions, retreats
+   and upgrades all count, so the sketch's top-k is the set of links the
+   elastic machinery works hardest. *)
+let offer_churn t links =
+  if Heavy.sketch_enabled t.h_churn then
+    List.iter (fun dl -> Heavy.offer t.h_churn dl) links
+
 let set_level t ch lvl =
   if lvl <> ch.level then begin
     let bw = bandwidth_at ch lvl in
     List.iter (fun dl -> Link_state.set_primary (Net_state.link t.net dl) ~channel:ch.id bw)
       ch.primary;
+    offer_churn t ch.primary;
     if lvl > ch.level then Metrics.incr t.m_upgrades else Metrics.incr t.m_retreats;
     if Obs.tracing t.obs then
       Obs.event t.obs
@@ -344,6 +362,8 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
   let req = Flooding.request ~hop_bound:t.cfg.hop_bound ~src ~dst ~floor () in
   let rejected reason =
     Metrics.incr t.m_rejects;
+    Heavy.offer t.h_reject src;
+    Heavy.offer t.h_reject dst;
     if Obs.tracing t.obs then
       Obs.event t.obs
         (Trace.Reject
@@ -408,6 +428,8 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
     | _ ->
       t.next_id <- id + 1;
       Hashtbl.replace t.channels id ch;
+      offer_churn t plinks;
+      Metrics.observe_hwm t.live_hwm (float_of_int (Hashtbl.length t.channels));
       (* Freed extras and remaining spare are redistributed; the new
          channel participates too. *)
       if t.auto_redistribute then redistribute t ~dirty;
@@ -452,6 +474,7 @@ let terminate t id =
   release_primary_reservations t ch;
   unregister_backup_links t ch;
   Hashtbl.remove t.channels id;
+  offer_churn t ch.primary;
   if t.auto_redistribute then redistribute t ~dirty:ch.primary;
   Metrics.incr t.m_terminations;
   if Obs.tracing t.obs then Obs.event t.obs (Trace.Terminate { channel = id });
@@ -772,6 +795,14 @@ let average_bandwidth t =
   if n = 0 then 0. else float_of_int (total_reserved t) /. float_of_int n
 
 let dropped_connections t = t.dropped
+
+let hot_links t ~k =
+  List.map (fun (key, cnt, _err) -> (key, cnt)) (Heavy.top ~k t.h_churn)
+
+let absorb_heavy t =
+  let reg = Obs.heavy t.obs in
+  if Heavy.enabled reg then
+    Heavy.merge_sketch_into ~into:(Heavy.sketch reg "drcomm.link_churn") t.h_churn
 
 let check_invariants t =
   Net_state.check_invariants t.net;

@@ -227,7 +227,7 @@ let rec schedule_churn c engine =
     end
   end
 
-let run ?obs (cfg : config) =
+let run ?obs ?snapshot (cfg : config) =
   let obs = match obs with Some o -> o | None -> Obs.default () in
   if cfg.offered < 0 then invalid_arg "Scenario.run: negative offered count";
   if cfg.lambda <= 0. || cfg.mu <= 0. then
@@ -283,6 +283,33 @@ let run ?obs (cfg : config) =
   let engine = Engine.create ~obs () in
   (* Trace timestamps now follow the simulation clock. *)
   Obs.set_clock obs (fun () -> Engine.now engine);
+  (* Telemetry heartbeats: the emitter reads everything through this
+     source, all of it simulation state except the wall-clock beats. *)
+  Option.iter
+    (fun snap ->
+      let source =
+        {
+          Snapshot.sim_time = (fun () -> Engine.now engine);
+          events = (fun () -> Engine.dispatched engine);
+          live_by_level =
+            (fun () -> Drcomm.level_histogram service ~max_levels:levels);
+          queue_size = (fun () -> Engine.pending engine);
+          queue_footprint = (fun () -> Engine.footprint engine);
+          hot = (fun () -> Drcomm.hot_links service ~k:5);
+          counters = (fun () -> Metrics.counter_values (Obs.metrics obs));
+        }
+      in
+      Snapshot.start snap source;
+      Option.iter
+        (fun every ->
+          Engine.on_heartbeat engine ~every (fun _ -> Snapshot.tick snap))
+        (Snapshot.sim_every snap);
+      Option.iter
+        (fun every_s ->
+          Engine.on_wall_heartbeat engine ~every_s (fun _ ->
+              Snapshot.wall_tick snap))
+        (Snapshot.wall_every snap))
+    snapshot;
   let probe = probe_create ~levels ~start:0. in
   let churn =
     {
@@ -322,6 +349,7 @@ let run ?obs (cfg : config) =
       ignore (Engine.run engine));
   probe_tick probe service ~now:(Engine.now engine) ~qos:cfg.qos;
   Drcomm.check_invariants service;
+  Drcomm.absorb_heavy service;
   let model_avg =
     Obs.span obs "solve" (fun () ->
         let params =

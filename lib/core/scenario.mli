@@ -72,7 +72,7 @@ type result = {
           (time-weighted share of channel-time spent at each level). *)
 }
 
-val run : ?obs:Obs.t -> config -> result
+val run : ?obs:Obs.t -> ?snapshot:Snapshot.t -> config -> result
 (** Deterministic in [config] (all randomness from [seed]).
 
     [obs] (default {!Obs.default}) observes the whole run: phases
@@ -80,7 +80,15 @@ val run : ?obs:Obs.t -> config -> result
     events are counted under [scenario.churn_*], and the context is
     threaded into the {!Drcomm} service and the {!Engine} (whose clock
     drives the trace timestamps).  Observability never perturbs the
-    simulation itself. *)
+    simulation itself.
+
+    [snapshot] attaches a telemetry emitter to the churn-phase engine:
+    its event-time cadence fires on deterministic simulation-time
+    boundaries (see {!Engine.on_heartbeat}) reading live/level counts,
+    queue footprint, hottest links and counter deltas; its optional
+    wall-clock cadence adds throughput/GC heartbeats.  The service's
+    churn sketch is folded into the obs heavy-hitter registry
+    ({!Drcomm.absorb_heavy}) before returning. *)
 
 (** Aggregate over independent replications (different seeds — fresh
     topology instance and workload each). *)

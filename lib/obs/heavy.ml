@@ -1,0 +1,142 @@
+(* Space-saving (Metwally et al.) top-k summaries.  Capacities are small
+   (tens of entries), so eviction scans the table instead of maintaining
+   a secondary order structure: O(capacity) on a miss-when-full, O(1) on
+   the hit path that dominates skewed streams. *)
+
+type cell = { mutable cnt : int; mutable err : int }
+
+type sketch = {
+  s_reg : t option; (* enabled-ness follows the registry when present *)
+  s_on : bool; (* standalone sketches carry their own flag *)
+  cap : int;
+  cells : (int, cell) Hashtbl.t;
+  mutable total : int;
+}
+
+and t = { mutable on : bool; sketches : (string, sketch) Hashtbl.t }
+
+let sketch_on s = match s.s_reg with Some r -> r.on | None -> s.s_on
+
+let create ?(enabled = true) () = { on = enabled; sketches = Hashtbl.create 8 }
+
+let disabled = create ~enabled:false ()
+
+let enabled t = t.on
+
+let default_capacity = 64
+
+let make_sketch ?(capacity = default_capacity) ~reg ~on () =
+  if capacity < 1 then invalid_arg "Heavy: capacity >= 1";
+  { s_reg = reg; s_on = on; cap = capacity; cells = Hashtbl.create 16; total = 0 }
+
+let sketch ?capacity t name =
+  match Hashtbl.find_opt t.sketches name with
+  | Some s -> s
+  | None ->
+    let s = make_sketch ?capacity ~reg:(Some t) ~on:false () in
+    Hashtbl.replace t.sketches name s;
+    s
+
+let standalone ?capacity ~enabled () =
+  make_sketch ?capacity ~reg:None ~on:enabled ()
+
+let sketch_enabled = sketch_on
+
+(* Deterministic victim: smallest count, smallest key within a tie —
+   equal streams evict identically whatever the hash order is. *)
+let min_cell s =
+  Hashtbl.fold
+    (fun key cell acc ->
+      match acc with
+      | Some (bk, bc) when bc.cnt < cell.cnt || (bc.cnt = cell.cnt && bk < key) ->
+        acc
+      | _ -> Some (key, cell))
+    s.cells None
+
+let insert_weighted s key ~cnt ~err =
+  match Hashtbl.find_opt s.cells key with
+  | Some c ->
+    c.cnt <- c.cnt + cnt;
+    c.err <- c.err + err
+  | None ->
+    if Hashtbl.length s.cells < s.cap then
+      Hashtbl.replace s.cells key { cnt; err }
+    else begin
+      match min_cell s with
+      | None -> Hashtbl.replace s.cells key { cnt; err }
+      | Some (victim, vc) ->
+        (* The evicted minimum bounds how often [key] may already have
+           occurred unseen: inherit it as both count floor and error. *)
+        Hashtbl.remove s.cells victim;
+        Hashtbl.replace s.cells key { cnt = cnt + vc.cnt; err = err + vc.cnt }
+    end
+
+let offer ?(by = 1) s key =
+  if sketch_on s then begin
+    if by < 0 then invalid_arg "Heavy.offer: negative weight";
+    if by > 0 then begin
+      s.total <- s.total + by;
+      insert_weighted s key ~cnt:by ~err:0
+    end
+  end
+
+let total s = s.total
+let tracked s = Hashtbl.length s.cells
+let capacity s = s.cap
+
+let estimate s key =
+  Option.map (fun c -> (c.cnt, c.err)) (Hashtbl.find_opt s.cells key)
+
+let top ?k s =
+  let all =
+    Hashtbl.fold (fun key c acc -> (key, c.cnt, c.err) :: acc) s.cells []
+    |> List.sort (fun (ka, ca, _) (kb, cb, _) ->
+           match compare cb ca with 0 -> compare ka kb | o -> o)
+  in
+  match k with
+  | None -> all
+  | Some k -> List.filteri (fun i _ -> i < k) all
+
+let merge_sketch_into ~into src =
+  if sketch_on into && into != src then begin
+    into.total <- into.total + src.total;
+    (* Largest first, so the keys most likely to survive claim slots
+       before the tail starts evicting. *)
+    List.iter
+      (fun (key, cnt, err) -> insert_weighted into key ~cnt ~err)
+      (top src)
+  end
+
+let merge_into ~into src =
+  if into.on then begin
+    if into == src then invalid_arg "Heavy.merge_into: registry merged into itself";
+    Hashtbl.iter
+      (fun name (s : sketch) ->
+        merge_sketch_into ~into:(sketch ~capacity:s.cap into name) s)
+      src.sketches
+  end
+
+let sketch_json s =
+  Jsonx.Obj
+    [
+      ("total", Jsonx.Int s.total);
+      ("tracked", Jsonx.Int (tracked s));
+      ("capacity", Jsonx.Int s.cap);
+      ( "top",
+        Jsonx.List
+          (List.map
+             (fun (key, cnt, err) ->
+               Jsonx.List [ Jsonx.Int key; Jsonx.Int cnt; Jsonx.Int err ])
+             (top s)) );
+    ]
+
+let snapshot t =
+  let sorted =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.sketches []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Jsonx.Obj
+    [
+      ("enabled", Jsonx.Bool t.on);
+      ("sketches", Jsonx.Obj (List.map (fun (n, s) -> (n, sketch_json s)) sorted));
+    ]

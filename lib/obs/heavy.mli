@@ -1,0 +1,86 @@
+(** Mergeable heavy-hitter sketches (space-saving top-k).
+
+    A sketch tracks the [k] most frequent integer keys of a stream
+    (link ids, node ids) in bounded memory using the space-saving
+    algorithm: hits increment exactly; a miss on a full sketch evicts
+    the current minimum and inherits its count as the new key's error
+    bound.  Estimates therefore {e over}-count: for every tracked key,
+    [true <= estimate <= true + error], and [error <= total / capacity],
+    so any key with true frequency above [total / capacity] is
+    guaranteed to be tracked.
+
+    Sketches are interned by name in a registry mirroring {!Metrics}:
+    instruments minted from a disabled registry reduce every {!offer} to
+    one load and one branch, and {!merge_into} folds worker registries
+    back at {!Sweep} join time.  Merging is an exact (and associative)
+    sum whenever the union of keys fits the capacity; beyond that it
+    stays within the space-saving bound but is order-sensitive like any
+    bounded summary.  Eviction and tie-breaks are deterministic
+    (smallest count, then smallest key), so equal streams produce equal
+    sketches. *)
+
+type t
+(** A registry of named sketches. *)
+
+type sketch
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh registry; [enabled] defaults to [true]. *)
+
+val disabled : t
+(** The shared always-off registry: sketches minted from it never
+    record. *)
+
+val enabled : t -> bool
+
+val sketch : ?capacity:int -> t -> string -> sketch
+(** Interned by name (two calls return the same sketch).  [capacity]
+    (default 64) applies on first creation only. *)
+
+val standalone : ?capacity:int -> enabled:bool -> unit -> sketch
+(** A private sketch outside any registry — for per-run state that must
+    not accumulate across runs sharing a registry. *)
+
+val sketch_enabled : sketch -> bool
+(** Whether offers record: the owning registry's switch for interned
+    sketches, the creation flag for {!standalone} ones.  Guard loops
+    that offer many keys per operation with this. *)
+
+val offer : ?by:int -> sketch -> int -> unit
+(** Record one occurrence of a key (or [by] occurrences, [by >= 0]).
+    No-op on a disabled sketch. *)
+
+val total : sketch -> int
+(** Total weight offered (exact, never truncated). *)
+
+val tracked : sketch -> int
+(** Distinct keys currently tracked ([<= capacity]). *)
+
+val capacity : sketch -> int
+
+val estimate : sketch -> int -> (int * int) option
+(** [(count, error)] for a tracked key: [count - error <= true <=
+    count].  [None] when the key is not tracked. *)
+
+val top : ?k:int -> sketch -> (int * int * int) list
+(** [(key, count, error)] sorted by estimated count descending (key
+    ascending within ties), truncated to [k] (default: all tracked). *)
+
+val merge_sketch_into : into:sketch -> sketch -> unit
+(** Fold one sketch into another (space-saving merge: common keys sum
+    counts and errors; a new key on a full target inherits the evicted
+    minimum as extra error).  No-op when [into] is disabled or the two
+    are the same sketch. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold every sketch of [src] into the same-named sketch of [into]
+    (interned on demand, inheriting the source capacity).  No-op when
+    [into] is disabled; raises [Invalid_argument] when both arguments
+    are the same registry. *)
+
+val sketch_json : sketch -> Jsonx.t
+(** [{"total": n, "tracked": k, "capacity": c, "top": [[key, count,
+    err], ...]}] with [top] in {!top} order. *)
+
+val snapshot : t -> Jsonx.t
+(** [{"enabled": bool, "sketches": {name: sketch_json}}], name-sorted. *)

@@ -2,6 +2,7 @@ type t = {
   mutable on : bool;
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
+  hwms : (string, hwm) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
 }
 
@@ -13,6 +14,8 @@ and gauge = {
   mutable peak : float;
   mutable updates : int;
 }
+
+and hwm = { w_reg : t; mutable high : float; mutable w_updates : int }
 
 and timer = { t_reg : t; mutable spans : Stats.Welford.t; buckets : int array }
 
@@ -41,6 +44,7 @@ let create ?(enabled = true) () =
     on = enabled;
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
+    hwms = Hashtbl.create 16;
     timers = Hashtbl.create 16;
   }
 
@@ -84,6 +88,17 @@ let set g v =
 
 let value g = g.last
 let peak g = if g.updates = 0 then 0. else g.peak
+
+let hwm t name =
+  intern t.hwms name (fun () -> { w_reg = t; high = neg_infinity; w_updates = 0 })
+
+let observe_hwm w v =
+  if w.w_reg.on then begin
+    if v > w.high then w.high <- v;
+    w.w_updates <- w.w_updates + 1
+  end
+
+let hwm_value w = if w.w_updates = 0 then 0. else w.high
 
 let timer t name =
   intern t.timers name (fun () ->
@@ -150,6 +165,16 @@ let merge_into ~into src =
           d.updates <- d.updates + g.updates
         end)
       src.gauges;
+    (* High watermarks max-merge, so the combined value is the true peak
+       across domains whatever order the workers are absorbed in. *)
+    Hashtbl.iter
+      (fun name (w : hwm) ->
+        let d = hwm into name in
+        if w.w_updates > 0 then begin
+          if w.high > d.high then d.high <- w.high;
+          d.w_updates <- d.w_updates + w.w_updates
+        end)
+      src.hwms;
     Hashtbl.iter
       (fun name (tm : timer) ->
         let d = timer into name in
@@ -165,9 +190,24 @@ let sorted_bindings table =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let counter_values t =
+  if not t.on then []
+  else List.map (fun (name, c) -> (name, c.count)) (sorted_bindings t.counters)
+
 let snapshot t =
   let counters =
     List.map (fun (name, c) -> (name, Jsonx.Int c.count)) (sorted_bindings t.counters)
+  in
+  let hwms =
+    List.map
+      (fun (name, w) ->
+        ( name,
+          Jsonx.Obj
+            [
+              ("value", Jsonx.Float (hwm_value w));
+              ("updates", Jsonx.Int w.w_updates);
+            ] ))
+      (sorted_bindings t.hwms)
   in
   let gauges =
     List.map
@@ -205,5 +245,6 @@ let snapshot t =
       ("enabled", Jsonx.Bool t.on);
       ("counters", Jsonx.Obj counters);
       ("gauges", Jsonx.Obj gauges);
+      ("hwm", Jsonx.Obj hwms);
       ("timers", Jsonx.Obj timers);
     ]

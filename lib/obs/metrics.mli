@@ -12,6 +12,7 @@
 type t
 type counter
 type gauge
+type hwm
 type timer
 
 val create : ?enabled:bool -> unit -> t
@@ -40,6 +41,16 @@ val value : gauge -> float
 val peak : gauge -> float
 (** Largest value ever {!set}; [0.] before the first update. *)
 
+val hwm : t -> string -> hwm
+(** A high-watermark gauge: records only the largest value observed.
+    Unlike {!gauge}, whose last value is order-dependent under parallel
+    merges, a watermark max-merges exactly — the combined value is the
+    true peak across domains in any absorb order. *)
+
+val observe_hwm : hwm -> float -> unit
+val hwm_value : hwm -> float
+(** Largest value ever observed; [0.] before the first update. *)
+
 val timer : t -> string -> timer
 
 val observe : timer -> float -> unit
@@ -59,16 +70,23 @@ val timer_quantile : timer -> float -> float
     resolution), deterministic with no sampling seed.  [q] in [0, 1];
     0 on an empty timer; raises [Invalid_argument] outside the range. *)
 
+val counter_values : t -> (string * int) list
+(** Cumulative counter values, name-sorted; [[]] on a disabled
+    registry.  {!Snapshot} diffs successive calls into per-interval
+    deltas. *)
+
 val merge_into : into:t -> t -> unit
 (** Fold [src]'s instruments into [into], interning by name: counters and
     timer observations add exactly (so a parallel sweep merging private
     worker registries counts the same as a sequential run); gauge peaks
-    take the max, last values are best-effort (taken from the source when
-    it recorded any update).  A no-op when [into] is disabled; raises
-    [Invalid_argument] when both arguments are the same registry. *)
+    and high watermarks take the max (order-independent), gauge last
+    values are best-effort (taken from the source when it recorded any
+    update).  A no-op when [into] is disabled; raises [Invalid_argument]
+    when both arguments are the same registry. *)
 
 val snapshot : t -> Jsonx.t
 (** [{"enabled": bool, "counters": {...}, "gauges": {name: {value, peak,
-    updates}}, "timers": {name: {count, total_s, mean_s, min_s, max_s,
-    p50_s, p95_s, p99_s}}}] — the percentile fields come from
-    {!timer_quantile}'s log-bucket histogram. *)
+    updates}}, "hwm": {name: {value, updates}}, "timers": {name: {count,
+    total_s, mean_s, min_s, max_s, p50_s, p95_s, p99_s}}}] — the
+    percentile fields come from {!timer_quantile}'s log-bucket
+    histogram. *)

@@ -2,26 +2,55 @@ type t = {
   metrics : Metrics.t;
   trace : Trace.t;
   spans : Span.t;
+  heavy : Heavy.t;
+  flight : Flight.t;
+  mutable flight_dump : string option;
+  mutable flight_dumped : bool;
   mutable clock : unit -> float;
 }
 
 let zero_clock () = 0.
 
 let null =
-  { metrics = Metrics.disabled; trace = Trace.disabled; spans = Span.disabled; clock = zero_clock }
+  {
+    metrics = Metrics.disabled;
+    trace = Trace.disabled;
+    spans = Span.disabled;
+    heavy = Heavy.disabled;
+    flight = Flight.disabled;
+    flight_dump = None;
+    flight_dumped = false;
+    clock = zero_clock;
+  }
 
 let create ?(metrics = Metrics.disabled) ?(trace = Trace.disabled)
-    ?(spans = Span.disabled) () =
-  { metrics; trace; spans; clock = zero_clock }
+    ?(spans = Span.disabled) ?(heavy = Heavy.disabled)
+    ?(flight = Flight.disabled) () =
+  {
+    metrics;
+    trace;
+    spans;
+    heavy;
+    flight;
+    flight_dump = None;
+    flight_dumped = false;
+    clock = zero_clock;
+  }
 
 let metrics t = t.metrics
 let trace t = t.trace
 let spans t = t.spans
+let heavy t = t.heavy
+let flight t = t.flight
 
 let enabled t =
   Metrics.enabled t.metrics || Trace.enabled t.trace || Span.enabled t.spans
+  || Heavy.enabled t.heavy || Flight.enabled t.flight
 
-let tracing t = Trace.enabled t.trace
+(* The flight recorder consumes the same events as the tracer, so call
+   sites guarding event construction with [tracing] feed it even when
+   the trace sink itself is off. *)
+let tracing t = Trace.enabled t.trace || Flight.enabled t.flight
 let profiling t = Span.enabled t.spans
 
 let set_clock t f = if t != null then t.clock <- f
@@ -39,19 +68,43 @@ let fork t =
     if Metrics.enabled t.metrics then Metrics.create () else Metrics.disabled
   in
   let spans = if Span.enabled t.spans then Span.create () else Span.disabled in
-  create ~metrics ~spans ()
+  let heavy = if Heavy.enabled t.heavy then Heavy.create () else Heavy.disabled in
+  create ~metrics ~spans ~heavy ()
 
 let absorb ~into worker =
   if worker != into then begin
     Metrics.merge_into ~into:into.metrics worker.metrics;
-    Span.merge_into ~into:into.spans worker.spans
+    Span.merge_into ~into:into.spans worker.spans;
+    Heavy.merge_into ~into:into.heavy worker.heavy
   end
 
 let counter t name = Metrics.counter t.metrics name
 let gauge t name = Metrics.gauge t.metrics name
 let timer t name = Metrics.timer t.metrics name
+let heavy_sketch ?capacity t name = Heavy.sketch ?capacity t.heavy name
 
-let event t ev = if Trace.enabled t.trace then Trace.emit t.trace ~time:(t.clock ()) ev
+let event t ev =
+  if Trace.enabled t.trace then Trace.emit t.trace ~time:(t.clock ()) ev;
+  if Flight.enabled t.flight then Flight.record t.flight ~time:(t.clock ()) ev
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder crash dump                                          *)
+
+let set_flight_dump t path =
+  if t != null then begin
+    t.flight_dump <- Some path;
+    t.flight_dumped <- false
+  end
+
+let cancel_flight_dump t = t.flight_dump <- None
+
+let dump_flight t =
+  match t.flight_dump with
+  | Some path when (not t.flight_dumped) && Flight.size t.flight > 0 ->
+    t.flight_dumped <- true;
+    Flight.dump_to_file t.flight path;
+    Some path
+  | _ -> None
 
 (* Spans are timed (metrics timer [phase.<name>]), profiled
    (hierarchical {!Span} record when a profiler is attached) and traced.
@@ -98,5 +151,11 @@ let install t =
   (* [Trace.close] is idempotent, so the at_exit hook is safe alongside
      an explicit close on the normal path; it exists for the abnormal
      ones — an uncaught exception or a mid-run [exit] must not lose the
-     buffered JSONL tail. *)
-  at_exit (fun () -> close t)
+     buffered JSONL tail.  The flight dump fires here too: an armed
+     recorder writes its black box on any exit path that did not
+     explicitly cancel it. *)
+  at_exit (fun () ->
+      (* A failing dump write at exit must not mask the original
+         failure or block the trace flush below. *)
+      (try ignore (dump_flight t) with Sys_error _ -> ());
+      close t)

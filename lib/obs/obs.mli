@@ -1,6 +1,6 @@
 (** The observability context: a {!Metrics} registry, a {!Trace} tracer,
-    and a simulation clock, bundled so instrumented components take one
-    value.
+    a {!Heavy} heavy-hitter registry, a {!Flight} recorder, and a
+    simulation clock, bundled so instrumented components take one value.
 
     Components accept [?obs] at creation and default to the process-wide
     {!default} (initially {!null}, so nothing is recorded until an
@@ -14,20 +14,32 @@ val null : t
 (** The shared disabled context: no-op metrics, no tracer, clock pinned
     at [0.].  {!set_clock} ignores it. *)
 
-val create : ?metrics:Metrics.t -> ?trace:Trace.t -> ?spans:Span.t -> unit -> t
-(** All three default to their disabled instances. *)
+val create :
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?spans:Span.t ->
+  ?heavy:Heavy.t ->
+  ?flight:Flight.t ->
+  unit ->
+  t
+(** All components default to their disabled instances. *)
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
 val spans : t -> Span.t
+val heavy : t -> Heavy.t
+val flight : t -> Flight.t
 
 val enabled : t -> bool
-(** True when the metrics registry, the tracer, or the span profiler is
-    live. *)
+(** True when any component — metrics, tracer, profiler, heavy-hitter
+    registry, or flight recorder — is live. *)
 
 val tracing : t -> bool
-(** True when the tracer is live — guard event construction with this so
-    a disabled trace allocates nothing. *)
+(** True when the tracer {e or the flight recorder} is live — guard
+    event construction with this so a disabled context allocates
+    nothing.  The flight recorder consumes the same {!Trace.event}
+    stream, so it keeps its ring populated even when no trace sink is
+    attached. *)
 
 val profiling : t -> bool
 (** True when a span profiler is attached. *)
@@ -44,22 +56,43 @@ val set_default : t -> unit
     until the merge at join time. *)
 
 val fork : t -> t
-(** A worker-private context mirroring [t]: a fresh metrics registry and
-    span profiler (each enabled iff [t]'s is), no tracer (traces do not
-    cross domains), an independent clock. *)
+(** A worker-private context mirroring [t]: fresh metrics, span and
+    heavy-hitter components (each enabled iff [t]'s is), no tracer or
+    flight recorder (traces do not cross domains), an independent
+    clock. *)
 
 val absorb : into:t -> t -> unit
-(** Merge a {!fork}ed worker's metrics and span aggregates back into
-    [into] ({!Metrics.merge_into}, {!Span.merge_into}); call it after
-    joining the worker's domain.  A no-op when the two contexts are the
-    same. *)
+(** Merge a {!fork}ed worker's metrics, span and heavy-hitter aggregates
+    back into [into] ({!Metrics.merge_into}, {!Span.merge_into},
+    {!Heavy.merge_into}); call it after joining the worker's domain.  A
+    no-op when the two contexts are the same. *)
 
 val counter : t -> string -> Metrics.counter
 val gauge : t -> string -> Metrics.gauge
 val timer : t -> string -> Metrics.timer
 
+val heavy_sketch : ?capacity:int -> t -> string -> Heavy.sketch
+(** Intern a named sketch in the context's heavy-hitter registry
+    ({!Heavy.sketch}). *)
+
 val event : t -> Trace.event -> unit
-(** Emit at the current clock; no-op when not tracing. *)
+(** Emit at the current clock to the trace sink (when tracing) and the
+    flight recorder (when enabled); no-op when both are off. *)
+
+val set_flight_dump : t -> string -> unit
+(** Arm the crash dump: if the process exits — or {!dump_flight} is
+    called, e.g. from a [Fun.protect] finaliser on the failure path —
+    before {!cancel_flight_dump}, the flight recorder's contents are
+    written to the given path as JSONL.  Ignored on {!null}. *)
+
+val cancel_flight_dump : t -> unit
+(** Disarm: the run completed normally, keep no black box. *)
+
+val dump_flight : t -> string option
+(** Write the armed dump now (idempotent: at most one dump per arming;
+    skipped when disarmed or the recorder is empty).  Returns the path
+    written.  {!install}'s [at_exit] hook calls this too, so an uncaught
+    exception still produces the black box. *)
 
 val span : t -> string -> (unit -> 'a) -> 'a
 (** [span t name f] runs [f], records its wall time under the metrics
@@ -75,7 +108,9 @@ val close : t -> unit
 (** Close the tracer's sink (idempotent, see {!Trace.close}). *)
 
 val install : t -> unit
-(** {!set_default} plus an [at_exit] {!close} hook: entry points call
-    this so a raised exception or mid-run [exit] cannot lose buffered
-    trace output.  Pair with [Fun.protect ~finally:(fun () -> close t)]
-    around the run itself to flush on the normal path too. *)
+(** {!set_default} plus an [at_exit] hook that writes any armed flight
+    dump and closes the tracer: entry points call this so a raised
+    exception or mid-run [exit] cannot lose buffered trace output or
+    the crash black box.  Pair with
+    [Fun.protect ~finally:(fun () -> close t)] around the run itself to
+    flush on the normal path too. *)

@@ -1,0 +1,55 @@
+(** Periodic run-telemetry heartbeats, streamed as trace JSONL.
+
+    An emitter turns live simulation state (read through a {!source} of
+    accessors) into {!Trace.Snapshot} lines on an event-time cadence
+    and, optionally, {!Trace.Heartbeat} lines on a wall-clock cadence:
+
+    - {e event-time snapshots} ([sim_every] simulation-time units,
+      ticked by {!Engine}'s heartbeat hook) carry ops, live connections
+      by QoS level, queue size/footprint, sampled high watermarks,
+      hottest links, and counter deltas — all derived from simulation
+      state only, so equal runs produce byte-identical streams whatever
+      [--jobs] is;
+    - {e wall heartbeats} ([wall_every] seconds) add real throughput and
+      GC rate (minor/major allocation, heap size).  They carry
+      wall-clock values and are excluded from determinism gates.
+
+    The sink receives one serialised JSONL line per tick (no trailing
+    newline); {!Analysis} and [drqos_cli top] replay the stream. *)
+
+type source = {
+  sim_time : unit -> float;
+  events : unit -> int;  (** monotone dispatched-event count. *)
+  live_by_level : unit -> int array;
+  queue_size : unit -> int;
+  queue_footprint : unit -> int;
+  hot : unit -> (int * int) list;  (** hottest links, hottest first. *)
+  counters : unit -> (string * int) list;
+      (** name-sorted cumulative registry counters. *)
+}
+
+type t
+
+val create : ?sim_every:float -> ?wall_every:float -> sink:(string -> unit) -> unit -> t
+(** An emitter with the given cadences ([sim_every] in simulation time
+    units, [wall_every] in seconds; each optional, raising
+    [Invalid_argument] when non-positive).  Call {!start} before
+    ticking. *)
+
+val sim_every : t -> float option
+val wall_every : t -> float option
+
+val start : t -> source -> unit
+(** Attach the accessors and reset deltas, peaks and sequence numbers;
+    the first {!tick} reports deltas relative to this instant. *)
+
+val tick : t -> unit
+(** Emit one event-time {!Trace.Snapshot} line (no-op before
+    {!start}). *)
+
+val wall_tick : t -> unit
+(** Emit one wall-clock {!Trace.Heartbeat} line (no-op before
+    {!start}). *)
+
+val emitted : t -> int
+(** Total lines emitted (snapshots + heartbeats). *)

@@ -23,6 +23,28 @@ type event =
       major_words : float;
     }
   | Note of { name : string; fields : (string * Jsonx.t) list }
+  | Snapshot of {
+      seq : int;
+      events : int;
+      d_events : int;
+      live : int;
+      live_by_level : int list;
+      queue : int;
+      footprint : int;
+      peak_live : int;
+      peak_queue : int;
+      hot : (int * int) list;
+      counters : (string * int) list;
+    }
+  | Heartbeat of {
+      seq : int;
+      wall_s : float;
+      d_events : int;
+      ops_per_s : float;
+      minor_words : float;
+      major_words : float;
+      heap_words : int;
+    }
 
 let kind = function
   | Admit _ -> "admit"
@@ -42,6 +64,8 @@ let kind = function
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
   | Note _ -> "note"
+  | Snapshot _ -> "snapshot"
+  | Heartbeat _ -> "heartbeat"
 
 let fields = function
   | Admit { channel; direct; indirect } ->
@@ -88,6 +112,48 @@ let fields = function
       ("major_words", Jsonx.Float major_words);
     ]
   | Note { name; fields } -> ("name", Jsonx.String name) :: fields
+  | Snapshot
+      {
+        seq;
+        events;
+        d_events;
+        live;
+        live_by_level;
+        queue;
+        footprint;
+        peak_live;
+        peak_queue;
+        hot;
+        counters;
+      } ->
+    [
+      ("seq", Jsonx.Int seq);
+      ("events", Jsonx.Int events);
+      ("d_events", Jsonx.Int d_events);
+      ("live", Jsonx.Int live);
+      ("levels", Jsonx.List (List.map (fun n -> Jsonx.Int n) live_by_level));
+      ("queue", Jsonx.Int queue);
+      ("footprint", Jsonx.Int footprint);
+      ("peak_live", Jsonx.Int peak_live);
+      ("peak_queue", Jsonx.Int peak_queue);
+      ( "hot",
+        Jsonx.List
+          (List.map
+             (fun (key, cnt) -> Jsonx.List [ Jsonx.Int key; Jsonx.Int cnt ])
+             hot) );
+      ("counters", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) counters));
+    ]
+  | Heartbeat { seq; wall_s; d_events; ops_per_s; minor_words; major_words; heap_words }
+    ->
+    [
+      ("seq", Jsonx.Int seq);
+      ("wall_s", Jsonx.Float wall_s);
+      ("d_events", Jsonx.Int d_events);
+      ("ops_per_s", Jsonx.Float ops_per_s);
+      ("minor_words", Jsonx.Float minor_words);
+      ("major_words", Jsonx.Float major_words);
+      ("heap_words", Jsonx.Int heap_words);
+    ]
 
 let to_json ~time ev =
   Jsonx.Obj (("t", Jsonx.Float time) :: ("ev", Jsonx.String (kind ev)) :: fields ev)
@@ -175,6 +241,84 @@ let of_json doc =
       let* minor_words = num "minor_words" in
       let* major_words = num "major_words" in
       Ok (Span_end { name; wall_s; total_s; self_s; minor_words; major_words })
+    | "snapshot" ->
+      let int_list name =
+        field name (function
+          | Jsonx.List l ->
+            let rec go acc = function
+              | [] -> Some (List.rev acc)
+              | x :: rest -> (
+                match Jsonx.to_int x with
+                | Some n -> go (n :: acc) rest
+                | None -> None)
+            in
+            go [] l
+          | _ -> None)
+      in
+      let pair_list name =
+        field name (function
+          | Jsonx.List l ->
+            let rec go acc = function
+              | [] -> Some (List.rev acc)
+              | Jsonx.List [ a; b ] :: rest -> (
+                match (Jsonx.to_int a, Jsonx.to_int b) with
+                | Some x, Some y -> go ((x, y) :: acc) rest
+                | _ -> None)
+              | _ -> None
+            in
+            go [] l
+          | _ -> None)
+      in
+      let counter_obj name =
+        field name (function
+          | Jsonx.Obj kvs ->
+            let rec go acc = function
+              | [] -> Some (List.rev acc)
+              | (k, v) :: rest -> (
+                match Jsonx.to_int v with
+                | Some n -> go ((k, n) :: acc) rest
+                | None -> None)
+            in
+            go [] kvs
+          | _ -> None)
+      in
+      let* seq = int "seq" in
+      let* events = int "events" in
+      let* d_events = int "d_events" in
+      let* live = int "live" in
+      let* live_by_level = int_list "levels" in
+      let* queue = int "queue" in
+      let* footprint = int "footprint" in
+      let* peak_live = int "peak_live" in
+      let* peak_queue = int "peak_queue" in
+      let* hot = pair_list "hot" in
+      let* counters = counter_obj "counters" in
+      Ok
+        (Snapshot
+           {
+             seq;
+             events;
+             d_events;
+             live;
+             live_by_level;
+             queue;
+             footprint;
+             peak_live;
+             peak_queue;
+             hot;
+             counters;
+           })
+    | "heartbeat" ->
+      let* seq = int "seq" in
+      let* wall_s = num "wall_s" in
+      let* d_events = int "d_events" in
+      let* ops_per_s = num "ops_per_s" in
+      let* minor_words = num "minor_words" in
+      let* major_words = num "major_words" in
+      let* heap_words = int "heap_words" in
+      Ok
+        (Heartbeat
+           { seq; wall_s; d_events; ops_per_s; minor_words; major_words; heap_words })
     | "note" ->
       let* name = str "name" in
       let fields =
@@ -219,6 +363,30 @@ let all_samples =
         major_words = 128.;
       };
     Note { name = "custom"; fields = [ ("k", Jsonx.Int 7) ] };
+    Snapshot
+      {
+        seq = 2;
+        events = 1200;
+        d_events = 300;
+        live = 41;
+        live_by_level = [ 5; 0; 36 ];
+        queue = 7;
+        footprint = 16;
+        peak_live = 44;
+        peak_queue = 12;
+        hot = [ (17, 120); (3, 99) ];
+        counters = [ ("drcomm.admits", 40); ("engine.events", 300) ];
+      };
+    Heartbeat
+      {
+        seq = 1;
+        wall_s = 2.5;
+        d_events = 5000;
+        ops_per_s = 2000.;
+        minor_words = 1.5e6;
+        major_words = 4096.;
+        heap_words = 262144;
+      };
   ]
 
 (* ------------------------------------------------------------------ *)

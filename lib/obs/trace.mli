@@ -47,6 +47,38 @@ type event =
     }
   | Note of { name : string; fields : (string * Jsonx.t) list }
       (** Escape hatch for component-specific events. *)
+  | Snapshot of {
+      seq : int;  (** per-emitter sequence number, from 0. *)
+      events : int;  (** engine events dispatched so far. *)
+      d_events : int;  (** events since the previous snapshot. *)
+      live : int;  (** live connections. *)
+      live_by_level : int list;  (** live connections per QoS level. *)
+      queue : int;  (** event-queue size at the tick. *)
+      footprint : int;  (** {!Event_queue.footprint} at the tick. *)
+      peak_live : int;  (** high watermark of sampled [live]. *)
+      peak_queue : int;  (** high watermark of sampled [queue]. *)
+      hot : (int * int) list;
+          (** hottest links as [(link, churn count)] from the service's
+              heavy-hitter sketch, hottest first. *)
+      counters : (string * int) list;
+          (** metrics-registry counter deltas since the previous
+              snapshot, name-sorted, zero deltas omitted. *)
+    }
+      (** Periodic event-time heartbeat ({!Snapshot} module).  Every
+          field derives from simulation state only, so equal runs emit
+          byte-identical snapshot streams whatever [--jobs] is. *)
+  | Heartbeat of {
+      seq : int;
+      wall_s : float;  (** wall time since the emitter started. *)
+      d_events : int;  (** events since the previous heartbeat. *)
+      ops_per_s : float;  (** [d_events] over the wall interval. *)
+      minor_words : float;  (** GC allocation since the previous beat. *)
+      major_words : float;
+      heap_words : int;  (** current major-heap size. *)
+    }
+      (** Periodic wall-clock heartbeat: real throughput and GC rate.
+          Carries wall-clock values, so it is {e not} byte-reproducible —
+          the deterministic stream gates exclude it. *)
 
 val kind : event -> string
 (** The ["ev"] discriminator, e.g. ["backup_activate"]. *)

@@ -30,6 +30,34 @@ val cancel : t -> handle -> bool
 
 val pending : t -> int
 
+val footprint : t -> int
+(** {!Event_queue.footprint} of the engine's queue: heap slots plus
+    pending handles, a proxy for the queue's memory footprint. *)
+
+val dispatched : t -> int
+(** Total events dispatched over the engine's lifetime.  Unlike the
+    [engine.events] counter this is tracked on the engine itself, so it
+    works with a disabled metrics registry and never aggregates across
+    engines. *)
+
+val on_heartbeat : t -> every:float -> (t -> unit) -> unit
+(** Call the function every [every] simulation-time units during {!run},
+    starting at [now t +. every].  Boundaries are fired {e before}
+    dispatching the first event at-or-after them, with the clock set to
+    the boundary instant — the cadence is a pure function of the event
+    stream, so heartbeat-driven telemetry is deterministic.  When a run
+    stops at a finite [until], the boundaries it contains fire as the
+    clock closes on [until].  At most one callback; a second call
+    replaces the first.  [every > 0]. *)
+
+val on_wall_heartbeat : t -> every_s:float -> (t -> unit) -> unit
+(** Call the function roughly every [every_s] wall-clock seconds during
+    {!run}.  The clock is polled every 64 dispatched events, so a beat
+    fires at the first such poll past the interval — cheap, but neither
+    exact nor deterministic (intended for live progress/GC telemetry
+    only).  At most one callback; a second call replaces the first.
+    [every_s > 0]. *)
+
 val run : ?until:float -> ?max_events:int -> t -> int
 (** Process events until the queue drains, the next event would exceed
     [until], or [max_events] have been handled.  Returns the number of

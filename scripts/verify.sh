@@ -32,10 +32,29 @@ test -s "$tmpdir/fig2.metrics.json" || {
 }
 
 step "bench determinism: fig2 --quick --jobs 2 vs --jobs 1"
-dune exec bench/main.exe -- fig2 --quick --jobs 2 --out "$tmpdir/verify-bench-j2" >/dev/null
-dune exec bench/main.exe -- fig2 --quick --jobs 1 --out "$tmpdir/verify-bench-j1" >/dev/null
+dune exec bench/main.exe -- fig2 --quick --heartbeat --jobs 2 --out "$tmpdir/verify-bench-j2" >/dev/null
+dune exec bench/main.exe -- fig2 --quick --heartbeat --jobs 1 --out "$tmpdir/verify-bench-j1" >/dev/null
 diff "$tmpdir/verify-bench-j1/fig2.dat" "$tmpdir/verify-bench-j2/fig2.dat" || {
   echo "FAIL: parallel fig2 sweep diverged from the sequential run" >&2
+  exit 1
+}
+
+step "telemetry determinism: heartbeat stream byte-identical across --jobs"
+# Snapshot contents are purely sim-derived (event-time ticks, zero-
+# suppressed counter deltas, per-run churn sketches), so the
+# concatenated stream must not depend on the worker-pool width.
+cmp "$tmpdir/verify-bench-j1/fig2.heartbeat.jsonl" \
+  "$tmpdir/verify-bench-j2/fig2.heartbeat.jsonl" || {
+  echo "FAIL: heartbeat snapshot stream differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+}
+hb_count=$(wc -l < "$tmpdir/verify-bench-j1/fig2.heartbeat.jsonl")
+[ "$hb_count" -ge 10 ] || {
+  echo "FAIL: fig2 --quick --heartbeat emitted only $hb_count snapshots (< 10)" >&2
+  exit 1
+}
+test -s "$tmpdir/verify-bench-j1/fig2.hb.dat" || {
+  echo "FAIL: heartbeat replay wrote no fig2.hb.dat ops series" >&2
   exit 1
 }
 

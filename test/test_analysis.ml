@@ -343,6 +343,145 @@ let test_top_spans_from_trace () =
   Alcotest.(check (list (float 0.)))
     "sorted by self time" (List.sort (Fun.flip compare) selfs) selfs
 
+(* --- telemetry views --- *)
+
+let snap ~t ~seq ~events ~d_events ~live =
+  ( t,
+    Trace.Snapshot
+      {
+        seq;
+        events;
+        d_events;
+        live;
+        live_by_level = [ live ];
+        queue = 1;
+        footprint = 2;
+        peak_live = live;
+        peak_queue = 1;
+        hot = [ (3, d_events) ];
+        counters = [ ("drcomm.admitted", d_events) ];
+      } )
+
+let beat ~t ~seq ~wall_s =
+  ( t,
+    Trace.Heartbeat
+      {
+        seq;
+        wall_s;
+        d_events = 100;
+        ops_per_s = 100.;
+        minor_words = 1e4;
+        major_words = 1e2;
+        heap_words = 1_000_000;
+      } )
+
+let test_snapshot_replay () =
+  let events =
+    [
+      snap ~t:10. ~seq:0 ~events:100 ~d_events:100 ~live:5;
+      snap ~t:20. ~seq:1 ~events:160 ~d_events:60 ~live:7;
+      snap ~t:30. ~seq:2 ~events:200 ~d_events:40 ~live:6;
+    ]
+  in
+  let a = Analysis.of_events events in
+  let snaps = Analysis.snapshots a in
+  Alcotest.(check int) "three snapshots" 3 (List.length snaps);
+  let first = List.hd snaps in
+  Alcotest.check approx "time" 10. first.Analysis.sn_time;
+  Alcotest.(check int) "live" 5 first.Analysis.sn_live;
+  Alcotest.(check bool) "hot links survive the round-trip" true
+    (first.Analysis.sn_hot = [ (3, 100) ]);
+  Alcotest.(check bool) "counters survive the round-trip" true
+    (first.Analysis.sn_counters = [ ("drcomm.admitted", 100) ]);
+  (* d_events / dt between consecutive same-stream snapshots. *)
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "ops series" [ (20., 6.); (30., 4.) ] (Analysis.ops_series a)
+
+let test_ops_series_stream_boundary () =
+  (* A concatenated sweep file restarts seq at 0 per point; the pair
+     across the boundary must not produce a (negative-dt or bogus)
+     point. *)
+  let events =
+    [
+      snap ~t:10. ~seq:0 ~events:50 ~d_events:50 ~live:1;
+      snap ~t:20. ~seq:1 ~events:90 ~d_events:40 ~live:1;
+      (* next sweep point: seq restarts, sim clock restarts *)
+      snap ~t:10. ~seq:0 ~events:30 ~d_events:30 ~live:1;
+      snap ~t:20. ~seq:1 ~events:50 ~d_events:20 ~live:1;
+    ]
+  in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "one point per stream"
+    [ (20., 4.); (20., 2.) ]
+    (Analysis.ops_series (Analysis.of_events events))
+
+let test_stall_detection () =
+  (* Heartbeats every ~0.1 s with one 1.0 s gap: a stall at 3x the
+     median cadence. *)
+  let beats =
+    [ 0.; 0.1; 0.2; 0.3; 1.3; 1.4; 1.5 ]
+    |> List.mapi (fun i w -> beat ~t:(float_of_int i) ~seq:i ~wall_s:w)
+  in
+  let a = Analysis.of_events beats in
+  Alcotest.(check int) "heartbeats replayed" 7
+    (List.length (Analysis.heartbeats a));
+  (match Analysis.stalls a with
+  | [ (at, gap) ] ->
+    Alcotest.check approx "stall located at the gap end" 1.3 at;
+    Alcotest.check approx "gap width" 1.0 gap
+  | l -> Alcotest.failf "expected 1 stall, got %d" (List.length l));
+  (* With an explicit expected cadence larger than the gap, silence. *)
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "no stalls against a slow expected cadence" []
+    (Analysis.stalls ~expected:1. a);
+  Alcotest.(check bool) "factor <= 0 rejected" true
+    (match Analysis.stalls ~factor:0. a with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_stalls_need_two_beats () =
+  let a = Analysis.of_events [ beat ~t:0. ~seq:0 ~wall_s:0. ] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "single heartbeat, no stalls" [] (Analysis.stalls a)
+
+let test_perfetto_counter_events () =
+  let events =
+    [
+      snap ~t:10. ~seq:0 ~events:100 ~d_events:100 ~live:5;
+      beat ~t:10. ~seq:0 ~wall_s:0.5;
+    ]
+  in
+  let doc =
+    Jsonx.of_string
+      (Jsonx.to_string (Analysis.to_perfetto (Analysis.of_events events)))
+  in
+  let get name obj =
+    match obj with Jsonx.Obj fields -> List.assoc_opt name fields | _ -> None
+  in
+  let evs =
+    match get "traceEvents" doc with
+    | Some (Jsonx.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let counters =
+    List.filter (fun ev -> get "ph" ev = Some (Jsonx.String "C")) evs
+  in
+  (match counters with
+  | [ c ] ->
+    Alcotest.(check bool) "counter named telemetry" true
+      (get "name" c = Some (Jsonx.String "telemetry"));
+    let args = match get "args" c with Some a -> a | None -> Jsonx.Null in
+    Alcotest.(check bool) "live series present" true
+      (get "live" args = Some (Jsonx.Int 5))
+  | l -> Alcotest.failf "expected 1 counter event, got %d" (List.length l));
+  (* The heartbeat lands as an instant like other non-span events. *)
+  Alcotest.(check bool) "heartbeat is an instant" true
+    (List.exists
+       (fun ev ->
+         get "ph" ev = Some (Jsonx.String "i")
+         && get "name" ev = Some (Jsonx.String "heartbeat"))
+       evs)
+
 let test_of_file_errors () =
   let path = Filename.temp_file "drqos_analysis_bad" ".jsonl" in
   let oc = open_out path in
@@ -391,5 +530,18 @@ let () =
           Alcotest.test_case "perfetto export" `Quick test_perfetto_export;
           Alcotest.test_case "deterministic" `Quick test_analysis_deterministic;
           Alcotest.test_case "top spans" `Quick test_top_spans_from_trace;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "snapshot replay and ops series" `Quick
+            test_snapshot_replay;
+          Alcotest.test_case "ops series skips stream boundaries" `Quick
+            test_ops_series_stream_boundary;
+          Alcotest.test_case "stall detection on gapped heartbeats" `Quick
+            test_stall_detection;
+          Alcotest.test_case "stalls need two heartbeats" `Quick
+            test_stalls_need_two_beats;
+          Alcotest.test_case "perfetto counter events" `Quick
+            test_perfetto_counter_events;
         ] );
     ]

@@ -97,6 +97,40 @@ let test_injected_fault_shrinks () =
           true (r.Fuzz.violation = None))
       f.Fuzz.script
 
+(* The black box: a failure carries the final (shrunk) replay's last
+   trace events, timestamped with op indices, and dumps as replayable
+   JSONL next to the reproducer. *)
+let test_failure_carries_flight () =
+  let cfg = Fuzz.config ~family:Fuzz.Waxman ~seed:42 ~ops:400 () in
+  match Fuzz.run ~extra_invariant:injected cfg with
+  | Ok _ -> Alcotest.fail "injected fault not detected"
+  | Error f ->
+    Alcotest.(check bool) "flight recorder non-empty" true (f.Fuzz.flight <> []);
+    (* Event times are op indices into the shrunk script. *)
+    let n = Array.length f.Fuzz.script in
+    List.iter
+      (fun (t, _) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "event time %g within [0, %d)" t n)
+          true
+          (t >= 0. && t < float_of_int n))
+      f.Fuzz.flight;
+    (* The last recorded events come from the final (failing) op. *)
+    let last_t, _ = List.nth f.Fuzz.flight (List.length f.Fuzz.flight - 1) in
+    Alcotest.(check (float 1e-9)) "tail events at the failing op"
+      (float_of_int f.Fuzz.violation.Fuzz.index)
+      last_t;
+    (* And the dump is JSONL that Analysis replays. *)
+    let path = Filename.temp_file "drqos_fuzz_flight" ".jsonl" in
+    let oc = open_out path in
+    Flight.dump_events f.Fuzz.flight oc;
+    close_out oc;
+    let a = Analysis.of_file path in
+    Sys.remove path;
+    Alcotest.(check int) "every event (plus the note header) replays"
+      (List.length f.Fuzz.flight + 1)
+      (Analysis.event_count a)
+
 let test_reproducer_roundtrip () =
   let cfg =
     Fuzz.config ~family:Fuzz.Torus ~seed:42 ~ops:400 ~capacity:900 ~backups:1
@@ -191,6 +225,8 @@ let () =
       ( "shrinking",
         [
           Alcotest.test_case "injected fault shrinks" `Quick test_injected_fault_shrinks;
+          Alcotest.test_case "failure carries the flight recorder" `Quick
+            test_failure_carries_flight;
           Alcotest.test_case "reproducer round-trip" `Quick test_reproducer_roundtrip;
         ] );
       ( "oracles",

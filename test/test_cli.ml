@@ -14,7 +14,7 @@ let exit_of cmd =
   Sys.command (cmd ^ " >/dev/null 2>/dev/null")
 
 let subcommands =
-  [ "run"; "sweep"; "topo"; "chain"; "analyze"; "perfdiff"; "fuzz" ]
+  [ "run"; "sweep"; "topo"; "chain"; "analyze"; "perfdiff"; "fuzz"; "top" ]
 
 let stderr_mentions_usage cmd =
   let tmp = Filename.temp_file "drqos_cli" ".stderr" in
@@ -77,6 +77,76 @@ let test_lint_findings_exit_1 () =
     (exit_of
        (lint ^ " --lib-prefix test/ lintfix/.lint_fixtures.objs/byte"))
 
+(* --- drqos_cli top --- *)
+
+(* A hand-written heartbeat stream: wall beats every ~0.1 s with one
+   1.0 s hole — `top` must call out the stall. *)
+let gapped_heartbeat_fixture () =
+  let path = Filename.temp_file "drqos_top" ".jsonl" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"t\":10,\"ev\":\"snapshot\",\"seq\":0,\"events\":100,\"d_events\":100,\
+     \"live\":5,\"levels\":[2,3],\"queue\":1,\"footprint\":2,\"peak_live\":5,\
+     \"peak_queue\":1,\"hot\":[[7,40]],\"counters\":{\"drcomm.admitted\":5}}\n";
+  Printf.fprintf oc
+    "{\"t\":20,\"ev\":\"snapshot\",\"seq\":1,\"events\":160,\"d_events\":60,\
+     \"live\":6,\"levels\":[2,4],\"queue\":1,\"footprint\":2,\"peak_live\":6,\
+     \"peak_queue\":1,\"hot\":[[7,55]],\"counters\":{}}\n";
+  List.iteri
+    (fun i w ->
+      Printf.fprintf oc
+        "{\"t\":%d,\"ev\":\"heartbeat\",\"seq\":%d,\"wall_s\":%g,\
+         \"d_events\":64,\"ops_per_s\":640,\"minor_words\":1000,\
+         \"major_words\":10,\"heap_words\":100000}\n"
+        (20 + i) i w)
+    [ 0.; 0.1; 0.2; 0.3; 1.3; 1.4 ];
+  close_out oc;
+  path
+
+let output_of cmd =
+  let tmp = Filename.temp_file "drqos_cli" ".stdout" in
+  let code = Sys.command (Printf.sprintf "%s >%s 2>/dev/null" cmd tmp) in
+  let ic = open_in tmp in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  (code, text)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_top_reports_stalls () =
+  let path = gapped_heartbeat_fixture () in
+  let code, out = output_of (Printf.sprintf "%s top %s" cli path) in
+  Sys.remove path;
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check bool) "snapshot summary rendered" true
+    (contains ~sub:"2 snapshots" out);
+  Alcotest.(check bool) "level breakdown rendered" true
+    (contains ~sub:"S1:4" out);
+  Alcotest.(check bool) "hottest link rendered" true (contains ~sub:"7:55" out);
+  Alcotest.(check bool) "the 1s gap is flagged" true
+    (contains ~sub:"STALLS (1)" out)
+
+let test_top_clean_stream_no_stalls () =
+  let path = gapped_heartbeat_fixture () in
+  let code, out =
+    output_of (Printf.sprintf "%s top --stall-factor 20 %s" cli path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check bool) "no stalls at a forgiving factor" true
+    (contains ~sub:"no stalls" out)
+
+let test_top_errors () =
+  Alcotest.(check int) "unreadable file exits 1" 1
+    (exit_of (cli ^ " top /no/such/heartbeat.jsonl"));
+  Alcotest.(check int) "missing positional exits 2" 2 (exit_of (cli ^ " top"));
+  Alcotest.(check int) "non-positive stall factor exits 2" 2
+    (exit_of (cli ^ " top --stall-factor 0 /dev/null"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -91,5 +161,13 @@ let () =
             test_lint_usage_errors_exit_2;
           Alcotest.test_case "drqos_lint findings" `Quick
             test_lint_findings_exit_1;
+        ] );
+      ( "top",
+        [
+          Alcotest.test_case "stall detection on a gapped stream" `Quick
+            test_top_reports_stalls;
+          Alcotest.test_case "clean stream reports no stalls" `Quick
+            test_top_clean_stream_no_stalls;
+          Alcotest.test_case "error exit codes" `Quick test_top_errors;
         ] );
     ]

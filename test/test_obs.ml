@@ -507,6 +507,354 @@ let test_obs_trace_flushed_on_raise () =
     [ "span_begin"; "link_fail"; "span_end" ]
     events
 
+(* --- High-watermark gauges --- *)
+
+let test_hwm_basics () =
+  let reg = Metrics.create () in
+  let w = Metrics.hwm reg "peak" in
+  Alcotest.check approx "0 before updates" 0. (Metrics.hwm_value w);
+  Metrics.observe_hwm w 3.;
+  Metrics.observe_hwm w 10.;
+  Metrics.observe_hwm w 7.;
+  Alcotest.check approx "keeps the max" 10. (Metrics.hwm_value w);
+  Alcotest.(check bool) "interned by name" true (Metrics.hwm reg "peak" == w);
+  let snap = Jsonx.of_string (Jsonx.to_string (Metrics.snapshot reg)) in
+  let peak = member_exn "peak" (member_exn "hwm" snap) in
+  Alcotest.check approx "snapshot value" 10.
+    (get_exn (Jsonx.to_float (member_exn "value" peak)));
+  Alcotest.(check int) "snapshot updates" 3
+    (get_exn (Jsonx.to_int (member_exn "updates" peak)))
+
+let test_hwm_merge_order_independent () =
+  (* The reason hwm exists: gauges keep the *last* value, which depends
+     on worker absorb order; watermarks max-merge, so any permutation of
+     the same forks yields the same combined peak. *)
+  let mk v =
+    let r = Metrics.create () in
+    Metrics.observe_hwm (Metrics.hwm r "live_peak") v;
+    r
+  in
+  let merged order =
+    let into = Metrics.create () in
+    List.iter (fun v -> Metrics.merge_into ~into (mk v)) order;
+    Metrics.hwm_value (Metrics.hwm into "live_peak")
+  in
+  let a = merged [ 4.; 9.; 2. ] in
+  let b = merged [ 2.; 4.; 9. ] in
+  let c = merged [ 9.; 2.; 4. ] in
+  Alcotest.check approx "order 1 = order 2" a b;
+  Alcotest.check approx "order 2 = order 3" b c;
+  Alcotest.check approx "merged value is the true peak" 9. a
+
+let test_counter_values_sorted_and_disabled () =
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "z.last") 3;
+  Metrics.add (Metrics.counter reg "a.first") 1;
+  Alcotest.(check (list (pair string int)))
+    "name-sorted cumulative values"
+    [ ("a.first", 1); ("z.last", 3) ]
+    (Metrics.counter_values reg);
+  Alcotest.(check (list (pair string int)))
+    "disabled registry exposes nothing" []
+    (Metrics.counter_values Metrics.disabled)
+
+(* --- Heavy-hitter sketches --- *)
+
+(* A deterministic skewed stream: key k with true frequency freq(k). *)
+let heavy_stream =
+  let freqs = [ (1, 500); (2, 240); (3, 120); (4, 60); (5, 30) ] in
+  let tail = List.init 40 (fun i -> (100 + i, 3)) in
+  freqs @ tail
+
+let offer_stream sk =
+  (* Interleave round-robin so the tail keys contend with the heavy
+     ones, exercising eviction rather than insertion order. *)
+  let remaining = ref (List.map (fun (k, n) -> (k, ref n)) heavy_stream) in
+  while !remaining <> [] do
+    remaining :=
+      List.filter
+        (fun (k, n) ->
+          if !n > 0 then begin
+            Heavy.offer sk k;
+            decr n
+          end;
+          !n > 0)
+        !remaining
+  done
+
+let test_heavy_error_bound () =
+  let sk = Heavy.standalone ~capacity:16 ~enabled:true () in
+  offer_stream sk;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 heavy_stream in
+  Alcotest.(check int) "total is exact" total (Heavy.total sk);
+  Alcotest.(check bool) "tracked bounded by capacity" true
+    (Heavy.tracked sk <= Heavy.capacity sk);
+  let bound = total / Heavy.capacity sk in
+  List.iter
+    (fun (key, cnt, err) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d error within total/capacity" key)
+        true (err <= bound);
+      match List.assoc_opt key heavy_stream with
+      | None -> ()
+      | Some truth ->
+        Alcotest.(check bool)
+          (Printf.sprintf "key %d: true <= est <= true + err" key)
+          true
+          (truth <= cnt && cnt <= truth + err))
+    (Heavy.top sk);
+  (* Every key with true frequency above total/capacity must be tracked,
+     with its estimate sandwiched by the space-saving guarantee. *)
+  List.iter
+    (fun (key, truth) ->
+      if truth > bound then
+        match Heavy.estimate sk key with
+        | None ->
+          Alcotest.failf "heavy key %d (freq %d > %d) not tracked" key truth
+            bound
+        | Some (cnt, err) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "estimate of %d sandwiched" key)
+            true
+            (cnt - err <= truth && truth <= cnt))
+    heavy_stream;
+  (* The heaviest key wins the top-1 slot outright. *)
+  match Heavy.top ~k:1 sk with
+  | [ (key, _, _) ] -> Alcotest.(check int) "top-1 is the heaviest key" 1 key
+  | l -> Alcotest.failf "top ~k:1 returned %d entries" (List.length l)
+
+let test_heavy_merge_associative () =
+  (* Three streams whose key union fits the capacity: merging is an
+     exact sum, so both association orders agree exactly. *)
+  let mk offers =
+    let sk = Heavy.standalone ~capacity:16 ~enabled:true () in
+    List.iter (fun (k, n) -> Heavy.offer ~by:n sk k) offers;
+    sk
+  in
+  let sa = [ (1, 10); (2, 5) ]
+  and sb = [ (2, 7); (3, 2) ]
+  and sc = [ (3, 4); (4, 1) ] in
+  (* (a ⊕ b) ⊕ c *)
+  let left = mk sa in
+  let b1 = mk sb in
+  Heavy.merge_sketch_into ~into:left b1;
+  Heavy.merge_sketch_into ~into:left (mk sc);
+  (* a ⊕ (b ⊕ c) *)
+  let bc = mk sb in
+  Heavy.merge_sketch_into ~into:bc (mk sc);
+  let right = mk sa in
+  Heavy.merge_sketch_into ~into:right bc;
+  Alcotest.(check bool) "association orders agree" true
+    (Heavy.top left = Heavy.top right);
+  Alcotest.(check int) "merged total" (10 + 5 + 7 + 2 + 4 + 1)
+    (Heavy.total left);
+  Alcotest.(check bool) "exact sums below capacity"
+    true
+    (Heavy.top left
+    = [ (2, 12, 0); (1, 10, 0); (3, 6, 0); (4, 1, 0) ])
+
+let test_heavy_registry_merge () =
+  let a = Heavy.create () and b = Heavy.create () in
+  Heavy.offer ~by:3 (Heavy.sketch a "links") 7;
+  Heavy.offer ~by:2 (Heavy.sketch b "links") 7;
+  Heavy.offer (Heavy.sketch b "links") 9;
+  Heavy.merge_into ~into:a b;
+  Alcotest.(check bool) "same-named sketches folded" true
+    (Heavy.top (Heavy.sketch a "links") = [ (7, 5, 0); (9, 1, 0) ]);
+  Alcotest.(check bool) "disabled sketch never records" true
+    (Heavy.total (Heavy.sketch Heavy.disabled "links") = 0
+    && not (Heavy.sketch_enabled (Heavy.sketch Heavy.disabled "links")))
+
+(* --- Flight recorder --- *)
+
+let test_flight_wraparound () =
+  let f = Flight.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Flight.record f ~time:(float_of_int i) (Trace.Link_fail { edge = i })
+  done;
+  Alcotest.(check int) "size capped" 4 (Flight.size f);
+  Alcotest.(check int) "seen counts everything" 10 (Flight.seen f);
+  Alcotest.(check (list int)) "retains the last N, oldest first"
+    [ 7; 8; 9; 10 ]
+    (List.map
+       (fun (_, ev) ->
+         match ev with Trace.Link_fail { edge } -> edge | _ -> -1)
+       (Flight.events f));
+  Flight.clear f;
+  Alcotest.(check int) "clear empties the ring" 0 (Flight.size f)
+
+let test_flight_dump_on_raise () =
+  let path = Filename.temp_file "drqos_flight" ".jsonl" in
+  let flight = Flight.create ~capacity:8 () in
+  let obs = Obs.create ~flight () in
+  (* The whole point of the recorder: event capture with no trace sink. *)
+  Alcotest.(check bool) "tracing on via flight alone" true (Obs.tracing obs);
+  Obs.set_clock obs (fun () -> 5.);
+  Obs.set_flight_dump obs path;
+  (try
+     Fun.protect
+       ~finally:(fun () -> ignore (Obs.dump_flight obs))
+       (fun () ->
+         Obs.event obs (Trace.Link_fail { edge = 3 });
+         Obs.event obs (Trace.Drop { channel = 1 });
+         failwith "simulated crash")
+   with Failure _ -> ());
+  (* The dump is JSONL that Analysis/Trace can replay: a note header
+     naming the recorder, then the retained events. *)
+  let ic = open_in path in
+  let events =
+    Jsonx.fold_lines ic ~init:[] ~f:(fun acc ~line:_ doc ->
+        match Trace.of_json doc with
+        | Ok (t, ev) -> (t, Trace.kind ev) :: acc
+        | Error msg -> Alcotest.failf "unparseable dump line: %s" msg)
+    |> List.rev
+  in
+  close_in ic;
+  Sys.remove path;
+  (match events with
+  | (_, "note") :: rest ->
+    Alcotest.(check (list (pair (Alcotest.float 1e-9) string)))
+      "events at the crash clock"
+      [ (5., "link_fail"); (5., "drop") ]
+      rest
+  | _ -> Alcotest.fail "dump must start with the flight_recorder note");
+  Alcotest.(check bool) "second dump is a no-op (idempotent)" true
+    (Obs.dump_flight obs = None)
+
+let test_flight_dump_cancelled_on_success () =
+  let path = Filename.temp_file "drqos_flight" ".jsonl" in
+  Sys.remove path;
+  let obs = Obs.create ~flight:(Flight.create ~capacity:8 ()) () in
+  Obs.set_flight_dump obs path;
+  Obs.event obs (Trace.Link_fail { edge = 1 });
+  Obs.cancel_flight_dump obs;
+  Alcotest.(check bool) "disarmed dump writes nothing" true
+    (Obs.dump_flight obs = None && not (Sys.file_exists path))
+
+(* --- Snapshot emitter --- *)
+
+type fake_run = {
+  mutable fr_time : float;
+  mutable fr_events : int;
+  mutable fr_live : int array;
+  mutable fr_queue : int;
+  mutable fr_counters : (string * int) list;
+}
+
+let fake_source r =
+  {
+    Snapshot.sim_time = (fun () -> r.fr_time);
+    events = (fun () -> r.fr_events);
+    live_by_level = (fun () -> r.fr_live);
+    queue_size = (fun () -> r.fr_queue);
+    queue_footprint = (fun () -> 2 * r.fr_queue);
+    hot = (fun () -> [ (17, r.fr_events) ]);
+    counters = (fun () -> r.fr_counters);
+  }
+
+let test_snapshot_emitter_roundtrip () =
+  let lines = ref [] in
+  let snap =
+    Snapshot.create ~sim_every:10. ~sink:(fun l -> lines := l :: !lines) ()
+  in
+  Alcotest.(check bool) "sim_every exposed" true
+    (Snapshot.sim_every snap = Some 10.);
+  let r =
+    {
+      fr_time = 0.;
+      fr_events = 5;
+      fr_live = [| 1; 0; 2 |];
+      fr_queue = 4;
+      fr_counters = [ ("a.ops", 5); ("b.idle", 0) ];
+    }
+  in
+  Snapshot.start snap (fake_source r);
+  r.fr_time <- 10.;
+  r.fr_events <- 25;
+  r.fr_counters <- [ ("a.ops", 25); ("b.idle", 0) ];
+  Snapshot.tick snap;
+  r.fr_time <- 20.;
+  r.fr_events <- 30;
+  r.fr_live <- [| 0; 1; 1 |];
+  r.fr_queue <- 1;
+  r.fr_counters <- [ ("a.ops", 31); ("b.idle", 0); ("c.new", 2) ];
+  Snapshot.tick snap;
+  Alcotest.(check int) "two snapshots emitted" 2 (Snapshot.emitted snap);
+  let parsed =
+    List.rev_map
+      (fun line ->
+        match Trace.of_json (Jsonx.of_string line) with
+        | Ok
+            ( t,
+              Trace.Snapshot
+                {
+                  seq;
+                  d_events;
+                  live;
+                  live_by_level;
+                  footprint;
+                  peak_live;
+                  peak_queue;
+                  hot;
+                  counters;
+                  _;
+                } ) ->
+          ( t,
+            seq,
+            d_events,
+            live,
+            live_by_level,
+            footprint,
+            peak_live,
+            peak_queue,
+            hot,
+            counters )
+        | Ok _ -> Alcotest.fail "non-snapshot line in the stream"
+        | Error msg -> Alcotest.failf "unparseable snapshot line: %s" msg)
+      !lines
+  in
+  match parsed with
+  | [
+   (t1, seq1, d1, live1, _, _, _, _, hot1, counters1);
+   (t2, seq2, d2, _, levels2, footprint2, peak_live2, peak_queue2, _, counters2);
+  ] ->
+    Alcotest.check approx "first tick time" 10. t1;
+    Alcotest.check approx "second tick time" 20. t2;
+    Alcotest.(check int) "seq 0" 0 seq1;
+    Alcotest.(check int) "seq 1" 1 seq2;
+    Alcotest.(check int) "d_events against start baseline" 20 d1;
+    Alcotest.(check int) "d_events between ticks" 5 d2;
+    Alcotest.(check int) "live sums levels" 3 live1;
+    Alcotest.(check (list int)) "levels verbatim" [ 0; 1; 1 ] levels2;
+    Alcotest.(check int) "peak live survives the drop" 3 peak_live2;
+    Alcotest.(check int) "peak queue survives the drop" 4 peak_queue2;
+    Alcotest.(check int) "footprint from the source" 2 footprint2;
+    Alcotest.(check (list (pair string int)))
+      "counter deltas, zero-suppressed"
+      [ ("a.ops", 20) ] counters1;
+    Alcotest.(check (list (pair string int)))
+      "new names and fresh deltas appear"
+      [ ("a.ops", 6); ("c.new", 2) ]
+      counters2;
+    Alcotest.(check bool) "hot links pass through" true (hot1 = [ (17, 25) ])
+  | l -> Alcotest.failf "expected 2 parsed snapshots, got %d" (List.length l)
+
+let test_snapshot_create_validates () =
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "sim_every <= 0 rejected" true
+    (bad (fun () -> Snapshot.create ~sim_every:0. ~sink:ignore ()));
+  Alcotest.(check bool) "wall_every <= 0 rejected" true
+    (bad (fun () -> Snapshot.create ~wall_every:(-1.) ~sink:ignore ()))
+
+let test_snapshot_tick_before_start () =
+  let lines = ref [] in
+  let snap =
+    Snapshot.create ~sim_every:1. ~sink:(fun l -> lines := l :: !lines) ()
+  in
+  Snapshot.tick snap;
+  Snapshot.wall_tick snap;
+  Alcotest.(check int) "no source, no output" 0 (List.length !lines)
+
 (* --- Stats edge cases (satellite coverage) --- *)
 
 let test_quantile_empty () =
@@ -611,6 +959,38 @@ let () =
           Alcotest.test_case "fork/absorb spans" `Quick test_obs_fork_absorb_spans;
           Alcotest.test_case "trace flushed on raise" `Quick
             test_obs_trace_flushed_on_raise;
+        ] );
+      ( "hwm",
+        [
+          Alcotest.test_case "basics and snapshot" `Quick test_hwm_basics;
+          Alcotest.test_case "hwm merge is order-independent" `Quick
+            test_hwm_merge_order_independent;
+          Alcotest.test_case "counter_values sorted / disabled" `Quick
+            test_counter_values_sorted_and_disabled;
+        ] );
+      ( "heavy",
+        [
+          Alcotest.test_case "space-saving error bound" `Quick
+            test_heavy_error_bound;
+          Alcotest.test_case "merge is associative under capacity" `Quick
+            test_heavy_merge_associative;
+          Alcotest.test_case "registry merge" `Quick test_heavy_registry_merge;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_flight_wraparound;
+          Alcotest.test_case "dump on raise" `Quick test_flight_dump_on_raise;
+          Alcotest.test_case "dump cancelled on success" `Quick
+            test_flight_dump_cancelled_on_success;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "emitter JSONL roundtrip" `Quick
+            test_snapshot_emitter_roundtrip;
+          Alcotest.test_case "create validates intervals" `Quick
+            test_snapshot_create_validates;
+          Alcotest.test_case "tick before start" `Quick
+            test_snapshot_tick_before_start;
         ] );
       ( "stats-edges",
         [

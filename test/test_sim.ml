@@ -149,6 +149,80 @@ let test_engine_step () =
   ignore (Engine.schedule e ~delay:1. (fun _ -> ()));
   Alcotest.(check bool) "one step" true (Engine.step e)
 
+(* --- heartbeats --- *)
+
+let test_engine_heartbeat_boundaries () =
+  (* Events at t = 3, 7, 12, 25; heartbeats every 10.  The boundary at
+     10 fires before the t = 12 event, at 20 before the t = 25 event,
+     each with the clock set to the boundary instant — so the beat
+     sequence is a pure function of the event stream. *)
+  let e = Engine.create () in
+  let beats = ref [] in
+  let seen = ref [] in
+  List.iter
+    (fun time ->
+      ignore (Engine.schedule_at e ~time (fun e -> seen := Engine.now e :: !seen)))
+    [ 3.; 7.; 12.; 25. ];
+  Engine.on_heartbeat e ~every:10. (fun e ->
+      beats := (Engine.now e, Engine.dispatched e) :: !beats);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "beats at boundaries, before the crossing event"
+    [ (10., 2); (20., 3) ]
+    (List.rev !beats);
+  Alcotest.(check (list (float 1e-9)))
+    "events undisturbed" [ 3.; 7.; 12.; 25. ] (List.rev !seen);
+  Alcotest.(check int) "dispatched counts engine-side" 4 (Engine.dispatched e)
+
+let test_engine_heartbeat_deterministic () =
+  (* Same schedule, same beats — twice. *)
+  let run () =
+    let e = Engine.create () in
+    let beats = ref [] in
+    for i = 1 to 50 do
+      ignore (Engine.schedule_at e ~time:(float_of_int i *. 1.7) (fun _ -> ()))
+    done;
+    Engine.on_heartbeat e ~every:7. (fun e ->
+        beats := (Engine.now e, Engine.dispatched e, Engine.pending e) :: !beats);
+    ignore (Engine.run e);
+    List.rev !beats
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "beat streams identical" true (a = b);
+  Alcotest.(check bool) "beats happened" true (a <> [])
+
+let test_engine_heartbeat_respects_until () =
+  let e = Engine.create () in
+  let beats = ref 0 in
+  ignore (Engine.schedule_at e ~time:100. (fun _ -> ()));
+  Engine.on_heartbeat e ~every:10. (fun _ -> incr beats);
+  ignore (Engine.run ~until:35. e);
+  (* Boundaries 10, 20, 30 lie within [0, 35]; 40+ must not fire even
+     though an event sits at t = 100. *)
+  Alcotest.(check int) "only boundaries <= until fire" 3 !beats
+
+let test_engine_heartbeat_validates () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "every <= 0 rejected" true
+    (match Engine.on_heartbeat e ~every:0. (fun _ -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "wall every <= 0 rejected" true
+    (match Engine.on_wall_heartbeat e ~every_s:(-1.) (fun _ -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_engine_wall_heartbeat_fires () =
+  (* A zero-interval wall heartbeat fires at every 64-event poll. *)
+  let e = Engine.create () in
+  let beats = ref 0 in
+  for i = 1 to 200 do
+    ignore (Engine.schedule_at e ~time:(float_of_int i) (fun _ -> ()))
+  done;
+  Engine.on_wall_heartbeat e ~every_s:1e-9 (fun _ -> incr beats);
+  ignore (Engine.run e);
+  Alcotest.(check int) "one beat per 64-event poll" (200 / 64) !beats
+
 (* --- Welford --- *)
 
 let test_welford_known () =
@@ -312,6 +386,19 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "fires at boundaries before dispatch" `Quick
+            test_engine_heartbeat_boundaries;
+          Alcotest.test_case "deterministic cadence" `Quick
+            test_engine_heartbeat_deterministic;
+          Alcotest.test_case "boundaries fire up to until" `Quick
+            test_engine_heartbeat_respects_until;
+          Alcotest.test_case "validates intervals" `Quick
+            test_engine_heartbeat_validates;
+          Alcotest.test_case "wall heartbeat fires on polls" `Quick
+            test_engine_wall_heartbeat_fires;
         ] );
       ( "welford",
         [
