@@ -101,7 +101,7 @@ let policies scale =
   let run_policy policy =
     let g = paper_graph 1 in
     let net = Net_state.create ~capacity:(Bandwidth.mbps 2) g in
-    let cfg = { Drcomm.default_config with Drcomm.policy } in
+    let cfg = Drcomm.Config.make ~policy () in
     let service = Drcomm.create ~config:cfg net in
     let rng = Prng.create 42 in
     let low = ref [] and high = ref [] in
@@ -311,7 +311,7 @@ let route_search scale =
   let attempt strategy =
     let g = paper_graph 1 in
     let net = Net_state.create g in
-    let cfg = { Drcomm.default_config with Drcomm.route_search = strategy } in
+    let cfg = Drcomm.Config.make ~route_search:strategy () in
     let service = Drcomm.create ~config:cfg net in
     let rng = Prng.create 42 in
     let carried = ref 0 and hops = ref 0 in
@@ -370,12 +370,8 @@ let backup_depth scale =
         let g = paper_graph 1 in
         let net = Net_state.create g in
         let cfg =
-          {
-            Drcomm.default_config with
-            Drcomm.with_backups = k > 0;
-            require_backup = k > 0;
-            backups_per_connection = max k 1;
-          }
+          Drcomm.Config.make ~with_backups:(k > 0) ~require_backup:(k > 0)
+            ~backups_per_connection:(max k 1) ()
         in
         let service = Drcomm.create ~config:cfg net in
         let rng = Prng.create 42 in

@@ -86,13 +86,6 @@ let kbps x = Printf.sprintf "%.0f" x
 (* Worker-pool width for every sweep; set once by [parse_args]. *)
 let jobs = ref (Sweep.recommended_jobs ())
 
-(* The tiny arg table every bench driver shares: a flag either stands
-   alone or consumes the next argument.  Unknown arguments pass through
-   to the caller (sub-command selection). *)
-type flag_spec =
-  | Unit of (unit -> unit)
-  | Value of (string -> (unit, string) result)
-
 let parse_jobs v =
   match int_of_string_opt v with
   | Some j when j >= 1 ->
@@ -110,33 +103,22 @@ let parse_jobs v =
 let heartbeat = ref false
 let hb_sim_every = 5000.
 
+(* The flag table every bench driver shares, as a {!Cliopt} spec —
+   unknown arguments pass through to the caller (sub-command
+   selection). *)
 let common_flags scale =
   [
-    ("--quick", Unit (fun () -> scale := Quick));
-    ("--heartbeat", Unit (fun () -> heartbeat := true));
-    ("--out", Value set_out_dir);
-    ("--jobs", Value parse_jobs);
+    ("--quick", Cliopt.Unit (fun () -> scale := Quick));
+    ("--heartbeat", Cliopt.Unit (fun () -> heartbeat := true));
+    ("--out", Cliopt.Value set_out_dir);
+    ("--jobs", Cliopt.Value parse_jobs);
   ]
 
 let parse_args args =
   let scale = ref Full in
-  let flags = common_flags scale in
-  let rec go acc = function
-    | [] -> Ok (!scale, List.rev acc)
-    | arg :: rest -> (
-      match List.assoc_opt arg flags with
-      | Some (Unit apply) ->
-        apply ();
-        go acc rest
-      | Some (Value _) when rest = [] ->
-        Error (Printf.sprintf "%s requires an argument" arg)
-      | Some (Value apply) -> (
-        match apply (List.hd rest) with
-        | Ok () -> go acc (List.tl rest)
-        | Error _ as e -> e)
-      | None -> go (arg :: acc) rest)
-  in
-  go [] args
+  match Cliopt.parse ~specs:(common_flags scale) args with
+  | Ok rest -> Ok (!scale, rest)
+  | Error _ as e -> e
 
 (* ------------------------------------------------------------------ *)
 (* The experiment API                                                  *)
@@ -242,7 +224,10 @@ let write_json path doc =
   output_char oc '\n';
   close_out oc
 
-let with_manifest name scale f =
+(* [extra] (evaluated after [f]) appends experiment-specific fields to
+   the BENCH_<name>.json record — e.g. the scale bench's ops/sec-vs-live
+   curve.  `perfdiff` ignores fields it does not know. *)
+let with_manifest ?(extra = fun () -> []) name scale f =
   let obs =
     Obs.create ~metrics:(Metrics.create ()) ~spans:(Span.create ())
       ~heavy:(Heavy.create ()) ()
@@ -272,25 +257,28 @@ let with_manifest name scale f =
   let bench_path = in_out_dir ("BENCH_" ^ name ^ ".json") in
   write_json bench_path
     (Jsonx.Obj
-       [
-         ("experiment", Jsonx.String name);
-         ("scale", Jsonx.String scale_str);
-         ("jobs", Jsonx.Int !jobs);
-         ("wall_s", Jsonx.Float wall_s);
-         ( "gc",
-           Jsonx.Obj
-             [
-               ("minor_words", Jsonx.Float (g1.Gc.minor_words -. g0.Gc.minor_words));
-               ( "promoted_words",
-                 Jsonx.Float (g1.Gc.promoted_words -. g0.Gc.promoted_words) );
-               ("major_words", Jsonx.Float (g1.Gc.major_words -. g0.Gc.major_words));
-               ( "minor_collections",
-                 Jsonx.Int (g1.Gc.minor_collections - g0.Gc.minor_collections) );
-               ( "major_collections",
-                 Jsonx.Int (g1.Gc.major_collections - g0.Gc.major_collections) );
-             ] );
-         ("spans", spans_json);
-       ]);
+       ([
+          ("experiment", Jsonx.String name);
+          ("scale", Jsonx.String scale_str);
+          ("jobs", Jsonx.Int !jobs);
+          ("wall_s", Jsonx.Float wall_s);
+          ( "gc",
+            Jsonx.Obj
+              [
+                ( "minor_words",
+                  Jsonx.Float (g1.Gc.minor_words -. g0.Gc.minor_words) );
+                ( "promoted_words",
+                  Jsonx.Float (g1.Gc.promoted_words -. g0.Gc.promoted_words) );
+                ( "major_words",
+                  Jsonx.Float (g1.Gc.major_words -. g0.Gc.major_words) );
+                ( "minor_collections",
+                  Jsonx.Int (g1.Gc.minor_collections - g0.Gc.minor_collections) );
+                ( "major_collections",
+                  Jsonx.Int (g1.Gc.major_collections - g0.Gc.major_collections) );
+              ] );
+          ("spans", spans_json);
+        ]
+       @ extra ()));
   Printf.printf "(perf record written to %s)\n" bench_path;
   result
 

@@ -10,7 +10,8 @@
    All experiments are deterministic (fixed seeds): the tables and .dat
    exports are byte-identical whatever --jobs is. *)
 
-let commands = [ "all"; "fig2"; "table1"; "fig3"; "fig4"; "ablations"; "micro" ]
+let commands =
+  [ "all"; "fig2"; "table1"; "fig3"; "fig4"; "ablations"; "micro"; "scale" ]
 
 let usage ?error () =
   Option.iter (fun msg -> Printf.eprintf "error: %s\n" msg) error;
@@ -45,6 +46,7 @@ let () =
   let run_fig4 () = Fig4.run scale in
   let run_ablations () = Ablation.run scale in
   let run_micro () = Micro.run scale in
+  let run_scale () = Scale.run scale in
   (match which with
   | "all" ->
     run_fig2 ();
@@ -59,5 +61,6 @@ let () =
   | "fig4" -> run_fig4 ()
   | "ablations" -> run_ablations ()
   | "micro" -> run_micro ()
+  | "scale" -> run_scale ()
   | _ -> usage ());
   Printf.printf "\ntotal bench time: %.0fs\n" (Unix.gettimeofday () -. t0)

@@ -147,7 +147,7 @@ let run_cmd =
   in
   let policy =
     Arg.(
-      value & opt policy_conv Policy.Equal_share
+      value & opt policy_conv Policy.equal_share
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:"Adaptation policy: equal-share, proportional or max-utility.")
   in
@@ -370,7 +370,7 @@ let sweep_cmd =
   in
   let policy =
     Arg.(
-      value & opt policy_conv Policy.Equal_share
+      value & opt policy_conv Policy.equal_share
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:"Adaptation policy: equal-share, proportional or max-utility.")
   in
@@ -879,7 +879,7 @@ let fuzz_cmd =
         (List.map (fun p -> (Format.asprintf "%a" Policy.pp p, p)) Policy.all)
     in
     Arg.(
-      value & opt pol Policy.Equal_share
+      value & opt pol Policy.equal_share
       & info [ "policy" ] ~docv:"POLICY" ~doc:"Redistribution policy.")
   in
   let deep_every =

@@ -22,7 +22,7 @@ let usage oc =
      options:\n\
      \  --rules R1,R2,...      enable only these rules (default: all)\n\
      \  --protect T1,T2,...    closed variant types guarded by R2\n\
-     \                         (default: Trace.event,Op.t,Policy.t)\n\
+     \                         (default: Trace.event,Op.t)\n\
      \  --lib-prefix PREFIX    source-path prefix treated as library code\n\
      \                         for R3/R5 (default: lib/)\n\
      \  --baseline FILE        suppress findings listed in FILE; stale\n\

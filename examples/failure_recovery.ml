@@ -29,7 +29,8 @@ let () =
     let src, dst = Prng.sample_distinct_pair rng (Graph.node_count graph) in
     ignore (Drcomm.admit ~want_indirect:false service ~src ~dst ~qos)
   done;
-  printf "t=0.0  hospital connection %d up: %d-hop primary, %s, %d Kbps\n" hospital
+  printf "t=0.0  hospital connection %d up: %d-hop primary, %s, %d Kbps\n"
+    (Drcomm.Channel_id.to_int hospital)
     (List.length (Drcomm.primary_links service hospital))
     (if Drcomm.has_backup service hospital then "protected by backup" else "UNPROTECTED")
     (Drcomm.reserved_bandwidth service hospital);
@@ -55,7 +56,7 @@ let () =
       let report = Drcomm.fail_edge service e in
       List.iter
         (fun r ->
-          if r.Drcomm.victim = hospital then
+          if Drcomm.Channel_id.equal r.Drcomm.victim hospital then
             match r.Drcomm.outcome with
             | `Switched_to_backup fresh ->
               printf "t=%-4.1f hospital switched to backup channel%s\n" t
@@ -65,7 +66,9 @@ let () =
             | `Backup_lost _ -> ()
           else
             match r.Drcomm.outcome with
-            | `Dropped -> printf "t=%-4.1f background connection %d dropped\n" t r.Drcomm.victim
+            | `Dropped ->
+              printf "t=%-4.1f background connection %d dropped\n" t
+                (Drcomm.Channel_id.to_int r.Drcomm.victim)
             | _ -> ())
         report.Drcomm.recoveries;
       (* Remember which edge to repair later. *)

@@ -75,14 +75,18 @@ let () =
   printf "%8s %9s %6s %6s %7s %12s %12s\n" "conn" "reserved" "sent" "deliv" "missed"
     "mean delay" "worst";
   List.iter
-    (fun (id, reserved, fid) -> show (string_of_int id) fid (Printf.sprintf "%d K" reserved))
+    (fun (id, reserved, fid) ->
+      show
+        (string_of_int (Drcomm.Channel_id.to_int id))
+        fid
+        (Printf.sprintf "%d K" reserved))
     flows;
   show "rogue" rogue_unpoliced "4x";
   printf
     "note how connection %d — sharing the rogue's links — misses alongside it:\n\
      reservations alone do not protect the data plane from a non-conforming\n\
      source; ingress policing does.\n"
-    rogue_victim;
+    (Drcomm.Channel_id.to_int rogue_victim);
 
   (* Same experiment, rogue policed to its contracted rate. *)
   let engine2 = Engine.create () in
@@ -111,7 +115,9 @@ let () =
   List.iter
     (fun (id, reserved, fid) ->
       let st = Netsim.stats sim2 fid in
-      printf "%8d %6d K %6d %6d %7d %9.2f ms %9.2f ms\n" id reserved st.Netsim.sent
+      printf "%8d %6d K %6d %6d %7d %9.2f ms %9.2f ms\n"
+        (Drcomm.Channel_id.to_int id)
+        reserved st.Netsim.sent
         st.Netsim.delivered st.Netsim.missed
         (1000. *. Stats.Welford.mean st.Netsim.delay)
         (1000. *. st.Netsim.worst_delay))

@@ -33,7 +33,8 @@ let () =
         | Drcomm.No_primary_route -> "no route with enough bandwidth"
         | Drcomm.No_backup_route -> "no backup route")
   in
-  printf "admitted connection %d: %d-hop primary, %s, reserving %s\n" id
+  printf "admitted connection %d: %d-hop primary, %s, reserving %s\n"
+    (Drcomm.Channel_id.to_int id)
     (List.length (Drcomm.primary_links service id))
     (match Drcomm.backup_links service id with
     | Some b -> Printf.sprintf "%d-hop backup" (List.length b)
@@ -52,7 +53,8 @@ let () =
       [ 17; 17; 17; 17 ]
   in
   printf "after %d competitors: connection %d now at %s (level %d of %d)\n"
-    (List.length competitors) id
+    (List.length competitors)
+    (Drcomm.Channel_id.to_int id)
     (Format.asprintf "%a" Bandwidth.pp (Drcomm.reserved_bandwidth service id))
     (Drcomm.level service id)
     (Qos.levels qos - 1);
@@ -63,15 +65,17 @@ let () =
   let report = Drcomm.fail_edge service failed_edge in
   List.iter
     (fun r ->
+      let v = Drcomm.Channel_id.to_int r.Drcomm.victim in
       match r.Drcomm.outcome with
       | `Switched_to_backup fresh ->
-        printf "connection %d switched to its backup%s\n" r.Drcomm.victim
+        printf "connection %d switched to its backup%s\n" v
           (if fresh then " (and found a new backup)" else "")
-      | `Dropped -> printf "connection %d dropped\n" r.Drcomm.victim
-      | `Restored _ -> printf "connection %d restored\n" r.Drcomm.victim
-      | `Backup_lost _ -> printf "connection %d lost its backup\n" r.Drcomm.victim)
+      | `Dropped -> printf "connection %d dropped\n" v
+      | `Restored _ -> printf "connection %d restored\n" v
+      | `Backup_lost _ -> printf "connection %d lost its backup\n" v)
     report.Drcomm.recoveries;
-  printf "connection %d alive: %b, now reserving %s\n" id
+  printf "connection %d alive: %b, now reserving %s\n"
+    (Drcomm.Channel_id.to_int id)
     (Drcomm.mem service id)
     (Format.asprintf "%a" Bandwidth.pp (Drcomm.reserved_bandwidth service id));
 

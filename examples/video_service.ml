@@ -22,7 +22,7 @@ let () =
   let graph = Waxman.generate (Prng.create 9) (Waxman.paper_spec ~nodes:100) in
   printf "network: %s\n" (Format.asprintf "%a" Graph.pp graph);
   let net = Net_state.create ~capacity:(Bandwidth.mbps 4) graph in
-  let config = { Drcomm.default_config with Drcomm.policy = Policy.Proportional } in
+  let config = Drcomm.Config.make ~policy:Policy.proportional () in
   let service = Drcomm.create ~config net in
   let premium = Qos.make ~b_min:100 ~b_max:500 ~increment:50 ~utility:4. () in
   let basic = Qos.make ~b_min:100 ~b_max:500 ~increment:50 ~utility:1. () in
@@ -54,8 +54,9 @@ let () =
         let id = Prng.pick_list rng ids in
         let report = Drcomm.terminate service id in
         Estimator.observe_termination est report;
-        premium_ids := List.filter (fun x -> x <> id) !premium_ids;
-        basic_ids := List.filter (fun x -> x <> id) !basic_ids
+        let other x = not (Drcomm.Channel_id.equal x id) in
+        premium_ids := List.filter other !premium_ids;
+        basic_ids := List.filter other !basic_ids
     end
     else begin
       let src, dst = Prng.sample_distinct_pair rng (Graph.node_count graph) in

@@ -30,7 +30,7 @@ type config = {
 }
 
 let config ?(nodes = 20) ?(capacity = 1200) ?(backups = 2) ?(restore = false)
-    ?(multiplexing = true) ?(policy = Policy.Equal_share) ?(deep_every = 20)
+    ?(multiplexing = true) ?(policy = Policy.equal_share) ?(deep_every = 20)
     ~family ~seed ~ops () =
   {
     family;
@@ -144,14 +144,12 @@ let replay ?(extra_invariant = fun (_ : Drcomm.t) -> ()) cfg (ops : Op.t array) 
     Net_state.create ~multiplexing:cfg.multiplexing ~capacity:cfg.capacity g
   in
   let dconfig =
-    {
-      Drcomm.default_config with
-      policy = cfg.policy;
-      require_backup = false;
-      with_backups = true;
-      backups_per_connection = cfg.backups_per_connection;
-      restore_on_failure = cfg.restore_on_failure;
-    }
+    (* [backups=0] in a reproducer means "no backups", which the service
+       spells [with_backups:false]. *)
+    Drcomm.Config.make ~policy:cfg.policy ~require_backup:false
+      ~with_backups:(cfg.backups_per_connection > 0)
+      ~backups_per_connection:(max 1 cfg.backups_per_connection)
+      ~restore_on_failure:cfg.restore_on_failure ()
   in
   let t = Drcomm.create ~config:dconfig ~obs net in
   let admitted = ref 0
@@ -390,39 +388,65 @@ let to_script f =
     f.script;
   Buffer.contents b
 
-let apply_kv cfg kv =
-  match String.index_opt kv '=' with
-  | None -> Error (Printf.sprintf "malformed key=value %S" kv)
-  | Some i ->
-    let key = String.sub kv 0 i in
-    let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-    let as_int f =
-      match int_of_string_opt v with
-      | Some n -> Ok (f n)
-      | None -> Error (Printf.sprintf "bad integer for %s: %S" key v)
-    in
-    let as_bool f =
-      match bool_of_string_opt v with
-      | Some b -> Ok (f b)
-      | None -> Error (Printf.sprintf "bad boolean for %s: %S" key v)
-    in
-    (match key with
-    | "family" -> (
-      match family_of_string v with
-      | Some f -> Ok { cfg with family = f }
-      | None -> Error (Printf.sprintf "unknown family %S" v))
-    | "seed" -> as_int (fun n -> { cfg with seed = n })
-    | "nodes" -> as_int (fun n -> { cfg with nodes = n })
-    | "capacity" -> as_int (fun n -> { cfg with capacity = n })
-    | "backups" -> as_int (fun n -> { cfg with backups_per_connection = n })
-    | "deep-every" -> as_int (fun n -> { cfg with deep_every = n })
-    | "restore" -> as_bool (fun b -> { cfg with restore_on_failure = b })
-    | "multiplexing" -> as_bool (fun b -> { cfg with multiplexing = b })
-    | "policy" -> (
-      match Policy.of_string v with
-      | Some p -> Ok { cfg with policy = p }
-      | None -> Error (Printf.sprintf "unknown policy %S" v))
-    | _ -> Error (Printf.sprintf "unknown config key %S" key))
+(* The [# fuzz k=v] header dialect, as one {!Cliopt.parse_kv} spec table
+   over a config cell — the same parser the bench drivers use for their
+   flag tables. *)
+let header_specs acc =
+  let as_int key f =
+    ( key,
+      fun v ->
+        match int_of_string_opt v with
+        | Some n ->
+          acc := f !acc n;
+          Ok ()
+        | None -> Error (Printf.sprintf "bad integer for %s: %S" key v) )
+  in
+  let as_bool key f =
+    ( key,
+      fun v ->
+        match bool_of_string_opt v with
+        | Some b ->
+          acc := f !acc b;
+          Ok ()
+        | None -> Error (Printf.sprintf "bad boolean for %s: %S" key v) )
+  in
+  [
+    ( "family",
+      fun v ->
+        match family_of_string v with
+        | Some f ->
+          acc := { !acc with family = f };
+          Ok ()
+        | None -> Error (Printf.sprintf "unknown family %S" v) );
+    as_int "seed" (fun c n -> { c with seed = n });
+    as_int "nodes" (fun c n -> { c with nodes = n });
+    as_int "capacity" (fun c n -> { c with capacity = n });
+    as_int "backups" (fun c n -> { c with backups_per_connection = n });
+    as_int "deep-every" (fun c n -> { c with deep_every = n });
+    as_bool "restore" (fun c b -> { c with restore_on_failure = b });
+    as_bool "multiplexing" (fun c b -> { c with multiplexing = b });
+    ( "policy",
+      fun v ->
+        match Policy.of_string v with
+        | Some p ->
+          acc := { !acc with policy = p };
+          Ok ()
+        | None -> Error (Printf.sprintf "unknown policy %S" v) );
+  ]
+
+let split_kvs kvs =
+  let rec go = function
+    | [] -> Ok []
+    | "" :: rest -> go rest
+    | kv :: rest -> (
+      match String.index_opt kv '=' with
+      | None -> Error (Printf.sprintf "malformed key=value %S" kv)
+      | Some i -> (
+        let key = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        match go rest with Ok l -> Ok ((key, v) :: l) | Error _ as e -> e))
+  in
+  go kvs
 
 let parse_script text =
   let base = config ~family:Waxman ~seed:1 ~ops:0 () in
@@ -434,15 +458,13 @@ let parse_script text =
       else if line.[0] = '#' then
         match String.split_on_char ' ' line with
         | "#" :: "fuzz" :: kvs -> (
-          let cfg' =
-            List.fold_left
-              (fun acc kv ->
-                match acc with
-                | Error _ -> acc
-                | Ok c -> if kv = "" then acc else apply_kv c kv)
-              (Ok cfg) kvs
-          in
-          match cfg' with Ok cfg -> fold cfg ops rest | Error _ as e -> e)
+          match split_kvs kvs with
+          | Error _ as e -> e
+          | Ok pairs -> (
+            let acc = ref cfg in
+            match Cliopt.parse_kv ~specs:(header_specs acc) pairs with
+            | Ok () -> fold !acc ops rest
+            | Error _ as e -> e))
         | _ -> fold cfg ops rest
       else
         match Op.of_string line with

@@ -70,7 +70,10 @@ let check_counters ~expected metrics =
 (* ------------------------------------------------------------------ *)
 (* Shared helpers                                                      *)
 
-let sorted_channels t = List.sort compare (Drcomm.active_channels t)
+let sorted_channels t =
+  List.sort Drcomm.Channel_id.compare (Drcomm.active_channels t)
+
+let int_id = Drcomm.Channel_id.to_int
 
 let primary_edges_of t id =
   List.sort_uniq compare (List.map Dirlink.edge (Drcomm.primary_links t id))
@@ -90,14 +93,14 @@ let check_failed_edge_unroutability t =
         List.iter
           (fun e ->
             if List.mem e failed then
-              failf "channel %d's primary traverses failed edge %d" id e)
+              failf "channel %d's primary traverses failed edge %d" (int_id id) e)
           (primary_edges_of t id);
         List.iter
           (fun blinks ->
             List.iter
               (fun e ->
                 if List.mem e failed then
-                  failf "channel %d holds a backup over failed edge %d" id e)
+                  failf "channel %d holds a backup over failed edge %d" (int_id id) e)
               (path_edges blinks))
           (Drcomm.all_backup_links t id))
       (sorted_channels t)
@@ -121,12 +124,12 @@ let check_link_accounting t =
       let floor = (Drcomm.qos_of t id).Qos.b_min in
       let pedges = primary_edges_of t id in
       List.iter
-        (fun dl -> Hashtbl.replace exp_primary.(dl) id (bw, floor))
+        (fun dl -> Hashtbl.replace exp_primary.(dl) (int_id id) (bw, floor))
         (Drcomm.primary_links t id);
       List.iter
         (fun blinks ->
           List.iter
-            (fun dl -> Hashtbl.replace exp_backup.(dl) id (floor, pedges))
+            (fun dl -> Hashtbl.replace exp_backup.(dl) (int_id id) (floor, pedges))
             blinks)
         (Drcomm.all_backup_links t id))
     (sorted_channels t);
@@ -218,8 +221,36 @@ let check_redistribution_complete t =
             failf
               "water-filling incomplete: channel %d at level %d has an increment of \
                spare on every link of its path"
-              id (Drcomm.level t id))
+              (int_id id) (Drcomm.level t id))
       (sorted_channels t)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-vs-full redistribution equivalence                      *)
+
+(* The dirty-set passes must land on the same fixed point a from-scratch
+   global pass would: running {!Drcomm.redistribute_all} against a
+   settled service changes no reservation anywhere.  Stronger than
+   {!check_redistribution_complete} (which only tests one-increment
+   blockage per channel): this exercises the production policy loop
+   itself over the full candidate set. *)
+let check_incremental_equivalence t =
+  if Drcomm.auto_redistribute t then begin
+    let net = Drcomm.net t in
+    let snap () =
+      let acc = ref [] in
+      Net_state.iter_links
+        (fun dl l ->
+          acc := (dl, List.sort compare (Link_state.primary_channels l)) :: !acc)
+        net;
+      !acc
+    in
+    let before = snap () in
+    Drcomm.redistribute_all t;
+    if snap () <> before then
+      failf
+        "incremental redistribution diverged: a full water-filling pass changed \
+         reservations"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Backup-multiplexing single-failure safety                           *)
@@ -293,7 +324,10 @@ let check_all ?expected ?metrics ?(deep = true) t =
   check_failed_edge_unroutability t;
   check_link_accounting t;
   check_redistribution_complete t;
-  if deep then check_single_failure_safety t;
+  if deep then begin
+    check_incremental_equivalence t;
+    check_single_failure_safety t
+  end;
   match (expected, metrics) with
   | Some expected, Some metrics -> check_counters ~expected metrics
   | _ -> ()

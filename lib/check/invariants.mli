@@ -56,6 +56,12 @@ val check_redistribution_complete : Drcomm.t -> unit
     may have an increment of spare on every link of its path.  No-op
     while auto-redistribution is off. *)
 
+val check_incremental_equivalence : Drcomm.t -> unit
+(** With auto-redistribution on: a full water-filling pass
+    ({!Drcomm.redistribute_all}) over the current state must change no
+    reservation — the incremental dirty-link machinery already sits at
+    the global fixed point.  No-op while auto-redistribution is off. *)
+
 val check_single_failure_safety : Drcomm.t -> unit
 (** For every usable edge, hypothetically fail it: victims release
     their floors, each victim's first still-usable backup activates at

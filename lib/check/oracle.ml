@@ -65,9 +65,10 @@ let check_unshared_at_ceiling t =
           if alone && Drcomm.level t id < Qos.levels qos - 1 then
             failf "channel %d shares no link and its path has room, yet it sits \
                    at level %d of %d"
-              id (Drcomm.level t id)
+              (Drcomm.Channel_id.to_int id)
+              (Drcomm.level t id)
               (Qos.levels qos - 1))
-      (List.sort compare (Drcomm.active_channels t))
+      (List.sort Drcomm.Channel_id.compare (Drcomm.active_channels t))
 
 (* ------------------------------------------------------------------ *)
 (* fail -> repair -> redistribute round-trip                           *)
@@ -84,7 +85,7 @@ let snapshot t =
     channels =
       List.map
         (fun id -> (id, Drcomm.level t id, Drcomm.reserved_bandwidth t id))
-        (List.sort compare (Drcomm.active_channels t));
+        (List.sort Drcomm.Channel_id.compare (Drcomm.active_channels t));
     total = Drcomm.total_reserved t;
     link_totals =
       Array.init (Net_state.link_count net) (fun dl ->
@@ -112,7 +113,8 @@ let check_fail_repair_roundtrip t ~edge =
       | _ ->
         failf "edge %d carries no primary, yet channel %d reports a primary-path \
                recovery"
-          edge victim)
+          edge
+          (Drcomm.Channel_id.to_int victim))
     r.Drcomm.recoveries;
   if Drcomm.total_reserved t <> before.total then
     failf "backup-only failure of edge %d moved total reserved bandwidth %d -> %d"

@@ -1,0 +1,33 @@
+type spec =
+  | Unit of (unit -> unit)
+  | Value of (string -> (unit, string) result)
+
+let parse ~specs args =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | arg :: rest -> (
+      match List.assoc_opt arg specs with
+      | Some (Unit apply) ->
+        apply ();
+        go acc rest
+      | Some (Value apply) -> (
+        match rest with
+        | [] -> Error (Printf.sprintf "%s requires an argument" arg)
+        | v :: rest -> (
+          match apply v with Ok () -> go acc rest | Error _ as e -> e))
+      | None -> go (arg :: acc) rest)
+  in
+  go [] args
+
+let parse_kv ~specs pairs =
+  let rec go = function
+    | [] -> Ok ()
+    | (k, v) :: rest -> (
+      match List.assoc_opt k specs with
+      | None -> Error (Printf.sprintf "unknown key %S" k)
+      | Some apply -> (
+        match apply v with
+        | Ok () -> go rest
+        | Error _ as e -> e))
+  in
+  go pairs

@@ -1,28 +1,61 @@
-type channel_id = int
+(* The DR-connection service, rearchitected for scale: connections are
+   abstract handles over a dense live array (O(1) admit/terminate/pick),
+   every aggregate the probes read (count, total reservation, level
+   histogram) is maintained incrementally, redistribution works off a
+   dirty-link set accumulated by the mutating operations, and the failure
+   path resolves a failed edge's victims from the edge's two directed
+   links instead of scanning every connection. *)
 
-type config = {
-  policy : Policy.t;
-  hop_bound : int;
-  route_search : [ `Flooding | `Sequential of int ];
-  require_backup : bool;
-  with_backups : bool;
-  backups_per_connection : int;
-  restore_on_failure : bool;
-}
-
-let default_config =
-  {
-    policy = Policy.Equal_share;
-    hop_bound = 16;
-    route_search = `Flooding;
-    require_backup = true;
-    with_backups = true;
-    backups_per_connection = 1;
-    restore_on_failure = false;
+module Config = struct
+  type t = {
+    policy : Policy.t;
+    hop_bound : int;
+    route_search : [ `Flooding | `Sequential of int ];
+    require_backup : bool;
+    with_backups : bool;
+    backups_per_connection : int;
+    restore_on_failure : bool;
   }
 
+  let version = 1
+
+  let make ?(policy = Policy.equal_share) ?(hop_bound = 16)
+      ?(route_search = `Flooding) ?(require_backup = true) ?(with_backups = true)
+      ?(backups_per_connection = 1) ?(restore_on_failure = false) () =
+    if hop_bound < 1 then invalid_arg "Drcomm.Config.make: hop_bound >= 1";
+    (match route_search with
+    | `Sequential k when k < 1 ->
+      invalid_arg "Drcomm.Config.make: route_search candidates >= 1"
+    | `Sequential _ | `Flooding -> ());
+    if with_backups && backups_per_connection < 1 then
+      invalid_arg "Drcomm.Config.make: with_backups needs backups_per_connection >= 1";
+    {
+      policy;
+      hop_bound;
+      route_search;
+      require_backup;
+      with_backups;
+      backups_per_connection;
+      restore_on_failure;
+    }
+
+  let default = make ()
+
+  let policy t = t.policy
+  let hop_bound t = t.hop_bound
+  let route_search t = t.route_search
+  let require_backup t = t.require_backup
+  let with_backups t = t.with_backups
+  let backups_per_connection t = t.backups_per_connection
+  let restore_on_failure t = t.restore_on_failure
+end
+
+(* [id] deliberately comes first: handles are compared structurally in a
+   few generic contexts (sorting live sets, snapshot diffs), and ids are
+   unique per service, so polymorphic compare resolves on the first field
+   and never walks the mutable tail. *)
 type channel = {
-  id : channel_id;
+  id : int;
   src : int;
   dst : int;
   mutable qos : Qos.t; (* renegotiable, see change_qos *)
@@ -30,15 +63,41 @@ type channel = {
   mutable primary_edges : int list;
   mutable backups : Dirlink.id list list; (* mutually link-disjoint *)
   mutable level : int;
+  mutable slot : int; (* index in the live array; -1 once terminated *)
+  mutable mark : int; (* visit stamp for allocation-free dedupe *)
 }
+
+type channel_id = channel
+
+module Channel_id = struct
+  type t = channel
+
+  let to_int ch = ch.id
+  let compare a b = Int.compare a.id b.id
+  let equal a b = a.id = b.id
+  let hash ch = ch.id
+  let pp ppf ch = Format.pp_print_int ppf ch.id
+end
 
 type t = {
   net : Net_state.t;
-  cfg : config;
-  channels : (channel_id, channel) Hashtbl.t;
+  cfg : Config.t;
+  by_id : (int, channel) Hashtbl.t; (* resolves link-recorded ids *)
+  mutable live : channel array; (* dense: slots 0 .. n_live-1 *)
+  mutable n_live : int;
   mutable next_id : int;
   mutable dropped : int;
   mutable auto_redistribute : bool;
+  mutable mark_gen : int;
+  (* Maintained aggregates: reading them never walks the live set. *)
+  mutable total_res : int;
+  mutable hist : int array; (* live channels per elastic level *)
+  elastic_on_link : int array; (* per directed link: elastic primaries *)
+  (* The dirty-link set: directed links whose membership or reservation
+     changed since the last water-filling pass. *)
+  mutable dirty_links : int array;
+  mutable dirty_n : int;
+  dirty_mark : Bytes.t;
   obs : Obs.t;
   m_admits : Metrics.counter;
   m_rejects : Metrics.counter;
@@ -60,18 +119,24 @@ type t = {
   h_reject : Heavy.sketch;
 }
 
-let create ?(config = default_config) ?obs net =
-  if config.hop_bound < 1 then invalid_arg "Drcomm.create: hop_bound >= 1";
-  if config.with_backups && config.backups_per_connection < 1 then
-    invalid_arg "Drcomm.create: with_backups needs backups_per_connection >= 1";
+let create ?(config = Config.default) ?obs net =
   let obs = match obs with Some o -> o | None -> Obs.default () in
   {
     net;
     cfg = config;
-    channels = Hashtbl.create 256;
+    by_id = Hashtbl.create 256;
+    live = [||];
+    n_live = 0;
     next_id = 0;
     dropped = 0;
     auto_redistribute = true;
+    mark_gen = 0;
+    total_res = 0;
+    hist = Array.make 8 0;
+    elastic_on_link = Array.make (max 1 (Net_state.link_count net)) 0;
+    dirty_links = [||];
+    dirty_n = 0;
+    dirty_mark = Bytes.make (max 1 (Net_state.link_count net)) '\000';
     obs;
     m_admits = Obs.counter obs "drcomm.admits";
     m_rejects = Obs.counter obs "drcomm.rejects";
@@ -127,12 +192,67 @@ type failure_report = { recoveries : recovery list; event : report }
 (* ------------------------------------------------------------------ *)
 (* Internal helpers                                                    *)
 
-let find t id =
-  match Hashtbl.find_opt t.channels id with
+let find ch = if ch.slot < 0 then raise Not_found else ch
+
+let resolve t id =
+  match Hashtbl.find_opt t.by_id id with
   | Some ch -> ch
-  | None -> raise Not_found
+  | None -> assert false (* every id recorded on a link is live *)
 
 let bandwidth_at ch lvl = Qos.bandwidth_of_level ch.qos lvl
+
+let next_mark t =
+  t.mark_gen <- t.mark_gen + 1;
+  t.mark_gen
+
+let ensure_hist t lvl =
+  if lvl >= Array.length t.hist then begin
+    let bigger = Array.make (max (lvl + 1) (2 * Array.length t.hist)) 0 in
+    Array.blit t.hist 0 bigger 0 (Array.length t.hist);
+    t.hist <- bigger
+  end
+
+(* Aggregate-side of a level change; the caller owns link reservations. *)
+let note_level t ch lvl =
+  t.total_res <- t.total_res + bandwidth_at ch lvl - bandwidth_at ch ch.level;
+  t.hist.(ch.level) <- t.hist.(ch.level) - 1;
+  ensure_hist t lvl;
+  t.hist.(lvl) <- t.hist.(lvl) + 1;
+  ch.level <- lvl
+
+let bump_elastic t ch delta =
+  if Qos.is_elastic ch.qos then
+    List.iter
+      (fun dl -> t.elastic_on_link.(dl) <- t.elastic_on_link.(dl) + delta)
+      ch.primary
+
+let add_live t ch =
+  if t.n_live = Array.length t.live then begin
+    let bigger = Array.make (max 64 (2 * t.n_live)) ch in
+    Array.blit t.live 0 bigger 0 t.n_live;
+    t.live <- bigger
+  end;
+  ch.slot <- t.n_live;
+  t.live.(t.n_live) <- ch;
+  t.n_live <- t.n_live + 1;
+  Hashtbl.replace t.by_id ch.id ch;
+  ensure_hist t ch.level;
+  t.hist.(ch.level) <- t.hist.(ch.level) + 1;
+  t.total_res <- t.total_res + bandwidth_at ch ch.level
+
+let remove_live t ch =
+  let slot = ch.slot in
+  let last = t.n_live - 1 in
+  if slot < last then begin
+    t.live.(slot) <- t.live.(last);
+    t.live.(slot).slot <- slot
+  end;
+  t.live.(last) <- t.live.(last); (* slot [last] keeps a stale ref; n_live guards it *)
+  t.n_live <- last;
+  ch.slot <- -1;
+  Hashtbl.remove t.by_id ch.id;
+  t.hist.(ch.level) <- t.hist.(ch.level) - 1;
+  t.total_res <- t.total_res - bandwidth_at ch ch.level
 
 (* One churn unit per link the operation touched: admissions, retreats
    and upgrades all count, so the sketch's top-k is the set of links the
@@ -153,24 +273,25 @@ let set_level t ch lvl =
         (if lvl > ch.level then
            Trace.Upgrade { channel = ch.id; from_level = ch.level; to_level = lvl }
          else Trace.Retreat { channel = ch.id; from_level = ch.level; to_level = lvl });
-    ch.level <- lvl
+    note_level t ch lvl
   end
 
 let retreat t ch = set_level t ch 0
 
 (* Distinct channels holding a primary reservation on any of [links],
-   except [exclude]. *)
+   except [exclude] — mark-stamp dedupe, no per-call tables. *)
 let channels_on_links t ?(exclude = []) links =
-  let seen = Hashtbl.create 64 in
-  List.iter (fun id -> Hashtbl.replace seen id ()) exclude;
+  let gen = next_mark t in
+  List.iter (fun ch -> ch.mark <- gen) exclude;
   let out = ref [] in
   List.iter
     (fun dl ->
       Link_state.iter_primary_channels
         (fun id _ ->
-          if not (Hashtbl.mem seen id) then begin
-            Hashtbl.replace seen id ();
-            out := find t id :: !out
+          let ch = resolve t id in
+          if ch.mark <> gen then begin
+            ch.mark <- gen;
+            out := ch :: !out
           end)
         (Net_state.link t.net dl))
     links;
@@ -178,6 +299,25 @@ let channels_on_links t ?(exclude = []) links =
 
 (* ------------------------------------------------------------------ *)
 (* Water-filling redistribution                                        *)
+
+(* Admission and redistribution run once per churn event, so their spans
+   fire only under a profiler — a trace-only or metrics-only run must not
+   pay (or log) a span pair per operation. *)
+let hot_span t name f = if Obs.profiling t.obs then Obs.span t.obs name f else f ()
+
+let add_dirty t dl =
+  if Bytes.get t.dirty_mark dl = '\000' then begin
+    Bytes.set t.dirty_mark dl '\001';
+    if t.dirty_n = Array.length t.dirty_links then begin
+      let bigger = Array.make (max 64 (2 * t.dirty_n)) 0 in
+      Array.blit t.dirty_links 0 bigger 0 t.dirty_n;
+      t.dirty_links <- bigger
+    end;
+    t.dirty_links.(t.dirty_n) <- dl;
+    t.dirty_n <- t.dirty_n + 1
+  end
+
+let add_dirty_path t links = List.iter (add_dirty t) links
 
 (* A channel can take one more increment iff it is elastic, below its
    ceiling, and every link of its primary path has that much spare
@@ -192,72 +332,55 @@ let grant_increment t ch = set_level t ch (ch.level + 1)
 
 let claim ch = { Policy.utility = ch.qos.Qos.utility; extras_granted = ch.level }
 
-let compare_candidates policy a b =
-  match Policy.compare_claims policy (claim a) (claim b) with
-  | 0 -> compare a.id b.id
-  | c -> c
-
-(* Water-fill the channels touching [dirty] links; the policy decides who
-   gets each successive increment.  Terminates because every grant
-   consumes one increment of finite link capacity.
-
-   - Equal_share: round-based — each round walks candidates from the
-     lowest level up, granting one increment where it fits.  For equal
-     utilities this equals always-grant-the-minimum, at round-scan cost.
-   - Proportional: exact selection loop — each step grants the candidate
-     with the fewest increments per unit utility (the coefficient
-     scheme's fluid limit on the increment grid).
-   - Max_utility: candidates in utility order, each drained to its
-     ceiling before the next sees anything. *)
-(* Admission and redistribution run once per churn event, so their spans
-   fire only under a profiler — a trace-only or metrics-only run must not
-   pay (or log) a span pair per operation. *)
-let hot_span t name f = if Obs.profiling t.obs then Obs.span t.obs name f else f ()
-
-let redistribute t ~dirty =
-  hot_span t "drcomm.redistribute" @@ fun () ->
-  let candidates =
-    List.filter (fun ch -> Qos.is_elastic ch.qos) (channels_on_links t dirty)
-  in
-  match candidates with
-  | [] -> ()
-  | _ -> (
-    match t.cfg.policy with
-    | Policy.Equal_share ->
-      let progress = ref true in
-      while !progress do
-        progress := false;
-        let ordered = List.sort (compare_candidates t.cfg.policy) candidates in
-        List.iter
-          (fun ch ->
-            if can_upgrade t ch then begin
-              grant_increment t ch;
-              progress := true
+(* Water-fill the channels touching the accumulated dirty links; the
+   policy value owns the grant loop (see {!Policy}).  Links carrying no
+   elastic primary are skipped without touching their channel sets.
+   Terminates because every grant consumes one increment of finite link
+   capacity. *)
+let redistribute_flush t =
+  if t.dirty_n > 0 then begin
+    hot_span t "drcomm.redistribute" @@ fun () ->
+    let gen = next_mark t in
+    let candidates = ref [] in
+    for i = 0 to t.dirty_n - 1 do
+      let dl = t.dirty_links.(i) in
+      Bytes.set t.dirty_mark dl '\000';
+      if t.elastic_on_link.(dl) > 0 then
+        Link_state.iter_primary_channels
+          (fun id _ ->
+            let ch = resolve t id in
+            if ch.mark <> gen then begin
+              ch.mark <- gen;
+              if Qos.is_elastic ch.qos then candidates := ch :: !candidates
             end)
-          ordered
-      done
-    | Policy.Proportional ->
-      let continue = ref true in
-      while !continue do
-        let eligible = List.filter (can_upgrade t) candidates in
-        match List.sort (compare_candidates t.cfg.policy) eligible with
-        | [] -> continue := false
-        | best :: _ -> grant_increment t best
-      done
-    | Policy.Max_utility ->
-      let ordered = List.sort (compare_candidates t.cfg.policy) candidates in
-      List.iter
-        (fun ch ->
-          while can_upgrade t ch do
-            grant_increment t ch
-          done)
-        ordered)
+          (Net_state.link t.net dl)
+    done;
+    t.dirty_n <- 0;
+    match !candidates with
+    | [] -> ()
+    | candidates ->
+      let env =
+        {
+          Policy.claim;
+          can_upgrade = (fun ch -> can_upgrade t ch);
+          grant = (fun ch -> grant_increment t ch);
+          tie = (fun a b -> compare a.id b.id);
+        }
+      in
+      t.cfg.Config.policy.Policy.run env candidates
+  end
+
+let redistribute_pending t = redistribute_flush t
 
 (* Global pass: water-fill every elastic channel (dirty = every link any
    channel uses).  Used after a bulk load with auto-redistribution off. *)
 let redistribute_all t =
-  let dirty = Hashtbl.fold (fun _ ch acc -> ch.primary @ acc) t.channels [] in
-  redistribute t ~dirty
+  for i = 0 to t.n_live - 1 do
+    add_dirty_path t t.live.(i).primary
+  done;
+  redistribute_flush t
+
+let maybe_redistribute t = if t.auto_redistribute then redistribute_flush t
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -265,25 +388,25 @@ let redistribute_all t =
 let snapshot_levels chans = List.map (fun ch -> (ch, ch.level)) chans
 
 let transitions_of ~chained snap =
-  List.map (fun (ch, before) -> { channel = ch.id; before; after = ch.level; chained }) snap
+  List.map (fun (ch, before) -> { channel = ch; before; after = ch.level; chained }) snap
 
 (* Indirectly-chained set at an arrival: channels on the links of the
    directly-chained channels' paths, that are not directly chained
    themselves (the paper's third-channel definition). *)
-let indirect_set t ~direct ~exclude =
+let indirect_set t ~direct =
   let direct_links = List.concat_map (fun ch -> ch.primary) direct in
-  channels_on_links t ~exclude direct_links
+  channels_on_links t ~exclude:direct direct_links
 
 (* ------------------------------------------------------------------ *)
 (* Route discovery dispatch                                            *)
 
 let find_primary_route t req =
-  match t.cfg.route_search with
+  match t.cfg.Config.route_search with
   | `Flooding -> Flooding.primary_route t.net req
   | `Sequential candidates -> Sequential.primary_route t.net req ~candidates
 
 let find_backup_route ?banned_edges t req ~primary_edges =
-  match t.cfg.route_search with
+  match t.cfg.Config.route_search with
   | `Flooding -> Flooding.backup_route ?banned_edges t.net req ~primary_edges
   | `Sequential candidates ->
     Sequential.backup_route ?banned_edges t.net req ~candidates ~primary_edges
@@ -325,15 +448,16 @@ let try_register_backup_path ?floor t ch blinks =
    held (mutual link-disjointness, so one failure never claims two).
    Returns how many were added. *)
 let top_up_backups t ch =
-  if not t.cfg.with_backups then 0
+  if not t.cfg.Config.with_backups then 0
   else begin
     let floor = ch.qos.Qos.b_min in
     let req =
-      Flooding.request ~hop_bound:t.cfg.hop_bound ~src:ch.src ~dst:ch.dst ~floor ()
+      Flooding.request ~hop_bound:t.cfg.Config.hop_bound ~src:ch.src ~dst:ch.dst
+        ~floor ()
     in
     let added = ref 0 in
     let continue = ref true in
-    while !continue && List.length ch.backups < t.cfg.backups_per_connection do
+    while !continue && List.length ch.backups < t.cfg.Config.backups_per_connection do
       let banned_edges =
         List.concat_map (List.map Dirlink.edge) ch.backups |> List.sort_uniq compare
       in
@@ -351,7 +475,32 @@ let top_up_backups t ch =
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
 
-let admit ?(want_indirect = true) t ~src ~dst ~qos =
+(* Fast-path retreat for report-free admission: only channels actually
+   holding extras on [links] retreat (a retreat of a floor-level channel
+   is a no-op anyway), found through the per-link extras index. *)
+let retreat_extras_on t links =
+  let gen = next_mark t in
+  let hit = ref [] in
+  List.iter
+    (fun dl ->
+      let l = Net_state.link t.net dl in
+      if Link_state.extras_count l > 0 then
+        Link_state.iter_extras
+          (fun id _ ->
+            let ch = resolve t id in
+            if ch.mark <> gen then begin
+              ch.mark <- gen;
+              hit := ch :: !hit
+            end)
+          l)
+    links;
+  List.iter
+    (fun ch ->
+      retreat t ch;
+      add_dirty_path t ch.primary)
+    !hit
+
+let admit ?(want_indirect = true) ?(want_report = true) t ~src ~dst ~qos =
   hot_span t "drcomm.admit" @@ fun () ->
   let g = Net_state.graph t.net in
   let n = Graph.node_count g in
@@ -359,7 +508,7 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
     invalid_arg "Drcomm.admit: endpoint out of range";
   if src = dst then invalid_arg "Drcomm.admit: src = dst";
   let floor = qos.Qos.b_min in
-  let req = Flooding.request ~hop_bound:t.cfg.hop_bound ~src ~dst ~floor () in
+  let req = Flooding.request ~hop_bound:t.cfg.Config.hop_bound ~src ~dst ~floor () in
   let rejected reason =
     Metrics.incr t.m_rejects;
     Heavy.offer t.h_reject src;
@@ -381,24 +530,36 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
     let plinks = Dirlink.of_path g ppath in
     let pedges = ppath.Paths.edges in
     let id = t.next_id in
-    let existing = Hashtbl.length t.channels in
+    let existing = t.n_live in
     (* Directly-chained channels retreat to their floors (§3.1), making
        room for the new floor physically (extras may have filled the
-       links). *)
-    let direct = channels_on_links t plinks in
-    let direct_snap = snapshot_levels direct in
-    let indirect =
-      if want_indirect then
-        indirect_set t ~direct ~exclude:(List.map (fun c -> c.id) direct)
-      else []
+       links).  Without a report only the channels holding extras are
+       visited — the retreat itself is identical. *)
+    let direct, direct_snap, indirect_snap =
+      if want_report then begin
+        let direct = channels_on_links t plinks in
+        let direct_snap = snapshot_levels direct in
+        let indirect =
+          if want_indirect then indirect_set t ~direct else []
+        in
+        let indirect_snap = snapshot_levels indirect in
+        List.iter
+          (fun ch ->
+            retreat t ch;
+            add_dirty_path t ch.primary)
+          direct;
+        (direct, direct_snap, indirect_snap)
+      end
+      else begin
+        retreat_extras_on t plinks;
+        ([], [], [])
+      end
     in
-    let indirect_snap = snapshot_levels indirect in
-    List.iter (retreat t) direct;
     List.iter
       (fun dl ->
         Link_state.reserve_primary (Net_state.link t.net dl) ~channel:id ~b_min:floor)
       plinks;
-    let dirty = plinks @ List.concat_map (fun c -> c.primary) direct in
+    add_dirty_path t plinks;
     (* Backups are searched with the primary already in place, so the
        backup admission test sees the primary's floor on any link the
        routes would share (maximally-disjoint fallback).  The first
@@ -414,30 +575,33 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
         primary_edges = pedges;
         backups = [];
         level = 0;
+        slot = -1;
+        mark = 0;
       }
     in
     let got_backups = top_up_backups t ch in
     match got_backups with
-    | 0 when t.cfg.with_backups && t.cfg.require_backup ->
+    | 0 when t.cfg.Config.with_backups && t.cfg.Config.require_backup ->
       (* Roll the primary back; the retreated channels re-upgrade. *)
       List.iter
         (fun dl -> Link_state.release_primary (Net_state.link t.net dl) ~channel:id)
         plinks;
-      if t.auto_redistribute then redistribute t ~dirty;
+      maybe_redistribute t;
       rejected No_backup_route
     | _ ->
       t.next_id <- id + 1;
-      Hashtbl.replace t.channels id ch;
+      add_live t ch;
+      bump_elastic t ch 1;
       offer_churn t plinks;
-      Metrics.observe_hwm t.live_hwm (float_of_int (Hashtbl.length t.channels));
+      Metrics.observe_hwm t.live_hwm (float_of_int t.n_live);
       (* Freed extras and remaining spare are redistributed; the new
          channel participates too. *)
-      if t.auto_redistribute then redistribute t ~dirty;
+      maybe_redistribute t;
       let report =
         {
           existing;
           direct_count = List.length direct;
-          indirect_count = List.length indirect;
+          indirect_count = List.length indirect_snap;
           transitions =
             transitions_of ~chained:`Direct direct_snap
             @ transitions_of ~chained:`Indirect indirect_snap;
@@ -452,12 +616,13 @@ let admit ?(want_indirect = true) t ~src ~dst ~qos =
                direct = report.direct_count;
                indirect = report.indirect_count;
              });
-      Admitted (id, report))
+      Admitted (ch, report))
 
 (* ------------------------------------------------------------------ *)
 (* Termination                                                         *)
 
 let release_primary_reservations t ch =
+  bump_elastic t ch (-1);
   List.iter
     (fun dl -> Link_state.release_primary (Net_state.link t.net dl) ~channel:ch.id)
     ch.primary
@@ -466,21 +631,25 @@ let unregister_backup_links t ch =
   List.iter (unregister_backup_path t ch) ch.backups;
   ch.backups <- []
 
-let terminate t id =
-  let ch = find t id in
-  let direct = channels_on_links t ~exclude:[ id ] ch.primary in
-  let direct_snap = snapshot_levels direct in
-  let existing = Hashtbl.length t.channels - 1 in
+let terminate ?(report = true) t handle =
+  let ch = find handle in
+  let direct_snap =
+    if report then
+      snapshot_levels (channels_on_links t ~exclude:[ ch ] ch.primary)
+    else []
+  in
+  let existing = t.n_live - 1 in
   release_primary_reservations t ch;
   unregister_backup_links t ch;
-  Hashtbl.remove t.channels id;
+  remove_live t ch;
+  add_dirty_path t ch.primary;
   offer_churn t ch.primary;
-  if t.auto_redistribute then redistribute t ~dirty:ch.primary;
+  maybe_redistribute t;
   Metrics.incr t.m_terminations;
-  if Obs.tracing t.obs then Obs.event t.obs (Trace.Terminate { channel = id });
+  if Obs.tracing t.obs then Obs.event t.obs (Trace.Terminate { channel = ch.id });
   {
     existing;
-    direct_count = List.length direct;
+    direct_count = List.length direct_snap;
     indirect_count = 0;
     transitions = transitions_of ~chained:`Direct direct_snap;
   }
@@ -492,16 +661,20 @@ let terminate t id =
    an arrival on its own links: extras there are reclaimed so the new
    floor can be judged against floors + pools only.  All-or-nothing: on
    any failure the old contract is restored exactly. *)
-let change_qos t id qos' =
-  let ch = find t id in
+let change_qos t handle qos' =
+  let ch = find handle in
+  let id = ch.id in
   let old_qos = ch.qos in
   let old_floor = old_qos.Qos.b_min in
   let new_floor = qos'.Qos.b_min in
   let backups = ch.backups in
   (* Reclaim extras on the channel's links (including its own). *)
   let sharing = channels_on_links t ch.primary in
-  List.iter (retreat t) sharing;
-  let dirty = List.concat_map (fun c -> c.primary) sharing in
+  List.iter
+    (fun c ->
+      retreat t c;
+      add_dirty_path t c.primary)
+    sharing;
   (* Swap the primary floor link by link, tracking progress for
      rollback. *)
   let swapped = ref [] in
@@ -520,8 +693,7 @@ let change_qos t id qos' =
     swapped := []
   in
   let rollback () =
-    swap_back ();
-    if t.auto_redistribute then redistribute t ~dirty;
+    maybe_redistribute t;
     `Rejected
   in
   let rec swap_all = function
@@ -537,6 +709,7 @@ let change_qos t id qos' =
         (* This link was already released: restore its old floor before
            unwinding the fully-swapped ones. *)
         Link_state.reserve_primary ~force:true l ~channel:id ~b_min:old_floor;
+        swap_back ();
         rollback ())
   in
   match swap_all ch.primary with
@@ -558,16 +731,21 @@ let change_qos t id qos' =
           swap_back ();
           ch.backups <-
             List.filter (try_register_backup_path ~floor:old_floor t ch) backups;
-          if t.auto_redistribute then redistribute t ~dirty;
+          maybe_redistribute t;
           `Rejected
         end
     in
     match rereg [] backups with
     | `Rejected -> `Rejected
     | `Ok ->
+      (* The contract swap may change the floor (total reservation) and
+         the channel's elasticity (the per-link elastic index). *)
+      bump_elastic t ch (-1);
       ch.qos <- qos';
+      bump_elastic t ch 1;
+      t.total_res <- t.total_res + new_floor - old_floor;
       ch.level <- 0;
-      if t.auto_redistribute then redistribute t ~dirty;
+      maybe_redistribute t;
       `Changed)
 
 (* ------------------------------------------------------------------ *)
@@ -603,14 +781,29 @@ let activate_backup t ch blinks ~retreated =
     let remaining = List.filter (fun b -> b != blinks) ch.backups in
     unregister_backup_path t ch blinks;
     (* Primaries sharing the activated links release their extras
-       (§3.1: the pool they were borrowing is being called in). *)
+       (§3.1: the pool they were borrowing is being called in).  Found
+       through the per-link extras index: a link full of floor-level
+       primaries costs nothing here. *)
+    let gen = next_mark t in
+    let hit = ref [] in
+    List.iter
+      (fun dl ->
+        let l = Net_state.link t.net dl in
+        if Link_state.extras_count l > 0 then
+          Link_state.iter_extras
+            (fun id _ ->
+              let other = resolve t id in
+              if other.id <> ch.id && other.mark <> gen then begin
+                other.mark <- gen;
+                hit := other :: !hit
+              end)
+            l)
+      blinks;
     List.iter
       (fun other ->
-        if other.id <> ch.id && other.level > 0 then begin
-          retreated := (other, other.level) :: !retreated;
-          retreat t other
-        end)
-      (channels_on_links t blinks);
+        retreated := (other, other.level) :: !retreated;
+        retreat t other)
+      !hit;
     List.iter
       (fun dl ->
         Link_state.reserve_primary ~force:true (Net_state.link t.net dl) ~channel:ch.id
@@ -618,7 +811,8 @@ let activate_backup t ch blinks ~retreated =
       blinks;
     ch.primary <- blinks;
     ch.primary_edges <- List.sort_uniq compare (List.map Dirlink.edge blinks);
-    ch.level <- 0;
+    bump_elastic t ch 1;
+    note_level t ch 0;
     (* Remaining backups: re-key their pool accounting to the new primary
        (they are disjoint from it by construction — backups were mutually
        disjoint).  Only still-usable paths qualify: a backup crossing the
@@ -637,43 +831,66 @@ let activate_backup t ch blinks ~retreated =
     true
   end
 
+let empty_event t =
+  { existing = t.n_live; direct_count = 0; indirect_count = 0; transitions = [] }
+
 let fail_edge t e =
-  if Net_state.edge_failed t.net e then { recoveries = []; event = { existing = Hashtbl.length t.channels; direct_count = 0; indirect_count = 0; transitions = [] } }
+  if Net_state.edge_failed t.net e then { recoveries = []; event = empty_event t }
   else begin
     Net_state.fail_edge t.net e;
     Metrics.incr t.m_link_failures;
     if Obs.tracing t.obs then Obs.event t.obs (Trace.Link_fail { edge = e });
-    let existing = Hashtbl.length t.channels in
+    let existing = t.n_live in
+    (* The failed edge's victims live on its two directed links: a
+       primary victim holds a reservation on either direction, a backup
+       victim has a backup registered there (and no primary across the
+       edge).  No global scan. *)
+    let gen = next_mark t in
     let victims_primary = ref [] and victims_backup = ref [] in
-    let crosses blinks = List.exists (fun dl -> Dirlink.edge dl = e) blinks in
-    Hashtbl.iter
-      (fun _ ch ->
-        if List.mem e ch.primary_edges then victims_primary := ch :: !victims_primary
-        else if List.exists crosses ch.backups then
-          victims_backup := ch :: !victims_backup)
-      t.channels;
+    let each_direction f =
+      f (2 * e);
+      f ((2 * e) + 1)
+    in
+    each_direction (fun dl ->
+        Link_state.iter_primary_channels
+          (fun id _ ->
+            let ch = resolve t id in
+            if ch.mark <> gen then begin
+              ch.mark <- gen;
+              victims_primary := ch :: !victims_primary
+            end)
+          (Net_state.link t.net dl));
+    each_direction (fun dl ->
+        Link_state.iter_backup_channels
+          (fun id ->
+            let ch = resolve t id in
+            if ch.mark <> gen then begin
+              ch.mark <- gen;
+              victims_backup := ch :: !victims_backup
+            end)
+          (Net_state.link t.net dl));
     let by_id a b = compare a.id b.id in
     let victims_primary = List.sort by_id !victims_primary in
     let victims_backup = List.sort by_id !victims_backup in
+    let crosses blinks = List.exists (fun dl -> Dirlink.edge dl = e) blinks in
     let retreated = ref [] in
-    let dirty = ref [] in
     let recoveries = ref [] in
     List.iter
       (fun ch ->
         release_primary_reservations t ch;
-        dirty := ch.primary @ !dirty;
+        add_dirty_path t ch.primary;
         (* Last resort when no backup can take over: drop, or — under the
            reactive-restoration baseline — attempt a from-scratch
            re-establishment over the surviving topology. *)
         let drop_or_restore () =
-          Hashtbl.remove t.channels ch.id;
-          if not t.cfg.restore_on_failure then begin
+          remove_live t ch;
+          if not t.cfg.Config.restore_on_failure then begin
             t.dropped <- t.dropped + 1;
             `Dropped
           end
           else
             match admit ~want_indirect:false t ~src:ch.src ~dst:ch.dst ~qos:ch.qos with
-            | Admitted (nid, _) -> `Restored ((find t nid).backups <> [])
+            | Admitted (nch, _) -> `Restored (nch.backups <> [])
             | Rejected _ ->
               t.dropped <- t.dropped + 1;
               `Dropped
@@ -683,7 +900,7 @@ let fail_edge t e =
           match List.find_opt (path_usable t) ch.backups with
           | Some blinks ->
             if activate_backup t ch blinks ~retreated then begin
-              dirty := blinks @ !dirty;
+              add_dirty_path t blinks;
               `Switched_to_backup (try_new_backup t ch)
             end
             else begin
@@ -708,7 +925,7 @@ let fail_edge t e =
           if Obs.tracing t.obs then
             Obs.event t.obs (Trace.Restore { channel = ch.id; with_backup })
         | `Backup_lost _ -> ());
-        recoveries := { victim = ch.id; outcome } :: !recoveries)
+        recoveries := { victim = ch; outcome } :: !recoveries)
       victims_primary;
     List.iter
       (fun ch ->
@@ -721,19 +938,18 @@ let fail_edge t e =
         Metrics.incr t.m_backup_losses;
         if Obs.tracing t.obs then
           Obs.event t.obs (Trace.Backup_lost { channel = ch.id; replaced });
-        recoveries := { victim = ch.id; outcome = `Backup_lost replaced } :: !recoveries)
+        recoveries := { victim = ch; outcome = `Backup_lost replaced } :: !recoveries)
       victims_backup;
     let retreated_snap = List.rev !retreated in
     (* A bystander retreated by an activation freed spare on its whole
        path, not just on the activated links — its other links must be
        water-filled too, exactly as admission treats direct sharers. *)
-    dirty :=
-      List.concat_map (fun (ch, _) -> ch.primary) retreated_snap @ !dirty;
-    if t.auto_redistribute then redistribute t ~dirty:!dirty;
+    List.iter (fun (ch, _) -> add_dirty_path t ch.primary) retreated_snap;
+    maybe_redistribute t;
     let transitions =
       List.map
         (fun (ch, before) ->
-          { channel = ch.id; before; after = ch.level; chained = `Direct })
+          { channel = ch; before; after = ch.level; chained = `Direct })
         retreated_snap
     in
     {
@@ -760,35 +976,47 @@ let repair_edge t e =
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 
-let count t = Hashtbl.length t.channels
-let active_channels t = Hashtbl.fold (fun id _ acc -> id :: acc) t.channels []
-let mem t id = Hashtbl.mem t.channels id
-let level t id = (find t id).level
-let reserved_bandwidth t id =
-  let ch = find t id in
+let count t = t.n_live
+
+let active_channels t =
+  let acc = ref [] in
+  for i = t.n_live - 1 downto 0 do
+    acc := t.live.(i) :: !acc
+  done;
+  !acc
+
+let nth_channel t i =
+  if i < 0 || i >= t.n_live then invalid_arg "Drcomm.nth_channel: index out of range";
+  t.live.(i)
+
+let mem _t ch = ch.slot >= 0
+let level _t ch = (find ch).level
+
+let reserved_bandwidth _t handle =
+  let ch = find handle in
   bandwidth_at ch ch.level
-let qos_of t id = (find t id).qos
-let primary_links t id = (find t id).primary
 
-let backup_links t id =
-  match (find t id).backups with [] -> None | first :: _ -> Some first
+let qos_of _t ch = (find ch).qos
+let primary_links _t ch = (find ch).primary
 
-let all_backup_links t id = (find t id).backups
-let has_backup t id = (find t id).backups <> []
+let backup_links _t handle =
+  match (find handle).backups with [] -> None | first :: _ -> Some first
+
+let all_backup_links _t ch = (find ch).backups
+let has_backup _t ch = (find ch).backups <> []
 
 let level_histogram t ~max_levels =
   let counts = Array.make max_levels 0 in
-  Hashtbl.iter
-    (fun id ch ->
-      if ch.level >= max_levels then
-        invalid_arg
-          (Printf.sprintf "Drcomm.level_histogram: channel %d at level %d" id ch.level);
-      counts.(ch.level) <- counts.(ch.level) + 1)
-    t.channels;
+  let n = Array.length t.hist in
+  for lvl = 0 to n - 1 do
+    if t.hist.(lvl) > 0 && lvl >= max_levels then
+      invalid_arg
+        (Printf.sprintf "Drcomm.level_histogram: live channel at level %d" lvl);
+    if lvl < max_levels then counts.(lvl) <- t.hist.(lvl)
+  done;
   counts
 
-let total_reserved t =
-  Hashtbl.fold (fun _ ch acc -> acc + bandwidth_at ch ch.level) t.channels 0
+let total_reserved t = t.total_res
 
 let average_bandwidth t =
   let n = count t in
@@ -804,36 +1032,68 @@ let absorb_heavy t =
   if Heavy.enabled reg then
     Heavy.merge_sketch_into ~into:(Heavy.sketch reg "drcomm.link_churn") t.h_churn
 
+(* Full audit: the per-channel checks of old, plus a from-scratch
+   recomputation of every maintained aggregate (live index, histogram,
+   total reservation, per-link elastic counts) against the incremental
+   state — the fuzzer's cross-check of incremental vs full recompute. *)
 let check_invariants t =
   Net_state.check_invariants t.net;
-  Hashtbl.iter
-    (fun id ch ->
-      if ch.level < 0 || ch.level >= Qos.levels ch.qos then
-        failwith (Printf.sprintf "Drcomm: channel %d has level %d" id ch.level);
-      let bw = bandwidth_at ch ch.level in
-      List.iter
-        (fun dl ->
-          match Link_state.primary_reservation (Net_state.link t.net dl) ~channel:id with
-          | Some r when r = bw -> ()
-          | Some r ->
-            failwith
-              (Printf.sprintf "Drcomm: channel %d reserves %d on link %d, level says %d"
-                 id r dl bw)
-          | None ->
-            failwith (Printf.sprintf "Drcomm: channel %d missing on link %d" id dl))
-        ch.primary;
-      (* Every held backup is registered on every one of its links, and
-         distinct backups of one connection are mutually edge-disjoint. *)
-      List.iter
-        (fun blinks ->
-          List.iter
-            (fun dl ->
-              if not (Link_state.has_backup (Net_state.link t.net dl) ~channel:id) then
-                failwith (Printf.sprintf "Drcomm: backup of %d missing on link %d" id dl))
-            blinks)
-        ch.backups;
-      let backup_edges = List.map (List.map Dirlink.edge) ch.backups in
-      let all = List.concat backup_edges in
-      if List.length all <> List.length (List.sort_uniq compare all) then
-        failwith (Printf.sprintf "Drcomm: backups of %d share an edge" id))
-    t.channels
+  let total = ref 0 in
+  let hist = Array.make (Array.length t.hist) 0 in
+  let elastic = Array.make (Array.length t.elastic_on_link) 0 in
+  for i = 0 to t.n_live - 1 do
+    let ch = t.live.(i) in
+    let id = ch.id in
+    if ch.slot <> i then
+      failwith (Printf.sprintf "Drcomm: channel %d slot index out of sync" id);
+    (match Hashtbl.find_opt t.by_id id with
+    | Some ch' when ch' == ch -> ()
+    | _ -> failwith (Printf.sprintf "Drcomm: channel %d missing from id table" id));
+    if ch.level < 0 || ch.level >= Qos.levels ch.qos then
+      failwith (Printf.sprintf "Drcomm: channel %d has level %d" id ch.level);
+    let bw = bandwidth_at ch ch.level in
+    total := !total + bw;
+    hist.(ch.level) <- hist.(ch.level) + 1;
+    List.iter
+      (fun dl ->
+        if Qos.is_elastic ch.qos then elastic.(dl) <- elastic.(dl) + 1;
+        match Link_state.primary_reservation (Net_state.link t.net dl) ~channel:id with
+        | Some r when r = bw -> ()
+        | Some r ->
+          failwith
+            (Printf.sprintf "Drcomm: channel %d reserves %d on link %d, level says %d"
+               id r dl bw)
+        | None ->
+          failwith (Printf.sprintf "Drcomm: channel %d missing on link %d" id dl))
+      ch.primary;
+    (* Every held backup is registered on every one of its links, and
+       distinct backups of one connection are mutually edge-disjoint. *)
+    List.iter
+      (fun blinks ->
+        List.iter
+          (fun dl ->
+            if not (Link_state.has_backup (Net_state.link t.net dl) ~channel:id) then
+              failwith (Printf.sprintf "Drcomm: backup of %d missing on link %d" id dl))
+          blinks)
+      ch.backups;
+    let backup_edges = List.map (List.map Dirlink.edge) ch.backups in
+    let all = List.concat backup_edges in
+    if List.length all <> List.length (List.sort_uniq compare all) then
+      failwith (Printf.sprintf "Drcomm: backups of %d share an edge" id)
+  done;
+  if Hashtbl.length t.by_id <> t.n_live then
+    failwith "Drcomm: id table size out of sync with live set";
+  if !total <> t.total_res then
+    failwith
+      (Printf.sprintf "Drcomm: total_reserved %d out of sync (recomputed %d)"
+         t.total_res !total);
+  Array.iteri
+    (fun lvl c ->
+      if c <> t.hist.(lvl) then
+        failwith (Printf.sprintf "Drcomm: level histogram out of sync at level %d" lvl))
+    hist;
+  Array.iteri
+    (fun dl c ->
+      if c <> t.elastic_on_link.(dl) then
+        failwith (Printf.sprintf "Drcomm: elastic index out of sync on link %d" dl))
+    elastic

@@ -20,46 +20,97 @@
     caused, classified exactly as the paper's model needs them
     (directly-chained vs indirectly-chained), so the {!Estimator} can
     measure [P_f], [P_s], [A], [B], [T] without reaching into the
-    service's internals. *)
+    service's internals.
+
+    {b Scale.}  Connections are abstract handles; the service keeps them
+    in a dense array with O(1) admit/terminate/sample, maintains every
+    aggregate the probes read incrementally, and water-fills off a
+    dirty-link set — see DESIGN.md §13.  Sustains ~10⁶ live connections
+    on 1000+-node transit-stub topologies with flat per-operation cost
+    (see BENCH_scale.json). *)
 
 type t
 
-type channel_id = int
+type channel_id
+(** Abstract handle to a DR-connection.  Handles stay valid identifiers
+    after termination ({!mem} answers [false]); passing a dead handle to
+    an accessor raises [Not_found].  Handles compare cheaply (by
+    connection id) with the polymorphic comparison operators, and
+    {!Channel_id} gives explicit operations. *)
 
-type config = {
-  policy : Policy.t;
-  hop_bound : int;
-  route_search : [ `Flooding | `Sequential of int ];
-      (** how routes are discovered (§2.1.1): parallel bounded flooding
-          (the paper's protocol, default) or sequential probing of the
-          [k] shortest candidates.  Both apply identical admission
-          tests. *)
-  require_backup : bool;
-      (** reject a connection that cannot get a backup channel (the
-          paper's dependability QoS); [false] gives the non-dependable
-          baseline. *)
-  with_backups : bool;
-      (** [false] disables backups entirely (pure elastic real-time
-          service — ablation baseline). *)
-  backups_per_connection : int;
-      (** the paper's "one or more backup channels": how many mutually
-          link-disjoint backups each connection tries to hold (default 1;
-          acceptance only requires the first, the rest are best-effort).
-          With [k] backups a connection survives [k] successive primary
-          failures without restoration. *)
-  restore_on_failure : bool;
-      (** when a failure leaves a connection without a usable backup, try
-          to re-establish it from scratch (the {e reactive restoration}
-          baseline the backup-channel scheme is designed to beat —
-          restoration can fail under congestion, which is the paper's
-          §1 motivation).  Default [false]. *)
-}
+(** Identity operations on connection handles. *)
+module Channel_id : sig
+  type t = channel_id
 
-val default_config : config
-(** Equal-utility water-filling ([Equal_share]), hop bound 16, backups
-    required. *)
+  val to_int : t -> int
+  (** The connection's unique (per-service, monotonically assigned)
+      integer id — for logs, traces, and keying external tables. *)
 
-val create : ?config:config -> ?obs:Obs.t -> Net_state.t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Service configuration — built by {!Config.make}, which validates the
+    fields (so a [t] is well-formed by construction). *)
+module Config : sig
+  type t
+
+  val version : int
+  (** Configuration schema version (bumped on incompatible change). *)
+
+  val make :
+    ?policy:Policy.t ->
+    ?hop_bound:int ->
+    ?route_search:[ `Flooding | `Sequential of int ] ->
+    ?require_backup:bool ->
+    ?with_backups:bool ->
+    ?backups_per_connection:int ->
+    ?restore_on_failure:bool ->
+    unit ->
+    t
+  (** Defaults give the paper's baseline service: equal-share
+      water-filling, hop bound 16, bounded flooding, one required backup
+      per connection, no reactive restoration.
+
+      - [route_search]: how routes are discovered (§2.1.1) — parallel
+        bounded flooding (the paper's protocol, default) or sequential
+        probing of the [k] shortest candidates.  Both apply identical
+        admission tests.
+      - [require_backup]: reject a connection that cannot get a backup
+        channel (the paper's dependability QoS); [false] gives the
+        non-dependable baseline.
+      - [with_backups]: [false] disables backups entirely (pure elastic
+        real-time service — ablation baseline).
+      - [backups_per_connection]: the paper's "one or more backup
+        channels" — how many mutually link-disjoint backups each
+        connection tries to hold (default 1; acceptance only requires
+        the first, the rest are best-effort).  With [k] backups a
+        connection survives [k] successive primary failures without
+        restoration.
+      - [restore_on_failure]: when a failure leaves a connection without
+        a usable backup, try to re-establish it from scratch (the
+        {e reactive restoration} baseline the backup-channel scheme is
+        designed to beat — restoration can fail under congestion, which
+        is the paper's §1 motivation).  Default [false].
+
+      Raises [Invalid_argument] on [hop_bound < 1], [`Sequential k] with
+      [k < 1], or [with_backups] with [backups_per_connection < 1]. *)
+
+  val default : t
+  (** [make ()]. *)
+
+  val policy : t -> Policy.t
+  val hop_bound : t -> int
+  val route_search : t -> [ `Flooding | `Sequential of int ]
+  val require_backup : t -> bool
+  val with_backups : t -> bool
+  val backups_per_connection : t -> int
+  val restore_on_failure : t -> bool
+end
+
+val create : ?config:Config.t -> ?obs:Obs.t -> Net_state.t -> t
 (** [obs] (default {!Obs.default}) receives the service's
     instrumentation: counters [drcomm.admits], [drcomm.rejects],
     [drcomm.terminations], [drcomm.elastic_upgrades],
@@ -80,7 +131,7 @@ val create : ?config:config -> ?obs:Obs.t -> Net_state.t -> t
     requests. *)
 
 val net : t -> Net_state.t
-val config : t -> config
+val config : t -> Config.t
 
 (** {1 Connection lifecycle} *)
 
@@ -115,27 +166,47 @@ type admit_result =
   | Rejected of reject_reason
 
 val admit :
-  ?want_indirect:bool -> t -> src:int -> dst:int -> qos:Qos.t -> admit_result
+  ?want_indirect:bool ->
+  ?want_report:bool ->
+  t ->
+  src:int ->
+  dst:int ->
+  qos:Qos.t ->
+  admit_result
 (** Establish a DR-connection.  [src <> dst]; both in range.
     [~want_indirect:false] (default [true]) skips computing the
-    indirectly-chained set — measurably cheaper during bulk loading when
-    the report is discarded. *)
+    indirectly-chained set; [~want_report:false] (default [true])
+    additionally skips the directly-chained census — the retreats still
+    happen (through the per-link extras index, visiting only channels
+    that actually hold extras), but the returned report carries empty
+    transition lists.  Use it on the bulk-loading and churn hot paths
+    where the report is discarded. *)
 
 (** {1 Redistribution control}
 
-    By default every mutating call water-fills the affected links before
-    returning.  For bulk loading, switch auto-redistribution off, load,
-    then run one global pass. *)
+    By default every mutating call water-fills the links it dirtied
+    before returning.  For bulk loading, switch auto-redistribution off,
+    load, then call {!redistribute_pending} (or {!redistribute_all}) —
+    dirty links accumulate while auto-redistribution is off. *)
 
 val set_auto_redistribute : t -> bool -> unit
 val auto_redistribute : t -> bool
 
-val redistribute_all : t -> unit
-(** One global water-filling pass over all channels. *)
+val redistribute_pending : t -> unit
+(** Water-fill the channels touching the links dirtied since the last
+    pass, then clear the dirty set.  O(affected), not O(live): links
+    carrying no elastic primary are skipped outright.  No-op when
+    nothing is dirty. *)
 
-val terminate : t -> channel_id -> report
-(** Tear down a connection and redistribute.  Raises [Not_found] for an
-    unknown or already-terminated id. *)
+val redistribute_all : t -> unit
+(** One global water-filling pass over all channels (marks every live
+    channel's links dirty, then flushes).  The from-scratch recompute
+    that {!redistribute_pending} is checked against. *)
+
+val terminate : ?report:bool -> t -> channel_id -> report
+(** Tear down a connection and redistribute.  [~report:false] (default
+    [true]) skips the directly-chained census (empty transition list).
+    Raises [Not_found] for an unknown or already-terminated handle. *)
 
 val change_qos : t -> channel_id -> Qos.t -> [ `Changed | `Rejected ]
 (** Renegotiate a live connection's QoS contract in place (same primary
@@ -144,7 +215,7 @@ val change_qos : t -> channel_id -> Qos.t -> [ `Changed | `Rejected ]
     like a fresh arrival — and every backup is re-registered at the new
     floor.  All-or-nothing: on [`Rejected] the old contract is fully
     restored.  The channel restarts at its (new) floor and re-upgrades
-    through redistribution.  Raises [Not_found] for an unknown id. *)
+    through redistribution.  Raises [Not_found] for a dead handle. *)
 
 (** Outcome of one connection's recovery from a failure. *)
 type recovery = {
@@ -166,20 +237,33 @@ type failure_report = { recoveries : recovery list; event : report }
 
 val fail_edge : t -> int -> failure_report
 (** Fail an undirected edge: activate backups, retreat extras on the
-    activated links, redistribute.  Idempotent on an already-failed
-    edge (empty report). *)
+    activated links, redistribute.  Victims are resolved from the failed
+    edge's two directed links (the per-link channel indexes), not by
+    scanning the live set.  Idempotent on an already-failed edge (empty
+    report). *)
 
 val repair_edge : t -> int -> unit
 
 (** {1 Queries} *)
 
 val count : t -> int
+
 val active_channels : t -> channel_id list
+(** Every live connection, in internal (dense-array) order.  O(live) —
+    prefer {!nth_channel} for sampling. *)
+
+val nth_channel : t -> int -> channel_id
+(** The live connection in slot [i], [0 <= i < count t] — O(1), for
+    uniform sampling ([nth_channel t (rng (count t))]).  Slot order is
+    arbitrary and changes on termination.  Raises [Invalid_argument] out
+    of range. *)
+
 val mem : t -> channel_id -> bool
 val level : t -> channel_id -> int
 val reserved_bandwidth : t -> channel_id -> Bandwidth.t
 val qos_of : t -> channel_id -> Qos.t
 val primary_links : t -> channel_id -> Dirlink.id list
+
 val backup_links : t -> channel_id -> Dirlink.id list option
 (** First (activation-priority) backup; [None] when the connection
     currently has no backup channel. *)
@@ -191,12 +275,14 @@ val has_backup : t -> channel_id -> bool
 
 val level_histogram : t -> max_levels:int -> int array
 (** [level_histogram t ~max_levels] counts live channels at each elastic
-    level; levels beyond [max_levels - 1] raise (they indicate a QoS spec
-    inconsistent with the caller's assumption). *)
+    level — O(levels) off the maintained histogram, not a scan; levels
+    beyond [max_levels - 1] raise (they indicate a QoS spec inconsistent
+    with the caller's assumption). *)
 
 val total_reserved : t -> int
 (** Sum of every channel's current reservation (Kbps; path-length
-    independent — each channel counted once, not per link). *)
+    independent — each channel counted once, not per link).  O(1),
+    maintained. *)
 
 val average_bandwidth : t -> float
 (** [total_reserved / count]; 0 when empty. *)
@@ -220,4 +306,7 @@ val absorb_heavy : t -> unit
 val check_invariants : t -> unit
 (** Full consistency audit: per-link accounting, level/reservation
     coherence on every link of every channel, backup registration
-    coherence.  Raises [Failure] on any violation. *)
+    coherence, {e and} a from-scratch recomputation of every maintained
+    aggregate (dense index, level histogram, total reservation, per-link
+    elastic counts) checked against the incremental state.  Raises
+    [Failure] on any violation. *)

@@ -30,7 +30,7 @@ let default =
     capacity = Bandwidth.paper_link_capacity;
     multiplexing = true;
     qos = Qos.paper_spec ~increment:(Bandwidth.kbps 50);
-    policy = Policy.Equal_share;
+    policy = Policy.equal_share;
     require_backup = true;
     with_backups = true;
     backups_per_connection = 1;
@@ -164,13 +164,15 @@ let churn_arrival c =
 
 let churn_termination c =
   Metrics.incr c.m_terminations;
-  match Drcomm.active_channels c.service with
-  | [] -> ()
-  | ids ->
-    let arr = Array.of_list ids in
-    let id = Prng.pick c.rng arr in
-    let report = Drcomm.terminate c.service id in
+  let n = Drcomm.count c.service in
+  if n > 0 then begin
+    (* O(1) uniform victim pick off the dense live array — materialising
+       the whole live set per termination is what capped the old churn
+       loop at small populations. *)
+    let id = Drcomm.nth_channel c.service (Prng.int c.rng n) in
+    let report = Drcomm.terminate ~report:c.measuring c.service id in
     if c.measuring then Estimator.observe_termination c.est report
+  end
 
 let churn_failure c =
   Metrics.incr c.m_failures;
@@ -208,7 +210,7 @@ let churn_repair c =
 let rec schedule_churn c engine =
   if c.events_done < c.stop_after then begin
     let net = Drcomm.net c.service in
-    let failed = List.length (Net_state.failed_edges net) in
+    let failed = Net_state.failed_count net in
     let rate_repair = c.cfg.repair_rate *. float_of_int failed in
     let rate_term = if Drcomm.count c.service > 0 then c.cfg.mu else 0. in
     let total = c.cfg.lambda +. rate_term +. c.cfg.gamma +. rate_repair in
@@ -239,15 +241,10 @@ let run ?obs ?snapshot (cfg : config) =
   let graph = build_graph topo_rng cfg.topology in
   let net = Net_state.create ~multiplexing:cfg.multiplexing ~capacity:cfg.capacity graph in
   let dr_config =
-    {
-      Drcomm.policy = cfg.policy;
-      hop_bound = Drcomm.default_config.Drcomm.hop_bound;
-      route_search = cfg.route_search;
-      require_backup = cfg.require_backup;
-      with_backups = cfg.with_backups;
-      backups_per_connection = cfg.backups_per_connection;
-      restore_on_failure = cfg.restore_on_failure;
-    }
+    Drcomm.Config.make ~policy:cfg.policy ~route_search:cfg.route_search
+      ~require_backup:cfg.require_backup ~with_backups:cfg.with_backups
+      ~backups_per_connection:cfg.backups_per_connection
+      ~restore_on_failure:cfg.restore_on_failure ()
   in
   let service = Drcomm.create ~config:dr_config ~obs net in
   (* Load phase: attempt [offered] set-ups.  Redistribution is deferred to
@@ -259,11 +256,16 @@ let run ?obs ?snapshot (cfg : config) =
       Drcomm.set_auto_redistribute service false;
       for _ = 1 to cfg.offered do
         let src, dst = random_pair workload_rng n in
-        match Drcomm.admit ~want_indirect:false service ~src ~dst ~qos:cfg.qos with
+        match
+          Drcomm.admit ~want_indirect:false ~want_report:false service ~src ~dst
+            ~qos:cfg.qos
+        with
         | Admitted _ -> ()
         | Rejected _ -> incr rejected_load
       done;
-      Drcomm.redistribute_all service;
+      (* Every loaded channel dirtied its links, so flushing the pending
+         set is the global pass. *)
+      Drcomm.redistribute_pending service;
       Drcomm.set_auto_redistribute service true);
   let carried_initial = Drcomm.count service in
   let avg_hops =

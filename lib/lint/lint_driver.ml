@@ -5,7 +5,7 @@ type config = {
   lib_prefix : string;
 }
 
-let default_protect = [ "Trace.event"; "Op.t"; "Policy.t" ]
+let default_protect = [ "Trace.event"; "Op.t" ]
 
 let default_config ~roots =
   { roots; rules = Lint.all_rules; protect = default_protect; lib_prefix = "lib/" }

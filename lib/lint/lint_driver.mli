@@ -17,7 +17,7 @@ type config = {
 }
 
 val default_protect : string list
-(** [Trace.event], [Op.t], [Policy.t] — the closed variants whose silent
+(** [Trace.event], [Op.t] — the closed variants whose silent
     absorption has already cost a fuzz or trace-audit cycle. *)
 
 val default_config : roots:string list -> config

@@ -62,6 +62,16 @@ val primary_count : t -> int
 val primary_total : t -> Bandwidth.t
 val primary_min_total : t -> Bandwidth.t
 
+val extras_count : t -> int
+(** How many primaries here currently hold bandwidth above their floor —
+    O(1).  The service's retreat paths skip whole links on 0 instead of
+    scanning their channel sets. *)
+
+val iter_extras : (int -> Bandwidth.t -> unit) -> t -> unit
+(** [(channel, reserved)] for every primary holding extras
+    ([reserved > floor]).  A flat walk, and a no-op when
+    [extras_count = 0]. *)
+
 (** {1 Backup registrations} *)
 
 val register_backup :
@@ -79,7 +89,19 @@ val backup_pool_with : t -> b_min:Bandwidth.t -> primary_edges:int list -> Bandw
 val unregister_backup : t -> channel:int -> unit
 val has_backup : t -> channel:int -> bool
 val backup_channels : t -> int list
+
+val iter_backup_channels : (int -> unit) -> t -> unit
+(** Every channel with a backup registered here — a flat walk over the
+    indexed set (the failure path resolves a failed edge's victims from
+    its two directed links instead of scanning every connection). *)
+
+val backup_count : t -> int
+
 val backup_pool : t -> Bandwidth.t
+(** With multiplexing this is served from an incrementally maintained
+    cache: registrations update it in place, and only an unregistration
+    that removed demand at the cached maximum forces a lazy recompute.
+    Amortised O(1) on the admission hot path. *)
 
 val multiplexing : t -> bool
 

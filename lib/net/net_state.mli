@@ -30,7 +30,14 @@ val fail_edge : t -> int -> unit
 
 val repair_edge : t -> int -> unit
 val edge_failed : t -> int -> bool
+
 val failed_edges : t -> int list
+(** The currently-failed edges in ascending order — O(failed · log
+    failed) off a maintained set, not a scan over every edge. *)
+
+val failed_count : t -> int
+(** O(1). *)
+
 val usable_edge : t -> int -> bool
 (** [not (edge_failed t e)] — the routing filter. *)
 

@@ -1,32 +1,92 @@
-(** Extra-resource adaptation policies — §2.2 of the paper.
+(** Extra-resource adaptation policies — §2.2 of the paper — as
+    first-class values.
 
     When bandwidth beyond the floors is available, the network walks
-    eligible channels and grants one increment at a time (water-filling);
-    the policy decides {e who gets the next increment}.  The paper
+    eligible channels and grants one increment at a time (water-filling).
+    A policy owns that walk: it decides {e who gets the next increment}
+    and {e in what discipline} the grants are issued.  The paper
     evaluates with equal utilities ("fair distribution"); the
-    coefficient/proportional and max-utility schemes it describes are also
-    provided, and compared in the ablation benches. *)
+    coefficient/proportional and max-utility schemes it describes are
+    also provided, and compared in the ablation benches.
 
-type t =
-  | Equal_share
-      (** round-robin by current extra allocation: lowest first.  With
-          equal utilities this is the paper's fair distribution. *)
-  | Proportional
-      (** the coefficient scheme (Han, PhD 1998): extras in proportion to
-          each channel's utility coefficient. *)
-  | Max_utility
-      (** the max-utility scheme: highest-utility channel takes all it
-          can before anyone else — may monopolise, as the paper warns. *)
-
-val pp : Format.formatter -> t -> unit
-val of_string : string -> t option
-val all : t list
+    Policies used to be a closed variant baked into the service; they are
+    now values, so alternative redistribution strategies (slice-weighted,
+    survivability-priced, …) plug in without touching the hot path. *)
 
 type claim = { utility : float; extras_granted : int }
 (** A channel's standing in the current water-filling round:
     [extras_granted] counts increments already granted above the floor. *)
 
+(** What the redistribution core hands a policy: how to read a
+    candidate's claim, whether one more increment fits on its whole
+    path, how to grant it, and the deterministic last-resort tie-break
+    (the service compares channel ids).  The element type stays abstract
+    to the policy — it never inspects channels directly. *)
+type 'a env = {
+  claim : 'a -> claim;
+  can_upgrade : 'a -> bool;
+  grant : 'a -> unit;
+  tie : 'a -> 'a -> int;
+}
+
+type t = {
+  name : string;  (** stable identifier; {!of_string} accepts it. *)
+  order : claim -> claim -> int;
+      (** total preorder: negative when the first claim deserves the
+          next increment more. *)
+  run : 'a. 'a env -> 'a list -> unit;
+      (** water-fill the candidates to a fixed point: afterwards no
+          candidate may have [can_upgrade] true.  Must terminate —
+          every grant consumes one increment of finite link capacity. *)
+}
+
+val make :
+  name:string ->
+  order:(claim -> claim -> int) ->
+  style:[ `Rounds | `Exact | `Drain ] ->
+  t
+(** Build a policy from an ordering and a grant discipline:
+
+    - [`Rounds]: each round sorts all candidates by [order] and grants
+      one increment to every candidate that fits, repeating while any
+      grant landed;
+    - [`Exact]: each step re-sorts the still-eligible candidates and
+      grants exactly the best one;
+    - [`Drain]: sort once, then drain each candidate to its ceiling
+      before the next sees anything.
+
+    Ties under [order] break via the environment's [tie]. *)
+
+val equal_share : t
+(** ["equal-share"], [`Rounds] by fewest extras granted: round-robin by
+    current extra allocation, lowest first.  With equal utilities this is
+    the paper's fair distribution. *)
+
+val proportional : t
+(** ["proportional"], [`Exact] by fewest increments per unit of utility —
+    the coefficient scheme (Han, PhD 1998) on the increment grid. *)
+
+val max_utility : t
+(** ["max-utility"], [`Drain] by highest utility: the highest-utility
+    channel takes all it can before anyone else — may monopolise, as the
+    paper warns. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!val-name}. *)
+
+val name : t -> string
+
+val equal : t -> t -> bool
+(** By {!val-name} — policy values carry closures, so structural
+    equality would raise. *)
+
+val of_string : string -> t option
+(** Resolves the built-in policies by name (plus the historical aliases
+    [equal], [coefficient], [max]). *)
+
+val all : t list
+(** The built-in policies, in presentation order. *)
+
 val compare_claims : t -> claim -> claim -> int
-(** Total preorder: negative when the first claim deserves the next
-    increment more.  Deterministic tie-breaks are left to the caller
-    (compare on channel id last). *)
+(** [compare_claims t] is [t.order] — kept as a function for callers
+    that only rank claims. *)

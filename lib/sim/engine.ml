@@ -19,10 +19,10 @@ type t = {
 
 type handle = Event_queue.handle
 
-let create ?(start_time = 0.) ?obs () =
+let create ?(start_time = 0.) ?capacity ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.default () in
   {
-    queue = Event_queue.create ();
+    queue = Event_queue.create ?capacity ();
     clock = start_time;
     obs;
     ev_dispatched = Obs.counter obs "engine.events";

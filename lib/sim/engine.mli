@@ -8,8 +8,11 @@ type t
 
 type handle = Event_queue.handle
 
-val create : ?start_time:float -> ?obs:Obs.t -> unit -> t
-(** [obs] (default {!Obs.default}) receives the engine's instrumentation:
+val create : ?start_time:float -> ?capacity:int -> ?obs:Obs.t -> unit -> t
+(** [capacity] pre-sizes the event queue for an expected number of
+    concurrently-scheduled events (see {!Event_queue.create}).
+
+    [obs] (default {!Obs.default}) receives the engine's instrumentation:
     counter [engine.events] (dispatched events), gauge
     [engine.queue_depth] (live events sampled before each dispatch, peak
     = high watermark), timer [engine.run_s] (wall time per {!run}

@@ -15,8 +15,13 @@ type 'a t = {
   pending : (int, unit) Hashtbl.t;
 }
 
-let create () =
-  { heap = [||]; size_heap = 0; next_seq = 0; pending = Hashtbl.create 64 }
+let create ?(capacity = 0) () =
+  {
+    heap = (if capacity > 0 then Array.make capacity None else [||]);
+    size_heap = 0;
+    next_seq = 0;
+    pending = Hashtbl.create (max 64 capacity);
+  }
 
 let earlier a b = a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 

@@ -9,7 +9,11 @@ type 'a t
 type handle
 (** Names a scheduled event for cancellation. *)
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] pre-sizes the heap and pending table for an expected
+    number of concurrently-scheduled events (default: grow on demand) —
+    avoids the doubling-and-rehash cascade when a simulation schedules
+    millions of events up front. *)
 
 val add : 'a t -> time:float -> 'a -> handle
 (** Schedules a payload.  [time] must be finite; raises otherwise. *)

@@ -129,5 +129,34 @@ scripts/perf_diff.sh "$tmpdir/perf/BENCH_micro.json" \
   exit 1
 }
 
+step "scale smoke: 10^5 live connections on transit-stub, invariants on"
+# The quick plateaus (50k, 100k live DR-connections on the 1056-node
+# transit-stub) run with admission control and the per-plateau
+# check_invariants audit on; the perf record must carry the
+# ops/sec-vs-live curve.
+dune exec bench/main.exe -- scale --quick --out "$tmpdir/scale" >/dev/null
+test -s "$tmpdir/scale/BENCH_scale.json" || {
+  echo "FAIL: scale --quick did not write BENCH_scale.json" >&2
+  exit 1
+}
+grep -q '"plateaus"' "$tmpdir/scale/BENCH_scale.json" || {
+  echo "FAIL: BENCH_scale.json is missing the plateaus curve" >&2
+  exit 1
+}
+# Strict self-comparison (record format sanity), then a generous gate
+# against the committed full-scale baseline: wall clock varies across
+# machines, so this only catches order-of-magnitude hot-path collapses
+# (the quick run normally finishes in a fraction of the 10^6 baseline).
+scripts/perf_diff.sh "$tmpdir/scale/BENCH_scale.json" \
+  "$tmpdir/scale/BENCH_scale.json" --max-regress 1 >/dev/null || {
+  echo "FAIL: perf_diff rejected the scale record compared against itself" >&2
+  exit 1
+}
+scripts/perf_diff.sh bench/baselines/BENCH_scale.json \
+  "$tmpdir/scale/BENCH_scale.json" --max-regress 400 || {
+  echo "FAIL: scale smoke wall time blew past the committed 10^6 baseline" >&2
+  exit 1
+}
+
 echo
 echo "verify: OK"

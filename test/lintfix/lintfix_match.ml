@@ -14,13 +14,17 @@ let function_hit = function
   | Trace.Reject _ -> true
   | _ -> false (* line 15: R2 *)
 
-(* Clean controls: total match over Policy.t; catch-all over a
+(* Clean controls: total match over Op.t; catch-all over a
    non-protected (local) variant; plain fun binder. *)
-let total_ok (p : Policy.t) =
-  match p with
-  | Policy.Equal_share -> 0
-  | Policy.Proportional -> 1
-  | Policy.Max_utility -> 2
+let total_ok (op : Op.t) =
+  match op with
+  | Op.Admit _ -> 0
+  | Op.Terminate _ -> 1
+  | Op.Change_qos _ -> 2
+  | Op.Fail _ -> 3
+  | Op.Repair _ -> 4
+  | Op.Set_auto _ -> 5
+  | Op.Redistribute_all -> 6
 
 type local = A | B
 

@@ -134,7 +134,7 @@ let test_failure_carries_flight () =
 let test_reproducer_roundtrip () =
   let cfg =
     Fuzz.config ~family:Fuzz.Torus ~seed:42 ~ops:400 ~capacity:900 ~backups:1
-      ~policy:Policy.Proportional ()
+      ~policy:Policy.proportional ()
   in
   match Fuzz.run ~extra_invariant:injected cfg with
   | Ok _ -> Alcotest.fail "injected fault not detected"
@@ -148,7 +148,7 @@ let test_reproducer_roundtrip () =
       Alcotest.(check int) "capacity survives" 900 cfg'.Fuzz.capacity;
       Alcotest.(check int) "backups survive" 1 cfg'.Fuzz.backups_per_connection;
       Alcotest.(check bool) "policy survives" true
-        (cfg'.Fuzz.policy = Policy.Proportional);
+        (Policy.equal cfg'.Fuzz.policy Policy.proportional);
       Alcotest.(check bool) "ops survive" true (ops = f.Fuzz.script);
       (* Parsing and replaying the printed text reproduces the failure. *)
       let r = Fuzz.replay ~extra_invariant:injected cfg' ops in
@@ -198,9 +198,7 @@ let test_unshared_at_ceiling_oracle () =
   let g = Graph.create 3 in
   ignore (Graph.add_edge g 0 1);
   ignore (Graph.add_edge g 1 2);
-  let cfg =
-    { Drcomm.default_config with Drcomm.with_backups = false; require_backup = false }
-  in
+  let cfg = Drcomm.Config.make ~with_backups:false ~require_backup:false () in
   let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:2000 g) in
   (match Drcomm.admit t ~src:0 ~dst:2 ~qos:(Qos.paper_spec ~increment:100) with
   | Drcomm.Admitted _ -> ()

@@ -1,0 +1,117 @@
+(* Tests for the shared spec-based option parser (lib/cliopt), the one
+   flag table behind Exp.parse_args, the bench sub-command dispatch, and
+   the fuzz reproducer headers. *)
+
+let parse ~specs args = Cliopt.parse ~specs args
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_unit_and_value_flags () =
+  let quick = ref false and out = ref "" in
+  let specs =
+    [
+      ("--quick", Cliopt.Unit (fun () -> quick := true));
+      ( "--out",
+        Cliopt.Value
+          (fun v ->
+            out := v;
+            Ok ()) );
+    ]
+  in
+  (match parse ~specs [ "--quick"; "--out"; "dir"; "rest" ] with
+  | Ok rest -> Alcotest.(check (list string)) "passthrough" [ "rest" ] rest
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "unit applied" true !quick;
+  Alcotest.(check string) "value applied" "dir" !out
+
+let test_unknowns_pass_through_in_order () =
+  let specs = [ ("--quick", Cliopt.Unit ignore) ] in
+  match parse ~specs [ "a"; "--quick"; "b"; "c" ] with
+  | Ok rest -> Alcotest.(check (list string)) "order kept" [ "a"; "b"; "c" ] rest
+  | Error e -> Alcotest.fail e
+
+let test_value_flag_missing_argument () =
+  let specs = [ ("--out", Cliopt.Value (fun _ -> Ok ())) ] in
+  match parse ~specs [ "--out" ] with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+    Alcotest.(check bool) ("mentions the flag: " ^ e) true
+      (contains ~sub:"--out" e)
+
+let test_value_callback_rejection_propagates () =
+  let specs = [ ("--jobs", Cliopt.Value (fun _ -> Error "bad jobs")) ] in
+  match parse ~specs [ "--jobs"; "zero" ] with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> Alcotest.(check string) "verbatim" "bad jobs" e
+
+let test_flags_before_error_stay_applied () =
+  let quick = ref false in
+  let specs =
+    [
+      ("--quick", Cliopt.Unit (fun () -> quick := true));
+      ("--bad", Cliopt.Value (fun _ -> Error "no"));
+    ]
+  in
+  (match parse ~specs [ "--quick"; "--bad"; "x" ] with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ());
+  Alcotest.(check bool) "prior flag applied" true !quick
+
+let test_kv_applies_in_order () =
+  let seen = ref [] in
+  let spec k = (k, fun v -> Ok (seen := (k, v) :: !seen)) in
+  (match
+     Cliopt.parse_kv
+       ~specs:[ spec "seed"; spec "nodes" ]
+       [ ("seed", "7"); ("nodes", "30") ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (list (pair string string)))
+    "all applied, in order"
+    [ ("seed", "7"); ("nodes", "30") ]
+    (List.rev !seen)
+
+let test_kv_unknown_key_is_an_error () =
+  match Cliopt.parse_kv ~specs:[ ("seed", fun _ -> Ok ()) ] [ ("sedd", "7") ] with
+  | Ok () -> Alcotest.fail "unknown key must not be dropped"
+  | Error e ->
+    Alcotest.(check bool) ("names the key: " ^ e) true
+      (contains ~sub:"sedd" e)
+
+let test_kv_value_rejection_propagates () =
+  match
+    Cliopt.parse_kv
+      ~specs:[ ("seed", fun v -> Error ("bad seed " ^ v)) ]
+      [ ("seed", "x") ]
+  with
+  | Ok () -> Alcotest.fail "expected an error"
+  | Error e -> Alcotest.(check string) "verbatim" "bad seed x" e
+
+let () =
+  Alcotest.run "cliopt"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "unit and value flags" `Quick test_unit_and_value_flags;
+          Alcotest.test_case "unknowns pass through" `Quick
+            test_unknowns_pass_through_in_order;
+          Alcotest.test_case "value without argument" `Quick
+            test_value_flag_missing_argument;
+          Alcotest.test_case "callback rejection" `Quick
+            test_value_callback_rejection_propagates;
+          Alcotest.test_case "prior flags stay applied" `Quick
+            test_flags_before_error_stay_applied;
+        ] );
+      ( "parse_kv",
+        [
+          Alcotest.test_case "applies in order" `Quick test_kv_applies_in_order;
+          Alcotest.test_case "unknown key errors" `Quick
+            test_kv_unknown_key_is_an_error;
+          Alcotest.test_case "rejection propagates" `Quick
+            test_kv_value_rejection_propagates;
+        ] );
+    ]

@@ -22,9 +22,8 @@ let line ?(capacity = 600) ?config () =
   (Drcomm.create ?config net, g)
 
 let qos5 = Qos.paper_spec ~increment:100 (* 100..500, 5 levels *)
-
-let no_backups =
-  { Drcomm.default_config with Drcomm.with_backups = false; require_backup = false }
+let channel_id = Alcotest.testable Drcomm.Channel_id.pp Drcomm.Channel_id.equal
+let no_backups = Drcomm.Config.make ~with_backups:false ~require_backup:false ()
 
 let admit_ok t ~src ~dst ~qos =
   match Drcomm.admit t ~src ~dst ~qos with
@@ -54,7 +53,7 @@ let test_no_backup_in_tree_rejected () =
   Drcomm.check_invariants t
 
 let test_no_backup_accepted_when_optional () =
-  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let cfg = Drcomm.Config.make ~require_backup:false () in
   let t, _ = line ~config:cfg () in
   let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
   Alcotest.(check bool) "no backup" false (Drcomm.has_backup t id);
@@ -82,7 +81,7 @@ let test_arrival_retreats_sharing_channel () =
   Alcotest.(check int) "direct count" 1 report.Drcomm.direct_count;
   (match report.Drcomm.transitions with
   | [ tr ] ->
-    Alcotest.(check int) "channel" id1 tr.Drcomm.channel;
+    Alcotest.check channel_id "channel" id1 tr.Drcomm.channel;
     Alcotest.(check int) "before" 4 tr.Drcomm.before;
     Alcotest.(check int) "after" 2 tr.Drcomm.after;
     Alcotest.(check bool) "direct" true (tr.Drcomm.chained = `Direct)
@@ -106,9 +105,13 @@ let test_termination_releases_and_upgrades () =
   Alcotest.(check int) "id1 regained 500" 500 (Drcomm.reserved_bandwidth t id1);
   Drcomm.check_invariants t
 
-let test_terminate_unknown_raises () =
+let test_terminate_dead_handle_raises () =
   let t, _, _ = ring () in
-  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Drcomm.terminate t 99))
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  ignore (Drcomm.terminate t id);
+  Alcotest.(check bool) "handle outlives the channel" false (Drcomm.mem t id);
+  Alcotest.check_raises "dead handle" Not_found (fun () ->
+      ignore (Drcomm.terminate t id))
 
 let test_admit_validation () =
   let t, _, _ = ring () in
@@ -134,8 +137,8 @@ let test_indirect_chaining_classified () =
   let indirect_tr =
     List.find (fun tr -> tr.Drcomm.chained = `Indirect) report.Drcomm.transitions
   in
-  Alcotest.(check int) "direct is ch_a" ch_a direct_tr.Drcomm.channel;
-  Alcotest.(check int) "indirect is ch_b" ch_b indirect_tr.Drcomm.channel;
+  Alcotest.check channel_id "direct is ch_a" ch_a direct_tr.Drcomm.channel;
+  Alcotest.check channel_id "indirect is ch_b" ch_b indirect_tr.Drcomm.channel;
   Drcomm.check_invariants t
 
 let test_indirect_channel_gains () =
@@ -166,7 +169,10 @@ let test_equal_share_fairness () =
   Drcomm.check_invariants t
 
 let test_max_utility_monopolises () =
-  let cfg = { no_backups with Drcomm.policy = Policy.Max_utility } in
+  let cfg =
+    Drcomm.Config.make ~with_backups:false ~require_backup:false
+      ~policy:Policy.max_utility ()
+  in
   let t, _ = line ~capacity:700 ~config:cfg () in
   let cheap = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:1. () in
   let dear = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:5. () in
@@ -178,7 +184,10 @@ let test_max_utility_monopolises () =
   Alcotest.(check int) "cheap gets leftovers" 200 (Drcomm.reserved_bandwidth t id1)
 
 let test_proportional_split () =
-  let cfg = { no_backups with Drcomm.policy = Policy.Proportional } in
+  let cfg =
+    Drcomm.Config.make ~with_backups:false ~require_backup:false
+      ~policy:Policy.proportional ()
+  in
   let t, _ = line ~capacity:600 ~config:cfg () in
   let cheap = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:1. () in
   let dear = Qos.make ~b_min:100 ~b_max:500 ~increment:100 ~utility:3. () in
@@ -244,7 +253,7 @@ let test_failure_activates_backup () =
   let freport = Drcomm.fail_edge t e01 in
   (match freport.Drcomm.recoveries with
   | [ { Drcomm.victim; outcome = `Switched_to_backup fresh } ] ->
-    Alcotest.(check int) "victim" id victim;
+    Alcotest.check channel_id "victim" id victim;
     (* The ring minus one edge is a tree: no new backup possible. *)
     Alcotest.(check bool) "no fresh backup" false fresh
   | _ -> Alcotest.fail "expected a switch");
@@ -266,7 +275,7 @@ let test_failure_drops_when_backup_also_hit () =
   let r1 = Drcomm.fail_edge t e12 in
   (match r1.Drcomm.recoveries with
   | [ { Drcomm.outcome = `Backup_lost false; victim } ] ->
-    Alcotest.(check int) "victim" id victim
+    Alcotest.check channel_id "victim" id victim
   | _ -> Alcotest.fail "expected backup loss without replacement");
   Alcotest.(check bool) "runs unprotected" false (Drcomm.has_backup t id);
   (* Second failure kills the primary: nothing to switch to. *)
@@ -294,13 +303,17 @@ let test_failure_retreats_channels_on_backup_links () =
   let freport = Drcomm.fail_edge t e01 in
   Alcotest.(check bool) "victim switched" true
     (List.exists
-       (fun r -> r.Drcomm.victim = victim && r.Drcomm.outcome = `Switched_to_backup false)
+       (fun r ->
+         Drcomm.Channel_id.equal r.Drcomm.victim victim
+         && r.Drcomm.outcome = `Switched_to_backup false)
        freport.Drcomm.recoveries);
   (* The bystander appears in the event transitions (it held extras on an
      activated link). *)
   Alcotest.(check bool) "bystander retreated and refilled" true
     (List.exists
-       (fun tr -> tr.Drcomm.channel = bystander && tr.Drcomm.before = level_before)
+       (fun tr ->
+         Drcomm.Channel_id.equal tr.Drcomm.channel bystander
+         && tr.Drcomm.before = level_before)
        freport.Drcomm.event.Drcomm.transitions);
   Drcomm.check_invariants t
 
@@ -309,12 +322,8 @@ let test_restoration_baseline () =
      backup-channel approach is designed to beat): on a ring, a failed
      primary is re-established over the surviving arc. *)
   let cfg =
-    {
-      Drcomm.default_config with
-      Drcomm.with_backups = false;
-      require_backup = false;
-      restore_on_failure = true;
-    }
+    Drcomm.Config.make ~with_backups:false ~require_backup:false
+      ~restore_on_failure:true ()
   in
   let t, _, (e01, _, _, _) = ring ~config:cfg () in
   let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
@@ -336,12 +345,8 @@ let test_restoration_fails_under_partition () =
   (* When the failure disconnects the pair, restoration cannot help and
      the connection drops. *)
   let cfg =
-    {
-      Drcomm.default_config with
-      Drcomm.with_backups = false;
-      require_backup = false;
-      restore_on_failure = true;
-    }
+    Drcomm.Config.make ~with_backups:false ~require_backup:false
+      ~restore_on_failure:true ()
   in
   let t, _ = line ~config:cfg () in
   let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
@@ -362,7 +367,7 @@ let test_fail_edge_idempotent () =
 let test_repair_restores_routability () =
   (* Backups optional here: the ring minus a failed edge is a tree, where
      the detour admission would otherwise be vetoed for lack of backup. *)
-  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let cfg = Drcomm.Config.make ~require_backup:false () in
   let t, _, (e01, _, _, _) = ring ~config:cfg () in
   ignore (Drcomm.fail_edge t e01);
   (match Drcomm.admit t ~src:0 ~dst:1 ~qos:qos5 with
@@ -466,10 +471,12 @@ let test_change_qos_retreats_neighbours () =
     (Drcomm.reserved_bandwidth t id2 >= 100);
   Drcomm.check_invariants t
 
-let test_change_qos_unknown () =
+let test_change_qos_dead_handle () =
   let t, _, _ = ring () in
-  Alcotest.check_raises "unknown" Not_found (fun () ->
-      ignore (Drcomm.change_qos t 42 qos5))
+  let id, _ = admit_ok t ~src:0 ~dst:1 ~qos:qos5 in
+  ignore (Drcomm.terminate t id);
+  Alcotest.check_raises "dead handle" Not_found (fun () ->
+      ignore (Drcomm.change_qos t id qos5))
 
 (* --- multiple backups per connection --- *)
 
@@ -486,7 +493,7 @@ let diamond6 ?(capacity = 1000) ?config () =
   (Drcomm.create ?config (Net_state.create ~capacity g), g)
 
 let test_two_backups_established () =
-  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 2 } in
+  let cfg = Drcomm.Config.make ~backups_per_connection:2 () in
   let t, _ = diamond6 ~config:cfg () in
   let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
   let backups = Drcomm.all_backup_links t id in
@@ -503,7 +510,7 @@ let test_two_backups_established () =
   Drcomm.check_invariants t
 
 let test_two_backups_survive_two_failures () =
-  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 2 } in
+  let cfg = Drcomm.Config.make ~backups_per_connection:2 () in
   let t, _ = diamond6 ~config:cfg () in
   let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
   (* First failure: switch to backup 1; no new backup can be found (all
@@ -531,7 +538,7 @@ let test_single_backup_drops_on_second_failure () =
      a third failure finishes it).  Compare drop counts with k = 1 vs 2
      under the same three-failure storm. *)
   let storm k =
-    let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = k } in
+    let cfg = Drcomm.Config.make ~backups_per_connection:k () in
     let t, _ = diamond6 ~config:cfg () in
     let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
     for _ = 1 to 3 do
@@ -543,7 +550,7 @@ let test_single_backup_drops_on_second_failure () =
   (* Both eventually die after 3 failures on a 3-route graph; but with
      2 backups the connection survives strictly longer under 2 failures. *)
   let survive_two k =
-    let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = k } in
+    let cfg = Drcomm.Config.make ~backups_per_connection:k () in
     let t, _ = diamond6 ~config:cfg () in
     let id, _ = admit_ok t ~src:0 ~dst:3 ~qos:qos5 in
     for _ = 1 to 2 do
@@ -558,13 +565,15 @@ let test_single_backup_drops_on_second_failure () =
     (storm 2 = 1 && storm 1 = 1)
 
 let test_backups_validation () =
-  let g = Graph.create 3 in
-  ignore (Graph.add_edge g 0 1);
-  ignore (Graph.add_edge g 1 2);
-  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 0 } in
+  (* Validation lives in the smart constructor: a Config.t is well-formed
+     by construction, so an ill-formed one cannot even reach the service. *)
   Alcotest.check_raises "zero backups with with_backups"
-    (Invalid_argument "Drcomm.create: with_backups needs backups_per_connection >= 1")
-    (fun () -> ignore (Drcomm.create ~config:cfg (Net_state.create g)))
+    (Invalid_argument
+       "Drcomm.Config.make: with_backups needs backups_per_connection >= 1")
+    (fun () -> ignore (Drcomm.Config.make ~backups_per_connection:0 ()));
+  Alcotest.check_raises "hop bound"
+    (Invalid_argument "Drcomm.Config.make: hop_bound >= 1") (fun () ->
+      ignore (Drcomm.Config.make ~hop_bound:0 ()))
 
 (* Random operation soak: invariants must survive arbitrary interleavings
    of admit / terminate / fail / repair on a real topology. *)
@@ -572,11 +581,7 @@ let soak ?(backups = 1) seed ops =
   let rng = Prng.create seed in
   let g = Waxman.generate rng (Waxman.spec ~nodes:20 ~alpha:0.5 ~beta:0.3 ()) in
   let cfg =
-    {
-      Drcomm.default_config with
-      Drcomm.require_backup = false;
-      backups_per_connection = backups;
-    }
+    Drcomm.Config.make ~require_backup:false ~backups_per_connection:backups ()
   in
   let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:2000 g) in
   let random_qos rng =
@@ -634,7 +639,7 @@ let test_repair_idempotent_metrics () =
   let e12 = Graph.add_edge g 1 2 in
   ignore (Graph.add_edge g 2 3);
   ignore (Graph.add_edge g 3 0);
-  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let cfg = Drcomm.Config.make ~require_backup:false () in
   let t = Drcomm.create ~config:cfg ~obs (Net_state.create ~capacity:1000 g) in
   let repairs () = Metrics.count (Metrics.counter metrics "drcomm.link_repairs") in
   (* Repairing a healthy edge is a no-op, not a repair. *)
@@ -690,7 +695,7 @@ let test_stale_backup_discarded_on_activation () =
   ignore (Graph.add_edge g 5 2);
   ignore (Graph.add_edge g 0 4);
   ignore (Graph.add_edge g 4 1);
-  let cfg = { Drcomm.default_config with Drcomm.backups_per_connection = 2 } in
+  let cfg = Drcomm.Config.make ~backups_per_connection:2 () in
   let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:1000 g) in
   let id, _ = admit_ok t ~src:0 ~dst:2 ~qos:qos5 in
   (* Precondition: the second backup really does cross edge 1-2 (it is
@@ -732,7 +737,7 @@ let test_change_qos_rollback_under_broken_guarantee () =
   ignore (Graph.add_edge g 1 5);
   ignore (Graph.add_edge g 6 0);
   ignore (Graph.add_edge g 1 7);
-  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let cfg = Drcomm.Config.make ~require_backup:false () in
   let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:300 g) in
   let q100 = Qos.single_value 100 in
   let a, _ = admit_ok t ~src:0 ~dst:1 ~qos:q100 in
@@ -768,7 +773,7 @@ let test_fail_edge_redistributes_bystander_paths () =
   ignore (Graph.add_edge g 1 2);
   ignore (Graph.add_edge g 0 3);
   let db = Graph.add_edge g 3 1 in
-  let cfg = { Drcomm.default_config with Drcomm.require_backup = false } in
+  let cfg = Drcomm.Config.make ~require_backup:false () in
   let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:600 g) in
   let z, _ =
     admit_ok t ~src:0 ~dst:2 ~qos:(Qos.make ~b_min:100 ~b_max:300 ~increment:100 ())
@@ -793,6 +798,92 @@ let test_fail_edge_redistributes_bystander_paths () =
   Alcotest.(check int) "W claimed the freed level" 400 (Drcomm.reserved_bandwidth t w);
   Invariants.check_redistribution_complete t;
   Invariants.check_all ~deep:true t
+
+(* --- incremental vs full recomputation (the dirty-link machinery) --- *)
+
+(* After any interleaving of operations, the incremental water-filling
+   must sit at the global fixed point: a full [redistribute_all] pass
+   over the live state changes no reservation. *)
+let test_incremental_matches_full_recompute () =
+  let rng = Prng.create 17 in
+  let g = Waxman.generate rng (Waxman.spec ~nodes:20 ~alpha:0.5 ~beta:0.3 ()) in
+  let cfg = Drcomm.Config.make ~require_backup:false () in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:2000 g) in
+  for _ = 1 to 200 do
+    (match Prng.int rng 100 with
+    | d when d < 45 ->
+      let src, dst = Prng.sample_distinct_pair rng (Graph.node_count g) in
+      ignore (Drcomm.admit t ~src ~dst ~qos:qos5)
+    | d when d < 70 -> (
+      match Drcomm.active_channels t with
+      | [] -> ()
+      | ids -> ignore (Drcomm.terminate t (Prng.pick_list rng ids)))
+    | d when d < 85 ->
+      ignore (Drcomm.fail_edge t (Prng.int rng (Graph.edge_count g)))
+    | _ -> (
+      match Net_state.failed_edges (Drcomm.net t) with
+      | [] -> ()
+      | es -> Drcomm.repair_edge t (Prng.pick_list rng es)));
+    Invariants.check_incremental_equivalence t
+  done;
+  Invariants.check_all ~deep:true t
+
+(* The PR 3 bug class, incremental edition: a failure's backup activation
+   retreats a bystander, and the dirty set must cover the bystander's
+   FULL path — W below shares no link with the victim, so only the
+   path-wide dirtying reaches it.  A global pass afterwards must find
+   nothing left to grant. *)
+let test_dirty_set_covers_retreated_paths () =
+  let g = Graph.create 4 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  ignore (Graph.add_edge g 0 3);
+  let db = Graph.add_edge g 3 1 in
+  let cfg = Drcomm.Config.make ~require_backup:false () in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:600 g) in
+  let _z, _ =
+    admit_ok t ~src:0 ~dst:2 ~qos:(Qos.make ~b_min:100 ~b_max:300 ~increment:100 ())
+  in
+  let w, _ = admit_ok t ~src:1 ~dst:2 ~qos:qos5 in
+  let _v, _ = admit_ok t ~src:3 ~dst:1 ~qos:(Qos.single_value 400) in
+  ignore (Drcomm.fail_edge t db);
+  Alcotest.(check int) "W refilled incrementally" 400 (Drcomm.reserved_bandwidth t w);
+  Invariants.check_incremental_equivalence t;
+  Invariants.check_all ~deep:true t
+
+(* Batched arrivals: flushing the accumulated dirty set must produce
+   exactly the allocation a global pass computes from the same loaded
+   state — the candidate sets differ (dirty links vs all live), but the
+   policy's sorted grant order makes the outcome identical. *)
+let test_batched_flush_matches_global_pass () =
+  let build () =
+    let rng = Prng.create 29 in
+    let g = Waxman.generate rng (Waxman.spec ~nodes:15 ~alpha:0.5 ~beta:0.3 ()) in
+    let cfg = Drcomm.Config.make ~require_backup:false () in
+    let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:1500 g) in
+    Drcomm.set_auto_redistribute t false;
+    for _ = 1 to 60 do
+      let src, dst = Prng.sample_distinct_pair rng (Graph.node_count g) in
+      ignore (Drcomm.admit ~want_report:false t ~src ~dst ~qos:qos5)
+    done;
+    t
+  in
+  let a = build () in
+  let b = build () in
+  Drcomm.redistribute_all a;
+  Drcomm.redistribute_pending b;
+  Drcomm.set_auto_redistribute a true;
+  Drcomm.set_auto_redistribute b true;
+  let allocation t =
+    List.map
+      (fun id -> (Drcomm.Channel_id.to_int id, Drcomm.reserved_bandwidth t id))
+      (List.sort Drcomm.Channel_id.compare (Drcomm.active_channels t))
+  in
+  Alcotest.(check (list (pair int int)))
+    "dirty-set flush = global pass" (allocation a) (allocation b);
+  Invariants.check_incremental_equivalence b;
+  Drcomm.check_invariants a;
+  Drcomm.check_invariants b
 
 let test_soak_short () = soak 11 150
 let test_soak_other_seed () = soak 23 150
@@ -823,7 +914,8 @@ let () =
             test_arrival_retreats_sharing_channel;
           Alcotest.test_case "termination upgrades" `Quick
             test_termination_releases_and_upgrades;
-          Alcotest.test_case "terminate unknown" `Quick test_terminate_unknown_raises;
+          Alcotest.test_case "terminate dead handle" `Quick
+            test_terminate_dead_handle_raises;
           Alcotest.test_case "indirect classified" `Quick test_indirect_chaining_classified;
           Alcotest.test_case "indirect gains" `Quick test_indirect_channel_gains;
           Alcotest.test_case "equal share fair" `Quick test_equal_share_fairness;
@@ -861,7 +953,7 @@ let () =
           Alcotest.test_case "floor increase checked" `Quick
             test_change_qos_floor_increase_checked;
           Alcotest.test_case "retreats neighbours" `Quick test_change_qos_retreats_neighbours;
-          Alcotest.test_case "unknown id" `Quick test_change_qos_unknown;
+          Alcotest.test_case "dead handle" `Quick test_change_qos_dead_handle;
         ] );
       ( "multi-backup",
         [
@@ -884,6 +976,15 @@ let () =
             test_change_qos_rollback_under_broken_guarantee;
           Alcotest.test_case "bystander paths refilled" `Quick
             test_fail_edge_redistributes_bystander_paths;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "matches full recompute" `Quick
+            test_incremental_matches_full_recompute;
+          Alcotest.test_case "dirty set covers retreated paths" `Quick
+            test_dirty_set_covers_retreated_paths;
+          Alcotest.test_case "batched flush = global pass" `Quick
+            test_batched_flush_matches_global_pass;
         ] );
       ( "soak",
         [

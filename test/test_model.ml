@@ -135,7 +135,21 @@ let test_sensitivity_matches_secant () =
 let report ~existing ~direct ~indirect transitions =
   { Drcomm.existing; direct_count = direct; indirect_count = indirect; transitions }
 
-let tr channel before after chained = { Drcomm.channel; before; after; chained }
+(* The estimator never inspects channel identity — it only tallies level
+   transitions — but the report type carries opaque handles, so mint a
+   pool of real ones once and index into it. *)
+let handles =
+  let g = Graph.create 2 in
+  ignore (Graph.add_edge g 0 1);
+  let cfg = Drcomm.Config.make ~with_backups:false ~require_backup:false () in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:10_000 g) in
+  Array.init 8 (fun _ ->
+      match Drcomm.admit t ~src:0 ~dst:1 ~qos:(Qos.single_value 10) with
+      | Drcomm.Admitted (id, _) -> id
+      | Drcomm.Rejected _ -> assert false)
+
+let tr channel before after chained =
+  { Drcomm.channel = handles.(channel); before; after; chained }
 
 let test_estimator_counts_and_probabilities () =
   let est = Estimator.create ~levels:3 in

@@ -401,17 +401,17 @@ let test_net_state_heterogeneous () =
 let claim u e = { Policy.utility = u; extras_granted = e }
 
 let test_policy_equal_share () =
-  let c = Policy.compare_claims Policy.Equal_share in
+  let c = Policy.compare_claims Policy.equal_share in
   Alcotest.(check bool) "fewer extras first" true (c (claim 1. 0) (claim 1. 3) < 0);
   Alcotest.(check int) "tie" 0 (c (claim 1. 2) (claim 5. 2))
 
 let test_policy_proportional () =
-  let c = Policy.compare_claims Policy.Proportional in
+  let c = Policy.compare_claims Policy.proportional in
   (* 2 extras at utility 4 = 0.5 per utility beats 1 extra at utility 1. *)
   Alcotest.(check bool) "utility-weighted" true (c (claim 4. 2) (claim 1. 1) < 0)
 
 let test_policy_max_utility () =
-  let c = Policy.compare_claims Policy.Max_utility in
+  let c = Policy.compare_claims Policy.max_utility in
   Alcotest.(check bool) "higher utility first" true (c (claim 5. 9) (claim 1. 0) < 0)
 
 let test_policy_strings () =
@@ -419,9 +419,55 @@ let test_policy_strings () =
     (fun p ->
       let s = Format.asprintf "%a" Policy.pp p in
       Alcotest.(check (option bool)) ("roundtrip " ^ s) (Some true)
-        (Option.map (fun p' -> p' = p) (Policy.of_string s)))
+        (Option.map (fun p' -> Policy.equal p' p) (Policy.of_string s)))
     Policy.all;
-  Alcotest.(check bool) "unknown" true (Policy.of_string "bogus" = None)
+  Alcotest.(check bool) "unknown" true (Policy.of_string "bogus" = None);
+  (* Historical aliases still resolve. *)
+  List.iter
+    (fun (alias, p) ->
+      Alcotest.(check (option bool)) ("alias " ^ alias) (Some true)
+        (Option.map (Policy.equal p) (Policy.of_string alias)))
+    [
+      ("equal", Policy.equal_share);
+      ("coefficient", Policy.proportional);
+      ("max", Policy.max_utility);
+    ]
+
+(* Policies are first-class values: a custom one plugs in through
+   {!Policy.make} and drives the same water-filling core. *)
+let test_policy_first_class () =
+  (* Reverse priority: most extras granted first (a deliberately unfair
+     discipline) — still terminates and still reaches a fixed point. *)
+  let greedy =
+    Policy.make ~name:"greedy-rich"
+      ~order:(fun a b ->
+        compare b.Policy.extras_granted a.Policy.extras_granted)
+      ~style:`Rounds
+  in
+  Alcotest.(check string) "name" "greedy-rich" (Policy.name greedy);
+  Alcotest.(check bool) "distinct from builtins" true
+    (not (List.exists (Policy.equal greedy) Policy.all));
+  let g = Graph.create 2 in
+  ignore (Graph.add_edge g 0 1);
+  let cfg =
+    Drcomm.Config.make ~policy:greedy ~with_backups:false ~require_backup:false
+      ()
+  in
+  let t = Drcomm.create ~config:cfg (Net_state.create ~capacity:600 g) in
+  let qos = Qos.make ~b_min:100 ~b_max:500 ~increment:100 () in
+  let admit () =
+    match Drcomm.admit t ~src:0 ~dst:1 ~qos with
+    | Drcomm.Admitted (id, _) -> id
+    | Drcomm.Rejected _ -> Alcotest.fail "expected admission"
+  in
+  let a = admit () in
+  let b = admit () in
+  (* Fixed point: all 600 granted, floors respected. *)
+  Alcotest.(check int) "all capacity granted" 600
+    (Drcomm.reserved_bandwidth t a + Drcomm.reserved_bandwidth t b);
+  Alcotest.(check bool) "floors respected" true
+    (Drcomm.reserved_bandwidth t a >= 100 && Drcomm.reserved_bandwidth t b >= 100);
+  Drcomm.check_invariants t
 
 (* --- Interval QoS --- *)
 
@@ -628,6 +674,7 @@ let () =
           Alcotest.test_case "proportional" `Quick test_policy_proportional;
           Alcotest.test_case "max utility" `Quick test_policy_max_utility;
           Alcotest.test_case "string roundtrip" `Quick test_policy_strings;
+          Alcotest.test_case "first-class policy" `Quick test_policy_first_class;
         ] );
       ( "interval-qos",
         [
