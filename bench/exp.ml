@@ -158,9 +158,9 @@ let run_points ~name points =
                 ())
             bufs
         in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now () in
         let r = Scenario.run ~obs ?snapshot cfg in
-        (r, Unix.gettimeofday () -. t0))
+        (r, Clock.elapsed_since t0))
       (List.mapi (fun i cfg -> (i, cfg)) points)
   in
   Option.iter
@@ -185,9 +185,9 @@ let run_points ~name points =
 (* Run one experiment's sweep and render it (no manifest — used for
    sub-experiments sharing a manifest, e.g. the ablations). *)
 let run_sweep e =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let results = run_points ~name:e.name e.points in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Clock.elapsed_since t0 in
   e.render results;
   note "(%d points in %.1fs, %d jobs)" (List.length e.points) wall !jobs
 
@@ -234,9 +234,9 @@ let with_manifest ?(extra = fun () -> []) name scale f =
   in
   Obs.set_default obs;
   let g0 = Gc.quick_stat () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let result = Fun.protect ~finally:(fun () -> Obs.set_default Obs.null) f in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Clock.elapsed_since t0 in
   let g1 = Gc.quick_stat () in
   let scale_str = match scale with Full -> "full" | Quick -> "quick" in
   let spans_json = Span.to_json (Obs.spans obs) in

@@ -33,7 +33,7 @@ let () =
     | [ w ] -> usage ~error:(Printf.sprintf "unknown sub-command %S" w) ()
     | _ -> usage ~error:"expected at most one sub-command" ()
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   Printf.printf
     "drqos reproduction benches — %s scale, %d jobs\n\
      paper: Kim & Shin, \"Performance Evaluation of Dependable Real-Time\n\
@@ -63,4 +63,4 @@ let () =
   | "micro" -> run_micro ()
   | "scale" -> run_scale ()
   | _ -> usage ());
-  Printf.printf "\ntotal bench time: %.0fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench time: %.0fs\n" (Clock.elapsed_since t0)

@@ -128,9 +128,9 @@ let sweep scale =
                | Drcomm.Admitted _ -> ()
                | Drcomm.Rejected _ -> incr churn_rejected))
     done;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     ignore (Engine.run engine);
-    (Unix.gettimeofday () -. t0, !churn_rejected)
+    (Clock.elapsed_since t0, !churn_rejected)
   in
   (* A few failure/repair cycles (outside the timed window) exercise the
      indexed victim resolution at full population. *)

@@ -84,19 +84,30 @@ let open_out_or_exit path =
     exit 1
 
 let make_obs ?(profile = false) ?heavy ?flight ~trace ~metrics () =
-  let tracer =
+  (* Open (or validate) every output file before a single sink exists:
+     [open_out_or_exit] calls [exit 1], and once [Obs.install] has run
+     an exit triggers the at_exit trace flush — which must never fire
+     against a context whose other outputs failed to open.  Opening
+     first also keeps a failed invocation from leaving a freshly
+     truncated trace file behind (see test_cli). *)
+  let trace_oc =
     match trace with
-    | None -> Trace.disabled
-    | Some "-" -> Trace.create (Trace.console_sink ())
-    | Some path -> Trace.create (Trace.jsonl_sink (open_out_or_exit path))
+    | None | Some "-" -> None
+    | Some path -> Some (open_out_or_exit path)
+  in
+  (match metrics with
+  | None -> ()
+  | Some path ->
+    (* Validate writability now, not after a long run. *)
+    close_out (open_out_or_exit path));
+  let tracer =
+    match (trace, trace_oc) with
+    | Some "-", _ -> Trace.create (Trace.console_sink ())
+    | _, Some oc -> Trace.create (Trace.jsonl_sink oc)
+    | _, None -> Trace.disabled
   in
   let registry =
-    match metrics with
-    | None -> Metrics.disabled
-    | Some path ->
-      (* Validate writability now, not after a long run. *)
-      close_out (open_out_or_exit path);
-      Metrics.create ()
+    match metrics with None -> Metrics.disabled | Some _ -> Metrics.create ()
   in
   let spans = if profile then Span.create () else Span.disabled in
   let obs = Obs.create ~metrics:registry ~trace:tracer ~spans ?heavy ?flight () in
@@ -222,12 +233,15 @@ let run_cmd =
     (* Heavy-hitter sketches only pay for themselves when something will
        read them — the snapshot stream's hottest-links field. *)
     let heavy = if heartbeat <> None then Heavy.create () else Heavy.disabled in
+    (* The heartbeat sink opens before [make_obs] installs the trace and
+       metrics sinks: a bad --heartbeat path must exit before any other
+       output file has been created (regression covered in test_cli). *)
+    let hb_oc = Option.map open_out_or_exit heartbeat in
     let obs =
       make_obs ~profile ~trace ~metrics ~heavy
         ~flight:(Flight.create ~capacity:2048 ()) ()
     in
     Obs.set_flight_dump obs flight_dump;
-    let hb_oc = Option.map open_out_or_exit heartbeat in
     let snapshot =
       Option.map
         (fun oc ->
@@ -249,10 +263,10 @@ let run_cmd =
         Option.iter close_out hb_oc;
         Obs.close obs)
     @@ fun () ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let r = Scenario.run ~obs ?snapshot cfg in
     Obs.cancel_flight_dump obs;
-    let wall_s = Unix.gettimeofday () -. t0 in
+    let wall_s = Clock.elapsed_since t0 in
     Format.printf "%a@." Scenario.pp_result r;
     Format.printf "level distribution (time-weighted):@.";
     Array.iteri
@@ -422,11 +436,11 @@ let sweep_cmd =
     in
     let obs = Obs.create ~metrics:(Metrics.create ()) () in
     Obs.set_default obs;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let results =
       Sweep.map ~jobs ~obs (fun obs cfg -> Scenario.run ~obs cfg) (List.map point grid)
     in
-    let wall_s = Unix.gettimeofday () -. t0 in
+    let wall_s = Clock.elapsed_since t0 in
     let header =
       [ "gamma"; "offered"; "carried"; "sim Kbps"; "markov Kbps"; "ideal Kbps";
         "P_f"; "P_s" ]
@@ -1115,6 +1129,424 @@ let top_cmd =
           detection.  With $(b,--follow), tails a run in progress.")
     term
 
+(* --- serve / loadgen --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to serve on (or dial, for loadgen).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port on 127.0.0.1 to serve on (or dial, for loadgen).")
+
+let address_of socket port : Serve_server.address =
+  match (socket, port) with
+  | Some _, Some _ ->
+    prerr_endline "drqos_cli: --socket and --port are mutually exclusive";
+    exit 2
+  | Some path, None -> `Unix path
+  | None, Some port -> `Tcp ("127.0.0.1", port)
+  | None, None ->
+    prerr_endline "drqos_cli: one of --socket PATH or --port PORT is required";
+    exit 2
+
+let serve_cmd =
+  let wall_every =
+    Arg.(
+      value & opt float 1.0
+      & info [ "wall-every" ] ~docv:"SECONDS"
+          ~doc:"Heartbeat cadence pushed to subscribed connections (monotonic).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:"Log accepts, disconnects and lifecycle events to stderr.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Policy.equal_share
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Bandwidth adaptation policy.")
+  in
+  let run seed nodes topo capacity policy wall_every socket port verbose =
+    let addr = address_of socket port in
+    let rng = Prng.create seed in
+    let g =
+      match scenario_topology nodes topo with
+      | Scenario.Waxman spec -> Waxman.generate rng spec
+      | Scenario.Transit_stub spec ->
+        (Transit_stub.generate rng spec).Transit_stub.graph
+      | Scenario.Fixed g -> g
+    in
+    let net = Net_state.create ~capacity g in
+    let config = Drcomm.Config.make ~policy () in
+    let log = if verbose then prerr_endline else ignore in
+    Printf.printf "serving %d nodes / %d edges, capacity %d Kbps\n%!"
+      (Graph.node_count g) (Graph.edge_count g) capacity;
+    let requests = Serve_server.run ~config ~wall_every ~log addr net in
+    Printf.printf "served %d requests\n" requests
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ nodes_arg $ topology_arg $ capacity_arg $ policy
+      $ wall_every $ socket_arg $ port_arg $ verbose)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the QoS-broker daemon: a single-threaded event loop serving the \
+          DR-connection service over a Unix or TCP socket.  Clients speak \
+          JSON-Lines requests (admit, teardown, chqos, fail, repair, stats, \
+          snapshot, metrics), may subscribe to pushed trace events and wall \
+          heartbeats, and stop the daemon with a $(b,shutdown) request.")
+    term
+
+(* The loadgen worker's view of one connection it owns. *)
+module Loadgen = struct
+  type worker = {
+    client : Serve_client.t;
+    rng : Prng.t;
+    mutable own : int list;  (** channels this worker admitted and still holds. *)
+    mutable own_n : int;
+    mutable failed : int list;  (** edges worker 0 failed and not yet repaired. *)
+    mutable errors : int;  (** unexpected error replies. *)
+    mutable stale : int;  (** ops that raced a failure-drop: expected. *)
+    mutable rejected : int;  (** admission rejections: expected under load. *)
+  }
+
+  let qos_palette =
+    [|
+      Qos.paper_spec ~increment:100;
+      Qos.paper_spec ~increment:50;
+      Qos.make ~utility:0.7 ~b_min:200 ~b_max:400 ~increment:50 ();
+      Qos.make ~b_min:50 ~b_max:250 ~increment:50 ();
+    |]
+
+  let drop_own w ch =
+    w.own <- List.filter (fun c -> c <> ch) w.own;
+    w.own_n <- List.length w.own
+
+  let pick_own w =
+    match w.own with
+    | [] -> None
+    | l -> Some (List.nth l (Prng.int w.rng w.own_n))
+
+  let admit w ~nodes =
+    let src, dst = Prng.sample_distinct_pair w.rng nodes in
+    let qos = Prng.pick w.rng qos_palette in
+    match Serve_client.request w.client (Serve_proto.Admit { src; dst; qos }) with
+    | Serve_proto.Admitted { channel; _ } ->
+      w.own <- channel :: w.own;
+      w.own_n <- w.own_n + 1
+    | Serve_proto.Admit_rejected _ -> w.rejected <- w.rejected + 1
+    | _ -> w.errors <- w.errors + 1
+
+  let teardown w ch =
+    drop_own w ch;
+    match Serve_client.request w.client (Serve_proto.Teardown { channel = ch }) with
+    | Serve_proto.Torn_down _ -> ()
+    | Serve_proto.Error_reply _ ->
+      (* The channel was dropped by a failure between our admit and now:
+         an expected race under fail/repair injection, not a bug. *)
+      w.stale <- w.stale + 1
+    | _ -> w.errors <- w.errors + 1
+
+  let chqos w ch =
+    let qos = Prng.pick w.rng qos_palette in
+    match
+      Serve_client.request w.client (Serve_proto.Change_qos { channel = ch; qos })
+    with
+    | Serve_proto.Qos_changed _ -> ()
+    | Serve_proto.Error_reply _ ->
+      drop_own w ch;
+      w.stale <- w.stale + 1
+    | _ -> w.errors <- w.errors + 1
+
+  let fail_or_repair w ~fail_edges =
+    match w.failed with
+    | e :: rest -> (
+      match Serve_client.request w.client (Serve_proto.Repair { edge = e }) with
+      | Serve_proto.Edge_repaired _ -> w.failed <- rest
+      | _ -> w.errors <- w.errors + 1)
+    | [] -> (
+      let e = Prng.int w.rng fail_edges in
+      match Serve_client.request w.client (Serve_proto.Fail { edge = e }) with
+      | Serve_proto.Edge_failed { recoveries; _ } ->
+        w.failed <- e :: w.failed;
+        (* Our own victims that did not survive leave the owned list. *)
+        List.iter
+          (fun r ->
+            if r.Serve_proto.rw_outcome = `Dropped then
+              drop_own w r.Serve_proto.rw_channel)
+          recoveries
+      | _ -> w.errors <- w.errors + 1)
+
+  let expect_ok w resp =
+    match resp with
+    | Serve_proto.Error_reply _ -> w.errors <- w.errors + 1
+    | _ -> ()
+
+  (* One scheduled operation.  The churn steers each worker's owned
+     population toward [target] (the paper's steady state: arrivals
+     balanced by terminations, live ≈ λ/μ), so the daemon's live set —
+     and with it the per-operation water-filling cost — holds steady
+     instead of growing without bound.  Read-side requests are
+     sprinkled in; only worker 0 injects failures, so repair
+     bookkeeping stays single-owner. *)
+  let step ~nodes ~target ~fail_edges w _i =
+    let dice = Prng.int w.rng 100 in
+    if dice < 70 then begin
+      if w.own_n >= target then
+        match pick_own w with Some ch -> teardown w ch | None -> admit w ~nodes
+      else admit w ~nodes
+    end
+    else if dice < 90 then
+      match pick_own w with Some ch -> chqos w ch | None -> admit w ~nodes
+    else if dice < 94 then
+      expect_ok w (Serve_client.request w.client Serve_proto.Stats)
+    else if dice < 97 then
+      expect_ok w (Serve_client.request w.client Serve_proto.Ping)
+    else if dice < 99 || fail_edges <= 0 then
+      expect_ok w (Serve_client.request w.client Serve_proto.Snapshot)
+    else fail_or_repair w ~fail_edges
+end
+
+let loadgen_cmd =
+  let requests =
+    Arg.(
+      value & opt int 100_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Operations to replay.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20_000.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Offered load in requests per second (the open-loop schedule).")
+  in
+  let arrivals_arg =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ]) `Poisson
+      & info [ "arrivals" ] ~docv:"KIND"
+          ~doc:
+            "Arrival process: $(b,poisson) (exponential inter-arrivals at \
+             $(b,--rate)) or $(b,bursty) (on/off: 100 ms bursts at twice the \
+             rate separated by 100 ms silences; same average rate).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs" ] ~docv:"J" ~doc:"Worker domains (one connection each).")
+  in
+  let live_target =
+    Arg.(
+      value & opt int 400
+      & info [ "live" ] ~docv:"N"
+          ~doc:
+            "Steady-state live-connection population the churn steers toward \
+             (split across workers) — the paper's λ/μ operating point.")
+  in
+  let fail_edges =
+    Arg.(
+      value & opt int 0
+      & info [ "fail-edges" ] ~docv:"K"
+          ~doc:
+            "Let worker 0 inject fail/repair round-trips on edge ids below \
+             $(docv) (0 disables failure injection; $(docv) must not exceed \
+             the daemon's edge count).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Smoke-test scale: 2000 requests at 5000 rps (CI gate).")
+  in
+  let out_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write $(b,BENCH_serve.json) (machine-readable perf record) and \
+             $(b,serve.dat) (percentile table) under $(docv).")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown request when the replay ends.")
+  in
+  let run seed nodes socket port requests rate arrivals jobs live_target
+      fail_edges quick out_dir shutdown =
+    let addr = address_of socket port in
+    let requests = if quick then 2000 else requests in
+    let rate = if quick then 5000. else rate in
+    if requests < 1 then begin
+      prerr_endline "drqos_cli: --requests must be >= 1";
+      exit 2
+    end;
+    if rate <= 0. then begin
+      prerr_endline "drqos_cli: --rate must be > 0";
+      exit 2
+    end;
+    (* The schedule is drawn up front, deterministically in --seed: the
+       replay offers the same load whatever the daemon does. *)
+    let schedule = Array.make requests 0. in
+    let rng = Prng.create seed in
+    (match arrivals with
+    | `Poisson ->
+      let t = ref 0. in
+      Array.iteri
+        (fun i _ ->
+          t := !t +. Prng.exponential rng rate;
+          schedule.(i) <- !t)
+        schedule
+    | `Bursty ->
+      (* Draw at twice the rate, then stretch every other 100 ms window
+         into silence: on/off bursts with the same average rate. *)
+      let burst = 0.1 in
+      let t = ref 0. in
+      Array.iteri
+        (fun i _ ->
+          t := !t +. Prng.exponential rng (2. *. rate);
+          schedule.(i) <- !t +. (Float.of_int (int_of_float (!t /. burst)) *. burst))
+        schedule);
+    let obs = Obs.create ~metrics:(Metrics.create ()) () in
+    let workers = Array.make (max 1 jobs) None in
+    let g0 = Gc.quick_stat () in
+    let report =
+      Sweep.open_loop ~jobs ~obs ~timer:"loadgen.latency" ~arrivals:schedule
+        ~worker:(fun w ->
+          let state =
+            {
+              Loadgen.client = Serve_client.connect ~retries:100 addr;
+              rng = Prng.create (seed + (1000 * (w + 1)));
+              own = [];
+              own_n = 0;
+              failed = [];
+              errors = 0;
+              stale = 0;
+              rejected = 0;
+            }
+          in
+          workers.(w) <- Some state;
+          state)
+        ~finish:(fun w ->
+          (* Leave the daemon healthy for the next client: repair what
+             we broke, then hang up. *)
+          List.iter
+            (fun e ->
+              ignore (Serve_client.request w.Loadgen.client (Serve_proto.Repair { edge = e })))
+            w.Loadgen.failed;
+          Serve_client.close w.Loadgen.client)
+        (fun _ w i ->
+          Loadgen.step ~nodes
+            ~target:(max 1 (live_target / max 1 jobs))
+            ~fail_edges w i)
+    in
+    let g1 = Gc.quick_stat () in
+    let sum f =
+      Array.fold_left
+        (fun acc -> function Some w -> acc + f w | None -> acc)
+        0 workers
+    in
+    let errors = sum (fun w -> w.Loadgen.errors) in
+    let stale = sum (fun w -> w.Loadgen.stale) in
+    let rejected = sum (fun w -> w.Loadgen.rejected) in
+    let tm = Metrics.timer (Obs.metrics obs) "loadgen.latency" in
+    let q p = Metrics.timer_quantile tm p in
+    let p50 = q 0.5 and p95 = q 0.95 and p99 = q 0.99 in
+    Printf.printf
+      "replayed %d requests in %.2fs (%.0f rps offered, %.0f achieved)\n"
+      report.Sweep.sent report.Sweep.wall_s rate report.Sweep.achieved_rps;
+    Printf.printf "latency  p50 %.6fs  p95 %.6fs  p99 %.6fs  (max lag %.4fs)\n"
+      p50 p95 p99 report.Sweep.max_lag_s;
+    Printf.printf "rejected %d  stale %d  errors %d\n" rejected stale errors;
+    (if shutdown then
+       let c = Serve_client.connect addr in
+       match Serve_client.request c Serve_proto.Shutdown with
+       | Serve_proto.Shutting_down -> Serve_client.close c
+       | _ ->
+         prerr_endline "drqos_cli: daemon did not acknowledge shutdown";
+         exit 1);
+    (match out_dir with
+    | None -> ()
+    | Some dir ->
+      (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ());
+      let bench = Filename.concat dir "BENCH_serve.json" in
+      let oc = open_out_or_exit bench in
+      Jsonx.output oc
+        (Jsonx.Obj
+           [
+             ("experiment", Jsonx.String "serve");
+             ("scale", Jsonx.String (if quick then "quick" else "full"));
+             ("requests", Jsonx.Int report.Sweep.sent);
+             ("jobs", Jsonx.Int jobs);
+             ("rate_rps", Jsonx.Float rate);
+             ("live_target", Jsonx.Int live_target);
+             ( "arrivals",
+               Jsonx.String
+                 (match arrivals with `Poisson -> "poisson" | `Bursty -> "bursty") );
+             ("wall_s", Jsonx.Float report.Sweep.wall_s);
+             ("achieved_rps", Jsonx.Float report.Sweep.achieved_rps);
+             ("max_lag_s", Jsonx.Float report.Sweep.max_lag_s);
+             ( "latency_s",
+               Jsonx.Obj
+                 [
+                   ("p50", Jsonx.Float p50);
+                   ("p95", Jsonx.Float p95);
+                   ("p99", Jsonx.Float p99);
+                 ] );
+             ("rejected", Jsonx.Int rejected);
+             ("stale", Jsonx.Int stale);
+             ("errors", Jsonx.Int errors);
+             ( "gc",
+               Jsonx.Obj
+                 [
+                   ( "minor_words",
+                     Jsonx.Float (g1.Gc.minor_words -. g0.Gc.minor_words) );
+                   ( "major_words",
+                     Jsonx.Float (g1.Gc.major_words -. g0.Gc.major_words) );
+                   ( "minor_collections",
+                     Jsonx.Int (g1.Gc.minor_collections - g0.Gc.minor_collections)
+                   );
+                 ] );
+           ]);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "(perf record written to %s)\n" bench;
+      let dat = Filename.concat dir "serve.dat" in
+      let oc = open_out_or_exit dat in
+      Printf.fprintf oc "# quantile\tlatency_s\n";
+      List.iter
+        (fun (name, v) -> Printf.fprintf oc "%s\t%.9f\n" name v)
+        [ ("p50", p50); ("p95", p95); ("p99", p99) ];
+      close_out oc;
+      Printf.printf "(percentile table written to %s)\n" dat);
+    if errors > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ nodes_arg $ socket_arg $ port_arg $ requests $ rate
+      $ arrivals_arg $ jobs $ live_target $ fail_edges $ quick $ out_dir
+      $ shutdown)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Open-loop multicore load generator for a running $(b,drqos_cli \
+          serve) daemon: replays a seeded Poisson or bursty arrival schedule \
+          of admit/teardown/chqos (plus optional fail/repair injection) \
+          across worker domains, measuring each operation from its \
+          $(i,scheduled) arrival to completion on the monotonic clock — \
+          coordinated-omission-safe percentiles off log-bucket timers.")
+    term
+
 let () =
   let doc = "dependable real-time communication with elastic QoS (Kim & Shin, DSN 2001)" in
   let info = Cmd.info "drqos_cli" ~version:"1.0.0" ~doc in
@@ -1126,7 +1558,7 @@ let () =
       (Cmd.group info
          [
            run_cmd; sweep_cmd; topo_cmd; chain_cmd; analyze_cmd; perfdiff_cmd;
-           fuzz_cmd; top_cmd;
+           fuzz_cmd; top_cmd; serve_cmd; loadgen_cmd;
          ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -20,14 +20,20 @@ val parse :
   specs:(string * spec) list -> string list -> (string list, string) result
 (** Walk the arguments left to right.  Arguments matching a spec are
     applied in order; everything else is returned, in its original
-    order.  [Error] on a [Value] flag with no following argument or a
-    callback rejection; flags already applied stay applied (the callers
-    exit on error). *)
+    order.  A [Value] flag accepts both spellings — [--out DIR] and
+    [--out=DIR] — but may appear only once: a duplicate is an error
+    (silent last-one-wins discards configuration).  [Unit] flags are
+    idempotent and stay repeatable; [--flag=v] on a [Unit] spec is an
+    error.  An unknown argument containing ['='] passes through
+    verbatim.  [Error] also on a [Value] flag with no following
+    argument or a callback rejection; flags already applied stay
+    applied (the callers exit on error). *)
 
 val parse_kv :
   specs:(string * (string -> (unit, string) result)) list ->
   (string * string) list ->
   (unit, string) result
 (** Apply [key = value] pairs (the fuzz reproducer header dialect)
-    against a spec table.  Unknown keys and rejected values are
-    errors — a reproducer must not silently lose configuration. *)
+    against a spec table.  Unknown keys, duplicate keys and rejected
+    values are errors — a reproducer must not silently lose
+    configuration. *)

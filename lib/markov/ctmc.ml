@@ -43,9 +43,9 @@ let stationary c =
   let obs = Obs.default () in
   if not (Obs.enabled obs) then Linsolve.solve_left_nullvector (generator c)
   else begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let pi = Linsolve.solve_left_nullvector (generator c) in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Clock.elapsed_since t0 in
     Metrics.incr (Obs.counter obs "markov.stationary_solves");
     Metrics.observe (Obs.timer obs "markov.stationary_s") dt;
     Obs.event obs (Trace.Solve { what = "ctmc.stationary"; states = c.n; seconds = dt });

@@ -1,0 +1,14 @@
+external monotonic_ns : unit -> int64 = "drqos_clock_monotonic_ns"
+
+(* Subtracting a per-process origin keeps readings small, so converting
+   to float loses nothing for centuries of uptime (2^53 ns ~ 104 days
+   would only matter if we kept the raw boot-relative count). *)
+let origin_ns = monotonic_ns ()
+
+let now_ns () = Int64.sub (monotonic_ns ()) origin_ns
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+let elapsed_since t0 = Float.max 0. (now () -. t0)
+
+let wall_s () = Unix.gettimeofday ()

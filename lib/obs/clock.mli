@@ -1,0 +1,34 @@
+(** Process time sources, split by what they are safe for.
+
+    Every duration in this repo — span totals, timer observations,
+    heartbeat intervals, bench wall figures — must come from {!now},
+    which reads [CLOCK_MONOTONIC] through a C stub: it never goes
+    backwards and is immune to NTP steps and manual clock adjustments.
+    [Unix.gettimeofday] is {e not} monotone; subtracting two readings of
+    it can yield a negative "duration", which corrupts timer percentiles
+    and span aggregates in any process that outlives a clock
+    adjustment.  The only remaining legitimate use of the wall clock is
+    labelling a moment in calendar time, and that is all {!wall_s}
+    exposes.
+
+    [scripts/verify.sh] greps [lib/] for [Unix.gettimeofday] outside
+    this module, so the split is load-bearing, not advisory. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary origin fixed at module
+    initialisation (so values stay small and subtract at full float
+    precision).  Strictly non-decreasing within a process; meaningless
+    across processes. *)
+
+val now_ns : unit -> int64
+(** {!now} in integer nanoseconds — for callers that want to defer the
+    float conversion. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0], clamped to [0.] (belt and
+    braces: the clamp only matters on platforms without a monotonic
+    clock, where the stub falls back to the realtime source). *)
+
+val wall_s : unit -> float
+(** The wall clock (seconds since the Unix epoch) — for {e stamping}
+    events in calendar time only, never for computing durations. *)

@@ -1,0 +1,26 @@
+/* Monotonic clock primitive for lib/obs (see clock.mli).
+
+   CLOCK_MONOTONIC is immune to NTP steps and manual wall-clock
+   adjustments, which is what makes durations computed from it safe for
+   long-running daemons; the OCaml side exposes it as nanoseconds since
+   an arbitrary per-boot origin. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value drqos_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  /* No monotonic source on this platform: fall back to the realtime
+     clock (callers still clamp negative deltas). */
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                         + (int64_t)ts.tv_nsec);
+}

@@ -113,8 +113,8 @@ let observe tm seconds =
 
 let time tm f =
   if tm.t_reg.on then begin
-    let t0 = Unix.gettimeofday () in
-    let finally () = observe tm (Unix.gettimeofday () -. t0) in
+    let t0 = Clock.now () in
+    let finally () = observe tm (Clock.elapsed_since t0) in
     Fun.protect ~finally f
   end
   else f ()

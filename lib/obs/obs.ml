@@ -118,9 +118,9 @@ let span t name f =
     (match frame with
     | Some fr -> event t (Trace.Span_begin { name; wall_s = Span.frame_start fr })
     | None -> event t (Trace.Phase_begin { name }));
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let finally () =
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Clock.elapsed_since t0 in
       Metrics.observe (Metrics.timer t.metrics ("phase." ^ name)) dt;
       match frame with
       | Some fr -> (

@@ -68,7 +68,7 @@ let start t src =
   t.peak_live <- 0;
   t.peak_queue <- 0;
   t.wall_seq <- 0;
-  let now = Unix.gettimeofday () in
+  let now = Clock.now () in
   t.wall_t0 <- now;
   t.wall_last <- now;
   t.wall_last_events <- src.events ();
@@ -136,7 +136,9 @@ let wall_tick t =
   match t.src with
   | None -> ()
   | Some src ->
-    let now = Unix.gettimeofday () in
+    (* Monotonic: a stepped wall clock must not yield negative [wall_s]
+       deltas or nonsense GC-rate intervals in a long-running server. *)
+    let now = Clock.now () in
     let g = Gc.quick_stat () in
     let events = src.events () in
     let dt = now -. t.wall_last in

@@ -63,7 +63,7 @@ let create ?(keep = 4096) () =
   if keep < 0 then invalid_arg "Span.create: negative keep";
   {
     on = true;
-    epoch = Unix.gettimeofday ();
+    epoch = Clock.now ();
     keep;
     stack = [];
     recs = [];
@@ -76,7 +76,7 @@ let enabled t = t.on
 
 let depth t = List.length t.stack
 
-let now t = Unix.gettimeofday () -. t.epoch
+let now t = Clock.now () -. t.epoch
 
 let frame_name f = f.f_name
 let frame_start f = f.f_start
@@ -115,8 +115,9 @@ let exit t frame =
     | _ -> invalid_arg "Span.exit: frame is not the innermost open span");
     let minor, _, major = Gc.counters () in
     let total = now t -. frame.f_start in
-    (* Clock slew (gettimeofday is not monotone) must not produce a
-       negative duration or a child sum exceeding its parent. *)
+    (* The monotonic clock cannot run backwards, but a child's recorded
+       total can still exceed its parent's raw reading by rounding; the
+       clamp keeps self times non-negative by construction. *)
     let total = Float.max total frame.f_child_total in
     let self = Float.max 0. (total -. frame.f_child_total) in
     (match t.stack with

@@ -1,0 +1,99 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  pushed : Jsonx.t Queue.t;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let sockaddr_of (addr : Serve_server.address) =
+  match addr with
+  | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | `Tcp (host, port) ->
+    let ip =
+      if host = "localhost" then Unix.inet_addr_loopback
+      else Unix.inet_addr_of_string host
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+let connect ?(retries = 0) ?(retry_delay = 0.05) addr =
+  let domain, sa = sockaddr_of addr in
+  let rec dial attempt =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> fd
+    | exception Unix.Unix_error (_, _, _) when attempt < retries ->
+      (match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error (_, _, _) -> ());
+      Unix.sleepf retry_delay;
+      dial (attempt + 1)
+    | exception e ->
+      (match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error (_, _, _) -> ());
+      raise e
+  in
+  let fd = dial 0 in
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    pushed = Queue.create ();
+    next_id = 1;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Closing the fd closes both wrapped channels. *)
+    match Unix.close t.fd with
+    | () -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  end
+
+let request t req =
+  if t.closed then failwith "Serve_client.request: connection closed";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  output_string t.oc (Jsonx.to_string (Serve_proto.request_to_json ~id req));
+  output_char t.oc '\n';
+  flush t.oc;
+  let rec await () =
+    let line =
+      match input_line t.ic with
+      | line -> line
+      | exception End_of_file ->
+        close t;
+        failwith "Serve_client.request: connection closed before reply"
+    in
+    if String.trim line = "" then await ()
+    else
+      let doc =
+        match Jsonx.of_string line with
+        | doc -> doc
+        | exception Jsonx.Parse_error msg ->
+          failwith ("Serve_client.request: undecodable line: " ^ msg)
+      in
+      if Serve_proto.is_push doc then begin
+        Queue.add doc t.pushed;
+        await ()
+      end
+      else
+        match Serve_proto.response_of_json doc with
+        | Error msg -> failwith ("Serve_client.request: bad reply: " ^ msg)
+        | Ok (reply_id, resp) ->
+          if reply_id <> id && reply_id <> 0 then
+            failwith
+              (Printf.sprintf "Serve_client.request: reply id %d, expected %d"
+                 reply_id id);
+          resp
+  in
+  await ()
+
+let pushes t =
+  let out = List.of_seq (Queue.to_seq t.pushed) in
+  Queue.clear t.pushed;
+  out

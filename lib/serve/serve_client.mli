@@ -1,0 +1,29 @@
+(** Synchronous client for the QoS-broker daemon.
+
+    One connection, one outstanding request at a time: {!request} sends
+    a line and blocks until the matching reply arrives.  Pushed stream
+    lines (trace events, heartbeats — see {!Serve_proto.is_push})
+    received while waiting are queued and drained with {!pushes}.
+
+    The load generator opens one client per worker domain; a client
+    value must not be shared across domains. *)
+
+type t
+
+val connect :
+  ?retries:int -> ?retry_delay:float -> Serve_server.address -> t
+(** Connect to a daemon.  [retries] (default 0) extra attempts spaced
+    [retry_delay] (default 0.05 s) apart cover the race of dialing a
+    daemon that is still binding its socket.  Raises [Unix.Unix_error]
+    when every attempt fails. *)
+
+val request : t -> Serve_proto.request -> Serve_proto.response
+(** Send one request and wait for its reply.  Raises [Failure] on a
+    closed or protocol-violating connection (EOF before the reply, reply
+    id mismatch, undecodable line). *)
+
+val pushes : t -> Jsonx.t list
+(** Drain the queued pushed lines, oldest first. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,431 @@
+type request =
+  | Admit of { src : int; dst : int; qos : Qos.t }
+  | Teardown of { channel : int }
+  | Change_qos of { channel : int; qos : Qos.t }
+  | Fail of { edge : int }
+  | Repair of { edge : int }
+  | Set_auto of bool
+  | Redistribute
+  | Stats
+  | Snapshot
+  | Metrics
+  | Subscribe of [ `Trace | `Heartbeat ]
+  | Ping
+  | Shutdown
+
+type recovery_wire = {
+  rw_channel : int;
+  rw_outcome : [ `Switched | `Dropped | `Restored | `Backup_lost ];
+  rw_reprotected : bool;
+}
+
+type response =
+  | Admitted of { channel : int; level : int }
+  | Admit_rejected of { reason : string }
+  | Torn_down of { channel : int }
+  | Qos_changed of { channel : int; accepted : bool }
+  | Edge_failed of { edge : int; fresh : bool; recoveries : recovery_wire list }
+  | Edge_repaired of { edge : int; was_failed : bool }
+  | Auto_set of { on : bool }
+  | Redistributed
+  | Stats_reply of {
+      live : int;
+      total_reserved : int;
+      average_kbps : float;
+      dropped : int;
+      failed_edges : int;
+      requests : int;
+    }
+  | Snapshot_reply of Jsonx.t
+  | Metrics_reply of Jsonx.t
+  | Subscribed of { stream : string }
+  | Pong
+  | Shutting_down
+  | Error_reply of { message : string }
+
+(* The broker's level histogram is sized to this; a wire spec with more
+   elastic levels is rejected at the codec. *)
+let max_levels = 64
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers                                                        *)
+
+let qos_to_json (q : Qos.t) =
+  Jsonx.Obj
+    [
+      ("b_min", Jsonx.Int q.Qos.b_min);
+      ("b_max", Jsonx.Int q.Qos.b_max);
+      ("increment", Jsonx.Int q.Qos.increment);
+      ("utility", Jsonx.Float q.Qos.utility);
+    ]
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let int_field doc key =
+  match Option.bind (Jsonx.member key doc) Jsonx.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-integer %S" key)
+
+let float_field ~default doc key =
+  match Jsonx.member key doc with
+  | None -> Ok default
+  | Some v -> (
+    match Jsonx.to_float v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "non-numeric %S" key))
+
+let str_field doc key =
+  match Option.bind (Jsonx.member key doc) Jsonx.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string %S" key)
+
+let bool_field doc key =
+  match Jsonx.member key doc with
+  | Some (Jsonx.Bool b) -> Ok b
+  | Some _ | None -> Error (Printf.sprintf "missing or non-boolean %S" key)
+
+let qos_of_json doc =
+  match Jsonx.member "qos" doc with
+  | None -> Error "missing \"qos\""
+  | Some q ->
+    let* b_min = int_field q "b_min" in
+    let* b_max = int_field q "b_max" in
+    let* increment = int_field q "increment" in
+    let* utility = float_field ~default:1.0 q "utility" in
+    (match Qos.make ~utility ~b_min ~b_max ~increment () with
+    | qos when Qos.levels qos > max_levels ->
+      Error
+        (Printf.sprintf "qos has %d levels; the broker accepts at most %d"
+           (Qos.levels qos) max_levels)
+    | qos -> Ok qos
+    | exception Invalid_argument msg -> Error ("invalid qos: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let request_verb = function
+  | Admit _ -> "admit"
+  | Teardown _ -> "teardown"
+  | Change_qos _ -> "chqos"
+  | Fail _ -> "fail"
+  | Repair _ -> "repair"
+  | Set_auto _ -> "auto"
+  | Redistribute -> "redistribute"
+  | Stats -> "stats"
+  | Snapshot -> "snapshot"
+  | Metrics -> "metrics"
+  | Subscribe _ -> "subscribe"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+let request_to_json ~id req =
+  let fields =
+    match req with
+    | Admit { src; dst; qos } ->
+      [ ("src", Jsonx.Int src); ("dst", Jsonx.Int dst); ("qos", qos_to_json qos) ]
+    | Teardown { channel } -> [ ("channel", Jsonx.Int channel) ]
+    | Change_qos { channel; qos } ->
+      [ ("channel", Jsonx.Int channel); ("qos", qos_to_json qos) ]
+    | Fail { edge } | Repair { edge } -> [ ("edge", Jsonx.Int edge) ]
+    | Set_auto on -> [ ("on", Jsonx.Bool on) ]
+    | Subscribe `Trace -> [ ("stream", Jsonx.String "trace") ]
+    | Subscribe `Heartbeat -> [ ("stream", Jsonx.String "heartbeat") ]
+    | Redistribute | Stats | Snapshot | Metrics | Ping | Shutdown -> []
+  in
+  Jsonx.Obj
+    (("id", Jsonx.Int id) :: ("req", Jsonx.String (request_verb req)) :: fields)
+
+let request_of_json doc =
+  let* id = int_field doc "id" in
+  let* verb = str_field doc "req" in
+  let* req =
+    match verb with
+    | "admit" ->
+      let* src = int_field doc "src" in
+      let* dst = int_field doc "dst" in
+      let* qos = qos_of_json doc in
+      Ok (Admit { src; dst; qos })
+    | "teardown" ->
+      let* channel = int_field doc "channel" in
+      Ok (Teardown { channel })
+    | "chqos" ->
+      let* channel = int_field doc "channel" in
+      let* qos = qos_of_json doc in
+      Ok (Change_qos { channel; qos })
+    | "fail" ->
+      let* edge = int_field doc "edge" in
+      Ok (Fail { edge })
+    | "repair" ->
+      let* edge = int_field doc "edge" in
+      Ok (Repair { edge })
+    | "auto" ->
+      let* on = bool_field doc "on" in
+      Ok (Set_auto on)
+    | "redistribute" -> Ok Redistribute
+    | "stats" -> Ok Stats
+    | "snapshot" -> Ok Snapshot
+    | "metrics" -> Ok Metrics
+    | "subscribe" -> (
+      let* stream = str_field doc "stream" in
+      match stream with
+      | "trace" -> Ok (Subscribe `Trace)
+      | "heartbeat" -> Ok (Subscribe `Heartbeat)
+      | s -> Error (Printf.sprintf "unknown stream %S" s))
+    | "ping" -> Ok Ping
+    | "shutdown" -> Ok Shutdown
+    | v -> Error (Printf.sprintf "unknown request %S" v)
+  in
+  Ok (id, req)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let outcome_to_string = function
+  | `Switched -> "switched_to_backup"
+  | `Dropped -> "dropped"
+  | `Restored -> "restored"
+  | `Backup_lost -> "backup_lost"
+
+let outcome_of_string = function
+  | "switched_to_backup" -> Ok `Switched
+  | "dropped" -> Ok `Dropped
+  | "restored" -> Ok `Restored
+  | "backup_lost" -> Ok `Backup_lost
+  | s -> Error (Printf.sprintf "unknown recovery outcome %S" s)
+
+let recovery_to_json r =
+  Jsonx.Obj
+    [
+      ("channel", Jsonx.Int r.rw_channel);
+      ("outcome", Jsonx.String (outcome_to_string r.rw_outcome));
+      ("reprotected", Jsonx.Bool r.rw_reprotected);
+    ]
+
+let recovery_of_json doc =
+  let* rw_channel = int_field doc "channel" in
+  let* outcome = str_field doc "outcome" in
+  let* rw_outcome = outcome_of_string outcome in
+  let* rw_reprotected = bool_field doc "reprotected" in
+  Ok { rw_channel; rw_outcome; rw_reprotected }
+
+let response_kind = function
+  | Admitted _ -> "admitted"
+  | Admit_rejected _ -> "rejected"
+  | Torn_down _ -> "torn_down"
+  | Qos_changed _ -> "qos_changed"
+  | Edge_failed _ -> "edge_failed"
+  | Edge_repaired _ -> "edge_repaired"
+  | Auto_set _ -> "auto"
+  | Redistributed -> "redistributed"
+  | Stats_reply _ -> "stats"
+  | Snapshot_reply _ -> "snapshot"
+  | Metrics_reply _ -> "metrics"
+  | Subscribed _ -> "subscribed"
+  | Pong -> "pong"
+  | Shutting_down -> "shutting_down"
+  | Error_reply _ -> "error"
+
+let response_to_json ~id resp =
+  match resp with
+  | Error_reply { message } ->
+    Jsonx.Obj
+      [
+        ("id", Jsonx.Int id);
+        ("ok", Jsonx.Bool false);
+        ("error", Jsonx.String message);
+      ]
+  | _ ->
+    let fields =
+      match resp with
+      | Admitted { channel; level } ->
+        [ ("channel", Jsonx.Int channel); ("level", Jsonx.Int level) ]
+      | Admit_rejected { reason } -> [ ("reason", Jsonx.String reason) ]
+      | Torn_down { channel } -> [ ("channel", Jsonx.Int channel) ]
+      | Qos_changed { channel; accepted } ->
+        [ ("channel", Jsonx.Int channel); ("accepted", Jsonx.Bool accepted) ]
+      | Edge_failed { edge; fresh; recoveries } ->
+        [
+          ("edge", Jsonx.Int edge);
+          ("fresh", Jsonx.Bool fresh);
+          ("recoveries", Jsonx.List (List.map recovery_to_json recoveries));
+        ]
+      | Edge_repaired { edge; was_failed } ->
+        [ ("edge", Jsonx.Int edge); ("was_failed", Jsonx.Bool was_failed) ]
+      | Auto_set { on } -> [ ("on", Jsonx.Bool on) ]
+      | Stats_reply { live; total_reserved; average_kbps; dropped; failed_edges; requests }
+        ->
+        [
+          ("live", Jsonx.Int live);
+          ("total_reserved_kbps", Jsonx.Int total_reserved);
+          ("average_kbps", Jsonx.Float average_kbps);
+          ("dropped", Jsonx.Int dropped);
+          ("failed_edges", Jsonx.Int failed_edges);
+          ("requests", Jsonx.Int requests);
+        ]
+      | Snapshot_reply doc | Metrics_reply doc -> [ ("data", doc) ]
+      | Subscribed { stream } -> [ ("stream", Jsonx.String stream) ]
+      | Redistributed | Pong | Shutting_down -> []
+      | Error_reply _ -> []
+    in
+    Jsonx.Obj
+      (("id", Jsonx.Int id)
+      :: ("ok", Jsonx.Bool true)
+      :: ("re", Jsonx.String (response_kind resp))
+      :: fields)
+
+let list_field doc key =
+  match Jsonx.member key doc with
+  | Some (Jsonx.List l) -> Ok l
+  | Some _ | None -> Error (Printf.sprintf "missing or non-list %S" key)
+
+let data_field doc =
+  match Jsonx.member "data" doc with
+  | Some d -> Ok d
+  | None -> Error "missing \"data\""
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let response_of_json doc =
+  let* id = int_field doc "id" in
+  let* ok = bool_field doc "ok" in
+  if not ok then
+    let* message = str_field doc "error" in
+    Ok (id, Error_reply { message })
+  else
+    let* kind = str_field doc "re" in
+    let* resp =
+      match kind with
+      | "admitted" ->
+        let* channel = int_field doc "channel" in
+        let* level = int_field doc "level" in
+        Ok (Admitted { channel; level })
+      | "rejected" ->
+        let* reason = str_field doc "reason" in
+        Ok (Admit_rejected { reason })
+      | "torn_down" ->
+        let* channel = int_field doc "channel" in
+        Ok (Torn_down { channel })
+      | "qos_changed" ->
+        let* channel = int_field doc "channel" in
+        let* accepted = bool_field doc "accepted" in
+        Ok (Qos_changed { channel; accepted })
+      | "edge_failed" ->
+        let* edge = int_field doc "edge" in
+        let* fresh = bool_field doc "fresh" in
+        let* l = list_field doc "recoveries" in
+        let* recoveries = map_result recovery_of_json l in
+        Ok (Edge_failed { edge; fresh; recoveries })
+      | "edge_repaired" ->
+        let* edge = int_field doc "edge" in
+        let* was_failed = bool_field doc "was_failed" in
+        Ok (Edge_repaired { edge; was_failed })
+      | "auto" ->
+        let* on = bool_field doc "on" in
+        Ok (Auto_set { on })
+      | "redistributed" -> Ok Redistributed
+      | "stats" ->
+        let* live = int_field doc "live" in
+        let* total_reserved = int_field doc "total_reserved_kbps" in
+        let* average_kbps = float_field ~default:0. doc "average_kbps" in
+        let* dropped = int_field doc "dropped" in
+        let* failed_edges = int_field doc "failed_edges" in
+        let* requests = int_field doc "requests" in
+        Ok
+          (Stats_reply
+             { live; total_reserved; average_kbps; dropped; failed_edges; requests })
+      | "snapshot" ->
+        let* d = data_field doc in
+        Ok (Snapshot_reply d)
+      | "metrics" ->
+        let* d = data_field doc in
+        Ok (Metrics_reply d)
+      | "subscribed" ->
+        let* stream = str_field doc "stream" in
+        Ok (Subscribed { stream })
+      | "pong" -> Ok Pong
+      | "shutting_down" -> Ok Shutting_down
+      | k -> Error (Printf.sprintf "unknown response kind %S" k)
+    in
+    Ok (id, resp)
+
+let is_push doc =
+  Jsonx.member "id" doc = None && Jsonx.member "ev" doc <> None
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz-op bridge                                                      *)
+
+(* Mirrors the modular reduction in [Fuzz.replay] exactly, against the
+   state the caller reads off the live service ([live] sorted channel
+   ids, [failed] sorted failed edges). *)
+let request_of_op ~nodes ~edges ~live ~failed op =
+  let palette = Fuzz.qos_palette in
+  let nth_live k =
+    match live with
+    | [] -> None
+    | _ -> List.nth_opt live (k mod List.length live)
+  in
+  match op with
+  | Op.Admit { src; dst; qos } ->
+    if nodes <= 1 then None
+    else
+      let src = src mod nodes in
+      let dst = (src + 1 + (dst mod (nodes - 1))) mod nodes in
+      let qos = palette.(qos mod Array.length palette) in
+      Some (Admit { src; dst; qos })
+  | Op.Terminate k ->
+    Option.map (fun channel -> Teardown { channel }) (nth_live k)
+  | Op.Change_qos (k, q) ->
+    Option.map
+      (fun channel ->
+        Change_qos { channel; qos = palette.(q mod Array.length palette) })
+      (nth_live k)
+  | Op.Fail k -> if edges <= 0 then None else Some (Fail { edge = k mod edges })
+  | Op.Repair k ->
+    if edges <= 0 then None
+    else
+      let edge =
+        match failed with
+        | [] -> k mod edges
+        | l -> (
+          match List.nth_opt l (k mod List.length l) with
+          | Some e -> e
+          | None -> k mod edges)
+      in
+      Some (Repair { edge })
+  | Op.Set_auto b -> Some (Set_auto b)
+  | Op.Redistribute_all -> Some Redistribute
+
+let palette_index qos =
+  let n = Array.length Fuzz.qos_palette in
+  let rec go i =
+    if i >= n then None
+    else if Fuzz.qos_palette.(i) = qos then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let op_of_request ~nodes = function
+  | Admit { src; dst; qos } ->
+    if nodes <= 1 || src < 0 || src >= nodes || dst < 0 || dst >= nodes
+       || src = dst
+    then None
+    else
+      (* Invert the dst skew: the executor computes
+         [(src + 1 + (d mod (nodes - 1))) mod nodes], and for
+         [d = (dst - src - 1) mod nodes] (in [0, nodes - 2] whenever
+         [dst <> src]) the inner [mod] is the identity. *)
+      let d = ((dst - src - 1) mod nodes + nodes) mod nodes in
+      Option.map (fun q -> Op.Admit { src; dst = d; qos = q }) (palette_index qos)
+  | Teardown { channel } -> Some (Op.Terminate channel)
+  | Change_qos { channel; qos } ->
+    Option.map (fun q -> Op.Change_qos (channel, q)) (palette_index qos)
+  | Fail { edge } -> Some (Op.Fail edge)
+  | Repair { edge } -> Some (Op.Repair edge)
+  | Set_auto b -> Some (Op.Set_auto b)
+  | Redistribute -> Some Op.Redistribute_all
+  | Stats | Snapshot | Metrics | Subscribe _ | Ping | Shutdown -> None

@@ -1,0 +1,236 @@
+type address = [ `Unix of string | `Tcp of string * int ]
+
+(* One client connection: partial-line input buffer plus the stream
+   subscriptions this connection asked for. *)
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  peer : string;
+  mutable want_trace : bool;
+  mutable want_heartbeat : bool;
+  mutable alive : bool;
+}
+
+type state = {
+  listen_fd : Unix.file_descr;
+  broker : Serve_broker.t;
+  mutable conns : conn list;
+  mutable running : bool;
+  log : string -> unit;
+}
+
+let unlink_quietly path =
+  match Unix.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let bind_listener ?(backlog = 64) (addr : address) =
+  match addr with
+  | `Unix path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    unlink_quietly path;
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd backlog;
+    fd
+  | `Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let ip =
+      if host = "localhost" then Unix.inet_addr_loopback
+      else Unix.inet_addr_of_string host
+    in
+    Unix.bind fd (Unix.ADDR_INET (ip, port));
+    Unix.listen fd backlog;
+    fd
+
+(* Blocking full write of one framed line.  A peer that vanished
+   mid-write (EPIPE with SIGPIPE ignored, reset, …) just marks the
+   connection dead; the loop reaps it. *)
+let send conn line =
+  if conn.alive then begin
+    let data = line ^ "\n" in
+    let len = String.length data in
+    let rec go off =
+      if off < len then
+        match Unix.write_substring conn.fd data off (len - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
+    in
+    go 0
+  end
+
+let send_json conn doc = send conn (Jsonx.to_string doc)
+
+let broadcast t pred line =
+  List.iter (fun c -> if pred c then send c line) t.conns
+
+let close_conn t conn =
+  if conn.alive then conn.alive <- false;
+  (match Unix.close conn.fd with
+  | () -> ()
+  | exception Unix.Unix_error (_, _, _) -> ());
+  t.log (Printf.sprintf "serve: %s disconnected" conn.peer)
+
+(* One parsed request line.  Subscribe and shutdown are connection-level
+   — everything else goes through the broker. *)
+let handle_request t conn id (req : Serve_proto.request) =
+  match req with
+  | Serve_proto.Subscribe stream ->
+    let name =
+      match stream with
+      | `Trace ->
+        conn.want_trace <- true;
+        "trace"
+      | `Heartbeat ->
+        conn.want_heartbeat <- true;
+        "heartbeat"
+    in
+    send_json conn
+      (Serve_proto.response_to_json ~id (Serve_proto.Subscribed { stream = name }))
+  | Serve_proto.Shutdown ->
+    send_json conn (Serve_proto.response_to_json ~id Serve_proto.Shutting_down);
+    t.running <- false
+  | _ ->
+    let resp = Serve_broker.dispatch t.broker req in
+    send_json conn (Serve_proto.response_to_json ~id resp)
+
+let handle_line t conn line =
+  if String.trim line <> "" then
+    match Jsonx.of_string line with
+    | exception Jsonx.Parse_error msg ->
+      (* No id to echo — the protocol reserves 0 for undecodable lines. *)
+      send_json conn
+        (Serve_proto.response_to_json ~id:0
+           (Serve_proto.Error_reply { message = "parse error: " ^ msg }))
+    | doc -> (
+      match Serve_proto.request_of_json doc with
+      | Error msg ->
+        send_json conn
+          (Serve_proto.response_to_json ~id:0
+             (Serve_proto.Error_reply { message = msg }))
+      | Ok (id, req) -> handle_request t conn id req)
+
+(* Drain every complete line out of the connection's input buffer. *)
+let drain_lines t conn =
+  let data = Buffer.contents conn.inbuf in
+  Buffer.clear conn.inbuf;
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       if data.[i] = '\n' then begin
+         handle_line t conn (String.sub data !start (i - !start));
+         start := i + 1;
+         if not t.running then raise Exit
+       end
+     done
+   with Exit -> ());
+  if !start < n then Buffer.add_substring conn.inbuf data !start (n - !start)
+
+let read_chunk t conn scratch =
+  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+  | 0 -> conn.alive <- false
+  | n ->
+    Buffer.add_subbytes conn.inbuf scratch 0 n;
+    drain_lines t conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_UNIX _ -> "unix client"
+  | Unix.ADDR_INET (ip, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+  | exception Unix.Unix_error (_, _, _) -> "client"
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+    let conn =
+      {
+        fd;
+        inbuf = Buffer.create 256;
+        peer = peer_name fd;
+        want_trace = false;
+        want_heartbeat = false;
+        alive = true;
+      }
+    in
+    t.conns <- conn :: t.conns;
+    t.log (Printf.sprintf "serve: accepted %s" conn.peer)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let run ?config ?(wall_every = 1.0) ?backlog ?(log = ignore) (addr : address) net
+    =
+  if wall_every <= 0. then invalid_arg "Serve_server.run: wall_every <= 0";
+  (* A subscriber that disappears mid-broadcast must not kill the
+     daemon with SIGPIPE; [send] handles the EPIPE instead. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = bind_listener ?backlog addr in
+  (* The server owns its observability context: the tracer's sink
+     broadcasts events to subscribed connections as they happen, the
+     metrics registry backs the [metrics] request. *)
+  let t_ref = ref None in
+  let trace_sink =
+    {
+      Trace.emit =
+        (fun time ev ->
+          match !t_ref with
+          | None -> ()
+          | Some t ->
+            let line = Jsonx.to_string (Trace.to_json ~time ev) in
+            broadcast t (fun c -> c.want_trace) line);
+      close = (fun () -> ());
+    }
+  in
+  let obs =
+    Obs.create ~metrics:(Metrics.create ()) ~trace:(Trace.create trace_sink) ()
+  in
+  let broker = Serve_broker.create ?config ~obs net in
+  let t = { listen_fd; broker; conns = []; running = true; log } in
+  t_ref := Some t;
+  (* Wall heartbeats: the Snapshot emitter pushes Trace.Heartbeat lines
+     to subscribed connections on a monotonic cadence. *)
+  let hb =
+    Snapshot.create ~wall_every
+      ~sink:(fun line -> broadcast t (fun c -> c.want_heartbeat) line)
+      ()
+  in
+  Snapshot.start hb (Serve_broker.snapshot_source broker);
+  (match addr with
+  | `Unix path -> log (Printf.sprintf "serve: listening on %s" path)
+  | `Tcp (host, port) -> log (Printf.sprintf "serve: listening on %s:%d" host port));
+  let scratch = Bytes.create 65536 in
+  let hb_last = ref (Clock.now ()) in
+  while t.running do
+    let now = Clock.now () in
+    if now -. !hb_last >= wall_every then begin
+      Snapshot.wall_tick hb;
+      hb_last := now
+    end;
+    let timeout = Float.max 0.01 (wall_every -. (now -. !hb_last)) in
+    let fds = listen_fd :: List.map (fun c -> c.fd) t.conns in
+    (match Unix.select fds [] [] timeout with
+    | readable, _, _ ->
+      if List.mem listen_fd readable then accept_conn t;
+      List.iter
+        (fun conn ->
+          if t.running && conn.alive && List.memq conn.fd readable then
+            read_chunk t conn scratch)
+        t.conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    let dead, live = List.partition (fun c -> not c.alive) t.conns in
+    t.conns <- live;
+    List.iter (close_conn t) dead
+  done;
+  List.iter (close_conn t) t.conns;
+  t.conns <- [];
+  (match Unix.close listen_fd with
+  | () -> ()
+  | exception Unix.Unix_error (_, _, _) -> ());
+  (match addr with `Unix path -> unlink_quietly path | `Tcp _ -> ());
+  log (Printf.sprintf "serve: shut down after %d requests"
+         (Serve_broker.requests broker));
+  Serve_broker.requests broker

@@ -1,0 +1,37 @@
+(** The QoS-broker daemon: a single-threaded event loop framing
+    {!Serve_broker} over a stream socket.
+
+    One process, one {!Drcomm} service, many clients.  Requests are
+    JSONL lines ({!Serve_proto}); the loop multiplexes connections with
+    [select], so a request is dispatched atomically with respect to
+    every other — clients never observe a half-applied operation.
+
+    Connection-level requests are handled here rather than in the
+    broker: [subscribe] flags the connection to receive pushed trace
+    events and/or wall heartbeats (broadcast as they happen, interleaved
+    between replies); [shutdown] answers [shutting_down], then closes
+    every connection and returns from {!run}.
+
+    The server builds its own observability context: a live metrics
+    registry (served by the [metrics] request) and a tracer whose sink
+    broadcasts to subscribed connections.  Wall heartbeats ride the
+    {!Snapshot} emitter on a monotonic {!Clock} cadence. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+(** [`Unix path] is unlinked (if stale) before binding and again on
+    shutdown.  [`Tcp (host, port)] binds with [SO_REUSEADDR]. *)
+
+val run :
+  ?config:Drcomm.Config.t ->
+  ?wall_every:float ->
+  ?backlog:int ->
+  ?log:(string -> unit) ->
+  address ->
+  Net_state.t ->
+  int
+(** Serve until a client sends [shutdown]; returns the number of
+    requests dispatched.  [wall_every] (default 1.0 s, monotonic) is the
+    heartbeat cadence for subscribed connections.  [log] (default
+    silent) receives one human-readable line per lifecycle event —
+    binds, accepts, disconnects; the server never writes to stdout
+    itself.  Raises [Unix.Unix_error] when the socket cannot be bound. *)

@@ -64,7 +64,7 @@ let on_heartbeat t ~every f =
 let on_wall_heartbeat t ~every_s f =
   if every_s <= 0. then invalid_arg "Engine.on_wall_heartbeat: every_s must be positive";
   t.whb_every <- every_s;
-  t.whb_last <- Unix.gettimeofday ();
+  t.whb_last <- Clock.now ();
   t.whb_fn <- Some f
 
 let step t =
@@ -81,7 +81,7 @@ let run ?(until = infinity) ?(max_events = max_int) t =
   Obs.span t.obs "engine.run" @@ fun () ->
   let handled = ref 0 in
   let instrumented = Metrics.enabled (Obs.metrics t.obs) in
-  let t0 = if instrumented then Unix.gettimeofday () else 0. in
+  let t0 = if instrumented then Clock.now () else 0. in
   let continue = ref true in
   while !continue && !handled < max_events do
     match Event_queue.peek_time t.queue with
@@ -109,10 +109,10 @@ let run ?(until = infinity) ?(max_events = max_int) t =
       ignore (step t);
       incr handled;
       (* Wall heartbeats poll the clock only every 64 events to keep the
-         gettimeofday cost off the per-event path. *)
+         clock-read cost off the per-event path. *)
       (match t.whb_fn with
       | Some fn when t.dispatched land 63 = 0 ->
-        let now_s = Unix.gettimeofday () in
+        let now_s = Clock.now () in
         if now_s -. t.whb_last >= t.whb_every then begin
           t.whb_last <- now_s;
           fn t
@@ -134,5 +134,5 @@ let run ?(until = infinity) ?(max_events = max_int) t =
     | None -> ());
     if t.clock < until then t.clock <- until
   end;
-  if instrumented then Metrics.observe t.run_timer (Unix.gettimeofday () -. t0);
+  if instrumented then Metrics.observe t.run_timer (Clock.elapsed_since t0);
   !handled

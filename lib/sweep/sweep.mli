@@ -41,3 +41,56 @@ val map : ?jobs:int -> ?obs:Obs.t -> (Obs.t -> 'a -> 'b) -> 'a list -> 'b list
     points and is joined, worker metrics are still merged, and then the
     exception of the {e lowest-index} failing point is re-raised with its
     backtrace. *)
+
+(** {1 Open-loop load replay}
+
+    Where {!map} evaluates points as fast as the pool allows (closed
+    loop), {!open_loop} fires them on a {e schedule}: operation [i] is
+    due [arrivals.(i)] seconds after the replay starts, whether or not
+    earlier operations have finished.  A slow target therefore builds a
+    backlog instead of silently slowing the offered load — the
+    coordinated-omission trap an interactive-benchmark harness must
+    avoid. *)
+
+type open_loop_report = {
+  sent : int;
+  wall_s : float;  (** monotonic, start to last completion. *)
+  achieved_rps : float;  (** [sent /. wall_s]. *)
+  max_lag_s : float;
+      (** worst start-time slip behind the schedule across all
+          operations — how far the replay fell behind its own clock. *)
+}
+
+val open_loop :
+  ?jobs:int ->
+  ?obs:Obs.t ->
+  ?timer:string ->
+  arrivals:float array ->
+  worker:(int -> 'w) ->
+  ?finish:('w -> unit) ->
+  (Obs.t -> 'w -> int -> unit) ->
+  open_loop_report
+(** [open_loop ~arrivals ~worker f] replays the schedule across
+    [min jobs (length arrivals)] domains.  Operation [i] belongs to
+    worker [i mod workers] (a deterministic round-robin split, so a
+    replay against a deterministic target partitions identically at a
+    given width); each worker walks its slice in index order, sleeping
+    until an operation is due and running the backlog flat-out when it
+    is behind.  [arrivals] must be non-decreasing.
+
+    [worker w] builds worker [w]'s private state (e.g. one client
+    connection) inside the worker's domain; [finish] (default no-op)
+    tears it down there, backlog or no backlog.
+
+    Latency accounting is open-loop: each operation's duration is
+    measured from its {e scheduled} due time to its completion (both on
+    the monotonic {!Clock}) and observed into the metrics timer named
+    [timer] (default ["open_loop.latency"]) of the worker's {!Obs.fork},
+    so queueing delay behind a saturated target is charged to the
+    operations that queued.  Forks merge back into [obs] after the join
+    — read the percentiles off [obs]'s registry with
+    {!Metrics.timer_quantile}.
+
+    Worker exceptions behave as in {!map}: every domain drains its
+    slice, forks are merged, then the lowest-worker-index exception is
+    re-raised. *)

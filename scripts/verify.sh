@@ -158,5 +158,62 @@ scripts/perf_diff.sh bench/baselines/BENCH_scale.json \
   exit 1
 }
 
+step "clock hygiene: no wall-clock duration reads outside lib/obs/clock.ml"
+# Durations must come off the monotonic Clock; Unix.gettimeofday is the
+# wall clock (steps under NTP) and is allowed only inside the Clock
+# implementation itself.
+offenders=$(grep -rn 'Unix\.gettimeofday' lib bin bench \
+  | grep -v '^lib/obs/clock\.mli\{0,1\}:' || true)
+if [ -n "$offenders" ]; then
+  echo "FAIL: Unix.gettimeofday outside lib/obs/clock.ml:" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+
+step "serve smoke: daemon + loadgen --quick over a unix socket"
+# Run the already-built binary directly (a backgrounded `dune exec`
+# would contend for the build lock with the foreground loadgen).
+cli=_build/default/bin/drqos_cli.exe
+serve_sock="$tmpdir/verify-serve.sock"
+"$cli" serve --socket "$serve_sock" --nodes 100 --seed 3 \
+  > "$tmpdir/serve-daemon.log" 2>&1 &
+serve_pid=$!
+trap 'rm -rf "$tmpdir"; kill "$serve_pid" 2>/dev/null || true' EXIT
+"$cli" loadgen --socket "$serve_sock" --quick --nodes 100 --jobs 4 \
+  --fail-edges 8 --out "$tmpdir/serve-bench" --shutdown || {
+  echo "FAIL: loadgen --quick against the serve daemon (log below)" >&2
+  cat "$tmpdir/serve-daemon.log" >&2
+  exit 1
+}
+wait "$serve_pid" || {
+  echo "FAIL: serve daemon exited non-zero after shutdown" >&2
+  cat "$tmpdir/serve-daemon.log" >&2
+  exit 1
+}
+for key in experiment wall_s achieved_rps latency_s gc; do
+  grep -q "\"$key\"" "$tmpdir/serve-bench/BENCH_serve.json" || {
+    echo "FAIL: BENCH_serve.json is missing the \"$key\" field" >&2
+    exit 1
+  }
+done
+test -s "$tmpdir/serve-bench/serve.dat" || {
+  echo "FAIL: loadgen wrote no serve.dat percentile table" >&2
+  exit 1
+}
+# Self-comparison (record format sanity), then a generous wall-time gate
+# against the committed 10^5-request baseline — the quick replay offers
+# 2000 requests at 5000 rps and normally finishes in well under a
+# second, so this only catches an event-loop collapse.
+scripts/perf_diff.sh "$tmpdir/serve-bench/BENCH_serve.json" \
+  "$tmpdir/serve-bench/BENCH_serve.json" --max-regress 1 >/dev/null || {
+  echo "FAIL: perf_diff rejected the serve record compared against itself" >&2
+  exit 1
+}
+scripts/perf_diff.sh bench/baselines/BENCH_serve.json \
+  "$tmpdir/serve-bench/BENCH_serve.json" --max-regress 0 || {
+  echo "FAIL: loadgen --quick wall time exceeded the 10^5-request baseline" >&2
+  exit 1
+}
+
 echo
 echo "verify: OK"

@@ -14,7 +14,7 @@ let exit_of cmd =
   Sys.command (cmd ^ " >/dev/null 2>/dev/null")
 
 let subcommands =
-  [ "run"; "sweep"; "topo"; "chain"; "analyze"; "perfdiff"; "fuzz"; "top" ]
+  [ "run"; "sweep"; "topo"; "chain"; "analyze"; "perfdiff"; "fuzz"; "top"; "serve"; "loadgen" ]
 
 let stderr_mentions_usage cmd =
   let tmp = Filename.temp_file "drqos_cli" ".stderr" in
@@ -76,6 +76,43 @@ let test_lint_findings_exit_1 () =
   Alcotest.(check int) "fixture violations exit 1" 1
     (exit_of
        (lint ^ " --lib-prefix test/ lintfix/.lint_fixtures.objs/byte"))
+
+(* --- output-file open ordering --- *)
+
+let test_bad_heartbeat_path_leaves_no_trace_file () =
+  (* Regression: the heartbeat file used to be opened *after* make_obs
+     had installed the trace sink, so `run --heartbeat /bad/path` would
+     exit 1 with a freshly created (empty) trace file left behind and
+     the at_exit flush running against a half-built context.  All
+     output files now open before any sink is installed. *)
+  let dir = Filename.temp_file "drqos_cli" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let trace = Filename.concat dir "trace.jsonl" in
+  let code =
+    exit_of
+      (Printf.sprintf
+         "%s run --offered 5 --churn 5 --warmup 0 --trace %s --heartbeat \
+          /no/such/dir/hb.jsonl"
+         cli trace)
+  in
+  let trace_exists = Sys.file_exists trace in
+  if trace_exists then Sys.remove trace;
+  Sys.rmdir dir;
+  Alcotest.(check int) "bad heartbeat path exits 1" 1 code;
+  Alcotest.(check bool) "trace file never created" false trace_exists
+
+let test_bad_trace_path_exits_1 () =
+  Alcotest.(check int) "bad --trace path exits 1" 1
+    (exit_of
+       (Printf.sprintf
+          "%s run --offered 5 --churn 5 --warmup 0 --trace /no/such/dir/t.jsonl"
+          cli));
+  Alcotest.(check int) "bad --metrics path exits 1" 1
+    (exit_of
+       (Printf.sprintf
+          "%s run --offered 5 --churn 5 --warmup 0 --metrics /no/such/dir/m.json"
+          cli))
 
 (* --- drqos_cli top --- *)
 
@@ -161,6 +198,13 @@ let () =
             test_lint_usage_errors_exit_2;
           Alcotest.test_case "drqos_lint findings" `Quick
             test_lint_findings_exit_1;
+        ] );
+      ( "output-files",
+        [
+          Alcotest.test_case "bad heartbeat path leaves no trace file" `Quick
+            test_bad_heartbeat_path_leaves_no_trace_file;
+          Alcotest.test_case "bad trace/metrics paths exit 1" `Quick
+            test_bad_trace_path_exits_1;
         ] );
       ( "top",
         [

@@ -60,6 +60,93 @@ let test_flags_before_error_stay_applied () =
   | Error _ -> ());
   Alcotest.(check bool) "prior flag applied" true !quick
 
+let test_eq_spelling () =
+  let out = ref "" and jobs = ref "" in
+  let set r v =
+    r := v;
+    Ok ()
+  in
+  let specs =
+    [ ("--out", Cliopt.Value (set out)); ("--jobs", Cliopt.Value (set jobs)) ]
+  in
+  match parse ~specs [ "--out=dir"; "--jobs"; "4"; "rest" ] with
+  | Ok rest ->
+    Alcotest.(check (list string)) "passthrough" [ "rest" ] rest;
+    Alcotest.(check string) "= spelling applied" "dir" !out;
+    Alcotest.(check string) "two-word spelling still works" "4" !jobs
+  | Error e -> Alcotest.fail e
+
+let test_eq_spelling_empty_and_extra_eq () =
+  let got = ref "unset" in
+  let specs =
+    [
+      ( "--out",
+        Cliopt.Value
+          (fun v ->
+            got := v;
+            Ok ()) );
+    ]
+  in
+  (* Everything after the first '=' is the value, '=' signs included. *)
+  (match parse ~specs [ "--out=a=b" ] with
+  | Ok _ -> Alcotest.(check string) "value keeps later '='" "a=b" !got
+  | Error e -> Alcotest.fail e);
+  match parse ~specs:[ ("--tag", Cliopt.Value (fun v -> Ok (got := v))) ]
+          [ "--tag=" ]
+  with
+  | Ok _ -> Alcotest.(check string) "empty value allowed" "" !got
+  | Error e -> Alcotest.fail e
+
+let test_eq_on_unit_flag_rejected () =
+  let specs = [ ("--quick", Cliopt.Unit ignore) ] in
+  match parse ~specs [ "--quick=yes" ] with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+    Alcotest.(check bool) ("mentions the flag: " ^ e) true
+      (contains ~sub:"--quick" e)
+
+let test_unknown_eq_argument_passes_through () =
+  let specs = [ ("--out", Cliopt.Value (fun _ -> Ok ())) ] in
+  match parse ~specs [ "seed=7"; "--out"; "d"; "--other=x" ] with
+  | Ok rest ->
+    Alcotest.(check (list string))
+      "unknown k=v words survive verbatim"
+      [ "seed=7"; "--other=x" ]
+      rest
+  | Error e -> Alcotest.fail e
+
+let test_duplicate_value_flag_rejected () =
+  let out = ref "" in
+  let specs =
+    [
+      ( "--out",
+        Cliopt.Value
+          (fun v ->
+            out := v;
+            Ok ()) );
+    ]
+  in
+  (match parse ~specs [ "--out"; "a"; "--out"; "b" ] with
+  | Ok _ -> Alcotest.fail "duplicate --out must not silently win"
+  | Error e ->
+    Alcotest.(check bool) ("names the flag: " ^ e) true
+      (contains ~sub:"--out" e));
+  (* Mixed spellings are still the same flag. *)
+  match parse ~specs [ "--out=a"; "--out"; "b" ] with
+  | Ok _ -> Alcotest.fail "duplicate across spellings must error"
+  | Error e ->
+    Alcotest.(check bool) ("names the flag: " ^ e) true
+      (contains ~sub:"--out" e)
+
+let test_duplicate_unit_flag_allowed () =
+  let n = ref 0 in
+  let specs = [ ("--quick", Cliopt.Unit (fun () -> incr n)) ] in
+  match parse ~specs [ "--quick"; "--quick" ] with
+  | Ok rest ->
+    Alcotest.(check (list string)) "nothing passed through" [] rest;
+    Alcotest.(check int) "both applications ran" 2 !n
+  | Error e -> Alcotest.fail e
+
 let test_kv_applies_in_order () =
   let seen = ref [] in
   let spec k = (k, fun v -> Ok (seen := (k, v) :: !seen)) in
@@ -91,6 +178,18 @@ let test_kv_value_rejection_propagates () =
   | Ok () -> Alcotest.fail "expected an error"
   | Error e -> Alcotest.(check string) "verbatim" "bad seed x" e
 
+let test_kv_duplicate_key_is_an_error () =
+  let last = ref "" in
+  match
+    Cliopt.parse_kv
+      ~specs:[ ("seed", fun v -> Ok (last := v)) ]
+      [ ("seed", "7"); ("seed", "8") ]
+  with
+  | Ok () -> Alcotest.fail "duplicate key must not silently win"
+  | Error e ->
+    Alcotest.(check bool) ("names the key: " ^ e) true (contains ~sub:"seed" e);
+    Alcotest.(check string) "first application already ran" "7" !last
+
 let () =
   Alcotest.run "cliopt"
     [
@@ -105,6 +204,17 @@ let () =
             test_value_callback_rejection_propagates;
           Alcotest.test_case "prior flags stay applied" `Quick
             test_flags_before_error_stay_applied;
+          Alcotest.test_case "--flag=value spelling" `Quick test_eq_spelling;
+          Alcotest.test_case "= spelling edge cases" `Quick
+            test_eq_spelling_empty_and_extra_eq;
+          Alcotest.test_case "= on unit flag rejected" `Quick
+            test_eq_on_unit_flag_rejected;
+          Alcotest.test_case "unknown k=v passes through" `Quick
+            test_unknown_eq_argument_passes_through;
+          Alcotest.test_case "duplicate value flag rejected" `Quick
+            test_duplicate_value_flag_rejected;
+          Alcotest.test_case "duplicate unit flag allowed" `Quick
+            test_duplicate_unit_flag_allowed;
         ] );
       ( "parse_kv",
         [
@@ -113,5 +223,7 @@ let () =
             test_kv_unknown_key_is_an_error;
           Alcotest.test_case "rejection propagates" `Quick
             test_kv_value_rejection_propagates;
+          Alcotest.test_case "duplicate key errors" `Quick
+            test_kv_duplicate_key_is_an_error;
         ] );
     ]

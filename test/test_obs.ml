@@ -855,6 +855,205 @@ let test_snapshot_tick_before_start () =
   Snapshot.wall_tick snap;
   Alcotest.(check int) "no source, no output" 0 (List.length !lines)
 
+(* --- Wall heartbeats --- *)
+
+type hb = {
+  hb_seq : int;
+  hb_wall_s : float;
+  hb_d_events : int;
+  hb_ops_per_s : float;
+  hb_minor : float;
+  hb_major : float;
+  hb_heap : int;
+}
+
+let heartbeat_lines lines =
+  List.rev_map
+    (fun line ->
+      match Trace.of_json (Jsonx.of_string line) with
+      | Ok
+          ( _,
+            Trace.Heartbeat
+              { seq; wall_s; d_events; ops_per_s; minor_words; major_words; heap_words }
+          ) ->
+        {
+          hb_seq = seq;
+          hb_wall_s = wall_s;
+          hb_d_events = d_events;
+          hb_ops_per_s = ops_per_s;
+          hb_minor = minor_words;
+          hb_major = major_words;
+          hb_heap = heap_words;
+        }
+      | Ok (_, ev) -> Alcotest.failf "non-heartbeat line: %s" (Trace.kind ev)
+      | Error msg -> Alcotest.failf "unparseable heartbeat line: %s" msg)
+    lines
+
+let test_wall_heartbeat_cadence () =
+  let lines = ref [] in
+  let snap =
+    Snapshot.create ~wall_every:0.001 ~sink:(fun l -> lines := l :: !lines) ()
+  in
+  Alcotest.(check bool) "wall_every exposed" true
+    (Snapshot.wall_every snap = Some 0.001);
+  let r =
+    {
+      fr_time = 1.;
+      fr_events = 10;
+      fr_live = [| 1 |];
+      fr_queue = 0;
+      fr_counters = [];
+    }
+  in
+  Snapshot.start snap (fake_source r);
+  r.fr_events <- 40;
+  Snapshot.wall_tick snap;
+  r.fr_events <- 45;
+  Snapshot.wall_tick snap;
+  Snapshot.wall_tick snap;
+  match heartbeat_lines !lines with
+  | [ h0; h1; h2 ] ->
+    Alcotest.(check (list int)) "seq increments from 0" [ 0; 1; 2 ]
+      [ h0.hb_seq; h1.hb_seq; h2.hb_seq ];
+    (* The monotonic clock can never run backwards, so the cumulative
+       wall_s series is non-negative and non-decreasing. *)
+    Alcotest.(check bool) "wall_s non-negative" true (h0.hb_wall_s >= 0.);
+    Alcotest.(check bool) "wall_s non-decreasing" true
+      (h0.hb_wall_s <= h1.hb_wall_s && h1.hb_wall_s <= h2.hb_wall_s);
+    (* Event deltas are against the previous *wall* tick. *)
+    Alcotest.(check (list int)) "d_events per wall interval" [ 30; 5; 0 ]
+      [ h0.hb_d_events; h1.hb_d_events; h2.hb_d_events ];
+    List.iter
+      (fun h ->
+        Alcotest.(check bool) "ops_per_s non-negative" true (h.hb_ops_per_s >= 0.))
+      [ h0; h1; h2 ]
+  | l -> Alcotest.failf "expected 3 heartbeats, got %d" (List.length l)
+
+let test_wall_heartbeat_gc_sanity () =
+  let lines = ref [] in
+  let snap =
+    Snapshot.create ~wall_every:0.001 ~sink:(fun l -> lines := l :: !lines) ()
+  in
+  let r =
+    { fr_time = 0.; fr_events = 0; fr_live = [||]; fr_queue = 0; fr_counters = [] }
+  in
+  Snapshot.start snap (fake_source r);
+  (* Allocate deliberately between ticks so the minor-words delta is
+     visibly positive, not merely non-negative.  On OCaml 5,
+     [Gc.quick_stat] folds allocation into [minor_words] only at minor
+     collections, so force one before reading. *)
+  let junk = ref [] in
+  for i = 1 to 10_000 do
+    junk := (i, float_of_int i) :: !junk
+  done;
+  ignore (List.length !junk);
+  Gc.minor ();
+  Snapshot.wall_tick snap;
+  Snapshot.wall_tick snap;
+  match heartbeat_lines !lines with
+  | [ h0; h1 ] ->
+    Alcotest.(check bool) "allocation shows up in the first delta" true
+      (h0.hb_minor > 0.);
+    (* GC deltas are between consecutive ticks of monotone cumulative
+       counters: never negative, on any tick. *)
+    List.iter
+      (fun h ->
+        Alcotest.(check bool) "minor delta >= 0" true (h.hb_minor >= 0.);
+        Alcotest.(check bool) "major delta >= 0" true (h.hb_major >= 0.);
+        Alcotest.(check bool) "heap_words positive" true (h.hb_heap > 0))
+      [ h0; h1 ]
+  | l -> Alcotest.failf "expected 2 heartbeats, got %d" (List.length l)
+
+let test_wall_heartbeat_interleaves_with_snapshots () =
+  (* Event-time snapshots and wall heartbeats share one emitter but keep
+     independent sequence numbers and independent event-delta baselines:
+     a wall tick must not consume the event-time delta, and vice versa. *)
+  let lines = ref [] in
+  let snap =
+    Snapshot.create ~sim_every:10. ~wall_every:0.001
+      ~sink:(fun l -> lines := l :: !lines)
+      ()
+  in
+  let r =
+    {
+      fr_time = 0.;
+      fr_events = 0;
+      fr_live = [| 2 |];
+      fr_queue = 1;
+      fr_counters = [];
+    }
+  in
+  Snapshot.start snap (fake_source r);
+  r.fr_time <- 10.;
+  r.fr_events <- 100;
+  Snapshot.wall_tick snap;
+  Snapshot.tick snap;
+  r.fr_time <- 20.;
+  r.fr_events <- 150;
+  Snapshot.tick snap;
+  Snapshot.wall_tick snap;
+  Alcotest.(check int) "four lines emitted" 4 (Snapshot.emitted snap);
+  let parsed =
+    List.rev_map
+      (fun line ->
+        match Trace.of_json (Jsonx.of_string line) with
+        | Ok (_, Trace.Heartbeat { seq; d_events; _ }) -> ("hb", seq, d_events)
+        | Ok (_, Trace.Snapshot { seq; d_events; _ }) -> ("snap", seq, d_events)
+        | Ok (_, ev) -> Alcotest.failf "unexpected line: %s" (Trace.kind ev)
+        | Error msg -> Alcotest.failf "unparseable line: %s" msg)
+      !lines
+  in
+  (* Wall deltas span wall ticks; snapshot deltas span snapshots; the
+     two streams keep independent sequence numbers. *)
+  Alcotest.(check (list (triple string int int)))
+    "independent seq and delta baselines"
+    [ ("hb", 0, 100); ("snap", 0, 100); ("snap", 1, 50); ("hb", 1, 50) ]
+    parsed
+
+(* --- Monotonic clock (regression: timing now immune to wall steps) --- *)
+
+let test_clock_monotone () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now () in
+    if t < !prev then
+      Alcotest.failf "Clock.now ran backwards: %.9f after %.9f" t !prev;
+    prev := t
+  done;
+  let t0 = Clock.now () in
+  for _ = 1 to 1_000 do
+    if Clock.elapsed_since t0 < 0. then
+      Alcotest.fail "Clock.elapsed_since returned a negative duration"
+  done;
+  Alcotest.(check bool) "now_ns non-negative" true (Clock.now_ns () >= 0L)
+
+let test_observations_never_negative () =
+  (* The bug this guards against: durations measured with
+     [Unix.gettimeofday] go negative when NTP steps the wall clock
+     backwards mid-measurement.  Timers and spans now read the
+     monotonic clock, so every recorded duration is >= 0 by
+     construction — [Metrics.observe] would raise on a negative
+     observation, and the span records must agree. *)
+  let reg = Metrics.create () in
+  let tm = Metrics.timer reg "clock.regression" in
+  for _ = 1 to 1_000 do
+    Metrics.time tm (fun () -> ignore (Sys.opaque_identity (ref 0)))
+  done;
+  Alcotest.(check int) "all observations recorded" 1_000 (Metrics.timer_count tm);
+  Alcotest.(check bool) "q=0 (minimum bucket) non-negative" true
+    (Metrics.timer_quantile tm 0. >= 0.);
+  Alcotest.(check bool) "total non-negative" true (Metrics.timer_total tm >= 0.);
+  let sp = Span.create () in
+  for _ = 1 to 1_000 do
+    Span.wrap sp "tick" (fun () -> ignore (Sys.opaque_identity (ref 0)))
+  done;
+  List.iter
+    (fun r ->
+      if r.Span.total_s < 0. || r.Span.self_s < 0. then
+        Alcotest.failf "negative span duration: total=%.9g self=%.9g"
+          r.Span.total_s r.Span.self_s)
+    (Span.records sp)
+
 (* --- Stats edge cases (satellite coverage) --- *)
 
 let test_quantile_empty () =
@@ -991,6 +1190,18 @@ let () =
             test_snapshot_create_validates;
           Alcotest.test_case "tick before start" `Quick
             test_snapshot_tick_before_start;
+          Alcotest.test_case "wall heartbeat cadence" `Quick
+            test_wall_heartbeat_cadence;
+          Alcotest.test_case "wall heartbeat GC sanity" `Quick
+            test_wall_heartbeat_gc_sanity;
+          Alcotest.test_case "wall heartbeats interleave with snapshots" `Quick
+            test_wall_heartbeat_interleaves_with_snapshots;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "observations never negative" `Quick
+            test_observations_never_negative;
         ] );
       ( "stats-edges",
         [

@@ -1,0 +1,544 @@
+(* The QoS-broker daemon stack: codec round-trips, the fuzz-op bridge
+   (checked against [Fuzz.replay]'s state trajectory), socket-free
+   broker dispatch, and a live end-to-end socket session. *)
+
+let qos_a = Qos.paper_spec ~increment:100
+let qos_b = Qos.make ~utility:0.7 ~b_min:200 ~b_max:400 ~increment:50 ()
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let roundtrip_request req =
+  let doc = Serve_proto.request_to_json ~id:7 req in
+  (* through the printer too: the wire carries strings, not Jsonx. *)
+  let doc = Jsonx.of_string (Jsonx.to_string doc) in
+  match Serve_proto.request_of_json doc with
+  | Error msg -> Alcotest.failf "request did not decode: %s" msg
+  | Ok (id, req') ->
+    Alcotest.(check int) "id" 7 id;
+    Alcotest.(check bool) "request round-trips" true (req = req')
+
+let all_requests : Serve_proto.request list =
+  [
+    Admit { src = 1; dst = 3; qos = qos_a };
+    Teardown { channel = 42 };
+    Change_qos { channel = 42; qos = qos_b };
+    Fail { edge = 5 };
+    Repair { edge = 5 };
+    Set_auto true;
+    Set_auto false;
+    Redistribute;
+    Stats;
+    Snapshot;
+    Metrics;
+    Subscribe `Trace;
+    Subscribe `Heartbeat;
+    Ping;
+    Shutdown;
+  ]
+
+let test_request_roundtrip () = List.iter roundtrip_request all_requests
+
+let roundtrip_response resp =
+  let doc = Serve_proto.response_to_json ~id:9 resp in
+  let doc = Jsonx.of_string (Jsonx.to_string doc) in
+  match Serve_proto.response_of_json doc with
+  | Error msg -> Alcotest.failf "response did not decode: %s" msg
+  | Ok (id, resp') ->
+    Alcotest.(check int) "id" 9 id;
+    Alcotest.(check bool) "response round-trips" true (resp = resp')
+
+let all_responses : Serve_proto.response list =
+  [
+    Admitted { channel = 3; level = 2 };
+    Admit_rejected { reason = "no_backup_route" };
+    Torn_down { channel = 3 };
+    Qos_changed { channel = 3; accepted = false };
+    Edge_failed
+      {
+        edge = 4;
+        fresh = true;
+        recoveries =
+          [
+            { rw_channel = 1; rw_outcome = `Switched; rw_reprotected = true };
+            { rw_channel = 2; rw_outcome = `Dropped; rw_reprotected = false };
+            { rw_channel = 5; rw_outcome = `Restored; rw_reprotected = false };
+            { rw_channel = 6; rw_outcome = `Backup_lost; rw_reprotected = true };
+          ];
+      };
+    Edge_repaired { edge = 4; was_failed = true };
+    Auto_set { on = false };
+    Redistributed;
+    Stats_reply
+      {
+        live = 10;
+        total_reserved = 1500;
+        average_kbps = 150.;
+        dropped = 1;
+        failed_edges = 2;
+        requests = 99;
+      };
+    Snapshot_reply (Jsonx.Obj [ ("ev", Jsonx.String "snapshot") ]);
+    Metrics_reply (Jsonx.Obj [ ("counters", Jsonx.Obj []) ]);
+    Subscribed { stream = "trace" };
+    Pong;
+    Shutting_down;
+    Error_reply { message = "unknown channel 3" };
+  ]
+
+let test_response_roundtrip () = List.iter roundtrip_response all_responses
+
+let expect_request_error name line =
+  match Serve_proto.request_of_json (Jsonx.of_string line) with
+  | Ok _ -> Alcotest.failf "%s decoded but should not" name
+  | Error _ -> ()
+
+let test_request_rejects_malformed () =
+  expect_request_error "missing id" {|{"req":"ping"}|};
+  expect_request_error "missing verb" {|{"id":1}|};
+  expect_request_error "unknown verb" {|{"id":1,"req":"frobnicate"}|};
+  expect_request_error "admit without qos" {|{"id":1,"req":"admit","src":0,"dst":1}|};
+  expect_request_error "unknown stream" {|{"id":1,"req":"subscribe","stream":"x"}|};
+  (* QoS is validated at the protocol boundary. *)
+  expect_request_error "b_min > b_max"
+    {|{"id":1,"req":"admit","src":0,"dst":1,"qos":{"b_min":300,"b_max":100,"increment":50}}|};
+  expect_request_error "too many levels"
+    {|{"id":1,"req":"admit","src":0,"dst":1,"qos":{"b_min":1,"b_max":1000000,"increment":1}}|}
+
+let test_qos_utility_defaults () =
+  match
+    Serve_proto.request_of_json
+      (Jsonx.of_string
+         {|{"id":1,"req":"admit","src":0,"dst":1,"qos":{"b_min":100,"b_max":300,"increment":100}}|})
+  with
+  | Ok (_, Serve_proto.Admit { qos; _ }) ->
+    Alcotest.(check (float 0.)) "utility defaults to 1" 1.0 qos.Qos.utility
+  | Ok _ -> Alcotest.fail "decoded to a non-admit request"
+  | Error msg -> Alcotest.failf "did not decode: %s" msg
+
+let test_is_push () =
+  let push = Jsonx.of_string {|{"t":1.0,"ev":"admit","channel":3}|} in
+  let reply = Jsonx.of_string {|{"id":3,"ok":true,"re":"pong"}|} in
+  Alcotest.(check bool) "event line is a push" true (Serve_proto.is_push push);
+  Alcotest.(check bool) "reply is not a push" false (Serve_proto.is_push reply)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz-op bridge                                                      *)
+
+let test_op_bridge_roundtrip () =
+  let ops =
+    [
+      Op.Admit { src = 2; dst = 5; qos = 1 };
+      Op.Terminate 3;
+      Op.Change_qos (3, 2);
+      Op.Fail 4;
+      Op.Repair 4;
+      Op.Set_auto false;
+      Op.Set_auto true;
+      Op.Redistribute_all;
+    ]
+  in
+  (* Reduction is lossy (the raw draws are folded modulo the state), so
+     the invertible direction is request -> op -> request: printing a
+     reduced request back into the op language and reducing it again on
+     the same state must reach the same request (a fixpoint). *)
+  let live = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let reduce op =
+    Serve_proto.request_of_op ~nodes:100 ~edges:50 ~live ~failed:[] op
+  in
+  List.iter
+    (fun op ->
+      match reduce op with
+      | None -> Alcotest.failf "op reduced to None: %s" (Op.to_string op)
+      | Some req -> (
+        match Serve_proto.op_of_request ~nodes:100 req with
+        | None -> Alcotest.failf "request did not print back: %s" (Op.to_string op)
+        | Some op' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bridge fixpoint for %s" (Op.to_string op))
+            true
+            (reduce op' = Some req)))
+    ops
+
+let test_op_bridge_noops () =
+  let none op ~nodes ~edges ~live ~failed =
+    match Serve_proto.request_of_op ~nodes ~edges ~live ~failed op with
+    | None -> ()
+    | Some _ -> Alcotest.failf "expected a no-op: %s" (Op.to_string op)
+  in
+  none (Op.Terminate 3) ~nodes:10 ~edges:5 ~live:[] ~failed:[];
+  none (Op.Change_qos (3, 1)) ~nodes:10 ~edges:5 ~live:[] ~failed:[];
+  none (Op.Fail 3) ~nodes:10 ~edges:0 ~live:[] ~failed:[];
+  none (Op.Admit { src = 0; dst = 0; qos = 0 }) ~nodes:1 ~edges:0 ~live:[] ~failed:[]
+
+let test_op_bridge_modular_reduction () =
+  (* Same reduction as Fuzz.replay: src mod n, dst skewed off src, nth
+     of the sorted live list, nth of the failed list. *)
+  (match
+     Serve_proto.request_of_op ~nodes:10 ~edges:5 ~live:[] ~failed:[]
+       (Op.Admit { src = 13; dst = 22; qos = 0 })
+   with
+  | Some (Serve_proto.Admit { src; dst; _ }) ->
+    Alcotest.(check int) "src = 13 mod 10" 3 src;
+    Alcotest.(check int) "dst = (3 + 1 + (22 mod 9)) mod 10" 8 dst
+  | _ -> Alcotest.fail "admit did not reduce");
+  (match
+     Serve_proto.request_of_op ~nodes:10 ~edges:5 ~live:[ 10; 20; 30 ] ~failed:[]
+       (Op.Terminate 7)
+   with
+  | Some (Serve_proto.Teardown { channel }) ->
+    Alcotest.(check int) "live.(7 mod 3)" 20 channel
+  | _ -> Alcotest.fail "terminate did not reduce");
+  (match
+     Serve_proto.request_of_op ~nodes:10 ~edges:8 ~live:[] ~failed:[ 2; 6 ]
+       (Op.Repair 3)
+   with
+  | Some (Serve_proto.Repair { edge }) ->
+    Alcotest.(check int) "failed.(3 mod 2)" 6 edge
+  | _ -> Alcotest.fail "repair did not reduce");
+  match
+    Serve_proto.request_of_op ~nodes:10 ~edges:8 ~live:[] ~failed:[] (Op.Repair 11)
+  with
+  | Some (Serve_proto.Repair { edge }) ->
+    Alcotest.(check int) "healthy no-op repair: 11 mod 8" 3 edge
+  | _ -> Alcotest.fail "repair on healthy net did not reduce"
+
+(* Replaying a generated fuzz script through the wire bridge and broker
+   must walk the same state trajectory as [Fuzz.replay] itself. *)
+let test_op_bridge_matches_fuzz_replay () =
+  let cfg = Fuzz.config ~family:Fuzz.Waxman ~seed:42 ~ops:400 () in
+  let ops = Fuzz.gen_ops cfg in
+  let reference = Fuzz.replay cfg ops in
+  (match reference.Fuzz.violation with
+  | Some v -> Alcotest.failf "reference replay violated: %s" v.Fuzz.message
+  | None -> ());
+  let g = Fuzz.topology cfg in
+  let net =
+    Net_state.create ~multiplexing:cfg.Fuzz.multiplexing
+      ~capacity:cfg.Fuzz.capacity g
+  in
+  let config =
+    Drcomm.Config.make ~policy:cfg.Fuzz.policy ~require_backup:false
+      ~with_backups:(cfg.Fuzz.backups_per_connection > 0)
+      ~backups_per_connection:(max 1 cfg.Fuzz.backups_per_connection)
+      ~restore_on_failure:cfg.Fuzz.restore_on_failure ()
+  in
+  let broker = Serve_broker.create ~config ~obs:(Obs.create ()) net in
+  let nodes = Graph.node_count g and edges = Graph.edge_count g in
+  Array.iter
+    (fun op ->
+      match
+        Serve_proto.request_of_op ~nodes ~edges
+          ~live:(Serve_broker.live_channels broker)
+          ~failed:(Serve_broker.failed_edges broker)
+          op
+      with
+      | None -> ()
+      | Some req -> (
+        match Serve_broker.dispatch broker req with
+        | Serve_proto.Error_reply { message } ->
+          Alcotest.failf "dispatch errored on %s: %s" (Op.to_string op) message
+        | _ -> ()))
+    ops;
+  let svc = Serve_broker.service broker in
+  Alcotest.(check int)
+    "live connections match" reference.Fuzz.stats.Fuzz.live (Drcomm.count svc);
+  Alcotest.(check int)
+    "drops match" reference.Fuzz.stats.Fuzz.drops
+    (Drcomm.dropped_connections svc);
+  Drcomm.check_invariants svc
+
+(* ------------------------------------------------------------------ *)
+(* Broker dispatch                                                     *)
+
+(* A 4-cycle: every pair has a 2-edge disjoint backup path. *)
+let ring_net () =
+  let g = Graph.create 4 in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  ignore (Graph.add_edge g 2 3);
+  ignore (Graph.add_edge g 3 0);
+  Net_state.create ~capacity:1000 g
+
+let admit_ok broker ~src ~dst =
+  match
+    Serve_broker.dispatch broker (Serve_proto.Admit { src; dst; qos = qos_a })
+  with
+  | Serve_proto.Admitted { channel; _ } -> channel
+  | resp ->
+    Alcotest.failf "admit did not succeed: %s"
+      (Jsonx.to_string (Serve_proto.response_to_json ~id:0 resp))
+
+let test_broker_lifecycle () =
+  let broker = Serve_broker.create ~obs:(Obs.create ()) (ring_net ()) in
+  let ch = admit_ok broker ~src:0 ~dst:2 in
+  (match Serve_broker.dispatch broker Serve_proto.Stats with
+  | Serve_proto.Stats_reply { live; total_reserved; requests; _ } ->
+    Alcotest.(check int) "one live connection" 1 live;
+    Alcotest.(check bool) "bandwidth reserved" true (total_reserved > 0);
+    Alcotest.(check int) "stats is the 2nd request" 2 requests
+  | _ -> Alcotest.fail "stats reply expected");
+  (match
+     Serve_broker.dispatch broker
+       (Serve_proto.Change_qos { channel = ch; qos = qos_b })
+   with
+  | Serve_proto.Qos_changed { channel; accepted } ->
+    Alcotest.(check int) "same channel" ch channel;
+    Alcotest.(check bool) "chqos accepted" true accepted
+  | _ -> Alcotest.fail "qos_changed reply expected");
+  (match Serve_broker.dispatch broker (Serve_proto.Teardown { channel = ch }) with
+  | Serve_proto.Torn_down { channel } -> Alcotest.(check int) "torn down" ch channel
+  | _ -> Alcotest.fail "torn_down reply expected");
+  match Serve_broker.dispatch broker (Serve_proto.Teardown { channel = ch }) with
+  | Serve_proto.Error_reply _ -> ()
+  | _ -> Alcotest.fail "tearing down a dead channel must be an error reply"
+
+let test_broker_rejections_are_replies () =
+  let broker = Serve_broker.create ~obs:(Obs.create ()) (ring_net ()) in
+  (* Out-of-range nodes, self-loops, unknown channels, out-of-range
+     edges: all wire-expressible errors, never exceptions. *)
+  let is_error req =
+    match Serve_broker.dispatch broker req with
+    | Serve_proto.Error_reply _ -> ()
+    | _ ->
+      Alcotest.failf "expected an error reply for %s"
+        (Jsonx.to_string (Serve_proto.request_to_json ~id:0 req))
+  in
+  is_error (Serve_proto.Admit { src = 0; dst = 9; qos = qos_a });
+  is_error (Serve_proto.Admit { src = -1; dst = 2; qos = qos_a });
+  is_error (Serve_proto.Admit { src = 2; dst = 2; qos = qos_a });
+  is_error (Serve_proto.Teardown { channel = 999 });
+  is_error (Serve_proto.Change_qos { channel = 999; qos = qos_a });
+  is_error (Serve_proto.Fail { edge = 77 });
+  is_error (Serve_proto.Repair { edge = -1 });
+  is_error (Serve_proto.Subscribe `Trace);
+  is_error Serve_proto.Shutdown
+
+let test_broker_capacity_rejection_is_ok_reply () =
+  let g = Graph.create 2 in
+  ignore (Graph.add_edge g 0 1);
+  (* Single edge, no disjoint backup: require the backup and every
+     admit is rejected — as a well-formed [rejected] reply. *)
+  let net = Net_state.create ~capacity:1000 g in
+  let config = Drcomm.Config.make ~require_backup:true () in
+  let broker = Serve_broker.create ~config ~obs:(Obs.create ()) net in
+  match
+    Serve_broker.dispatch broker (Serve_proto.Admit { src = 0; dst = 1; qos = qos_a })
+  with
+  | Serve_proto.Admit_rejected { reason } ->
+    Alcotest.(check string) "backup is the bottleneck" "no_backup_route" reason
+  | _ -> Alcotest.fail "expected an admission rejection"
+
+let test_broker_failure_recovery () =
+  let broker = Serve_broker.create ~obs:(Obs.create ()) (ring_net ()) in
+  let ch = admit_ok broker ~src:0 ~dst:1 in
+  (* Fail the only edge of the primary path: the backup (0-3-2-1)
+     activates. *)
+  (match Serve_broker.dispatch broker (Serve_proto.Fail { edge = 0 }) with
+  | Serve_proto.Edge_failed { edge; fresh; recoveries } ->
+    Alcotest.(check int) "edge echoes" 0 edge;
+    Alcotest.(check bool) "fresh failure" true fresh;
+    (match recoveries with
+    | [ r ] ->
+      Alcotest.(check int) "victim is the admitted channel" ch r.Serve_proto.rw_channel;
+      Alcotest.(check bool)
+        "switched to backup" true
+        (r.Serve_proto.rw_outcome = `Switched)
+    | l -> Alcotest.failf "expected one recovery, got %d" (List.length l))
+  | _ -> Alcotest.fail "edge_failed reply expected");
+  (* Idempotent re-failure is not fresh and recovers nothing. *)
+  (match Serve_broker.dispatch broker (Serve_proto.Fail { edge = 0 }) with
+  | Serve_proto.Edge_failed { fresh; recoveries; _ } ->
+    Alcotest.(check bool) "not fresh" false fresh;
+    Alcotest.(check int) "no recoveries" 0 (List.length recoveries)
+  | _ -> Alcotest.fail "edge_failed reply expected");
+  (match Serve_broker.dispatch broker (Serve_proto.Repair { edge = 0 }) with
+  | Serve_proto.Edge_repaired { was_failed; _ } ->
+    Alcotest.(check bool) "was failed" true was_failed
+  | _ -> Alcotest.fail "edge_repaired reply expected");
+  (* The switched channel is still addressable over the wire. *)
+  match Serve_broker.dispatch broker (Serve_proto.Teardown { channel = ch }) with
+  | Serve_proto.Torn_down _ -> ()
+  | _ -> Alcotest.fail "survivor must still tear down"
+
+let test_broker_snapshot_and_metrics () =
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  let broker = Serve_broker.create ~obs (ring_net ()) in
+  ignore (admit_ok broker ~src:0 ~dst:2);
+  (match Serve_broker.dispatch broker Serve_proto.Snapshot with
+  | Serve_proto.Snapshot_reply doc ->
+    (match Option.bind (Jsonx.member "ev" doc) Jsonx.to_str with
+    | Some ev -> Alcotest.(check string) "snapshot event" "snapshot" ev
+    | None -> Alcotest.fail "snapshot reply has no \"ev\"");
+    (match Option.bind (Jsonx.member "live" doc) Jsonx.to_int with
+    | Some live -> Alcotest.(check int) "snapshot sees the connection" 1 live
+    | None -> Alcotest.fail "snapshot reply has no \"live\"")
+  | _ -> Alcotest.fail "snapshot reply expected");
+  match Serve_broker.dispatch broker Serve_proto.Metrics with
+  | Serve_proto.Metrics_reply doc ->
+    (* The broker's own request counter is served back. *)
+    let counters = Jsonx.member "counters" doc in
+    Alcotest.(check bool) "metrics doc has counters" true (counters <> None)
+  | _ -> Alcotest.fail "metrics reply expected"
+
+(* ------------------------------------------------------------------ *)
+(* Live socket session                                                 *)
+
+let with_server f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "drqos-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  let served =
+    Domain.spawn (fun () -> Serve_server.run ~wall_every:0.05 (`Unix path) (ring_net ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Domain.join served))
+    (fun () -> f path)
+
+let test_socket_session () =
+  with_server (fun path ->
+      let c = Serve_client.connect ~retries:50 (`Unix path) in
+      (match Serve_client.request c Serve_proto.Ping with
+      | Serve_proto.Pong -> ()
+      | _ -> Alcotest.fail "ping did not pong");
+      let ch =
+        match
+          Serve_client.request c (Serve_proto.Admit { src = 0; dst = 2; qos = qos_a })
+        with
+        | Serve_proto.Admitted { channel; _ } -> channel
+        | _ -> Alcotest.fail "admit over the wire failed"
+      in
+      (* A second client sees the same broker state. *)
+      let c2 = Serve_client.connect (`Unix path) in
+      (match Serve_client.request c2 Serve_proto.Stats with
+      | Serve_proto.Stats_reply { live; _ } ->
+        Alcotest.(check int) "second client sees the connection" 1 live
+      | _ -> Alcotest.fail "stats over the wire failed");
+      (* c2 subscribes to the trace stream; c's next mutation is pushed. *)
+      (match Serve_client.request c2 (Serve_proto.Subscribe `Trace) with
+      | Serve_proto.Subscribed { stream } ->
+        Alcotest.(check string) "subscribed to trace" "trace" stream
+      | _ -> Alcotest.fail "subscribe failed");
+      (match Serve_client.request c (Serve_proto.Teardown { channel = ch }) with
+      | Serve_proto.Torn_down _ -> ()
+      | _ -> Alcotest.fail "teardown over the wire failed");
+      (* The push was broadcast before c's teardown reply was written;
+         a ping on c2 forces its queue to drain. *)
+      (match Serve_client.request c2 Serve_proto.Ping with
+      | Serve_proto.Pong -> ()
+      | _ -> Alcotest.fail "ping did not pong");
+      let pushes = Serve_client.pushes c2 in
+      Alcotest.(check bool) "a trace event was pushed" true (pushes <> []);
+      Alcotest.(check bool)
+        "pushes satisfy the framing rule" true
+        (List.for_all Serve_proto.is_push pushes);
+      let kinds =
+        List.filter_map (fun d -> Option.bind (Jsonx.member "ev" d) Jsonx.to_str) pushes
+      in
+      Alcotest.(check bool)
+        "the terminate event reached the subscriber" true
+        (List.mem "terminate" kinds);
+      Serve_client.close c;
+      (match Serve_client.request c2 Serve_proto.Shutdown with
+      | Serve_proto.Shutting_down -> ()
+      | _ -> Alcotest.fail "shutdown not acknowledged");
+      Serve_client.close c2;
+      Alcotest.(check bool) "socket removed on shutdown" false (Sys.file_exists path))
+
+let test_socket_heartbeat_push () =
+  with_server (fun path ->
+      let c = Serve_client.connect ~retries:50 (`Unix path) in
+      (match Serve_client.request c (Serve_proto.Subscribe `Heartbeat) with
+      | Serve_proto.Subscribed { stream } ->
+        Alcotest.(check string) "subscribed" "heartbeat" stream
+      | _ -> Alcotest.fail "subscribe failed");
+      (* Outlive a couple of 0.05 s cadences, then drain. *)
+      Unix.sleepf 0.2;
+      (match Serve_client.request c Serve_proto.Ping with
+      | Serve_proto.Pong -> ()
+      | _ -> Alcotest.fail "ping did not pong");
+      let hbs =
+        List.filter_map
+          (fun d -> Option.bind (Jsonx.member "ev" d) Jsonx.to_str)
+          (Serve_client.pushes c)
+      in
+      Alcotest.(check bool) "a heartbeat arrived" true (List.mem "heartbeat" hbs);
+      (match Serve_client.request c Serve_proto.Shutdown with
+      | Serve_proto.Shutting_down -> ()
+      | _ -> Alcotest.fail "shutdown not acknowledged");
+      Serve_client.close c)
+
+let test_socket_garbage_line () =
+  with_server (fun path ->
+      let c = Serve_client.connect ~retries:50 (`Unix path) in
+      (* Raw socket abuse: an undecodable line must produce an id-0
+         error reply, not kill the connection. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc "this is not json\n{\"id\":5,\"req\":\"ping\"}\n";
+      flush oc;
+      let first = Jsonx.of_string (input_line ic) in
+      (match Serve_proto.response_of_json first with
+      | Ok (0, Serve_proto.Error_reply _) -> ()
+      | _ -> Alcotest.fail "garbage line must yield an id-0 error reply");
+      let second = Jsonx.of_string (input_line ic) in
+      (match Serve_proto.response_of_json second with
+      | Ok (5, Serve_proto.Pong) -> ()
+      | _ -> Alcotest.fail "the connection must survive the garbage");
+      Unix.close fd;
+      (match Serve_client.request c Serve_proto.Shutdown with
+      | Serve_proto.Shutting_down -> ()
+      | _ -> Alcotest.fail "shutdown not acknowledged");
+      Serve_client.close c)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "every request round-trips" `Quick
+            test_request_roundtrip;
+          Alcotest.test_case "every response round-trips" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "malformed requests are rejected" `Quick
+            test_request_rejects_malformed;
+          Alcotest.test_case "qos utility defaults to 1" `Quick
+            test_qos_utility_defaults;
+          Alcotest.test_case "push framing rule" `Quick test_is_push;
+        ] );
+      ( "op-bridge",
+        [
+          Alcotest.test_case "bridge round-trips on identity state" `Quick
+            test_op_bridge_roundtrip;
+          Alcotest.test_case "no-op reductions" `Quick test_op_bridge_noops;
+          Alcotest.test_case "modular reduction" `Quick
+            test_op_bridge_modular_reduction;
+          Alcotest.test_case "wire replay matches Fuzz.replay" `Slow
+            test_op_bridge_matches_fuzz_replay;
+        ] );
+      ( "broker",
+        [
+          Alcotest.test_case "admit/chqos/teardown lifecycle" `Quick
+            test_broker_lifecycle;
+          Alcotest.test_case "bad requests become error replies" `Quick
+            test_broker_rejections_are_replies;
+          Alcotest.test_case "admission rejection is an ok reply" `Quick
+            test_broker_capacity_rejection_is_ok_reply;
+          Alcotest.test_case "failure recovery over the wire" `Quick
+            test_broker_failure_recovery;
+          Alcotest.test_case "snapshot and metrics requests" `Quick
+            test_broker_snapshot_and_metrics;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "end-to-end session" `Slow test_socket_session;
+          Alcotest.test_case "heartbeat subscription" `Slow
+            test_socket_heartbeat_push;
+          Alcotest.test_case "garbage line does not kill the connection" `Slow
+            test_socket_garbage_line;
+        ] );
+    ]

@@ -92,6 +92,87 @@ let test_more_jobs_than_points () =
   let out = Sweep.map ~jobs:64 (fun _ x -> x + 1) [ 1; 2; 3 ] in
   Alcotest.(check (list int)) "surplus workers are harmless" [ 2; 3; 4 ] out
 
+(* ------------------------------------------------------------------ *)
+(* Open-loop replay                                                    *)
+
+let test_open_loop_covers_all_ops () =
+  let n = 200 in
+  (* An immediate schedule: every op due at t=0 — pure throughput. *)
+  let arrivals = Array.make n 0. in
+  let hits = Array.make n 0 in
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  let report =
+    Sweep.open_loop ~jobs:4 ~obs ~timer:"lg.latency" ~arrivals
+      ~worker:(fun w -> w)
+      (fun _ (_ : int) i -> hits.(i) <- hits.(i) + 1)
+  in
+  Alcotest.(check int) "sent" n report.Sweep.sent;
+  Alcotest.(check bool)
+    "every op ran exactly once" true
+    (Array.for_all (fun h -> h = 1) hits);
+  let tm = Metrics.timer (Obs.metrics obs) "lg.latency" in
+  Alcotest.(check int) "every latency observed into the merged timer" n
+    (Metrics.timer_count tm);
+  Alcotest.(check bool) "p99 is non-negative" true
+    (Metrics.timer_quantile tm 0.99 >= 0.)
+
+let test_open_loop_round_robin_split () =
+  let n = 40 and jobs = 3 in
+  let arrivals = Array.make n 0. in
+  let owner = Array.make n (-1) in
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  ignore
+    (Sweep.open_loop ~jobs ~obs ~arrivals
+       ~worker:(fun w -> w)
+       (fun _ w i -> owner.(i) <- w));
+  Alcotest.(check bool)
+    "op i belongs to worker (i mod jobs)" true
+    (Array.for_all Fun.id (Array.mapi (fun i w -> w = i mod jobs) owner))
+
+let test_open_loop_paces_the_schedule () =
+  (* 5 ops spaced 30 ms apart: the replay cannot finish before the last
+     due time, and instantaneous ops must not be charged the wait. *)
+  let arrivals = [| 0.; 0.03; 0.06; 0.09; 0.12 |] in
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  let report =
+    Sweep.open_loop ~jobs:2 ~obs ~arrivals ~worker:(fun w -> w)
+      (fun _ (_ : int) (_ : int) -> ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "wall %.3fs covers the schedule" report.Sweep.wall_s)
+    true
+    (report.Sweep.wall_s >= 0.12);
+  let tm = Metrics.timer (Obs.metrics obs) "open_loop.latency" in
+  Alcotest.(check bool)
+    "an on-schedule no-op is fast at p50" true
+    (Metrics.timer_quantile tm 0.5 < 0.03);
+  Alcotest.(check bool) "lag is bounded by the wall" true
+    (report.Sweep.max_lag_s <= report.Sweep.wall_s)
+
+let test_open_loop_charges_backlog () =
+  (* One worker, two ops due together, the first burns 50 ms: open-loop
+     accounting must charge the second op its queueing delay. *)
+  let arrivals = [| 0.; 0. |] in
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  ignore
+    (Sweep.open_loop ~jobs:1 ~obs ~arrivals ~worker:(fun w -> w)
+       (fun _ (_ : int) i -> if i = 0 then Unix.sleepf 0.05));
+  let tm = Metrics.timer (Obs.metrics obs) "open_loop.latency" in
+  Alcotest.(check bool)
+    "the queued op inherits its predecessor's service time" true
+    (Metrics.timer_quantile tm 0.99 >= 0.04)
+
+let test_open_loop_teardown_and_errors () =
+  let closed = Atomic.make 0 in
+  Alcotest.check_raises "worker exception propagates" (Failure "op 3") (fun () ->
+      ignore
+        (Sweep.open_loop ~jobs:2 ~obs:Obs.null ~arrivals:(Array.make 8 0.)
+           ~worker:(fun w -> w)
+           ~finish:(fun _ -> Atomic.incr closed)
+           (fun _ (_ : int) i -> if i = 3 then failwith "op 3")));
+  (* [finish] ran in every worker domain despite the failure. *)
+  Alcotest.(check int) "every worker state torn down" 2 (Atomic.get closed)
+
 let () =
   Alcotest.run "sweep"
     [
@@ -111,5 +192,18 @@ let () =
           Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
           Alcotest.test_case "more jobs than points" `Quick
             test_more_jobs_than_points;
+        ] );
+      ( "open-loop",
+        [
+          Alcotest.test_case "covers every op once" `Quick
+            test_open_loop_covers_all_ops;
+          Alcotest.test_case "round-robin split" `Quick
+            test_open_loop_round_robin_split;
+          Alcotest.test_case "paces the schedule" `Slow
+            test_open_loop_paces_the_schedule;
+          Alcotest.test_case "charges backlog to queued ops" `Slow
+            test_open_loop_charges_backlog;
+          Alcotest.test_case "teardown and error propagation" `Quick
+            test_open_loop_teardown_and_errors;
         ] );
     ]
