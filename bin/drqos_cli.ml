@@ -838,6 +838,33 @@ let perfdiff_cmd =
           | None, None -> ())
         names
     end;
+    (* Per-stage p99 comparison (serve records): informational — the
+       tracing-on overhead budget gates on wall time, the stage deltas
+       say *where* a regression lives. *)
+    let stage_p99s doc =
+      match Jsonx.member "stage_p99_s" doc with
+      | Some (Jsonx.Obj fields) ->
+        List.filter_map
+          (fun (name, v) -> Option.map (fun f -> (name, f)) (Jsonx.to_float v))
+          fields
+      | _ -> []
+    in
+    let pb = stage_p99s b and pn = stage_p99s n in
+    let stage_names =
+      List.sort_uniq compare (List.map fst pb @ List.map fst pn)
+    in
+    if stage_names <> [] then begin
+      Printf.printf "%-24s %12s %12s %9s\n" "stage (p99_s)" "base" "new" "delta";
+      List.iter
+        (fun name ->
+          match (List.assoc_opt name pb, List.assoc_opt name pn) with
+          | Some a, Some c ->
+            Printf.printf "%-24s %12.6f %12.6f %+8.1f%%\n" name a c (pct a c)
+          | Some a, None -> Printf.printf "%-24s %12.6f %12s %9s\n" name a "-" "-"
+          | None, Some c -> Printf.printf "%-24s %12s %12.6f %9s\n" name "-" c "-"
+          | None, None -> ())
+        stage_names
+    end;
     match max_regress with
     | Some lim when wn > wb *. (1. +. (lim /. 100.)) ->
       Printf.eprintf "perfdiff: wall time regressed %.1f%% (limit %.1f%%)\n"
@@ -1070,7 +1097,27 @@ let top_cmd =
       | cs ->
         Format.printf "counter deltas:";
         List.iter (fun (name, d) -> Format.printf " %s:%+d" name d) cs;
-        Format.printf "@."));
+        Format.printf "@.");
+      (* Serving-plane hygiene counters: cumulative over the stream
+         (sn_counters carry per-snapshot deltas). *)
+      let total name =
+        List.fold_left
+          (fun acc s ->
+            match List.assoc_opt name s.Analysis.sn_counters with
+            | Some d -> acc + d
+            | None -> acc)
+          0 snaps
+      in
+      let reaped = total "serve.reaped" in
+      let undecodable = total "serve.undecodable" in
+      if reaped > 0 || undecodable > 0 then
+        Format.printf "serve: %d connections reaped, %d undecodable lines@."
+          reaped undecodable;
+      if last.Analysis.sn_slo_good + last.Analysis.sn_slo_bad > 0 then
+        Format.printf
+          "slo: %d good / %d bad cumulative (burn rate %.4f%% this beat)@."
+          last.Analysis.sn_slo_good last.Analysis.sn_slo_bad
+          (100. *. last.Analysis.sn_slo_burn));
     (match List.rev hbs with
     | [] -> ()
     | last :: _ ->
@@ -1175,8 +1222,45 @@ let serve_cmd =
       & opt policy_conv Policy.equal_share
       & info [ "policy" ] ~docv:"POLICY" ~doc:"Bandwidth adaptation policy.")
   in
-  let run seed nodes topo capacity policy wall_every socket port verbose =
+  let slo =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request latency objective: requests whose stage sum exceeds \
+             $(docv) count bad (good/bad totals and a rolling burn rate ride \
+             the snapshot stream), and each miss emits a $(b,slow_request) \
+             exemplar note with its full stage breakdown.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Tee the daemon's trace stream — including the per-request \
+             $(b,req_begin)/$(b,req_stage)/$(b,req_end) records — to $(docv) \
+             as JSONL, for $(b,drqos_cli latency).")
+  in
+  let slow_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-dir" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--slo): dump a flight-recorder ring of the events \
+             preceding each of the first few SLO misses to \
+             $(docv)/slow_<rid>.jsonl (directory created if missing).")
+  in
+  let run seed nodes topo capacity policy wall_every slo trace_file slow_dir
+      socket port verbose =
     let addr = address_of socket port in
+    (match slo with
+    | Some s when s <= 0. ->
+      prerr_endline "drqos_cli: --slo must be positive";
+      exit 2
+    | _ -> ());
     let rng = Prng.create seed in
     let g =
       match scenario_topology nodes topo with
@@ -1190,13 +1274,17 @@ let serve_cmd =
     let log = if verbose then prerr_endline else ignore in
     Printf.printf "serving %d nodes / %d edges, capacity %d Kbps\n%!"
       (Graph.node_count g) (Graph.edge_count g) capacity;
-    let requests = Serve_server.run ~config ~wall_every ~log addr net in
+    let requests =
+      Serve_server.run ~config ~wall_every ?slo ?trace_file ?slow_dir ~log addr
+        net
+    in
     Printf.printf "served %d requests\n" requests
   in
   let term =
     Term.(
       const run $ seed_arg $ nodes_arg $ topology_arg $ capacity_arg $ policy
-      $ wall_every $ socket_arg $ port_arg $ verbose)
+      $ wall_every $ slo $ trace_file $ slow_dir $ socket_arg $ port_arg
+      $ verbose)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1219,6 +1307,9 @@ module Loadgen = struct
     mutable errors : int;  (** unexpected error replies. *)
     mutable stale : int;  (** ops that raced a failure-drop: expected. *)
     mutable rejected : int;  (** admission rejections: expected under load. *)
+    mutable trace : Reqtrace.ctx option;
+        (** tracing context stamped on the next request line, when the
+            replay is recording a client-side latency log. *)
   }
 
   let qos_palette =
@@ -1238,10 +1329,14 @@ module Loadgen = struct
     | [] -> None
     | l -> Some (List.nth l (Prng.int w.rng w.own_n))
 
+  (* Every request a step issues goes through [call], so the worker's
+     tracing context (when armed) stamps whichever verb the dice chose. *)
+  let call w req = Serve_client.request ?trace:w.trace w.client req
+
   let admit w ~nodes =
     let src, dst = Prng.sample_distinct_pair w.rng nodes in
     let qos = Prng.pick w.rng qos_palette in
-    match Serve_client.request w.client (Serve_proto.Admit { src; dst; qos }) with
+    match call w (Serve_proto.Admit { src; dst; qos }) with
     | Serve_proto.Admitted { channel; _ } ->
       w.own <- channel :: w.own;
       w.own_n <- w.own_n + 1
@@ -1250,7 +1345,7 @@ module Loadgen = struct
 
   let teardown w ch =
     drop_own w ch;
-    match Serve_client.request w.client (Serve_proto.Teardown { channel = ch }) with
+    match call w (Serve_proto.Teardown { channel = ch }) with
     | Serve_proto.Torn_down _ -> ()
     | Serve_proto.Error_reply _ ->
       (* The channel was dropped by a failure between our admit and now:
@@ -1260,9 +1355,7 @@ module Loadgen = struct
 
   let chqos w ch =
     let qos = Prng.pick w.rng qos_palette in
-    match
-      Serve_client.request w.client (Serve_proto.Change_qos { channel = ch; qos })
-    with
+    match call w (Serve_proto.Change_qos { channel = ch; qos }) with
     | Serve_proto.Qos_changed _ -> ()
     | Serve_proto.Error_reply _ ->
       drop_own w ch;
@@ -1271,13 +1364,14 @@ module Loadgen = struct
 
   let fail_or_repair w ~fail_edges =
     match w.failed with
-    | e :: rest -> (
-      match Serve_client.request w.client (Serve_proto.Repair { edge = e }) with
+    | e :: rest ->
+      (match call w (Serve_proto.Repair { edge = e }) with
       | Serve_proto.Edge_repaired _ -> w.failed <- rest
-      | _ -> w.errors <- w.errors + 1)
-    | [] -> (
+      | _ -> w.errors <- w.errors + 1);
+      "repair"
+    | [] ->
       let e = Prng.int w.rng fail_edges in
-      match Serve_client.request w.client (Serve_proto.Fail { edge = e }) with
+      (match call w (Serve_proto.Fail { edge = e }) with
       | Serve_proto.Edge_failed { recoveries; _ } ->
         w.failed <- e :: w.failed;
         (* Our own victims that did not survive leave the owned list. *)
@@ -1286,35 +1380,58 @@ module Loadgen = struct
             if r.Serve_proto.rw_outcome = `Dropped then
               drop_own w r.Serve_proto.rw_channel)
           recoveries
-      | _ -> w.errors <- w.errors + 1)
+      | _ -> w.errors <- w.errors + 1);
+      "fail"
 
   let expect_ok w resp =
     match resp with
     | Serve_proto.Error_reply _ -> w.errors <- w.errors + 1
     | _ -> ()
 
-  (* One scheduled operation.  The churn steers each worker's owned
-     population toward [target] (the paper's steady state: arrivals
-     balanced by terminations, live ≈ λ/μ), so the daemon's live set —
-     and with it the per-operation water-filling cost — holds steady
-     instead of growing without bound.  Read-side requests are
-     sprinkled in; only worker 0 injects failures, so repair
-     bookkeeping stays single-owner. *)
+  (* One scheduled operation, returning the wire verb it issued (the
+     client-side latency log labels each request with it).  The churn
+     steers each worker's owned population toward [target] (the paper's
+     steady state: arrivals balanced by terminations, live ≈ λ/μ), so
+     the daemon's live set — and with it the per-operation
+     water-filling cost — holds steady instead of growing without
+     bound.  Read-side requests are sprinkled in; only worker 0 injects
+     failures, so repair bookkeeping stays single-owner. *)
   let step ~nodes ~target ~fail_edges w _i =
     let dice = Prng.int w.rng 100 in
     if dice < 70 then begin
       if w.own_n >= target then
-        match pick_own w with Some ch -> teardown w ch | None -> admit w ~nodes
-      else admit w ~nodes
+        match pick_own w with
+        | Some ch ->
+          teardown w ch;
+          "teardown"
+        | None ->
+          admit w ~nodes;
+          "admit"
+      else begin
+        admit w ~nodes;
+        "admit"
+      end
     end
     else if dice < 90 then
-      match pick_own w with Some ch -> chqos w ch | None -> admit w ~nodes
-    else if dice < 94 then
-      expect_ok w (Serve_client.request w.client Serve_proto.Stats)
-    else if dice < 97 then
-      expect_ok w (Serve_client.request w.client Serve_proto.Ping)
-    else if dice < 99 || fail_edges <= 0 then
-      expect_ok w (Serve_client.request w.client Serve_proto.Snapshot)
+      match pick_own w with
+      | Some ch ->
+        chqos w ch;
+        "chqos"
+      | None ->
+        admit w ~nodes;
+        "admit"
+    else if dice < 94 then begin
+      expect_ok w (call w Serve_proto.Stats);
+      "stats"
+    end
+    else if dice < 97 then begin
+      expect_ok w (call w Serve_proto.Ping);
+      "ping"
+    end
+    else if dice < 99 || fail_edges <= 0 then begin
+      expect_ok w (call w Serve_proto.Snapshot);
+      "snapshot"
+    end
     else fail_or_repair w ~fail_edges
 end
 
@@ -1381,8 +1498,29 @@ let loadgen_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Send a shutdown request when the replay ends.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the client side of request tracing: stamp every request \
+             line with a $(b,trace) context (rid = schedule index) and write \
+             one $(b,req_client) JSONL record per operation to $(docv).  Feed \
+             it to $(b,drqos_cli latency) together with the daemon's \
+             $(b,--trace) file to join client latency with server stages.")
+  in
+  let slo_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo" ] ~docv:"SECONDS"
+          ~doc:
+            "Client-side latency objective: count operations whose open-loop \
+             latency exceeds $(docv) and report the good/bad split.")
+  in
   let run seed nodes socket port requests rate arrivals jobs live_target
-      fail_edges quick out_dir shutdown =
+      fail_edges quick out_dir shutdown trace_out slo_arg =
     let addr = address_of socket port in
     let requests = if quick then 2000 else requests in
     let rate = if quick then 5000. else rate in
@@ -1416,11 +1554,24 @@ let loadgen_cmd =
           t := !t +. Prng.exponential rng (2. *. rate);
           schedule.(i) <- !t +. (Float.of_int (int_of_float (!t /. burst)) *. burst))
         schedule);
+    (match slo_arg with
+    | Some s when s <= 0. ->
+      prerr_endline "drqos_cli: --slo must be positive";
+      exit 2
+    | _ -> ());
     let obs = Obs.create ~metrics:(Metrics.create ()) () in
     let workers = Array.make (max 1 jobs) None in
+    let tracing = trace_out <> None in
+    (* Per-operation cells for the client latency log.  Worker [w] owns
+       indices [w, w+workers, ...] (the open-loop split), so each cell
+       is written by exactly one domain and the join orders the writes
+       before our reads. *)
+    let verbs = Array.make requests "" in
+    let latencies = Array.make requests (-1.) in
     let g0 = Gc.quick_stat () in
     let report =
       Sweep.open_loop ~jobs ~obs ~timer:"loadgen.latency" ~arrivals:schedule
+        ~on_complete:(fun i latency -> latencies.(i) <- latency)
         ~worker:(fun w ->
           let state =
             {
@@ -1432,6 +1583,7 @@ let loadgen_cmd =
               errors = 0;
               stale = 0;
               rejected = 0;
+              trace = None;
             }
           in
           workers.(w) <- Some state;
@@ -1439,15 +1591,20 @@ let loadgen_cmd =
         ~finish:(fun w ->
           (* Leave the daemon healthy for the next client: repair what
              we broke, then hang up. *)
+          w.Loadgen.trace <- None;
           List.iter
             (fun e ->
               ignore (Serve_client.request w.Loadgen.client (Serve_proto.Repair { edge = e })))
             w.Loadgen.failed;
           Serve_client.close w.Loadgen.client)
         (fun _ w i ->
-          Loadgen.step ~nodes
-            ~target:(max 1 (live_target / max 1 jobs))
-            ~fail_edges w i)
+          if tracing then
+            w.Loadgen.trace <-
+              Some { Reqtrace.rid = i; t_sched = schedule.(i) };
+          verbs.(i) <-
+            Loadgen.step ~nodes
+              ~target:(max 1 (live_target / max 1 jobs))
+              ~fail_edges w i)
     in
     let g1 = Gc.quick_stat () in
     let sum f =
@@ -1461,12 +1618,75 @@ let loadgen_cmd =
     let tm = Metrics.timer (Obs.metrics obs) "loadgen.latency" in
     let q p = Metrics.timer_quantile tm p in
     let p50 = q 0.5 and p95 = q 0.95 and p99 = q 0.99 in
+    let p999 = q 0.999 and lat_max = Metrics.timer_max tm in
     Printf.printf
       "replayed %d requests in %.2fs (%.0f rps offered, %.0f achieved)\n"
       report.Sweep.sent report.Sweep.wall_s rate report.Sweep.achieved_rps;
-    Printf.printf "latency  p50 %.6fs  p95 %.6fs  p99 %.6fs  (max lag %.4fs)\n"
-      p50 p95 p99 report.Sweep.max_lag_s;
+    Printf.printf
+      "latency  p50 %.6fs  p95 %.6fs  p99 %.6fs  p99.9 %.6fs  max %.6fs  \
+       (max lag %.4fs)\n"
+      p50 p95 p99 p999 lat_max report.Sweep.max_lag_s;
     Printf.printf "rejected %d  stale %d  errors %d\n" rejected stale errors;
+    let slo_good, slo_bad =
+      match slo_arg with
+      | None -> (0, 0)
+      | Some s ->
+        let good = ref 0 and bad = ref 0 in
+        Array.iter
+          (fun l -> if l >= 0. then incr (if l <= s then good else bad))
+          latencies;
+        Printf.printf "slo %.6fs: %d good / %d bad (%.4f%% bad)\n" s !good !bad
+          (100. *. float_of_int !bad
+          /. float_of_int (max 1 (!good + !bad)));
+        (!good, !bad)
+    in
+    (* The client-side request log: one req_client line per operation,
+       rid = schedule index — what [drqos_cli latency] joins against the
+       daemon's req_begin/req_stage/req_end records. *)
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_or_exit path in
+      Array.iteri
+        (fun i verb ->
+          if verb <> "" && latencies.(i) >= 0. then begin
+            Jsonx.output oc
+              (Trace.to_json ~time:(float_of_int i)
+                 (Trace.Req_client
+                    {
+                      rid = i;
+                      verb;
+                      sched_s = schedule.(i);
+                      latency_s = latencies.(i);
+                    }));
+            output_char oc '\n'
+          end)
+        verbs;
+      close_out oc;
+      Printf.printf "(client request log written to %s)\n" path);
+    (* Pull the daemon's per-stage p99s for the perf record while it is
+       still up — the shutdown below would race this fetch. *)
+    let stage_p99s =
+      if out_dir = None then []
+      else
+        match
+          let c = Serve_client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Serve_client.close c)
+            (fun () -> Serve_client.request c Serve_proto.Metrics)
+        with
+        | Serve_proto.Metrics_reply doc ->
+          let p99 name =
+            Option.bind (Jsonx.member "timers" doc) (fun timers ->
+                Option.bind (Jsonx.member name timers) (fun t ->
+                    Option.bind (Jsonx.member "p99_s" t) Jsonx.to_float))
+          in
+          List.filter_map
+            (fun name -> Option.map (fun v -> (name, Jsonx.Float v)) (p99 name))
+            (List.map Reqtrace.timer_name Reqtrace.all_stages @ [ "req.total" ])
+        | _ -> []
+        | exception _ -> []
+    in
     (if shutdown then
        let c = Serve_client.connect addr in
        match Serve_client.request c Serve_proto.Shutdown with
@@ -1501,10 +1721,15 @@ let loadgen_cmd =
                    ("p50", Jsonx.Float p50);
                    ("p95", Jsonx.Float p95);
                    ("p99", Jsonx.Float p99);
+                   ("p999", Jsonx.Float p999);
+                   ("max", Jsonx.Float lat_max);
                  ] );
              ("rejected", Jsonx.Int rejected);
              ("stale", Jsonx.Int stale);
              ("errors", Jsonx.Int errors);
+             ("slo_good", Jsonx.Int slo_good);
+             ("slo_bad", Jsonx.Int slo_bad);
+             ("stage_p99_s", Jsonx.Obj stage_p99s);
              ( "gc",
                Jsonx.Obj
                  [
@@ -1525,7 +1750,10 @@ let loadgen_cmd =
       Printf.fprintf oc "# quantile\tlatency_s\n";
       List.iter
         (fun (name, v) -> Printf.fprintf oc "%s\t%.9f\n" name v)
-        [ ("p50", p50); ("p95", p95); ("p99", p99) ];
+        [
+          ("p50", p50); ("p95", p95); ("p99", p99); ("p999", p999);
+          ("max", lat_max);
+        ];
       close_out oc;
       Printf.printf "(percentile table written to %s)\n" dat);
     if errors > 0 then exit 1
@@ -1534,7 +1762,7 @@ let loadgen_cmd =
     Term.(
       const run $ seed_arg $ nodes_arg $ socket_arg $ port_arg $ requests $ rate
       $ arrivals_arg $ jobs $ live_target $ fail_edges $ quick $ out_dir
-      $ shutdown)
+      $ shutdown $ trace_out $ slo_arg)
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -1545,6 +1773,193 @@ let loadgen_cmd =
           across worker domains, measuring each operation from its \
           $(i,scheduled) arrival to completion on the monotonic clock — \
           coordinated-omission-safe percentiles off log-bucket timers.")
+    term
+
+(* --- latency: per-request tail anatomy --- *)
+
+let latency_cmd =
+  let traces =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "JSONL trace files, concatenated in order: the daemon's \
+             $(b,serve --trace) stream (req_begin/req_stage/req_end) and/or \
+             the load generator's $(b,loadgen --trace) client log \
+             (req_client).  Records join by rid.")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N"
+          ~doc:
+            "Show the N slowest completed requests with their full stage \
+             breakdown (0 = none).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify trace consistency — every req_end has its req_begin, no \
+             duplicate req_ends per rid, no negative stage or total \
+             durations — and exit 1 on any violation (the verify.sh tracing \
+             gate).")
+  in
+  let perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Export the completed requests as Chrome/Perfetto trace-event \
+             JSON: one track per stage plus a network+queue residual track \
+             for joined requests, requests laid end-to-end.")
+  in
+  let run traces top check perfetto =
+    let load path =
+      try
+        In_channel.with_open_text path (fun ic ->
+            List.rev
+              (Jsonx.fold_lines ic ~init:[] ~f:(fun acc ~line doc ->
+                   match Trace.of_json doc with
+                   | Ok ev -> ev :: acc
+                   | Error message -> raise (Jsonx.Line_error { line; message }))))
+      with
+      | Sys_error msg ->
+        Printf.eprintf "drqos_cli: %s\n" msg;
+        exit 1
+      | Jsonx.Line_error { line; message } ->
+        Printf.eprintf "drqos_cli: %s:%d: %s\n" path line message;
+        exit 1
+    in
+    let a = Analysis.of_events (List.concat_map load traces) in
+    let reqs = Analysis.requests a in
+    let complete = List.filter (fun r -> r.Analysis.rq_complete) reqs in
+    let joined =
+      List.filter (fun r -> r.Analysis.rq_client <> None) complete
+    in
+    Printf.printf
+      "requests: %d rids, %d complete server-side, %d joined with a client \
+       record\n"
+      (List.length reqs) (List.length complete) (List.length joined);
+    (match Analysis.stage_anatomy a with
+    | [] -> ()
+    | stats ->
+      Printf.printf "stage anatomy (completed requests; tail = totals >= p99):\n";
+      Printf.printf "  %-14s %8s %12s %12s %12s %12s %10s\n" "stage" "count"
+        "total_s" "p50_s" "p95_s" "p99_s" "tail_share";
+      List.iter
+        (fun s ->
+          Printf.printf "  %-14s %8d %12.6f %12.6f %12.6f %12.6f %9.1f%%\n"
+            s.Analysis.st_stage s.Analysis.st_count s.Analysis.st_total_s
+            s.Analysis.st_p50_s s.Analysis.st_p95_s s.Analysis.st_p99_s
+            (100. *. s.Analysis.st_tail_share))
+        stats);
+    (match joined with
+    | [] -> ()
+    | js ->
+      (* Client latency minus server stage sum is network + socket-queue
+         time (the residual bucket).  Stages + residual tile the client
+         latency exactly unless the stage sum exceeds what the client
+         clocked — an over-attributed request, which would mean the
+         decomposition is inconsistent — so the attribution fraction is
+         latency / max(latency, stage sum), 100% when consistent. *)
+      let n = List.length js in
+      let client_sum, server_sum, attr_denom, attr95, over =
+        List.fold_left
+          (fun (cs, ss, ad, a95, ov) r ->
+            match r.Analysis.rq_client with
+            | Some (_, _, latency) when latency > 0. ->
+              let sum = r.Analysis.rq_total_s in
+              let explained = Float.min latency sum in
+              let frac = latency /. Float.max latency sum in
+              ( cs +. latency,
+                ss +. explained,
+                ad +. Float.max latency sum,
+                (a95 + if frac >= 0.95 then 1 else 0),
+                ov + if sum > latency then 1 else 0 )
+            | _ -> (cs, ss, ad, a95, ov))
+          (0., 0., 0., 0, 0) js
+      in
+      if client_sum > 0. then begin
+        Printf.printf
+          "join: %d requests; stages + network residual attribute %.2f%% of \
+           client-observed latency\n"
+          n
+          (100. *. client_sum /. attr_denom);
+        Printf.printf
+          "      %.3f%% of requests are >=95%% attributed; %d over-attributed \
+           (stage sum past the client clock: scheduler preemption at the \
+           reply write)\n"
+          (100. *. float_of_int attr95 /. float_of_int n)
+          over;
+        Printf.printf
+          "      server stages explain %.2f%%; mean network+queue residual \
+           %.6fs\n"
+          (100. *. server_sum /. client_sum)
+          ((client_sum -. server_sum) /. float_of_int n)
+      end);
+    (if top > 0 then
+       let slowest =
+         List.sort
+           (fun x y -> compare y.Analysis.rq_total_s x.Analysis.rq_total_s)
+           complete
+       in
+       let rec take k = function
+         | x :: rest when k > 0 -> x :: take (k - 1) rest
+         | _ -> []
+       in
+       match take top slowest with
+       | [] -> ()
+       | rows ->
+         Printf.printf "slowest requests (by server stage sum):\n";
+         Printf.printf "  %-10s %-10s %-3s %12s %12s  %s\n" "rid" "verb" "ok"
+           "total_s" "client_s" "stages";
+         List.iter
+           (fun r ->
+             let client_s =
+               match r.Analysis.rq_client with
+               | Some (_, _, latency) -> Printf.sprintf "%12.6f" latency
+               | None -> Printf.sprintf "%12s" "-"
+             in
+             let stages =
+               String.concat " "
+                 (List.map
+                    (fun (name, s) -> Printf.sprintf "%s=%.6f" name s)
+                    r.Analysis.rq_stages)
+             in
+             Printf.printf "  %-10d %-10s %-3s %12.6f %s  %s\n"
+               r.Analysis.rq_rid r.Analysis.rq_verb
+               (if r.Analysis.rq_ok then "ok" else "err")
+               r.Analysis.rq_total_s client_s stages)
+           rows);
+    (match perfetto with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_or_exit path in
+      Jsonx.output oc (Analysis.requests_to_perfetto a);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "perfetto request anatomy written to %s\n" path);
+    if check then begin
+      match Analysis.request_check a with
+      | [] -> Printf.printf "check: ok\n"
+      | violations ->
+        List.iter (fun v -> Printf.eprintf "drqos_cli: check: %s\n" v) violations;
+        exit 1
+    end
+  in
+  let term = Term.(const run $ traces $ top $ check $ perfetto) in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:
+         "Per-request tail-latency anatomy from recorded request traces: \
+          join the daemon's req_begin/req_stage/req_end records with the \
+          load generator's req_client log by rid, report per-stage \
+          percentiles and each stage's share of the tail mass, list the \
+          slowest requests, check trace consistency, and export a \
+          per-stage Perfetto view.")
     term
 
 let () =
@@ -1558,7 +1973,7 @@ let () =
       (Cmd.group info
          [
            run_cmd; sweep_cmd; topo_cmd; chain_cmd; analyze_cmd; perfdiff_cmd;
-           fuzz_cmd; top_cmd; serve_cmd; loadgen_cmd;
+           fuzz_cmd; top_cmd; serve_cmd; loadgen_cmd; latency_cmd;
          ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -48,6 +48,9 @@ type snapshot_point = {
   sn_peak_queue : int;
   sn_hot : (int * int) list;
   sn_counters : (string * int) list;
+  sn_slo_good : int;
+  sn_slo_bad : int;
+  sn_slo_burn : float;
 }
 
 type heartbeat_point = {
@@ -59,6 +62,27 @@ type heartbeat_point = {
   hb_minor_words : float;
   hb_major_words : float;
   hb_heap_words : int;
+}
+
+type request_record = {
+  rq_rid : int;
+  rq_verb : string;
+  rq_ok : bool;
+  rq_total_s : float;
+  rq_stages : (string * float) list;
+  rq_has_begin : bool;
+  rq_complete : bool;
+  rq_client : (string * float * float) option;
+}
+
+type stage_stat = {
+  st_stage : string;
+  st_count : int;
+  st_total_s : float;
+  st_p50_s : float;
+  st_p95_s : float;
+  st_p99_s : float;
+  st_tail_share : float;
 }
 
 (* One channel's replayed belief: current level, when it got there, and
@@ -87,6 +111,21 @@ type t = {
   max_depth : int;
   snaps : snapshot_point list; (* in trace order *)
   hbs : heartbeat_point list;
+  reqs : (int, req_cell) Hashtbl.t;
+}
+
+(* One request's replayed belief, keyed by rid; server-side records
+   ([Req_begin]/[Req_stage]/[Req_end]) and the client-side [Req_client]
+   line land in the same cell, joining the two traces. *)
+and req_cell = {
+  mutable q_verb : string;
+  mutable q_ok : bool;
+  mutable q_total : float;
+  mutable q_stages : (string * float) list; (* reversed *)
+  mutable q_begin : bool;
+  mutable q_end : bool;
+  mutable q_ends : int;
+  mutable q_client : (string * float * float) option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -172,6 +211,26 @@ let of_events evs =
   let max_depth = ref 0 in
   let snaps = ref [] in
   let hbs = ref [] in
+  let reqs : (int, req_cell) Hashtbl.t = Hashtbl.create 256 in
+  let req_cell rid =
+    match Hashtbl.find_opt reqs rid with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          q_verb = "";
+          q_ok = false;
+          q_total = 0.;
+          q_stages = [];
+          q_begin = false;
+          q_end = false;
+          q_ends = 0;
+          q_client = None;
+        }
+      in
+      Hashtbl.replace reqs rid c;
+      c
+  in
   Array.iter
     (fun (time, ev) ->
       bump counts (Trace.kind ev);
@@ -216,6 +275,23 @@ let of_events evs =
            continues through the upgrade/retreat events around it. *)
         ()
       | Solve _ -> ()
+      | Req_begin { rid; verb } ->
+        let c = req_cell rid in
+        c.q_begin <- true;
+        if c.q_verb = "" then c.q_verb <- verb
+      | Req_stage { rid; stage; seconds } ->
+        let c = req_cell rid in
+        c.q_stages <- (stage, seconds) :: c.q_stages
+      | Req_end { rid; verb; ok; total_s } ->
+        let c = req_cell rid in
+        c.q_verb <- verb;
+        c.q_ok <- ok;
+        c.q_total <- total_s;
+        c.q_end <- true;
+        c.q_ends <- c.q_ends + 1
+      | Req_client { rid; verb; sched_s; latency_s } ->
+        let c = req_cell rid in
+        c.q_client <- Some (verb, sched_s, latency_s)
       | Phase_begin _ | Phase_end _ | Note _ -> ()
       | Span_begin _ ->
         incr depth;
@@ -248,6 +324,9 @@ let of_events evs =
             peak_queue;
             hot;
             counters;
+            slo_good;
+            slo_bad;
+            slo_burn;
           } ->
         snaps :=
           {
@@ -263,6 +342,9 @@ let of_events evs =
             sn_peak_queue = peak_queue;
             sn_hot = hot;
             sn_counters = counters;
+            sn_slo_good = slo_good;
+            sn_slo_bad = slo_bad;
+            sn_slo_burn = slo_burn;
           }
           :: !snaps
       | Heartbeat { seq; wall_s; d_events; ops_per_s; minor_words; major_words; heap_words }
@@ -330,6 +412,7 @@ let of_events evs =
     max_depth = !max_depth;
     snaps = List.rev !snaps;
     hbs = List.rev !hbs;
+    reqs;
   }
 
 let of_channel ic =
@@ -470,6 +553,121 @@ let stalls ?(factor = 3.) ?expected t =
   else List.filter (fun (_, gap) -> gap > factor *. expected) gaps
 
 (* ------------------------------------------------------------------ *)
+(* Request anatomy                                                     *)
+
+let requests t =
+  Hashtbl.fold (fun rid c acc -> (rid, c) :: acc) t.reqs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (rid, c) ->
+         {
+           rq_rid = rid;
+           rq_verb = c.q_verb;
+           rq_ok = c.q_ok;
+           rq_total_s = c.q_total;
+           rq_stages = List.rev c.q_stages;
+           rq_has_begin = c.q_begin;
+           rq_complete = c.q_end;
+           rq_client = c.q_client;
+         })
+
+let request_check t =
+  Hashtbl.fold (fun rid c acc -> (rid, c) :: acc) t.reqs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.concat_map (fun (rid, c) ->
+         let v = [] in
+         let v =
+           if c.q_end && not c.q_begin then
+             Printf.sprintf "rid %d: req_end without req_begin" rid :: v
+           else v
+         in
+         let v =
+           if c.q_ends > 1 then
+             Printf.sprintf "rid %d: %d req_end records (rid collision?)" rid
+               c.q_ends
+             :: v
+           else v
+         in
+         let v =
+           List.fold_left
+             (fun v (stage, s) ->
+               if s < 0. then
+                 Printf.sprintf "rid %d: negative %s stage (%g s)" rid stage s
+                 :: v
+               else v)
+             v c.q_stages
+         in
+         let v =
+           if c.q_end && c.q_total < 0. then
+             Printf.sprintf "rid %d: negative total (%g s)" rid c.q_total :: v
+           else v
+         in
+         List.rev v)
+
+(* Canonical stage order first ({!Reqtrace.all_stages} is the pipeline
+   order), then any stage name the trace invented, by appearance. *)
+let stage_order recs =
+  let canon = List.map Reqtrace.stage_name Reqtrace.all_stages in
+  let extra = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (st, _) ->
+          if (not (List.mem st canon)) && not (List.mem st !extra) then
+            extra := st :: !extra)
+        r.rq_stages)
+    recs;
+  canon @ List.rev !extra
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let stage_anatomy t =
+  let recs = List.filter (fun r -> r.rq_complete) (requests t) in
+  match recs with
+  | [] -> []
+  | recs ->
+    let totals =
+      Array.of_list (List.map (fun r -> r.rq_total_s) recs)
+    in
+    Array.sort Float.compare totals;
+    let tail_cut = exact_quantile totals 0.99 in
+    let tail = List.filter (fun r -> r.rq_total_s >= tail_cut) recs in
+    let tail_total =
+      List.fold_left (fun acc r -> acc +. r.rq_total_s) 0. tail
+    in
+    List.filter_map
+      (fun stage ->
+        let samples =
+          List.filter_map (fun r -> List.assoc_opt stage r.rq_stages) recs
+        in
+        match samples with
+        | [] -> None
+        | samples ->
+          let a = Array.of_list samples in
+          Array.sort Float.compare a;
+          let tail_stage =
+            List.fold_left
+              (fun acc r ->
+                acc +. Option.value ~default:0. (List.assoc_opt stage r.rq_stages))
+              0. tail
+          in
+          Some
+            {
+              st_stage = stage;
+              st_count = Array.length a;
+              st_total_s = Array.fold_left ( +. ) 0. a;
+              st_p50_s = exact_quantile a 0.5;
+              st_p95_s = exact_quantile a 0.95;
+              st_p99_s = exact_quantile a 0.99;
+              st_tail_share =
+                (if tail_total > 0. then tail_stage /. tail_total else 0.);
+            })
+      (stage_order recs)
+
+(* ------------------------------------------------------------------ *)
 (* Perfetto export                                                     *)
 
 (* Two tracks under one pid: tid 1 carries the profiler spans on their
@@ -563,9 +761,92 @@ let to_perfetto t =
          [_]) so adding a Trace constructor forces a choice here. *)
       | Admit _ | Reject _ | Terminate _ | Upgrade _ | Retreat _ | Link_fail _
       | Link_repair _ | Backup_activate _ | Backup_lost _ | Drop _ | Restore _
-      | Solve _ | Note _ | Heartbeat _ ->
+      | Solve _ | Note _ | Heartbeat _ | Req_begin _ | Req_stage _ | Req_end _
+      | Req_client _ ->
         push
           (entry ~name:(Trace.kind ev) ~ph:"i" ~tid:2 ~ts:(clamp 1 (us time))
              (("s", Jsonx.String "t") :: args_of ~time ev)))
     t.events;
+  Jsonx.Obj [ ("traceEvents", Jsonx.List (List.rev !out)) ]
+
+(* Tail-anatomy export: one thread per stage (pipeline order), requests
+   laid end-to-end on a synthetic duration axis — request N starts where
+   request N-1's total ended, each stage an "X" complete slice on its
+   own track at its offset within the request.  Joined requests add the
+   network+queue residual (client latency minus server stage sum) on a
+   final track, so the viewer shows where each request's client-observed
+   time went, stage by stage, without needing the two traces to share a
+   clock origin. *)
+let requests_to_perfetto t =
+  let recs = List.filter (fun r -> r.rq_complete) (requests t) in
+  let stages = stage_order recs in
+  let out = ref [] in
+  let push ev = out := ev :: !out in
+  let meta ~tid name =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String (if tid = 0 then "process_name" else "thread_name"));
+        ("ph", Jsonx.String "M");
+        ("pid", Jsonx.Int 1);
+        ("tid", Jsonx.Int tid);
+        ("args", Jsonx.Obj [ ("name", Jsonx.String name) ]);
+      ]
+  in
+  push (meta ~tid:0 "drqos request anatomy");
+  List.iteri (fun i st -> push (meta ~tid:(i + 1) ("stage: " ^ st))) stages;
+  let residual_tid = List.length stages + 1 in
+  push (meta ~tid:residual_tid "network+queue (client residual)");
+  let tid_of st =
+    let rec go i = function
+      | [] -> residual_tid
+      | s :: rest -> if s = st then i else go (i + 1) rest
+    in
+    go 1 stages
+  in
+  let us x = x *. 1e6 in
+  let base = ref 0. in
+  List.iter
+    (fun r ->
+      let name = if r.rq_verb = "" then "request" else r.rq_verb in
+      let off = ref 0. in
+      List.iter
+        (fun (st, s) ->
+          let s = Float.max 0. s in
+          push
+            (Jsonx.Obj
+               [
+                 ("name", Jsonx.String name);
+                 ("ph", Jsonx.String "X");
+                 ("pid", Jsonx.Int 1);
+                 ("tid", Jsonx.Int (tid_of st));
+                 ("ts", Jsonx.Float (us (!base +. !off)));
+                 ("dur", Jsonx.Float (us s));
+                 ( "args",
+                   Jsonx.Obj
+                     [ ("rid", Jsonx.Int r.rq_rid); ("ok", Jsonx.Bool r.rq_ok) ]
+                 );
+               ]);
+          off := !off +. s)
+        r.rq_stages;
+      (match r.rq_client with
+      | Some (_, _, latency_s) when latency_s > !off ->
+        push
+          (Jsonx.Obj
+             [
+               ("name", Jsonx.String name);
+               ("ph", Jsonx.String "X");
+               ("pid", Jsonx.Int 1);
+               ("tid", Jsonx.Int residual_tid);
+               ("ts", Jsonx.Float (us (!base +. !off)));
+               ("dur", Jsonx.Float (us (latency_s -. !off)));
+               ("args", Jsonx.Obj [ ("rid", Jsonx.Int r.rq_rid) ]);
+             ])
+      | Some _ | None -> ());
+      let span =
+        match r.rq_client with
+        | Some (_, _, latency_s) -> Float.max latency_s !off
+        | None -> !off
+      in
+      base := !base +. Float.max span 1e-9)
+    recs;
   Jsonx.Obj [ ("traceEvents", Jsonx.List (List.rev !out)) ]

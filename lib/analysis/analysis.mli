@@ -176,6 +176,9 @@ type snapshot_point = {
   sn_peak_queue : int;
   sn_hot : (int * int) list;
   sn_counters : (string * int) list;
+  sn_slo_good : int;  (** cumulative in-SLO requests at the tick. *)
+  sn_slo_bad : int;
+  sn_slo_burn : float;  (** bad fraction over the preceding interval. *)
 }
 
 type heartbeat_point = {
@@ -208,6 +211,63 @@ val stalls : ?factor:float -> ?expected:float -> t -> (float * float) list
     observed gap).  A gapped stream is how a hung or GC-thrashing run
     shows up while the simulation clock stands still.  Empty when fewer
     than two heartbeats of one stream exist. *)
+
+(** {1 Request anatomy}
+
+    Replayed request-tracing records (DESIGN.md §15): the server's
+    [Req_begin]/[Req_stage]/[Req_end] trios and the load generator's
+    [Req_client] lines join {e by rid} into one record per request, so
+    a server trace and a client trace concatenated into one replay
+    yield client-observed latency {e and} its server-side stage
+    decomposition side by side. *)
+
+type request_record = {
+  rq_rid : int;
+  rq_verb : string;
+  rq_ok : bool;
+  rq_total_s : float;  (** server-side stage sum (from [Req_end]). *)
+  rq_stages : (string * float) list;  (** stage durations, trace order. *)
+  rq_has_begin : bool;
+  rq_complete : bool;  (** a [Req_end] was seen. *)
+  rq_client : (string * float * float) option;
+      (** [(verb, sched_s, latency_s)] from the joined [Req_client]
+          line, when the client side of this rid is in the trace. *)
+}
+
+(** Per-stage latency anatomy over the completed requests. *)
+type stage_stat = {
+  st_stage : string;
+  st_count : int;
+  st_total_s : float;
+  st_p50_s : float;  (** exact (sorted-sample) quantiles, not binned. *)
+  st_p95_s : float;
+  st_p99_s : float;
+  st_tail_share : float;
+      (** the stage's share of total server time across the {e tail}
+          requests (total at or above the p99 of totals) — where the
+          p99 mass actually goes. *)
+}
+
+val requests : t -> request_record list
+(** One record per rid seen, rid-ascending. *)
+
+val request_check : t -> string list
+(** Consistency violations, rid-ascending: a [Req_end] without its
+    [Req_begin], duplicate [Req_end]s on one rid, negative stage or
+    total seconds.  Empty for a well-formed trace — the [latency
+    --check] gate. *)
+
+val stage_anatomy : t -> stage_stat list
+(** Stats per stage name in pipeline order ({!Reqtrace.all_stages}
+    first, unknown names after), over completed requests only; empty
+    when the trace carries no [Req_end]. *)
+
+val requests_to_perfetto : t -> Jsonx.t
+(** The completed requests as a Chrome/Perfetto document with one
+    thread per stage plus a [network+queue] residual track for joined
+    requests.  Requests are laid end-to-end on a synthetic axis (each
+    starts where the previous one's span ended), so slices show each
+    request's anatomy without requiring a shared clock origin. *)
 
 val to_perfetto : t -> Jsonx.t
 (** The trace as a Chrome/Perfetto trace-event document

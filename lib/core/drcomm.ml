@@ -98,6 +98,12 @@ type t = {
   mutable dirty_links : int array;
   mutable dirty_n : int;
   dirty_mark : Bytes.t;
+  (* Redistribution time accounting for request tracing: when armed,
+     every non-empty water-filling flush adds its wall time here, so a
+     caller can difference the accumulator around an operation and
+     attribute that slice to a [redistribute] stage. *)
+  mutable time_redist : bool;
+  mutable redist_acc : float;
   obs : Obs.t;
   m_admits : Metrics.counter;
   m_rejects : Metrics.counter;
@@ -137,6 +143,8 @@ let create ?(config = Config.default) ?obs net =
     dirty_links = [||];
     dirty_n = 0;
     dirty_mark = Bytes.make (max 1 (Net_state.link_count net)) '\000';
+    time_redist = false;
+    redist_acc = 0.;
     obs;
     m_admits = Obs.counter obs "drcomm.admits";
     m_rejects = Obs.counter obs "drcomm.rejects";
@@ -156,6 +164,8 @@ let create ?(config = Config.default) ?obs net =
 
 let set_auto_redistribute t flag = t.auto_redistribute <- flag
 let auto_redistribute t = t.auto_redistribute
+let set_time_redistribution t flag = t.time_redist <- flag
+let redistribution_seconds t = t.redist_acc
 
 let net t = t.net
 let config t = t.cfg
@@ -339,6 +349,10 @@ let claim ch = { Policy.utility = ch.qos.Qos.utility; extras_granted = ch.level 
    capacity. *)
 let redistribute_flush t =
   if t.dirty_n > 0 then begin
+    let t0 = if t.time_redist then Clock.now () else 0. in
+    Fun.protect ~finally:(fun () ->
+        if t.time_redist then t.redist_acc <- t.redist_acc +. (Clock.now () -. t0))
+    @@ fun () ->
     hot_span t "drcomm.redistribute" @@ fun () ->
     let gen = next_mark t in
     let candidates = ref [] in

@@ -192,6 +192,18 @@ val admit :
 val set_auto_redistribute : t -> bool -> unit
 val auto_redistribute : t -> bool
 
+val set_time_redistribution : t -> bool -> unit
+(** Arm (or disarm) redistribution time accounting: while armed, every
+    non-empty water-filling flush adds its monotonic wall time to the
+    {!redistribution_seconds} accumulator.  Off by default — the
+    simulation paths must not pay two clock reads per churn event. *)
+
+val redistribution_seconds : t -> float
+(** Cumulative seconds spent in water-filling flushes since creation
+    (while {!set_time_redistribution} was armed).  A server differences
+    this around one dispatch to attribute the redistribution slice of a
+    request's service time (DESIGN.md §15). *)
+
 val redistribute_pending : t -> unit
 (** Water-fill the channels touching the links dirtied since the last
     pass, then clear the dirty set.  O(affected), not O(live): links

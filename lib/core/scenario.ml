@@ -289,6 +289,22 @@ let run ?obs ?snapshot (cfg : config) =
      source, all of it simulation state except the wall-clock beats. *)
   Option.iter
     (fun snap ->
+      (* Event-time SLO: an admission is good, a rejection or
+         failure-drop bad — pure simulation state.  Baselined at source
+         construction so worker-registry reuse across sweep points (the
+         counters are registry-cumulative) cannot leak into the stream;
+         the per-run deltas are byte-identical whatever [--jobs] is. *)
+      let slo =
+        let m = Obs.metrics obs in
+        let c_good = Metrics.counter m "drcomm.admits" in
+        let c_rej = Metrics.counter m "drcomm.rejects" in
+        let c_drop = Metrics.counter m "drcomm.drops" in
+        let g0 = Metrics.count c_good in
+        let b0 = Metrics.count c_rej + Metrics.count c_drop in
+        fun () ->
+          ( Metrics.count c_good - g0,
+            Metrics.count c_rej + Metrics.count c_drop - b0 )
+      in
       let source =
         {
           Snapshot.sim_time = (fun () -> Engine.now engine);
@@ -299,6 +315,7 @@ let run ?obs ?snapshot (cfg : config) =
           queue_footprint = (fun () -> Engine.footprint engine);
           hot = (fun () -> Drcomm.hot_links service ~k:5);
           counters = (fun () -> Metrics.counter_values (Obs.metrics obs));
+          slo;
         }
       in
       Snapshot.start snap source;

@@ -122,6 +122,9 @@ let time tm f =
 let timer_count tm = Stats.Welford.count tm.spans
 let timer_total tm = Stats.Welford.mean tm.spans *. float_of_int (Stats.Welford.count tm.spans)
 
+let timer_max tm =
+  if Stats.Welford.count tm.spans = 0 then 0. else Stats.Welford.max_value tm.spans
+
 let timer_quantile tm q =
   if q < 0. || q > 1. then invalid_arg "Metrics.timer_quantile: q in [0, 1]";
   let n = Array.fold_left ( + ) 0 tm.buckets in

@@ -64,6 +64,12 @@ val time : timer -> (unit -> 'a) -> 'a
 val timer_count : timer -> int
 val timer_total : timer -> float
 
+val timer_max : timer -> float
+(** Largest duration ever observed (exact, from the running stats, not
+    the histogram); [0.] on an empty timer.  Max-merges exactly across
+    {!merge_into}, so a parallel run's merged maximum is the true
+    worst case. *)
+
 val timer_quantile : timer -> float -> float
 (** Approximate duration quantile from a fixed log-bucket histogram
     (20 buckets per decade over 1 ns .. 1000 s — ~12% relative

@@ -6,6 +6,7 @@ type source = {
   queue_footprint : unit -> int;
   hot : unit -> (int * int) list;
   counters : unit -> (string * int) list;
+  slo : unit -> int * int;
 }
 
 type t = {
@@ -18,6 +19,8 @@ type t = {
   mutable seq : int;
   mutable last_events : int;
   mutable last_counters : (string * int) list;
+  mutable last_slo_good : int;
+  mutable last_slo_bad : int;
   mutable peak_live : int;
   mutable peak_queue : int;
   (* wall-clock side *)
@@ -46,6 +49,8 @@ let create ?sim_every ?wall_every ~sink () =
     seq = 0;
     last_events = 0;
     last_counters = [];
+    last_slo_good = 0;
+    last_slo_bad = 0;
     peak_live = 0;
     peak_queue = 0;
     wall_seq = 0;
@@ -65,6 +70,9 @@ let start t src =
   t.seq <- 0;
   t.last_events <- src.events ();
   t.last_counters <- src.counters ();
+  let good0, bad0 = src.slo () in
+  t.last_slo_good <- good0;
+  t.last_slo_bad <- bad0;
   t.peak_live <- 0;
   t.peak_queue <- 0;
   t.wall_seq <- 0;
@@ -111,6 +119,13 @@ let tick t =
     if live > t.peak_live then t.peak_live <- live;
     if queue > t.peak_queue then t.peak_queue <- queue;
     let counters = src.counters () in
+    let slo_good, slo_bad = src.slo () in
+    let d_good = slo_good - t.last_slo_good in
+    let d_bad = slo_bad - t.last_slo_bad in
+    let slo_burn =
+      if d_good + d_bad > 0 then float_of_int d_bad /. float_of_int (d_good + d_bad)
+      else 0.
+    in
     let ev =
       Trace.Snapshot
         {
@@ -125,11 +140,16 @@ let tick t =
           peak_queue = t.peak_queue;
           hot = src.hot ();
           counters = counter_deltas ~prev:t.last_counters ~cur:counters;
+          slo_good;
+          slo_bad;
+          slo_burn;
         }
     in
     t.seq <- t.seq + 1;
     t.last_events <- events;
     t.last_counters <- counters;
+    t.last_slo_good <- slo_good;
+    t.last_slo_bad <- slo_bad;
     emit t ~time:(src.sim_time ()) ev
 
 let wall_tick t =

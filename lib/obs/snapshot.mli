@@ -26,6 +26,12 @@ type source = {
   hot : unit -> (int * int) list;  (** hottest links, hottest first. *)
   counters : unit -> (string * int) list;
       (** name-sorted cumulative registry counters. *)
+  slo : unit -> int * int;
+      (** cumulative SLO [(good, bad)] request counts for this run.
+          The emitter differences successive reads into the snapshot's
+          rolling burn rate; counts must be per-run (not
+          registry-cumulative) so the stream stays byte-identical
+          across worker-pool widths.  [(0, 0)] when no SLO applies. *)
 }
 
 type t

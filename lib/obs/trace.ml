@@ -23,6 +23,15 @@ type event =
       major_words : float;
     }
   | Note of { name : string; fields : (string * Jsonx.t) list }
+  | Req_begin of { rid : int; verb : string }
+  | Req_stage of { rid : int; stage : string; seconds : float }
+  | Req_end of { rid : int; verb : string; ok : bool; total_s : float }
+  | Req_client of {
+      rid : int;
+      verb : string;
+      sched_s : float;
+      latency_s : float;
+    }
   | Snapshot of {
       seq : int;
       events : int;
@@ -35,6 +44,9 @@ type event =
       peak_queue : int;
       hot : (int * int) list;
       counters : (string * int) list;
+      slo_good : int;
+      slo_bad : int;
+      slo_burn : float;
     }
   | Heartbeat of {
       seq : int;
@@ -64,6 +76,10 @@ let kind = function
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
   | Note _ -> "note"
+  | Req_begin _ -> "req_begin"
+  | Req_stage _ -> "req_stage"
+  | Req_end _ -> "req_end"
+  | Req_client _ -> "req_client"
   | Snapshot _ -> "snapshot"
   | Heartbeat _ -> "heartbeat"
 
@@ -112,6 +128,28 @@ let fields = function
       ("major_words", Jsonx.Float major_words);
     ]
   | Note { name; fields } -> ("name", Jsonx.String name) :: fields
+  | Req_begin { rid; verb } ->
+    [ ("rid", Jsonx.Int rid); ("verb", Jsonx.String verb) ]
+  | Req_stage { rid; stage; seconds } ->
+    [
+      ("rid", Jsonx.Int rid);
+      ("stage", Jsonx.String stage);
+      ("seconds", Jsonx.Float seconds);
+    ]
+  | Req_end { rid; verb; ok; total_s } ->
+    [
+      ("rid", Jsonx.Int rid);
+      ("verb", Jsonx.String verb);
+      ("ok", Jsonx.Bool ok);
+      ("total_s", Jsonx.Float total_s);
+    ]
+  | Req_client { rid; verb; sched_s; latency_s } ->
+    [
+      ("rid", Jsonx.Int rid);
+      ("verb", Jsonx.String verb);
+      ("sched_s", Jsonx.Float sched_s);
+      ("latency_s", Jsonx.Float latency_s);
+    ]
   | Snapshot
       {
         seq;
@@ -125,6 +163,9 @@ let fields = function
         peak_queue;
         hot;
         counters;
+        slo_good;
+        slo_bad;
+        slo_burn;
       } ->
     [
       ("seq", Jsonx.Int seq);
@@ -142,6 +183,9 @@ let fields = function
              (fun (key, cnt) -> Jsonx.List [ Jsonx.Int key; Jsonx.Int cnt ])
              hot) );
       ("counters", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) counters));
+      ("slo_good", Jsonx.Int slo_good);
+      ("slo_bad", Jsonx.Int slo_bad);
+      ("slo_burn", Jsonx.Float slo_burn);
     ]
   | Heartbeat { seq; wall_s; d_events; ops_per_s; minor_words; major_words; heap_words }
     ->
@@ -241,6 +285,27 @@ let of_json doc =
       let* minor_words = num "minor_words" in
       let* major_words = num "major_words" in
       Ok (Span_end { name; wall_s; total_s; self_s; minor_words; major_words })
+    | "req_begin" ->
+      let* rid = int "rid" in
+      let* verb = str "verb" in
+      Ok (Req_begin { rid; verb })
+    | "req_stage" ->
+      let* rid = int "rid" in
+      let* stage = str "stage" in
+      let* seconds = num "seconds" in
+      Ok (Req_stage { rid; stage; seconds })
+    | "req_end" ->
+      let* rid = int "rid" in
+      let* verb = str "verb" in
+      let* ok = bool "ok" in
+      let* total_s = num "total_s" in
+      Ok (Req_end { rid; verb; ok; total_s })
+    | "req_client" ->
+      let* rid = int "rid" in
+      let* verb = str "verb" in
+      let* sched_s = num "sched_s" in
+      let* latency_s = num "latency_s" in
+      Ok (Req_client { rid; verb; sched_s; latency_s })
     | "snapshot" ->
       let int_list name =
         field name (function
@@ -293,6 +358,16 @@ let of_json doc =
       let* peak_queue = int "peak_queue" in
       let* hot = pair_list "hot" in
       let* counters = counter_obj "counters" in
+      (* SLO fields arrived with request tracing (DESIGN.md §15); they
+         default to zero so pre-tracing recorded streams still replay. *)
+      let opt_or default read name =
+        match Jsonx.member name doc with
+        | None -> Ok default
+        | Some _ -> read name
+      in
+      let* slo_good = opt_or 0 int "slo_good" in
+      let* slo_bad = opt_or 0 int "slo_bad" in
+      let* slo_burn = opt_or 0. num "slo_burn" in
       Ok
         (Snapshot
            {
@@ -307,6 +382,9 @@ let of_json doc =
              peak_queue;
              hot;
              counters;
+             slo_good;
+             slo_bad;
+             slo_burn;
            })
     | "heartbeat" ->
       let* seq = int "seq" in
@@ -363,6 +441,10 @@ let all_samples =
         major_words = 128.;
       };
     Note { name = "custom"; fields = [ ("k", Jsonx.Int 7) ] };
+    Req_begin { rid = 42; verb = "admit" };
+    Req_stage { rid = 42; stage = "service"; seconds = 0.0025 };
+    Req_end { rid = 42; verb = "admit"; ok = true; total_s = 0.004 };
+    Req_client { rid = 42; verb = "admit"; sched_s = 1.25; latency_s = 0.006 };
     Snapshot
       {
         seq = 2;
@@ -376,6 +458,9 @@ let all_samples =
         peak_queue = 12;
         hot = [ (17, 120); (3, 99) ];
         counters = [ ("drcomm.admits", 40); ("engine.events", 300) ];
+        slo_good = 38;
+        slo_bad = 2;
+        slo_burn = 0.05;
       };
     Heartbeat
       {

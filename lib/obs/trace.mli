@@ -47,6 +47,29 @@ type event =
     }
   | Note of { name : string; fields : (string * Jsonx.t) list }
       (** Escape hatch for component-specific events. *)
+  | Req_begin of { rid : int; verb : string }
+      (** A served request entered dispatch.  [rid] is the propagated
+          trace context id (client-assigned, non-negative) or a
+          server-assigned negative id for untraced requests. *)
+  | Req_stage of { rid : int; stage : string; seconds : float }
+      (** One stage of a served request ({!Reqtrace.stage_name}:
+          queue/parse/service/redistribute/write).  Durations, not
+          timestamps, so records from different processes join. *)
+  | Req_end of { rid : int; verb : string; ok : bool; total_s : float }
+      (** Request completed; [total_s] is the sum of its stage
+          durations, [ok] false for error replies. *)
+  | Req_client of {
+      rid : int;
+      verb : string;
+      sched_s : float;  (** scheduled due time within the replay. *)
+      latency_s : float;
+          (** scheduled-due → completion on the client's monotonic
+              clock (coordinated-omission-safe). *)
+    }
+      (** The client-side record of one traced request; joins against
+          the server's [Req_*] records on [rid] — the difference
+          between [latency_s] and the server's stage sum is network +
+          socket-queue time. *)
   | Snapshot of {
       seq : int;  (** per-emitter sequence number, from 0. *)
       events : int;  (** engine events dispatched so far. *)
@@ -63,6 +86,12 @@ type event =
       counters : (string * int) list;
           (** metrics-registry counter deltas since the previous
               snapshot, name-sorted, zero deltas omitted. *)
+      slo_good : int;  (** cumulative requests that met the SLO. *)
+      slo_bad : int;  (** cumulative requests that missed it. *)
+      slo_burn : float;
+          (** bad fraction over the interval since the previous
+              snapshot ([d_bad / (d_good + d_bad)]; 0 when idle) — the
+              rolling burn rate. *)
     }
       (** Periodic event-time heartbeat ({!Snapshot} module).  Every
           field derives from simulation state only, so equal runs emit

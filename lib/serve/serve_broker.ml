@@ -10,6 +10,9 @@ type t = {
   err_counter : Metrics.counter;
   mutable snap : Snapshot.t;
   mutable snap_last : string option;
+  (* The server's request tracer owns the SLO counts; the broker only
+     forwards them into its snapshot source.  Default: no SLO. *)
+  mutable slo_fn : unit -> int * int;
 }
 
 let create ?config ?obs net =
@@ -26,12 +29,16 @@ let create ?config ?obs net =
       err_counter = Obs.counter obs "serve.errors";
       snap = Snapshot.create ~sink:ignore ();
       snap_last = None;
+      slo_fn = (fun () -> (0, 0));
     }
   in
   (* Trace timestamps and snapshot sim_time advance with the request
      stream: byte-reproducible for equal request sequences, unlike a
      wall clock. *)
   Obs.set_clock obs (fun () -> float_of_int t.requests);
+  (* Request tracing wants the redistribution slice of each dispatch;
+     two clock reads per churn event are noise next to socket I/O. *)
+  Drcomm.set_time_redistribution service true;
   t
 
 let service t = t.service
@@ -55,7 +62,10 @@ let snapshot_source t =
     queue_footprint = (fun () -> 0);
     hot = (fun () -> Drcomm.hot_links t.service ~k:5);
     counters = (fun () -> Metrics.counter_values (Obs.metrics t.obs));
+    slo = (fun () -> t.slo_fn ());
   }
+
+let set_slo_source t fn = t.slo_fn <- fn
 
 let node_count t = Graph.node_count (Net_state.graph t.net)
 let edge_count t = Graph.edge_count (Net_state.graph t.net)
@@ -189,6 +199,21 @@ let dispatch t req =
   | Serve_proto.Error_reply _ -> Metrics.incr t.err_counter
   | _ -> ());
   resp
+
+(* Dispatch plus the stage split request tracing needs: total dispatch
+   time, the redistribution slice inside it (differenced off the
+   service's armed accumulator), and the remainder as pure service
+   time.  Clamped — the accumulator and the outer clock are read at
+   slightly different instants. *)
+let dispatch_timed t req =
+  let r0 = Drcomm.redistribution_seconds t.service in
+  let t0 = Clock.now () in
+  let resp = dispatch t req in
+  let total = Clock.now () -. t0 in
+  let redist_s =
+    Float.max 0. (Float.min total (Drcomm.redistribution_seconds t.service -. r0))
+  in
+  (resp, Float.max 0. (total -. redist_s), redist_s)
 
 (* The snapshot emitter's sink writes [snap_last], which needs the
    record — finish initialisation here, in place (the sink and clock

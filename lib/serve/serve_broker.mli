@@ -30,6 +30,19 @@ val dispatch : t -> Serve_proto.request -> Serve_proto.response
     unknown channels, out-of-range nodes/edges and rejected admissions
     come back as [Error_reply] / [Admit_rejected] / [accepted = false]. *)
 
+val dispatch_timed :
+  t -> Serve_proto.request -> Serve_proto.response * float * float
+(** {!dispatch} plus the stage split for request tracing:
+    [(response, service_s, redistribute_s)] where [redistribute_s] is
+    the water-filling slice of the dispatch (differenced off the
+    service's redistribution accumulator) and [service_s] the
+    remainder.  Both non-negative; their sum is the dispatch's wall
+    time on the monotonic clock. *)
+
+val set_slo_source : t -> (unit -> int * int) -> unit
+(** Point the snapshot source's [slo] accessor at the server's request
+    tracer ({!Reqtrace.slo_counts}); defaults to [(0, 0)]. *)
+
 val live_channels : t -> int list
 (** Sorted wire ids of the live connections (for {!Serve_proto.request_of_op}). *)
 

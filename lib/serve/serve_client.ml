@@ -54,11 +54,12 @@ let close t =
     | exception Unix.Unix_error (_, _, _) -> ()
   end
 
-let request t req =
+let request ?trace t req =
   if t.closed then failwith "Serve_client.request: connection closed";
   let id = t.next_id in
   t.next_id <- id + 1;
-  output_string t.oc (Jsonx.to_string (Serve_proto.request_to_json ~id req));
+  output_string t.oc
+    (Jsonx.to_string (Serve_proto.request_to_json ?trace ~id req));
   output_char t.oc '\n';
   flush t.oc;
   let rec await () =

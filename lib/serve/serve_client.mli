@@ -17,10 +17,12 @@ val connect :
     daemon that is still binding its socket.  Raises [Unix.Unix_error]
     when every attempt fails. *)
 
-val request : t -> Serve_proto.request -> Serve_proto.response
-(** Send one request and wait for its reply.  Raises [Failure] on a
-    closed or protocol-violating connection (EOF before the reply, reply
-    id mismatch, undecodable line). *)
+val request : ?trace:Reqtrace.ctx -> t -> Serve_proto.request -> Serve_proto.response
+(** Send one request and wait for its reply.  [?trace] stamps the line
+    with a request-tracing context (see {!Serve_proto.request_to_json})
+    so the server's stage records join this client's latency record by
+    rid.  Raises [Failure] on a closed or protocol-violating connection
+    (EOF before the reply, reply id mismatch, undecodable line). *)
 
 val pushes : t -> Jsonx.t list
 (** Drain the queued pushed lines, oldest first. *)

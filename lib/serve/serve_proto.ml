@@ -118,7 +118,43 @@ let request_verb = function
   | Ping -> "ping"
   | Shutdown -> "shutdown"
 
-let request_to_json ~id req =
+(* A small-int key per verb, for the [req.slow_verbs] heavy-hitter
+   sketch (its keys are ints).  Order matches the [request] type. *)
+let request_index = function
+  | Admit _ -> 0
+  | Teardown _ -> 1
+  | Change_qos _ -> 2
+  | Fail _ -> 3
+  | Repair _ -> 4
+  | Set_auto _ -> 5
+  | Redistribute -> 6
+  | Stats -> 7
+  | Snapshot -> 8
+  | Metrics -> 9
+  | Subscribe _ -> 10
+  | Ping -> 11
+  | Shutdown -> 12
+
+let verb_of_index = function
+  | 0 -> "admit"
+  | 1 -> "teardown"
+  | 2 -> "chqos"
+  | 3 -> "fail"
+  | 4 -> "repair"
+  | 5 -> "auto"
+  | 6 -> "redistribute"
+  | 7 -> "stats"
+  | 8 -> "snapshot"
+  | 9 -> "metrics"
+  | 10 -> "subscribe"
+  | 11 -> "ping"
+  | 12 -> "shutdown"
+  | 13 -> "undecodable"
+  | i -> Printf.sprintf "verb#%d" i
+
+let undecodable_index = 13
+
+let request_to_json ?trace ~id req =
   let fields =
     match req with
     | Admit { src; dst; qos } ->
@@ -132,8 +168,33 @@ let request_to_json ~id req =
     | Subscribe `Heartbeat -> [ ("stream", Jsonx.String "heartbeat") ]
     | Redistribute | Stats | Snapshot | Metrics | Ping | Shutdown -> []
   in
+  let fields =
+    match trace with
+    | None -> fields
+    | Some { Reqtrace.rid; t_sched } ->
+      fields
+      @ [
+          ( "trace",
+            Jsonx.Obj
+              [ ("rid", Jsonx.Int rid); ("t_sched", Jsonx.Float t_sched) ] );
+        ]
+  in
   Jsonx.Obj
     (("id", Jsonx.Int id) :: ("req", Jsonx.String (request_verb req)) :: fields)
+
+(* Separate from {!request_of_json} so the request codec's signature
+   (and every exhaustive test over it) is untouched: old clients simply
+   never send the field, old servers ignore it. *)
+let trace_ctx_of_json doc =
+  match Jsonx.member "trace" doc with
+  | None -> None
+  | Some tr -> (
+    match
+      ( Option.bind (Jsonx.member "rid" tr) Jsonx.to_int,
+        Option.bind (Jsonx.member "t_sched" tr) Jsonx.to_float )
+    with
+    | Some rid, Some t_sched when rid >= 0 -> Some { Reqtrace.rid; t_sched }
+    | _ -> None)
 
 let request_of_json doc =
   let* id = int_field doc "id" in

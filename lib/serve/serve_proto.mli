@@ -74,8 +74,35 @@ val max_levels : int
 (** Upper bound on [Qos.levels] accepted from the wire (the broker's
     level histogram is sized to it). *)
 
-val request_to_json : id:int -> request -> Jsonx.t
+val request_to_json : ?trace:Reqtrace.ctx -> id:int -> request -> Jsonx.t
+(** [?trace] appends the optional request-tracing context as a
+    [{"trace":{"rid":N,"t_sched":S}}] field — backward compatible: old
+    servers ignore unknown fields, old clients never send it. *)
+
 val request_of_json : Jsonx.t -> (int * request, string) result
+
+val trace_ctx_of_json : Jsonx.t -> Reqtrace.ctx option
+(** The request line's tracing context, if it carries a well-formed one
+    ([rid] must be a non-negative integer — negative rids are the
+    server's own namespace).  Malformed [trace] fields read as [None]
+    rather than poisoning the request: tracing is best-effort metadata,
+    never a reason to reject a decodable request. *)
+
+val request_verb : request -> string
+(** The wire verb of a request — the same string its JSONL line's
+    ["req"] field carries. *)
+
+val request_index : request -> int
+(** A dense small-int key per verb (order of the [request] type), for
+    int-keyed sketches; {!undecodable_index} extends it with the
+    pseudo-verb for undecodable lines. *)
+
+val verb_of_index : int -> string
+(** Inverse of {!request_index} ∪ {!undecodable_index}; out-of-range
+    indices print as ["verb#N"]. *)
+
+val undecodable_index : int
+(** The pseudo-verb index the server charges undecodable lines to. *)
 
 val response_to_json : id:int -> response -> Jsonx.t
 val response_of_json : Jsonx.t -> (int * response, string) result

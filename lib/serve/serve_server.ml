@@ -9,11 +9,19 @@ type conn = {
   mutable want_trace : bool;
   mutable want_heartbeat : bool;
   mutable alive : bool;
+  (* When [select] marked this fd readable: the start of the queue
+     stage.  Lines drained later out of the same chunk correctly charge
+     the earlier lines' processing time to their queue wait. *)
+  mutable ready_at : float;
 }
 
 type state = {
   listen_fd : Unix.file_descr;
   broker : Serve_broker.t;
+  reqtrace : Reqtrace.t;
+  c_reaped : Metrics.counter;
+  c_undecodable : Metrics.counter;
+  mutable anon_rids : int; (* server-assigned rids for untraced requests *)
   mutable conns : conn list;
   mutable running : bool;
   log : string -> unit;
@@ -72,9 +80,9 @@ let close_conn t conn =
   | exception Unix.Unix_error (_, _, _) -> ());
   t.log (Printf.sprintf "serve: %s disconnected" conn.peer)
 
-(* One parsed request line.  Subscribe and shutdown are connection-level
-   — everything else goes through the broker. *)
-let handle_request t conn id (req : Serve_proto.request) =
+(* Subscribe and shutdown are connection-level — everything else goes
+   through the broker. *)
+let connection_response t conn (req : Serve_proto.request) =
   match req with
   | Serve_proto.Subscribe stream ->
     let name =
@@ -86,30 +94,84 @@ let handle_request t conn id (req : Serve_proto.request) =
         conn.want_heartbeat <- true;
         "heartbeat"
     in
-    send_json conn
-      (Serve_proto.response_to_json ~id (Serve_proto.Subscribed { stream = name }))
+    Some (Serve_proto.Subscribed { stream = name })
   | Serve_proto.Shutdown ->
-    send_json conn (Serve_proto.response_to_json ~id Serve_proto.Shutting_down);
-    t.running <- false
-  | _ ->
-    let resp = Serve_broker.dispatch t.broker req in
-    send_json conn (Serve_proto.response_to_json ~id resp)
+    t.running <- false;
+    Some Serve_proto.Shutting_down
+  | Serve_proto.Admit _ | Serve_proto.Teardown _ | Serve_proto.Change_qos _
+  | Serve_proto.Fail _ | Serve_proto.Repair _ | Serve_proto.Set_auto _
+  | Serve_proto.Redistribute | Serve_proto.Stats | Serve_proto.Snapshot
+  | Serve_proto.Metrics | Serve_proto.Ping ->
+    None
 
+let record_request t ~ctx ~verb ~verb_index ~ok ~queue_s ~parse_s ~service_s
+    ~redist_s ~write_s =
+  let rid =
+    match ctx with
+    | Some { Reqtrace.rid; _ } -> rid
+    | None ->
+      (* Untraced requests get server-assigned rids in the negative
+         namespace, so they never collide with client-assigned ones. *)
+      t.anon_rids <- t.anon_rids + 1;
+      -t.anon_rids
+  in
+  let stages =
+    [
+      (Reqtrace.Queue, queue_s);
+      (Reqtrace.Parse, parse_s);
+      (Reqtrace.Service, service_s);
+      (Reqtrace.Redistribute, redist_s);
+      (Reqtrace.Write, write_s);
+    ]
+  in
+  let total_s = queue_s +. parse_s +. service_s +. redist_s +. write_s in
+  Reqtrace.observe t.reqtrace ~rid ~verb ~verb_index ~ok ~stages ~total_s
+
+(* One request line, decomposed into the five-stage anatomy on the
+   monotonic clock: queue (readable -> here), parse, service (broker
+   dispatch minus redistribution), redistribute, write (reply framing).
+   Undecodable lines get the full treatment too — the protocol reserves
+   reply id 0 for them, and they are charged to the [undecodable]
+   pseudo-verb so a misbehaving client shows up in the anatomy. *)
 let handle_line t conn line =
-  if String.trim line <> "" then
-    match Jsonx.of_string line with
-    | exception Jsonx.Parse_error msg ->
-      (* No id to echo — the protocol reserves 0 for undecodable lines. *)
+  if String.trim line <> "" then begin
+    let t_start = Clock.now () in
+    let queue_s = Float.max 0. (t_start -. conn.ready_at) in
+    let decoded =
+      match Jsonx.of_string line with
+      | exception Jsonx.Parse_error msg -> Error ("parse error: " ^ msg)
+      | doc -> (
+        match Serve_proto.request_of_json doc with
+        | Error msg -> Error msg
+        | Ok (id, req) -> Ok (id, req, Serve_proto.trace_ctx_of_json doc))
+    in
+    let parse_s = Float.max 0. (Clock.now () -. t_start) in
+    match decoded with
+    | Error message ->
+      Metrics.incr t.c_undecodable;
+      let t_w0 = Clock.now () in
       send_json conn
-        (Serve_proto.response_to_json ~id:0
-           (Serve_proto.Error_reply { message = "parse error: " ^ msg }))
-    | doc -> (
-      match Serve_proto.request_of_json doc with
-      | Error msg ->
-        send_json conn
-          (Serve_proto.response_to_json ~id:0
-             (Serve_proto.Error_reply { message = msg }))
-      | Ok (id, req) -> handle_request t conn id req)
+        (Serve_proto.response_to_json ~id:0 (Serve_proto.Error_reply { message }));
+      let write_s = Float.max 0. (Clock.now () -. t_w0) in
+      record_request t ~ctx:None ~verb:"undecodable"
+        ~verb_index:Serve_proto.undecodable_index ~ok:false ~queue_s ~parse_s
+        ~service_s:0. ~redist_s:0. ~write_s
+    | Ok (id, req, ctx) ->
+      let resp, service_s, redist_s =
+        match connection_response t conn req with
+        | Some resp -> (resp, 0., 0.)
+        | None -> Serve_broker.dispatch_timed t.broker req
+      in
+      let ok =
+        match resp with Serve_proto.Error_reply _ -> false | _ -> true
+      in
+      let t_w0 = Clock.now () in
+      send_json conn (Serve_proto.response_to_json ~id resp);
+      let write_s = Float.max 0. (Clock.now () -. t_w0) in
+      record_request t ~ctx ~verb:(Serve_proto.request_verb req)
+        ~verb_index:(Serve_proto.request_index req) ~ok ~queue_s ~parse_s
+        ~service_s ~redist_s ~write_s
+  end
 
 (* Drain every complete line out of the connection's input buffer. *)
 let drain_lines t conn =
@@ -155,14 +217,15 @@ let accept_conn t =
         want_trace = false;
         want_heartbeat = false;
         alive = true;
+        ready_at = Clock.now ();
       }
     in
     t.conns <- conn :: t.conns;
     t.log (Printf.sprintf "serve: accepted %s" conn.peer)
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
-let run ?config ?(wall_every = 1.0) ?backlog ?(log = ignore) (addr : address) net
-    =
+let run ?config ?(wall_every = 1.0) ?backlog ?slo ?trace_file ?slow_dir
+    ?(log = ignore) (addr : address) net =
   if wall_every <= 0. then invalid_arg "Serve_server.run: wall_every <= 0";
   (* A subscriber that disappears mid-broadcast must not kill the
      daemon with SIGPIPE; [send] handles the EPIPE instead. *)
@@ -170,26 +233,75 @@ let run ?config ?(wall_every = 1.0) ?backlog ?(log = ignore) (addr : address) ne
    with Invalid_argument _ -> ());
   let listen_fd = bind_listener ?backlog addr in
   (* The server owns its observability context: the tracer's sink
-     broadcasts events to subscribed connections as they happen, the
-     metrics registry backs the [metrics] request. *)
+     broadcasts events to subscribed connections as they happen (and
+     tees to [trace_file] when given), the metrics registry backs the
+     [metrics] request. *)
   let t_ref = ref None in
+  let trace_oc = Option.map open_out trace_file in
   let trace_sink =
     {
       Trace.emit =
         (fun time ev ->
+          let line = Jsonx.to_string (Trace.to_json ~time ev) in
+          (match trace_oc with
+          | Some oc ->
+            output_string oc line;
+            output_char oc '\n'
+          | None -> ());
           match !t_ref with
           | None -> ()
-          | Some t ->
-            let line = Jsonx.to_string (Trace.to_json ~time ev) in
-            broadcast t (fun c -> c.want_trace) line);
-      close = (fun () -> ());
+          | Some t -> broadcast t (fun c -> c.want_trace) line);
+      close = (fun () -> Option.iter close_out trace_oc);
     }
   in
+  (* A flight ring rides along when slow-request dumps are wanted: each
+     exemplar dump then carries the events preceding the slow request,
+     not just its own breakdown. *)
+  let flight =
+    match slow_dir with None -> None | Some _ -> Some (Flight.create ())
+  in
   let obs =
-    Obs.create ~metrics:(Metrics.create ()) ~trace:(Trace.create trace_sink) ()
+    Obs.create ~metrics:(Metrics.create ())
+      ~trace:(Trace.create trace_sink) ?flight ()
   in
   let broker = Serve_broker.create ?config ~obs net in
-  let t = { listen_fd; broker; conns = []; running = true; log } in
+  (match slow_dir with
+  | None -> ()
+  | Some dir -> (
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
+  (* Slow-request exemplars: the breakdown lands in the trace as a
+     [slow_request] note; the first few also dump the flight ring so
+     the events leading up to the miss are preserved. *)
+  let slow_dumped = ref 0 in
+  let on_exemplar ex =
+    Obs.event obs (Reqtrace.exemplar_note ex);
+    match slow_dir with
+    | Some dir when !slow_dumped < 8 ->
+      incr slow_dumped;
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "slow_%d.jsonl" (abs ex.Reqtrace.ex_rid))
+      in
+      Flight.dump_to_file (Obs.flight obs) path
+    | Some _ | None -> ()
+  in
+  let reqtrace = Reqtrace.create ?slo ~on_exemplar obs in
+  Serve_broker.set_slo_source broker (fun () -> Reqtrace.slo_counts reqtrace);
+  let t =
+    {
+      listen_fd;
+      broker;
+      reqtrace;
+      c_reaped = Obs.counter obs "serve.reaped";
+      c_undecodable = Obs.counter obs "serve.undecodable";
+      anon_rids = 0;
+      conns = [];
+      running = true;
+      log;
+    }
+  in
   t_ref := Some t;
   (* Wall heartbeats: the Snapshot emitter pushes Trace.Heartbeat lines
      to subscribed connections on a monotonic cadence. *)
@@ -215,15 +327,22 @@ let run ?config ?(wall_every = 1.0) ?backlog ?(log = ignore) (addr : address) ne
     (match Unix.select fds [] [] timeout with
     | readable, _, _ ->
       if List.mem listen_fd readable then accept_conn t;
+      let became_ready = Clock.now () in
       List.iter
         (fun conn ->
-          if t.running && conn.alive && List.memq conn.fd readable then
-            read_chunk t conn scratch)
+          if t.running && conn.alive && List.memq conn.fd readable then begin
+            conn.ready_at <- became_ready;
+            read_chunk t conn scratch
+          end)
         t.conns
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     let dead, live = List.partition (fun c -> not c.alive) t.conns in
     t.conns <- live;
-    List.iter (close_conn t) dead
+    List.iter
+      (fun c ->
+        Metrics.incr t.c_reaped;
+        close_conn t c)
+      dead
   done;
   List.iter (close_conn t) t.conns;
   t.conns <- [];
@@ -231,6 +350,8 @@ let run ?config ?(wall_every = 1.0) ?backlog ?(log = ignore) (addr : address) ne
   | () -> ()
   | exception Unix.Unix_error (_, _, _) -> ());
   (match addr with `Unix path -> unlink_quietly path | `Tcp _ -> ());
+  (* Flush the trace tee (the tracer's close is idempotent). *)
+  Obs.close obs;
   log (Printf.sprintf "serve: shut down after %d requests"
          (Serve_broker.requests broker));
   Serve_broker.requests broker

@@ -25,6 +25,9 @@ val run :
   ?config:Drcomm.Config.t ->
   ?wall_every:float ->
   ?backlog:int ->
+  ?slo:float ->
+  ?trace_file:string ->
+  ?slow_dir:string ->
   ?log:(string -> unit) ->
   address ->
   Net_state.t ->
@@ -34,4 +37,17 @@ val run :
     heartbeat cadence for subscribed connections.  [log] (default
     silent) receives one human-readable line per lifecycle event —
     binds, accepts, disconnects; the server never writes to stdout
-    itself.  Raises [Unix.Unix_error] when the socket cannot be bound. *)
+    itself.  Raises [Unix.Unix_error] when the socket cannot be bound.
+
+    {b Request tracing} (DESIGN.md §15).  Every request — decodable or
+    not — is decomposed into queue/parse/service/redistribute/write
+    stage durations on the monotonic clock and fed to a {!Reqtrace}
+    recorder: per-stage [req.*] timers in the metrics registry, the
+    [req.slow_verbs] sketch, and [Req_begin]/[Req_stage]/[Req_end]
+    trace events for subscribers.  [trace_file] tees the full trace
+    stream to a JSONL file (closed on shutdown).  [slo] (seconds) arms
+    SLO counting — good/bad totals and a rolling burn rate ride the
+    snapshot heartbeats — and emits a [slow_request] note per miss;
+    with [slow_dir] (created if missing) the first few misses also dump
+    a flight-recorder ring of the events preceding them to
+    [slow_<rid>.jsonl] files there. *)

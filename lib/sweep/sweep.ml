@@ -59,8 +59,9 @@ type open_loop_report = {
   max_lag_s : float;
 }
 
-let open_loop ?jobs ?obs ?(timer = "open_loop.latency") ~arrivals ~worker
-    ?(finish = fun _ -> ()) f =
+let open_loop ?jobs ?obs ?(timer = "open_loop.latency")
+    ?(on_complete = fun _ _ -> ()) ~arrivals ~worker ?(finish = fun _ -> ())
+    f =
   let obs = match obs with Some o -> o | None -> Obs.default () in
   let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
   if jobs < 1 then invalid_arg "Sweep.open_loop: jobs must be >= 1";
@@ -99,7 +100,9 @@ let open_loop ?jobs ?obs ?(timer = "open_loop.latency") ~arrivals ~worker
             (* Open-loop latency: completion minus the *scheduled* due
                time, so backlog behind a slow target is charged to the
                operations that queued, not hidden by a slipped start. *)
-            Metrics.observe tm (Clock.now () -. t0 -. due);
+            let latency = Clock.now () -. t0 -. due in
+            Metrics.observe tm latency;
+            on_complete !i latency;
             i := !i + workers
           done)
     in

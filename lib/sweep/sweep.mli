@@ -65,6 +65,7 @@ val open_loop :
   ?jobs:int ->
   ?obs:Obs.t ->
   ?timer:string ->
+  ?on_complete:(int -> float -> unit) ->
   arrivals:float array ->
   worker:(int -> 'w) ->
   ?finish:('w -> unit) ->
@@ -90,6 +91,12 @@ val open_loop :
     operations that queued.  Forks merge back into [obs] after the join
     — read the percentiles off [obs]'s registry with
     {!Metrics.timer_quantile}.
+
+    [on_complete i latency] (default no-op) fires after each operation
+    with its global index and that same open-loop latency, {e in the
+    worker's domain} — callers recording per-operation data must give
+    it domain-safe storage (e.g. a pre-sized array cell per index, as
+    the load generator's request-tracing log does).
 
     Worker exceptions behave as in {!map}: every domain drains its
     slice, forks are merged, then the lowest-worker-index exception is

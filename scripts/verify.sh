@@ -215,5 +215,54 @@ scripts/perf_diff.sh bench/baselines/BENCH_serve.json \
   exit 1
 }
 
+step "serve tracing gate: stage anatomy joins, --check, tracing-on overhead"
+# Same smoke, tracing on end to end: the daemon decomposes every
+# request into stages (--trace) with an SLO tracker and slow-request
+# flight dumps, the load generator stamps trace contexts and logs its
+# client half, and `latency --check` must find the two streams
+# consistent and joinable.  The perf_diff against the tracing-off
+# record above enforces the <= 5% tracing-on overhead budget
+# (DESIGN.md §15); both runs are paced by the same open-loop schedule,
+# so wall time only moves if tracing leaks into the hot path.
+trace_sock="$tmpdir/verify-trace.sock"
+"$cli" serve --socket "$trace_sock" --nodes 100 --seed 3 \
+  --slo 0.05 --trace "$tmpdir/server-trace.jsonl" \
+  --slow-dir "$tmpdir/slow" > "$tmpdir/serve-trace.log" 2>&1 &
+trace_pid=$!
+trap 'rm -rf "$tmpdir"; kill "$serve_pid" "$trace_pid" 2>/dev/null || true' EXIT
+"$cli" loadgen --socket "$trace_sock" --quick --nodes 100 --jobs 4 \
+  --fail-edges 8 --trace "$tmpdir/client-trace.jsonl" --slo 0.05 \
+  --out "$tmpdir/serve-trace-bench" --shutdown || {
+  echo "FAIL: tracing-on loadgen --quick (log below)" >&2
+  cat "$tmpdir/serve-trace.log" >&2
+  exit 1
+}
+wait "$trace_pid" || {
+  echo "FAIL: tracing-on serve daemon exited non-zero after shutdown" >&2
+  cat "$tmpdir/serve-trace.log" >&2
+  exit 1
+}
+dune exec bin/drqos_cli.exe -- latency "$tmpdir/server-trace.jsonl" \
+  "$tmpdir/client-trace.jsonl" --check || {
+  echo "FAIL: latency --check rejected the tracing-on serve run" >&2
+  exit 1
+}
+grep -q '"stage_p99_s"' "$tmpdir/serve-trace-bench/BENCH_serve.json" || {
+  echo "FAIL: tracing-on BENCH_serve.json carries no stage_p99_s record" >&2
+  exit 1
+}
+scripts/perf_diff.sh "$tmpdir/serve-bench/BENCH_serve.json" \
+  "$tmpdir/serve-trace-bench/BENCH_serve.json" --max-regress 5 || {
+  echo "FAIL: tracing-on serve smoke exceeded the 5% overhead budget" >&2
+  exit 1
+}
+# Per-stage p99 deltas vs the committed tracing-on baseline (printed by
+# perfdiff; informational columns plus the generous wall gate).
+scripts/perf_diff.sh bench/baselines/BENCH_serve.json \
+  "$tmpdir/serve-trace-bench/BENCH_serve.json" --max-regress 0 || {
+  echo "FAIL: tracing-on quick wall time exceeded the 10^5-request baseline" >&2
+  exit 1
+}
+
 echo
 echo "verify: OK"

@@ -360,6 +360,9 @@ let snap ~t ~seq ~events ~d_events ~live =
         peak_queue = 1;
         hot = [ (3, d_events) ];
         counters = [ ("drcomm.admitted", d_events) ];
+        slo_good = d_events;
+        slo_bad = 0;
+        slo_burn = 0.;
       } )
 
 let beat ~t ~seq ~wall_s =
@@ -482,6 +485,123 @@ let test_perfetto_counter_events () =
          && get "name" ev = Some (Jsonx.String "heartbeat"))
        evs)
 
+(* --- Request anatomy --- *)
+
+let req_trio ~t ~rid ~verb ?(ok = true) stages =
+  let total_s = List.fold_left (fun acc (_, s) -> acc +. s) 0. stages in
+  ((t, Trace.Req_begin { rid; verb })
+  :: List.map (fun (stage, seconds) -> (t, Trace.Req_stage { rid; stage; seconds })) stages)
+  @ [ (t, Trace.Req_end { rid; verb; ok; total_s }) ]
+
+let test_request_views () =
+  let stages rid =
+    [
+      ("queue", 0.001 *. float_of_int rid);
+      ("parse", 0.0001);
+      ("service", 0.01);
+      ("redistribute", 0.002);
+      ("write", 0.0005);
+    ]
+  in
+  let events =
+    List.concat_map
+      (fun rid -> req_trio ~t:(float_of_int rid) ~rid ~verb:"admit" (stages rid))
+      [ 1; 2; 3 ]
+    @ [
+        ( 4.,
+          Trace.Req_client
+            { rid = 2; verb = "admit"; sched_s = 0.2; latency_s = 0.05 } );
+      ]
+  in
+  let a = Analysis.of_events events in
+  Alcotest.(check (list string)) "well-formed trace checks clean" []
+    (Analysis.request_check a);
+  let reqs = Analysis.requests a in
+  Alcotest.(check int) "one record per rid" 3 (List.length reqs);
+  Alcotest.(check (list int)) "rid ascending" [ 1; 2; 3 ]
+    (List.map (fun r -> r.Analysis.rq_rid) reqs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "complete" true r.Analysis.rq_complete;
+      Alcotest.(check bool) "has begin" true r.Analysis.rq_has_begin;
+      Alcotest.(check int) "five stages" 5 (List.length r.Analysis.rq_stages))
+    reqs;
+  (match List.find (fun r -> r.Analysis.rq_rid = 2) reqs with
+  | { Analysis.rq_client = Some (verb, sched_s, latency_s); _ } ->
+    Alcotest.(check string) "client verb joined" "admit" verb;
+    Alcotest.(check (float 0.)) "sched joined" 0.2 sched_s;
+    Alcotest.(check (float 0.)) "latency joined" 0.05 latency_s
+  | _ -> Alcotest.fail "rid 2 did not join its client record");
+  let anatomy = Analysis.stage_anatomy a in
+  Alcotest.(check (list string))
+    "stages in pipeline order"
+    [ "queue"; "parse"; "service"; "redistribute"; "write" ]
+    (List.map (fun s -> s.Analysis.st_stage) anatomy);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) ("count of " ^ s.Analysis.st_stage) 3
+        s.Analysis.st_count)
+    anatomy;
+  let queue = List.hd anatomy in
+  Alcotest.(check (float 1e-12)) "queue total" 0.006 queue.Analysis.st_total_s;
+  (* Exact nearest-rank quantiles over [0.001; 0.002; 0.003]. *)
+  Alcotest.(check (float 1e-12)) "queue p50 exact" 0.002 queue.Analysis.st_p50_s;
+  Alcotest.(check (float 1e-12)) "queue p99 exact" 0.003 queue.Analysis.st_p99_s;
+  (* Tail = totals at or above the p99 of totals = request 3 alone;
+     every share is that one request's stage composition, summing to 1
+     over the five stages. *)
+  let share_sum =
+    List.fold_left (fun acc s -> acc +. s.Analysis.st_tail_share) 0. anatomy
+  in
+  Alcotest.(check (float 1e-9)) "tail shares sum to 1" 1.0 share_sum
+
+let test_request_check_violations () =
+  let a =
+    Analysis.of_events
+      [
+        (1., Trace.Req_end { rid = 9; verb = "ping"; ok = true; total_s = 0.1 });
+        (2., Trace.Req_begin { rid = 5; verb = "admit" });
+        ( 2.,
+          Trace.Req_stage { rid = 5; stage = "queue"; seconds = -0.001 } );
+        (2., Trace.Req_end { rid = 5; verb = "admit"; ok = true; total_s = 0.1 });
+        (3., Trace.Req_end { rid = 5; verb = "admit"; ok = true; total_s = 0.1 });
+      ]
+  in
+  let violations = Analysis.request_check a in
+  Alcotest.(check bool) "violations found" true (violations <> []);
+  let mentions needle =
+    List.exists
+      (fun v ->
+        (* substring match *)
+        let lv = String.length v and ln = String.length needle in
+        let rec go i = i + ln <= lv && (String.sub v i ln = needle || go (i + 1)) in
+        go 0)
+      violations
+  in
+  Alcotest.(check bool) "orphan req_end reported" true (mentions "rid 9");
+  Alcotest.(check bool) "duplicate req_end reported" true (mentions "rid 5")
+
+let test_requests_to_perfetto () =
+  let a =
+    Analysis.of_events
+      (req_trio ~t:1. ~rid:1 ~verb:"admit"
+         [ ("queue", 0.001); ("service", 0.01) ]
+      @ [
+          ( 2.,
+            Trace.Req_client
+              { rid = 1; verb = "admit"; sched_s = 0.; latency_s = 0.02 } );
+        ])
+  in
+  let doc = Jsonx.to_string (Analysis.requests_to_perfetto a) in
+  let has needle =
+    let lv = String.length doc and ln = String.length needle in
+    let rec go i = i + ln <= lv && (String.sub doc i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "queue track present" true (has "stage: queue");
+  Alcotest.(check bool) "residual track present" true (has "network+queue");
+  Alcotest.(check bool) "complete events" true (has "\"ph\":\"X\"")
+
 let test_of_file_errors () =
   let path = Filename.temp_file "drqos_analysis_bad" ".jsonl" in
   let oc = open_out path in
@@ -541,6 +661,12 @@ let () =
             test_stall_detection;
           Alcotest.test_case "stalls need two heartbeats" `Quick
             test_stalls_need_two_beats;
+          Alcotest.test_case "request views and stage anatomy" `Quick
+            test_request_views;
+          Alcotest.test_case "request consistency violations" `Quick
+            test_request_check_violations;
+          Alcotest.test_case "request anatomy perfetto export" `Quick
+            test_requests_to_perfetto;
           Alcotest.test_case "perfetto counter events" `Quick
             test_perfetto_counter_events;
         ] );

@@ -14,7 +14,10 @@ let exit_of cmd =
   Sys.command (cmd ^ " >/dev/null 2>/dev/null")
 
 let subcommands =
-  [ "run"; "sweep"; "topo"; "chain"; "analyze"; "perfdiff"; "fuzz"; "top"; "serve"; "loadgen" ]
+  [
+    "run"; "sweep"; "topo"; "chain"; "analyze"; "perfdiff"; "fuzz"; "top";
+    "serve"; "loadgen"; "latency";
+  ]
 
 let stderr_mentions_usage cmd =
   let tmp = Filename.temp_file "drqos_cli" ".stderr" in
@@ -184,6 +187,68 @@ let test_top_errors () =
   Alcotest.(check int) "non-positive stall factor exits 2" 2
     (exit_of (cli ^ " top --stall-factor 0 /dev/null"))
 
+(* --- drqos_cli latency --- *)
+
+(* A hand-written server trace (one traced admit) plus its client-side
+   record — the smallest joinable pair. *)
+let request_trace_fixture ~consistent () =
+  let path = Filename.temp_file "drqos_latency" ".jsonl" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"t\":1,\"ev\":\"req_begin\",\"rid\":3,\"verb\":\"admit\"}\n";
+  List.iter
+    (fun (stage, s) ->
+      Printf.fprintf oc
+        "{\"t\":1,\"ev\":\"req_stage\",\"rid\":3,\"stage\":\"%s\",\
+         \"seconds\":%g}\n"
+        stage s)
+    [
+      ("queue", 0.001); ("parse", 0.0001); ("service", 0.01);
+      ("redistribute", 0.002); ("write", 0.0004);
+    ];
+  Printf.fprintf oc
+    "{\"t\":1,\"ev\":\"req_end\",\"rid\":3,\"verb\":\"admit\",\"ok\":true,\
+     \"total_s\":0.0135}\n";
+  if not consistent then
+    (* An orphan req_end: the --check gate must reject the trace. *)
+    Printf.fprintf oc
+      "{\"t\":2,\"ev\":\"req_end\",\"rid\":9,\"verb\":\"ping\",\"ok\":true,\
+       \"total_s\":0.001}\n";
+  Printf.fprintf oc
+    "{\"t\":3,\"ev\":\"req_client\",\"rid\":3,\"verb\":\"admit\",\
+     \"sched_s\":0.5,\"latency_s\":0.02}\n";
+  close_out oc;
+  path
+
+let test_latency_anatomy () =
+  let path = request_trace_fixture ~consistent:true () in
+  let code, out =
+    output_of (Printf.sprintf "%s latency --check %s" cli path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check bool) "join counted" true
+    (contains ~sub:"1 joined with a client record" out);
+  Alcotest.(check bool) "stage table rendered" true
+    (contains ~sub:"redistribute" out);
+  Alcotest.(check bool) "slowest requests listed" true
+    (contains ~sub:"slowest requests" out);
+  Alcotest.(check bool) "check passes" true (contains ~sub:"check: ok" out)
+
+let test_latency_check_gate () =
+  let path = request_trace_fixture ~consistent:false () in
+  let code = exit_of (Printf.sprintf "%s latency --check %s" cli path) in
+  let code_nocheck = exit_of (Printf.sprintf "%s latency %s" cli path) in
+  Sys.remove path;
+  Alcotest.(check int) "inconsistent trace fails --check" 1 code;
+  Alcotest.(check int) "without --check it only reports" 0 code_nocheck
+
+let test_latency_errors () =
+  Alcotest.(check int) "missing positional exits 2" 2
+    (exit_of (cli ^ " latency"));
+  Alcotest.(check int) "unreadable file exits 1" 1
+    (exit_of (cli ^ " latency /no/such/trace.jsonl"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -213,5 +278,13 @@ let () =
           Alcotest.test_case "clean stream reports no stalls" `Quick
             test_top_clean_stream_no_stalls;
           Alcotest.test_case "error exit codes" `Quick test_top_errors;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "anatomy over a joinable pair" `Quick
+            test_latency_anatomy;
+          Alcotest.test_case "--check gates on consistency" `Quick
+            test_latency_check_gate;
+          Alcotest.test_case "error exit codes" `Quick test_latency_errors;
         ] );
     ]

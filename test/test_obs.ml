@@ -739,6 +739,7 @@ type fake_run = {
   mutable fr_live : int array;
   mutable fr_queue : int;
   mutable fr_counters : (string * int) list;
+  mutable fr_slo : int * int;
 }
 
 let fake_source r =
@@ -750,6 +751,7 @@ let fake_source r =
     queue_footprint = (fun () -> 2 * r.fr_queue);
     hot = (fun () -> [ (17, r.fr_events) ]);
     counters = (fun () -> r.fr_counters);
+    slo = (fun () -> r.fr_slo);
   }
 
 let test_snapshot_emitter_roundtrip () =
@@ -766,6 +768,7 @@ let test_snapshot_emitter_roundtrip () =
       fr_live = [| 1; 0; 2 |];
       fr_queue = 4;
       fr_counters = [ ("a.ops", 5); ("b.idle", 0) ];
+      fr_slo = (3, 1);
     }
   in
   Snapshot.start snap (fake_source r);
@@ -903,6 +906,7 @@ let test_wall_heartbeat_cadence () =
       fr_live = [| 1 |];
       fr_queue = 0;
       fr_counters = [];
+      fr_slo = (0, 0);
     }
   in
   Snapshot.start snap (fake_source r);
@@ -935,7 +939,14 @@ let test_wall_heartbeat_gc_sanity () =
     Snapshot.create ~wall_every:0.001 ~sink:(fun l -> lines := l :: !lines) ()
   in
   let r =
-    { fr_time = 0.; fr_events = 0; fr_live = [||]; fr_queue = 0; fr_counters = [] }
+    {
+      fr_time = 0.;
+      fr_events = 0;
+      fr_live = [||];
+      fr_queue = 0;
+      fr_counters = [];
+      fr_slo = (0, 0);
+    }
   in
   Snapshot.start snap (fake_source r);
   (* Allocate deliberately between ticks so the minor-words delta is
@@ -981,6 +992,7 @@ let test_wall_heartbeat_interleaves_with_snapshots () =
       fr_live = [| 2 |];
       fr_queue = 1;
       fr_counters = [];
+      fr_slo = (0, 0);
     }
   in
   Snapshot.start snap (fake_source r);
@@ -1053,6 +1065,205 @@ let test_observations_never_negative () =
         Alcotest.failf "negative span duration: total=%.9g self=%.9g"
           r.Span.total_s r.Span.self_s)
     (Span.records sp)
+
+let test_clock_elapsed_future_clamped () =
+  (* An origin "in the future" (only possible on the realtime fallback
+     path) must clamp to zero, never go negative. *)
+  Alcotest.check approx "future origin clamps to zero" 0.
+    (Clock.elapsed_since (Clock.now () +. 60.))
+
+let test_clock_ns_agrees_with_now () =
+  let a = Clock.now () in
+  let ns = Clock.now_ns () in
+  let b = Clock.now () in
+  let ns_s = Int64.to_float ns /. 1e9 in
+  Alcotest.(check bool) "now_ns shares now's origin" true
+    (a -. 1e-6 <= ns_s && ns_s <= b +. 1e-6)
+
+let test_clock_wall_agrees_across_domains () =
+  (* [fork]ed worker contexts carry independent trace clocks, but the
+     calendar label must come from one shared epoch source in every
+     domain. *)
+  let w0 = Clock.wall_s () in
+  let w1 = Domain.join (Domain.spawn (fun () -> Clock.wall_s ())) in
+  Alcotest.(check bool) "epoch-anchored" true (w0 > 1.6e9);
+  Alcotest.(check bool) "same source across domains" true
+    (Float.abs (w1 -. w0) < 60.)
+
+(* --- Request tracing (Reqtrace) --- *)
+
+let stage_list seconds = List.map2 (fun st s -> (st, s)) Reqtrace.all_stages seconds
+
+let test_reqtrace_observe_records () =
+  let events = ref [] in
+  let sink =
+    { Trace.emit = (fun t ev -> events := (t, ev) :: !events);
+      close = (fun () -> ()) }
+  in
+  let obs =
+    Obs.create ~metrics:(Metrics.create ()) ~trace:(Trace.create sink)
+      ~heavy:(Heavy.create ()) ()
+  in
+  let exemplars = ref [] in
+  let rt =
+    Reqtrace.create ~slo:0.5 ~on_exemplar:(fun e -> exemplars := e :: !exemplars)
+      obs
+  in
+  Reqtrace.observe rt ~rid:7 ~verb:"admit" ~verb_index:0 ~ok:true
+    ~stages:(stage_list [ 0.01; 0.02; 0.03; 0.04; 0.05 ])
+    ~total_s:0.15;
+  Reqtrace.observe rt ~rid:8 ~verb:"chqos" ~verb_index:2 ~ok:false
+    ~stages:(stage_list [ 0.2; 0.1; 0.3; 0.2; 0.2 ])
+    ~total_s:1.0;
+  Alcotest.(check (pair int int)) "slo counts" (1, 1) (Reqtrace.slo_counts rt);
+  (match !exemplars with
+  | [ e ] ->
+    Alcotest.(check int) "exemplar rid" 8 e.Reqtrace.ex_rid;
+    Alcotest.check approx "exemplar total" 1.0 e.Reqtrace.ex_total_s;
+    Alcotest.(check int) "exemplar carries all stages" 5
+      (List.length e.Reqtrace.ex_stages)
+  | l -> Alcotest.failf "expected 1 exemplar, got %d" (List.length l));
+  let reg = Obs.metrics obs in
+  List.iter
+    (fun st ->
+      Alcotest.(check int)
+        (Reqtrace.timer_name st ^ " count")
+        2
+        (Metrics.timer_count (Metrics.timer reg (Reqtrace.timer_name st))))
+    Reqtrace.all_stages;
+  Alcotest.(check int) "req.total count" 2
+    (Metrics.timer_count (Metrics.timer reg "req.total"));
+  (* The Req_begin / Req_stage* / Req_end trio, emitted atomically per
+     completion. *)
+  let evs = List.rev_map snd !events in
+  Alcotest.(check int) "2 * (begin + 5 stages + end)" 14 (List.length evs);
+  (match evs with
+  | Trace.Req_begin { rid = 7; verb = "admit" } :: rest ->
+    let rec split k l =
+      if k = 0 then ([], l)
+      else
+        match l with
+        | x :: tl ->
+          let a, b = split (k - 1) tl in
+          (x :: a, b)
+        | [] -> Alcotest.fail "trio truncated"
+    in
+    let stages7, rest = split 5 rest in
+    List.iter
+      (function
+        | Trace.Req_stage { rid = 7; seconds; _ } ->
+          if seconds < 0. then Alcotest.fail "negative stage duration"
+        | _ -> Alcotest.fail "foreign event inside request 7's trio")
+      stages7;
+    (match rest with
+    | Trace.Req_end { rid = 7; ok = true; total_s; _ } :: _ ->
+      Alcotest.check approx "total is the stage sum" 0.15 total_s
+    | _ -> Alcotest.fail "request 7 trio not closed by its Req_end")
+  | _ -> Alcotest.fail "stream does not start with request 7's Req_begin");
+  (* Every emitted event survives the JSONL codec. *)
+  List.iter
+    (fun ev ->
+      match Trace.of_json (Trace.to_json ~time:1. ev) with
+      | Ok (_, ev') ->
+        if ev' <> ev then Alcotest.fail "request event changed by roundtrip"
+      | Error msg -> Alcotest.failf "request event unparseable: %s" msg)
+    evs
+
+let test_reqtrace_slo_validation () =
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  Alcotest.(check bool) "slo <= 0 rejected" true
+    (match Reqtrace.create ~slo:0. obs with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let rt = Reqtrace.create obs in
+  Reqtrace.observe rt ~rid:1 ~verb:"ping" ~verb_index:11 ~ok:true
+    ~stages:(stage_list [ 0.; 0.; 0.; 0.; 0. ])
+    ~total_s:0.;
+  Alcotest.(check (pair int int)) "no slo, no counting" (0, 0)
+    (Reqtrace.slo_counts rt)
+
+let test_reqtrace_merges_exactly_across_forks () =
+  (* The acceptance bar for --jobs N: per-stage timers recorded in
+     worker forks merge back into the parent with exact counts and the
+     exact same float totals as summing the forks in join order. *)
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  let per_fork = 25 and forks_n = 4 in
+  let forks =
+    Array.init forks_n (fun f ->
+        Domain.spawn (fun () ->
+            let fork = Obs.fork obs in
+            let rt = Reqtrace.create fork in
+            for i = 1 to per_fork do
+              let s = float_of_int ((f * per_fork) + i) *. 1e-4 in
+              Reqtrace.observe rt ~rid:i ~verb:"admit" ~verb_index:0 ~ok:true
+                ~stages:(stage_list [ s; s; s; s; s ])
+                ~total_s:(5. *. s)
+            done;
+            fork))
+  in
+  let joined = Array.map Domain.join forks in
+  let expected_total name =
+    Array.fold_left
+      (fun acc fork ->
+        acc +. Metrics.timer_total (Metrics.timer (Obs.metrics fork) name))
+      0. joined
+  in
+  let names = List.map Reqtrace.timer_name Reqtrace.all_stages @ [ "req.total" ] in
+  let expected = List.map (fun n -> (n, expected_total n)) names in
+  Array.iter (fun fork -> Obs.absorb ~into:obs fork) joined;
+  List.iter
+    (fun (name, exp_total) ->
+      let tm = Metrics.timer (Obs.metrics obs) name in
+      Alcotest.(check int) (name ^ " count merges exactly")
+        (forks_n * per_fork)
+        (Metrics.timer_count tm);
+      (* Totals are float sums: merge order may reassociate the last
+         ulp, but nothing is lost or duplicated. *)
+      Alcotest.(check (float 1e-9)) (name ^ " total merges") exp_total
+        (Metrics.timer_total tm))
+    expected
+
+let test_snapshot_slo_fields () =
+  let lines = ref [] in
+  let snap =
+    Snapshot.create ~sim_every:10. ~sink:(fun l -> lines := l :: !lines) ()
+  in
+  let r =
+    {
+      fr_time = 0.;
+      fr_events = 0;
+      fr_live = [| 0 |];
+      fr_queue = 0;
+      fr_counters = [];
+      fr_slo = (3, 1);
+    }
+  in
+  Snapshot.start snap (fake_source r);
+  r.fr_time <- 10.;
+  r.fr_slo <- (13, 2);
+  Snapshot.tick snap;
+  r.fr_time <- 20.;
+  r.fr_slo <- (13, 12);
+  Snapshot.tick snap;
+  let parsed =
+    List.rev_map
+      (fun line ->
+        match Trace.of_json (Jsonx.of_string line) with
+        | Ok (_, Trace.Snapshot { slo_good; slo_bad; slo_burn; _ }) ->
+          (slo_good, slo_bad, slo_burn)
+        | Ok _ -> Alcotest.fail "non-snapshot line"
+        | Error msg -> Alcotest.failf "unparseable line: %s" msg)
+      !lines
+  in
+  match parsed with
+  | [ (g1, b1, burn1); (g2, b2, burn2) ] ->
+    Alcotest.(check (pair int int)) "cumulative after tick 1" (13, 2) (g1, b1);
+    (* Burn rate is the bad fraction of *this beat's* delta: 10 good +
+       1 bad since start. *)
+    Alcotest.check approx "burn of beat 1" (1. /. 11.) burn1;
+    Alcotest.(check (pair int int)) "cumulative after tick 2" (13, 12) (g2, b2);
+    Alcotest.check approx "burn of beat 2 (all bad)" 1.0 burn2
+  | l -> Alcotest.failf "expected 2 snapshots, got %d" (List.length l)
 
 (* --- Stats edge cases (satellite coverage) --- *)
 
@@ -1196,12 +1407,29 @@ let () =
             test_wall_heartbeat_gc_sanity;
           Alcotest.test_case "wall heartbeats interleave with snapshots" `Quick
             test_wall_heartbeat_interleaves_with_snapshots;
+          Alcotest.test_case "slo fields and burn rate" `Quick
+            test_snapshot_slo_fields;
         ] );
       ( "clock",
         [
           Alcotest.test_case "monotone" `Quick test_clock_monotone;
           Alcotest.test_case "observations never negative" `Quick
             test_observations_never_negative;
+          Alcotest.test_case "elapsed_since clamps future origins" `Quick
+            test_clock_elapsed_future_clamped;
+          Alcotest.test_case "now_ns agrees with now" `Quick
+            test_clock_ns_agrees_with_now;
+          Alcotest.test_case "wall_s agrees across domains" `Quick
+            test_clock_wall_agrees_across_domains;
+        ] );
+      ( "reqtrace",
+        [
+          Alcotest.test_case "observe feeds timers, sketch, slo, trio" `Quick
+            test_reqtrace_observe_records;
+          Alcotest.test_case "slo validation and off-by-default" `Quick
+            test_reqtrace_slo_validation;
+          Alcotest.test_case "stage timers merge exactly across forks" `Quick
+            test_reqtrace_merges_exactly_across_forks;
         ] );
       ( "stats-edges",
         [

@@ -495,6 +495,147 @@ let test_socket_garbage_line () =
       | _ -> Alcotest.fail "shutdown not acknowledged");
       Serve_client.close c)
 
+(* ------------------------------------------------------------------ *)
+(* Request tracing                                                     *)
+
+let test_trace_field_roundtrip () =
+  let ctx = { Reqtrace.rid = 4242; t_sched = 1.5 } in
+  List.iter
+    (fun req ->
+      let doc =
+        Jsonx.of_string
+          (Jsonx.to_string (Serve_proto.request_to_json ~trace:ctx ~id:7 req))
+      in
+      (* The stamped line still decodes to the same request... *)
+      (match Serve_proto.request_of_json doc with
+      | Ok (7, req') ->
+        Alcotest.(check bool) "request unchanged by trace field" true (req = req')
+      | Ok _ -> Alcotest.fail "id changed"
+      | Error msg -> Alcotest.failf "stamped request did not decode: %s" msg);
+      (* ...and the context rides along. *)
+      match Serve_proto.trace_ctx_of_json doc with
+      | Some c ->
+        Alcotest.(check int) "rid" 4242 c.Reqtrace.rid;
+        Alcotest.(check (float 0.)) "t_sched" 1.5 c.Reqtrace.t_sched
+      | None -> Alcotest.fail "trace context lost on the wire")
+    all_requests;
+  (* Unstamped lines and malformed contexts read as None — tracing is
+     best-effort metadata, never a decode error. *)
+  let none line =
+    Alcotest.(check bool) line true
+      (Serve_proto.trace_ctx_of_json (Jsonx.of_string line) = None)
+  in
+  none {|{"id":1,"req":"ping"}|};
+  none {|{"id":1,"req":"ping","trace":{"rid":3}}|};
+  none {|{"id":1,"req":"ping","trace":{"t_sched":0.5}}|};
+  none {|{"id":1,"req":"ping","trace":{"rid":-1,"t_sched":0.5}}|};
+  none {|{"id":1,"req":"ping","trace":7}|}
+
+let test_verb_index_bridge () =
+  List.iter
+    (fun req ->
+      let verb = Serve_proto.request_verb req in
+      (* request_verb is the wire's "req" field... *)
+      (match
+         Jsonx.member "req" (Serve_proto.request_to_json ~id:1 req)
+       with
+      | Some (Jsonx.String wire) ->
+        Alcotest.(check string) "verb matches the wire" wire verb
+      | _ -> Alcotest.fail "request line has no req field");
+      (* ...and verb_of_index inverts request_index. *)
+      Alcotest.(check string)
+        ("index inverts for " ^ verb)
+        verb
+        (Serve_proto.verb_of_index (Serve_proto.request_index req)))
+    all_requests;
+  Alcotest.(check string) "undecodable pseudo-verb" "undecodable"
+    (Serve_proto.verb_of_index Serve_proto.undecodable_index);
+  Alcotest.(check string) "out-of-range prints" "verb#42"
+    (Serve_proto.verb_of_index 42)
+
+let test_dispatch_timed () =
+  let broker = Serve_broker.create ~obs:(Obs.create ()) (ring_net ()) in
+  let resp, service_s, redist_s =
+    Serve_broker.dispatch_timed broker
+      (Serve_proto.Admit { src = 0; dst = 2; qos = qos_a })
+  in
+  (match resp with
+  | Serve_proto.Admitted _ -> ()
+  | _ -> Alcotest.fail "timed dispatch must return the dispatch reply");
+  Alcotest.(check bool) "service time non-negative" true (service_s >= 0.);
+  Alcotest.(check bool) "redistribution time non-negative" true (redist_s >= 0.);
+  (* A pure read never flushes a redistribution. *)
+  let _, s2, r2 = Serve_broker.dispatch_timed broker Serve_proto.Ping in
+  Alcotest.(check bool) "ping service non-negative" true (s2 >= 0.);
+  Alcotest.(check (float 0.)) "ping flushes nothing" 0. r2
+
+let test_socket_stage_records () =
+  let tmp name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "drqos-reqtrace-%d-%s" (Unix.getpid ()) name)
+  in
+  let path = tmp "sock" and trace_file = tmp "trace.jsonl" in
+  let served =
+    Domain.spawn (fun () ->
+        Serve_server.run ~wall_every:0.05 ~slo:1e9 ~trace_file (`Unix path)
+          (ring_net ()))
+  in
+  Fun.protect ~finally:(fun () -> ignore (Domain.join served))
+  @@ fun () ->
+  let c = Serve_client.connect ~retries:50 (`Unix path) in
+  let traced rid req =
+    Serve_client.request ~trace:{ Reqtrace.rid; t_sched = 0.1 *. float_of_int rid }
+      c req
+  in
+  (match traced 1 (Serve_proto.Admit { src = 0; dst = 2; qos = qos_a }) with
+  | Serve_proto.Admitted _ -> ()
+  | _ -> Alcotest.fail "traced admit failed");
+  (match traced 2 Serve_proto.Stats with
+  | Serve_proto.Stats_reply _ -> ()
+  | _ -> Alcotest.fail "traced stats failed");
+  (* An untraced request must still be recorded, under a negative
+     server-assigned rid. *)
+  (match Serve_client.request c Serve_proto.Ping with
+  | Serve_proto.Pong -> ()
+  | _ -> Alcotest.fail "untraced ping failed");
+  (match Serve_client.request c Serve_proto.Shutdown with
+  | Serve_proto.Shutting_down -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  Serve_client.close c;
+  ignore (Domain.join served);
+  let a = Analysis.of_file trace_file in
+  Alcotest.(check (list string)) "trace is self-consistent" []
+    (Analysis.request_check a);
+  let reqs = Analysis.requests a in
+  let find rid =
+    match List.find_opt (fun r -> r.Analysis.rq_rid = rid) reqs with
+    | Some r -> r
+    | None -> Alcotest.failf "rid %d missing from the trace" rid
+  in
+  let admit = find 1 in
+  Alcotest.(check string) "verb travels" "admit" admit.Analysis.rq_verb;
+  Alcotest.(check bool) "complete" true admit.Analysis.rq_complete;
+  let stage_names = List.map fst admit.Analysis.rq_stages in
+  List.iter
+    (fun st ->
+      let name = Reqtrace.stage_name st in
+      Alcotest.(check bool) ("stage " ^ name ^ " recorded") true
+        (List.mem name stage_names))
+    Reqtrace.all_stages;
+  let stage_sum =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0. admit.Analysis.rq_stages
+  in
+  Alcotest.(check bool) "total is the stage sum" true
+    (Float.abs (stage_sum -. admit.Analysis.rq_total_s) < 1e-9);
+  ignore (find 2);
+  Alcotest.(check bool)
+    "untraced requests get negative server rids" true
+    (List.exists
+       (fun r -> r.Analysis.rq_rid < 0 && r.Analysis.rq_verb = "ping")
+       reqs);
+  Sys.remove trace_file
+
 let () =
   Alcotest.run "serve"
     [
@@ -540,5 +681,15 @@ let () =
             test_socket_heartbeat_push;
           Alcotest.test_case "garbage line does not kill the connection" `Slow
             test_socket_garbage_line;
+        ] );
+      ( "reqtrace",
+        [
+          Alcotest.test_case "trace field round-trips" `Quick
+            test_trace_field_roundtrip;
+          Alcotest.test_case "verb/index bridge" `Quick test_verb_index_bridge;
+          Alcotest.test_case "timed dispatch decomposition" `Quick
+            test_dispatch_timed;
+          Alcotest.test_case "stage records over the socket" `Slow
+            test_socket_stage_records;
         ] );
     ]

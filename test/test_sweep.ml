@@ -162,6 +162,31 @@ let test_open_loop_charges_backlog () =
     "the queued op inherits its predecessor's service time" true
     (Metrics.timer_quantile tm 0.99 >= 0.04)
 
+let test_open_loop_on_complete () =
+  (* [on_complete] fires once per op, in the owning worker's domain,
+     with the same latency the merged timer records — per-index array
+     cells are race-free because the round-robin split gives each index
+     exactly one owner. *)
+  let n = 60 and jobs = 3 in
+  let arrivals = Array.make n 0. in
+  let latencies = Array.make n (-1.) in
+  let obs = Obs.create ~metrics:(Metrics.create ()) () in
+  ignore
+    (Sweep.open_loop ~jobs ~obs ~timer:"lg.latency" ~arrivals
+       ~on_complete:(fun i latency -> latencies.(i) <- latency)
+       ~worker:(fun w -> w)
+       (fun _ (_ : int) (_ : int) -> ()));
+  Alcotest.(check bool)
+    "every op reported a non-negative latency" true
+    (Array.for_all (fun l -> l >= 0.) latencies);
+  let tm = Metrics.timer (Obs.metrics obs) "lg.latency" in
+  Alcotest.(check int) "callback count matches the timer" n
+    (Metrics.timer_count tm);
+  let total = Array.fold_left ( +. ) 0. latencies in
+  Alcotest.(check bool)
+    "callback latencies sum close to the timer total" true
+    (Float.abs (total -. Metrics.timer_total tm) < 1e-6 *. float_of_int n)
+
 let test_open_loop_teardown_and_errors () =
   let closed = Atomic.make 0 in
   Alcotest.check_raises "worker exception propagates" (Failure "op 3") (fun () ->
@@ -201,6 +226,8 @@ let () =
             test_open_loop_round_robin_split;
           Alcotest.test_case "paces the schedule" `Slow
             test_open_loop_paces_the_schedule;
+          Alcotest.test_case "on_complete fires per op" `Quick
+            test_open_loop_on_complete;
           Alcotest.test_case "charges backlog to queued ops" `Slow
             test_open_loop_charges_backlog;
           Alcotest.test_case "teardown and error propagation" `Quick
