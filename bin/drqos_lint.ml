@@ -5,7 +5,8 @@
    Walks the .cmt files dune already produced, runs the project rule set
    (R1 float equality, R2 closed-variant catch-alls, R3 partial stdlib
    functions, R4 swallowed exceptions, R5 stray stdout prints, R6 global
-   Obs state inside Sweep.map workers) and exits 0 only when every
+   Obs state inside Sweep.map workers, R7 cross-domain races, R8
+   event-loop blocking, R9 wall-clock taint) and exits 0 only when every
    finding is covered by a justified baseline entry and no baseline
    entry is stale.
 
@@ -25,11 +26,19 @@ let usage oc =
      \                         (default: Trace.event,Op.t)\n\
      \  --lib-prefix PREFIX    source-path prefix treated as library code\n\
      \                         for R3/R5 (default: lib/)\n\
+     \  --r8-roots F1,F2,...   event-loop dispatch entry points for R8,\n\
+     \                         as Module.name (default:\n\
+     \                         Serve_server.handle_line,Lintfix_evloop.dispatch)\n\
+     \  --summary-cache FILE   cache interprocedural summaries in FILE,\n\
+     \                         keyed by .cmt digest; with only R6-R9\n\
+     \                         enabled, unchanged units are not reopened\n\
      \  --baseline FILE        suppress findings listed in FILE; stale\n\
      \                         entries fail the gate\n\
      \  --write-baseline FILE  write the current findings to FILE as\n\
      \                         baseline entries needing justification\n\
-     \  --format text|json     report format (default: text)\n\
+     \  --format text|json|github\n\
+     \                         report format (default: text); github\n\
+     \                         emits ::error/::warning annotations\n\
      \  --list-rules           print the rule catalogue and exit\n\
      \  --help                 this message\n"
 
@@ -51,6 +60,8 @@ let () =
   let rules = ref Lint.all_rules in
   let protect = ref Lint_driver.default_protect in
   let lib_prefix = ref "lib/" in
+  let r8_roots = ref Lint_flow.default_r8_roots in
+  let summary_cache = ref None in
   let baseline = ref None in
   let write_baseline = ref None in
   let format = ref `Text in
@@ -76,6 +87,12 @@ let () =
     | "--lib-prefix" :: p :: rest ->
       lib_prefix := p;
       parse rest
+    | "--r8-roots" :: csv :: rest ->
+      r8_roots := List.map String.trim (String.split_on_char ',' csv);
+      parse rest
+    | "--summary-cache" :: f :: rest ->
+      summary_cache := Some f;
+      parse rest
     | "--baseline" :: f :: rest ->
       baseline := Some f;
       parse rest
@@ -85,13 +102,19 @@ let () =
     | "--format" :: "json" :: rest ->
       format := `Json;
       parse rest
+    | "--format" :: "github" :: rest ->
+      format := `Github;
+      parse rest
     | "--format" :: "text" :: rest ->
       format := `Text;
       parse rest
     | "--format" :: other :: _ ->
-      die_usage (Printf.sprintf "unknown format %S (expected text or json)" other)
-    | [ ("--rules" | "--protect" | "--lib-prefix" | "--baseline"
-        | "--write-baseline" | "--format") as flag ] ->
+      die_usage
+        (Printf.sprintf "unknown format %S (expected text, json or github)"
+           other)
+    | [ ("--rules" | "--protect" | "--lib-prefix" | "--r8-roots"
+        | "--summary-cache" | "--baseline" | "--write-baseline" | "--format")
+        as flag ] ->
       die_usage (Printf.sprintf "%s needs an argument" flag)
     | arg :: rest ->
       if String.length arg > 0 && arg.[0] = '-' then
@@ -110,6 +133,8 @@ let () =
       rules = !rules;
       protect = !protect;
       lib_prefix = !lib_prefix;
+      r8_roots = !r8_roots;
+      summary_cache = !summary_cache;
     }
   in
   match Lint_driver.run config with
@@ -153,6 +178,18 @@ let () =
         print_endline
           (Jsonx.to_string
              (Lint_driver.report_json ~findings:kept ~suppressed ~stale))
+      | `Github ->
+        List.iter
+          (fun f -> print_endline (Lint_driver.github_annotation f))
+          kept;
+        List.iter
+          (fun e ->
+            print_endline
+              (Printf.sprintf
+                 "::error title=stale-baseline::stale baseline entry \
+                  (matches no finding): %s"
+                 (Lint_baseline.entry_to_string e)))
+          stale
       | `Text ->
         List.iter (fun f -> print_endline (Lint.finding_to_string f)) kept;
         List.iter

@@ -1,8 +1,8 @@
-type rule_id = R1 | R2 | R3 | R4 | R5 | R6
+type rule_id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 type severity = Error | Warning
 
-let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
 
 let rule_name = function
   | R1 -> "R1"
@@ -11,6 +11,9 @@ let rule_name = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_of_name = function
   | "R1" -> Some R1
@@ -19,10 +22,13 @@ let rule_of_name = function
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
 
 let severity = function
-  | R1 | R2 | R4 | R6 -> Error
+  | R1 | R2 | R4 | R6 | R7 | R8 | R9 -> Error
   | R3 | R5 -> Warning
 
 let describe = function
@@ -42,6 +48,19 @@ let describe = function
   | R6 ->
     "global observability state (Obs.set_default / Obs.install, or a value \
      that transitively reaches one) used inside a Sweep.map worker function"
+  | R7 ->
+    "cross-domain race: a top-level mutable value (ref, Hashtbl, Buffer, \
+     array, mutable record) reachable — directly or through any call chain \
+     — from a worker passed to Sweep.map / Sweep.open_loop / Domain.spawn \
+     without going through the Obs fork/absorb merge protocol"
+  | R8 ->
+    "event-loop hygiene: a transitively-blocking call (Unix.select/read/\
+     write/sleepf, Domain.join, ...) or an unbounded List/Seq traversal \
+     reachable from the serving plane's per-connection dispatch path"
+  | R9 ->
+    "wall-clock taint: Unix.gettimeofday / Unix.time / Sys.time, or any \
+     function transitively built on them, outside lib/obs/clock.ml; \
+     durations come off the monotonic Clock, timestamps off Clock.wall_s"
 
 type finding = {
   rule : rule_id;
@@ -51,7 +70,16 @@ type finding = {
   message : string;
 }
 
-let rule_index = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5 | R6 -> 6
+let rule_index = function
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
 
 let compare_finding a b =
   let c = String.compare a.file b.file in

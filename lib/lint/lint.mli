@@ -11,11 +11,14 @@
     This module holds what every layer shares: rule identities,
     severities, and the finding record with its text/JSON renderings.
     The analyses themselves live in {!Lint_rules} (syntactic, per
-    compilation unit) and {!Lint_taint} (the cross-unit call-graph rule);
-    {!Lint_driver} orchestrates, and {!Lint_baseline} applies
-    suppressions. *)
+    compilation unit) and, for everything that crosses function or
+    module boundaries, on the {!Lint_interproc} engine: {!Lint_taint}
+    (R6, the original Obs-state fix-point, now the engine's first
+    client) and {!Lint_flow} (R7 cross-domain races, R8 event-loop
+    hygiene, R9 wall-clock taint).  {!Lint_driver} orchestrates, and
+    {!Lint_baseline} applies suppressions. *)
 
-type rule_id = R1 | R2 | R3 | R4 | R5 | R6
+type rule_id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 type severity = Error | Warning
 
@@ -23,7 +26,7 @@ val all_rules : rule_id list
 (** In catalogue order, R1 first. *)
 
 val rule_name : rule_id -> string
-(** ["R1"] .. ["R6"]. *)
+(** ["R1"] .. ["R9"]. *)
 
 val rule_of_name : string -> rule_id option
 

@@ -3,12 +3,21 @@ type config = {
   rules : Lint.rule_id list;
   protect : string list;
   lib_prefix : string;
+  r8_roots : string list;
+  summary_cache : string option;
 }
 
 let default_protect = [ "Trace.event"; "Op.t" ]
 
 let default_config ~roots =
-  { roots; rules = Lint.all_rules; protect = default_protect; lib_prefix = "lib/" }
+  {
+    roots;
+    rules = Lint.all_rules;
+    protect = default_protect;
+    lib_prefix = "lib/";
+    r8_roots = Lint_flow.default_r8_roots;
+    summary_cache = None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Input discovery.                                                    *)
@@ -56,22 +65,57 @@ let load_unit path =
       Ok
         (Some
            {
-             Lint_taint.u_source = source;
+             Lint_interproc.u_source = source;
              u_modname = infos.Cmt_format.cmt_modname;
              u_structure = structure;
            })
     | _ -> Ok None (* interfaces, packs, partial saves: nothing to lint *))
 
-let load_units paths =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | path :: rest -> (
-      match load_unit path with
-      | Error _ as e -> e
-      | Ok None -> go acc rest
-      | Ok (Some u) -> go (u :: acc) rest)
+(* ------------------------------------------------------------------ *)
+(* Summary cache.                                                      *)
+
+(* Keyed by the .cmt's digest, so a rebuilt-but-identical artefact still
+   hits and an edited one can't serve a stale summary.  Only valid when
+   every enabled rule runs off summaries (R6–R9): the syntactic rules
+   need the typedtree, which the cache deliberately does not retain. *)
+
+let syntactic = function
+  | Lint.R1 | Lint.R2 | Lint.R3 | Lint.R4 | Lint.R5 -> true
+  | Lint.R6 | Lint.R7 | Lint.R8 | Lint.R9 -> false
+
+let cache_load path =
+  let tbl = Hashtbl.create 64 in
+  (if Sys.file_exists path then
+     match
+       Jsonx.of_string (In_channel.with_open_text path In_channel.input_all)
+     with
+     | exception (Jsonx.Parse_error _ | Sys_error _) -> ()
+     | j -> (
+       match (Jsonx.member "version" j, Jsonx.member "entries" j) with
+       | Some (Jsonx.Int v), Some (Jsonx.Obj kvs)
+         when v = Lint_interproc.cache_version ->
+         List.iter
+           (fun (digest, sj) ->
+             match Lint_interproc.summary_of_json sj with
+             | Some s -> Hashtbl.replace tbl digest s
+             | None -> ())
+           kvs
+       | _ -> ()));
+  tbl
+
+let cache_save path entries =
+  let doc =
+    Jsonx.Obj
+      [
+        ("version", Jsonx.Int Lint_interproc.cache_version);
+        ( "entries",
+          Jsonx.Obj
+            (List.map
+               (fun (digest, s) -> (digest, Lint_interproc.summary_to_json s))
+               entries) );
+      ]
   in
-  go [] paths
+  Out_channel.with_open_text path (fun oc -> Jsonx.output oc doc)
 
 (* ------------------------------------------------------------------ *)
 (* Running.                                                            *)
@@ -80,27 +124,75 @@ let run config =
   match find_cmts config.roots with
   | Error _ as e -> e
   | Ok paths -> (
-    match load_units paths with
+    let findings = ref [] in
+    let emit f = findings := f :: !findings in
+    let enabled r = List.mem r config.rules in
+    let need_tree = List.exists syntactic config.rules in
+    let cache =
+      match config.summary_cache with
+      | Some p -> cache_load p
+      | None -> Hashtbl.create 0
+    in
+    let fresh = ref [] in
+    let summarize_path path =
+      let digest =
+        match config.summary_cache with
+        | None -> None
+        | Some _ -> Some (Digest.to_hex (Digest.file path))
+      in
+      let cached =
+        if need_tree then None
+        else
+          match digest with None -> None | Some d -> Hashtbl.find_opt cache d
+      in
+      match cached with
+      | Some s ->
+        Option.iter (fun d -> fresh := (d, s) :: !fresh) digest;
+        Ok (Some s)
+      | None -> (
+        match load_unit path with
+        | Error _ as e -> e
+        | Ok None -> Ok None
+        | Ok (Some u) ->
+          if need_tree then
+            Lint_rules.check_structure
+              {
+                Lint_rules.source = u.Lint_interproc.u_source;
+                modname = u.Lint_interproc.u_modname;
+                lib_prefix = config.lib_prefix;
+                protect = config.protect;
+                enabled;
+                emit;
+              }
+              u.Lint_interproc.u_structure;
+          let s = Lint_interproc.summarize u in
+          Option.iter (fun d -> fresh := (d, s) :: !fresh) digest;
+          Ok (Some s))
+    in
+    let rec summarize_all acc = function
+      | [] -> Ok (List.rev acc)
+      | path :: rest -> (
+        match summarize_path path with
+        | Error _ as e -> e
+        | Ok None -> summarize_all acc rest
+        | Ok (Some s) -> summarize_all (s :: acc) rest)
+    in
+    match summarize_all [] paths with
     | Error _ as e -> e
-    | Ok units ->
-      let findings = ref [] in
-      let emit f = findings := f :: !findings in
-      let enabled r = List.mem r config.rules in
-      List.iter
-        (fun u ->
-          Lint_rules.check_structure
-            {
-              Lint_rules.source = u.Lint_taint.u_source;
-              modname = u.Lint_taint.u_modname;
-              lib_prefix = config.lib_prefix;
-              protect = config.protect;
-              enabled;
-              emit;
-            }
-            u.Lint_taint.u_structure)
-        units;
-      if enabled Lint.R6 then Lint_taint.check ~emit units;
-      Ok (List.sort_uniq Lint.compare_finding !findings))
+    | Ok summaries -> (
+      let db = Lint_interproc.build summaries in
+      if enabled Lint.R6 then Lint_taint.check ~emit db;
+      Lint_flow.check ~emit ~enabled
+        { Lint_flow.default_config with r8_roots = config.r8_roots }
+        db;
+      match
+        Option.iter (fun p -> cache_save p (List.rev !fresh)) config.summary_cache
+      with
+      | exception Sys_error msg -> Error msg
+      | () -> Ok (List.sort_uniq Lint.compare_finding !findings)))
+
+(* ------------------------------------------------------------------ *)
+(* Reports.                                                            *)
 
 let report_json ~findings ~suppressed ~stale =
   Jsonx.Obj
@@ -111,3 +203,32 @@ let report_json ~findings ~suppressed ~stale =
         Jsonx.List (List.map Lint_baseline.entry_to_json stale) );
       ("clean", Jsonx.Bool (findings = [] && stale = []));
     ]
+
+(* GitHub workflow-command escaping: %, CR and LF in the message;
+   additionally , and : in property values. *)
+let github_escape ~property s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | ',' when property -> Buffer.add_string b "%2C"
+      | ':' when property -> Buffer.add_string b "%3A"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let github_annotation (f : Lint.finding) =
+  let level =
+    match Lint.severity f.rule with
+    | Lint.Error -> "error"
+    | Lint.Warning -> "warning"
+  in
+  Printf.sprintf "::%s file=%s,line=%d,col=%d,title=%s::%s: %s" level
+    (github_escape ~property:true f.file)
+    f.line f.col
+    (github_escape ~property:true (Lint.rule_name f.rule))
+    (Lint.rule_name f.rule)
+    (github_escape ~property:false f.message)

@@ -3,7 +3,13 @@
 
     The driver never prints — the executable owns presentation — and it
     reports unreadable inputs as [Error] rather than skipping them: a
-    gate that silently analysed nothing would pass vacuously. *)
+    gate that silently analysed nothing would pass vacuously.
+
+    The interprocedural rules (R6–R9) run off {!Lint_interproc}
+    summaries rather than the typedtree, so with [summary_cache] set and
+    only those rules enabled, unchanged [.cmt] files (matched by digest)
+    are never reopened — the walk stays fast enough for verify.sh's
+    timed gate. *)
 
 type config = {
   roots : string list;
@@ -14,6 +20,14 @@ type config = {
   lib_prefix : string;
       (** source-path prefix delimiting library code for R3/R5
           (production default ["lib/"]). *)
+  r8_roots : string list;
+      (** R8's event-loop dispatch entry points, as [Module.name]
+          (default {!Lint_flow.default_r8_roots}). *)
+  summary_cache : string option;
+      (** JSON file of per-unit summaries keyed by [.cmt] digest; loaded
+          before and rewritten after each run.  Hits are only taken when
+          no syntactic rule (R1–R5) is enabled, since those need the
+          tree. *)
 }
 
 val default_protect : string list
@@ -21,12 +35,13 @@ val default_protect : string list
     absorption has already cost a fuzz or trace-audit cycle. *)
 
 val default_config : roots:string list -> config
-(** Every rule, {!default_protect}, [lib_prefix = "lib/"]. *)
+(** Every rule, {!default_protect}, [lib_prefix = "lib/"], default R8
+    roots, no cache. *)
 
 val run : config -> (Lint.finding list, string) result
 (** Sorted, deduplicated findings over every implementation [.cmt]
-    reachable from [roots].  [Error] on an unreadable root or a [.cmt]
-    that cannot be loaded. *)
+    reachable from [roots].  [Error] on an unreadable root, a [.cmt]
+    that cannot be loaded, or an unwritable cache file. *)
 
 val report_json :
   findings:Lint.finding list ->
@@ -36,3 +51,9 @@ val report_json :
 (** The [--format json] document:
     [{"findings":[...],"suppressed":n,"stale_baseline":[...],"clean":b}]
     where [clean] mirrors the process exit status. *)
+
+val github_annotation : Lint.finding -> string
+(** The [--format github] rendering: one
+    [::error file=...,line=...,col=...::R7: message] workflow command
+    per finding, severities mapped to annotation levels, [%]/[,]/[:]
+    escaped per the workflow-command rules. *)

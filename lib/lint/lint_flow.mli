@@ -1,0 +1,46 @@
+(** R7/R8/R9 — the interprocedural rules, as clients of
+    {!Lint_interproc}.
+
+    {b R7 (cross-domain race)}: a worker closure handed to [Sweep.map],
+    [Sweep.open_loop] or [Domain.spawn] must not reference a top-level
+    mutable value (ref / array / Hashtbl.t / …), directly or through any
+    call chain.  The Obs-layer units and [Sweep] are exempt: they own
+    the fork/absorb merge protocol that makes their internal state
+    per-domain by construction.  [Atomic.t] and [Domain.DLS] values are
+    not mutable in R7's sense — they are the sanctioned alternatives.
+
+    {b R8 (event-loop hygiene)}: no definition reachable from the
+    serving plane's dispatch roots may call a blocking primitive
+    ([Unix.read], [Mutex.lock], [Domain.join], …) — the select loop
+    blocks only in its own [select].  Unbounded [List]/[Seq] forcing
+    traversals are additionally flagged in the root units themselves,
+    where per-request work must stay O(1) in the connection count.
+
+    {b R9 (wall-clock taint)}: [Unix.gettimeofday], [Unix.time],
+    [Sys.time] and every transitive wrapper are banned outside the clock
+    sanctuary ([lib/obs/clock.ml]); elapsed time comes off the monotonic
+    [Clock.now].  This subsumes verify.sh's old grep gate and extends it
+    to alias and re-export chains. *)
+
+type config = {
+  r7_exempt_units : string list;
+      (** module names whose mutable state is protocol-owned. *)
+  r8_roots : string list;
+      (** dispatch-path entry points, as [Module.name]. *)
+  r9_clock_source : string;
+      (** the one source file allowed to read the wall clock. *)
+}
+
+val default_r7_exempt : string list
+val default_r8_roots : string list
+val default_r9_clock_source : string
+val default_config : config
+
+val check :
+  emit:(Lint.finding -> unit) ->
+  enabled:(Lint.rule_id -> bool) ->
+  config ->
+  Lint_interproc.t ->
+  unit
+(** Run whichever of R7/R8/R9 [enabled] admits over the program
+    database. *)

@@ -1,11 +1,13 @@
-open Typedtree
-module SS = Set.Make (String)
+(* R6: global observability state inside Sweep.map workers.
 
-type unit_info = {
-  u_source : string;
-  u_modname : string;
-  u_structure : Typedtree.structure;
-}
+   The original bespoke taint pass; now the first client of the
+   {!Lint_interproc} engine.  Semantics are unchanged: a fix-point marks
+   every definition that transitively reaches Obs.set_default /
+   Obs.install, then each Sweep.map worker closure is checked for direct
+   references to the forbidden names and for calls into the tainted
+   set. *)
+
+module SS = Lint_interproc.SS
 
 (* Mutators of the domain-local default context: the taint seeds. *)
 let seeds = SS.of_list [ "Obs.set_default"; "Obs.install" ]
@@ -15,160 +17,50 @@ let seeds = SS.of_list [ "Obs.set_default"; "Obs.install" ]
 let worker_forbidden = SS.add "Obs.default" seeds
 
 (* Taint stops here: Sweep.map installs worker forks deliberately, and
-   the Obs unit is the layer that owns the default cell. *)
+   the Obs/Sweep units are the layer that owns the default cell. *)
 let sanitizers = SS.of_list [ "Sweep.map" ]
 
 let exempt_units = [ "Obs"; "Sweep" ]
 
-(* ------------------------------------------------------------------ *)
-(* Pass 1: per top-level value, the global names its body references.   *)
+let tainted db =
+  Lint_interproc.transitive db ~seeds
+    ~stop:(fun _ d -> SS.mem d.Lint_interproc.d_name sanitizers)
+    ()
 
-let rec pattern_vars : type k. k general_pattern -> string list =
- fun p ->
-  match p.pat_desc with
-  | Tpat_var (id, _) -> [ Ident.name id ]
-  | Tpat_alias (q, id, _) -> Ident.name id :: pattern_vars q
-  | Tpat_tuple ps -> List.concat_map pattern_vars ps
-  | _ -> []
-
-let referenced_globals ~modname e =
-  let acc = ref SS.empty in
-  let expr sub e =
-    (match e.exp_desc with
-    | Texp_ident (path, _, _) -> (
-      match Lint_rules.global_name ~modname path with
-      | Some g -> acc := SS.add g !acc
-      | None -> ())
-    | _ -> ());
-    Tast_iterator.default_iterator.expr sub e
-  in
-  let it = { Tast_iterator.default_iterator with expr } in
-  it.expr it e;
-  !acc
-
-(* [defs]: global name -> referenced globals, over every unit. *)
-let collect_defs units =
-  let defs = Hashtbl.create 256 in
-  List.iter
-    (fun u ->
-      List.iter
-        (fun item ->
-          match item.str_desc with
-          | Tstr_value (_, vbs) ->
-            List.iter
-              (fun vb ->
-                let refs =
-                  referenced_globals ~modname:u.u_modname vb.vb_expr
-                in
-                List.iter
-                  (fun v ->
-                    let g = u.u_modname ^ "." ^ v in
-                    let prev =
-                      match Hashtbl.find_opt defs g with
-                      | Some s -> s
-                      | None -> SS.empty
-                    in
-                    Hashtbl.replace defs g (SS.union prev refs))
-                  (pattern_vars vb.vb_pat))
-              vbs
-          | _ -> ())
-        u.u_structure.str_items)
-    units;
-  defs
-
-let fixpoint defs =
-  let tainted = ref SS.empty in
-  let hot g = SS.mem g seeds || SS.mem g !tainted in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Hashtbl.iter
-      (fun g refs ->
-        if
-          (not (SS.mem g !tainted))
-          && (not (SS.mem g sanitizers))
-          && SS.exists hot refs
-        then begin
-          tainted := SS.add g !tainted;
-          changed := true
-        end)
-      defs
-  done;
-  !tainted
-
-let tainted_globals units =
-  SS.elements (fixpoint (collect_defs units))
-
-(* ------------------------------------------------------------------ *)
-(* Pass 2: scan the worker argument of every Sweep.map call site.       *)
-
-let is_sweep_map ~modname f =
-  match f.exp_desc with
-  | Texp_ident (path, _, _) ->
-    Lint_rules.global_name ~modname path = Some "Sweep.map"
-  | _ -> false
-
-let worker_arg args =
-  List.find_map
-    (fun (label, arg) ->
-      match (label, arg) with
-      | Asttypes.Nolabel, Some e -> Some e
-      | _ -> None)
-    args
-
-let scan_worker ~emit ~u ~tainted w =
-  let flag loc message =
-    let pos = loc.Location.loc_start in
+let check ~emit db =
+  let tainted = tainted db in
+  let flag u (pos : Lint_interproc.pos) message =
     emit
       {
         Lint.rule = Lint.R6;
-        file = u.u_source;
-        line = pos.Lexing.pos_lnum;
-        col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+        file = u.Lint_interproc.s_source;
+        line = pos.Lint_interproc.line;
+        col = pos.Lint_interproc.col;
         message;
       }
   in
-  let expr sub e =
-    (match e.exp_desc with
-    | Texp_ident (path, _, _) -> (
-      let direct = Lint_rules.ident_name path in
-      if SS.mem direct worker_forbidden then
-        flag e.exp_loc
-          (Printf.sprintf
-             "Sweep.map worker references %s directly; use the Obs.t the \
-              worker receives as its first argument"
-             direct)
-      else
-        match Lint_rules.global_name ~modname:u.u_modname path with
-        | Some g when SS.mem g tainted ->
-          flag e.exp_loc
-            (Printf.sprintf
-               "Sweep.map worker calls %s, which transitively mutates the \
-                domain-local Obs default (Obs.set_default/Obs.install); \
-                workers must record only into their private fork"
-               g)
-        | _ -> ())
-    | _ -> ());
-    Tast_iterator.default_iterator.expr sub e
-  in
-  let it = { Tast_iterator.default_iterator with expr } in
-  it.expr it w
-
-let check ~emit units =
-  let tainted = fixpoint (collect_defs units) in
   List.iter
     (fun u ->
-      if not (List.mem u.u_modname exempt_units) then begin
-        let expr sub e =
-          (match e.exp_desc with
-          | Texp_apply (f, args) when is_sweep_map ~modname:u.u_modname f -> (
-            match worker_arg args with
-            | Some w -> scan_worker ~emit ~u ~tainted w
-            | None -> ())
-          | _ -> ());
-          Tast_iterator.default_iterator.expr sub e
-        in
-        let it = { Tast_iterator.default_iterator with expr } in
-        it.structure it u.u_structure
-      end)
-    units
+      if not (List.mem u.Lint_interproc.s_modname exempt_units) then
+        List.iter
+          (fun sp ->
+            if sp.Lint_interproc.sp_kind = "Sweep.map" then
+              List.iter
+                (fun (w : Lint_interproc.use) ->
+                  if SS.mem w.u_name worker_forbidden then
+                    flag u w.u_pos
+                      (Printf.sprintf
+                         "Sweep.map worker references %s directly; use the \
+                          Obs.t the worker receives as its first argument"
+                         w.u_name)
+                  else if SS.mem w.u_name tainted then
+                    flag u w.u_pos
+                      (Printf.sprintf
+                         "Sweep.map worker calls %s, which transitively \
+                          mutates the domain-local Obs default \
+                          (Obs.set_default/Obs.install); workers must record \
+                          only into their private fork"
+                         w.u_name))
+                sp.Lint_interproc.sp_worker)
+          u.Lint_interproc.s_spawns)
+    (Lint_interproc.units db)

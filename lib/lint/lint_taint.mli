@@ -9,32 +9,24 @@
     flagged — but a worker lambda naming [Obs.default] {e directly} is:
     it already receives the context it should use as its first argument.
 
-    The analysis is a cross-unit taint pass over every loaded [.cmt]:
+    Originally a bespoke taint pass; now the first client of the
+    {!Lint_interproc} engine.  The semantics are unchanged: a backward
+    {!Lint_interproc.transitive} fix-point from the
+    [Obs.set_default] / [Obs.install] seeds (taint does not flow
+    {e through} [Sweep.map] itself — it installs worker forks by
+    design), then every [Sweep.map] spawn site's worker closure is
+    checked for forbidden direct references and calls into the tainted
+    set.  The [Obs] and [Sweep] units are exempt: they own the
+    domain-local default cell. *)
 
-    + collect, per top-level value [M.x], the set of global names its
-      body references (unit-local idents are resolved optimistically to
-      [M.name]; shadowing is ignored);
-    + fix-point: a value is tainted when it references
-      [Obs.set_default] / [Obs.install] or a tainted value.  Taint does
-      not flow {e through} [Sweep.map] itself (it installs worker forks
-      by design);
-    + flag every identifier inside the worker argument of a
-      [Sweep.map] call site whose name is tainted, plus direct
-      [Obs.default] / [Obs.set_default] / [Obs.install] references.
+val seeds : Lint_interproc.SS.t
 
-    Granularity is top-level [let]s; values inside nested modules are
-    not tracked (none of the observability mutators live there). *)
+val worker_forbidden : Lint_interproc.SS.t
 
-type unit_info = {
-  u_source : string;  (** build-root-relative source path. *)
-  u_modname : string;
-  u_structure : Typedtree.structure;
-}
-
-val check : emit:(Lint.finding -> unit) -> unit_info list -> unit
-(** Run the whole pass over one load of the project.  [emit] receives
-    R6 findings only. *)
-
-val tainted_globals : unit_info list -> string list
-(** The fix-point's result (sorted), exposed for tests: global values
+val tainted : Lint_interproc.t -> Lint_interproc.SS.t
+(** The fix-point's result on its own, exposed for tests: definitions
     that transitively reach an observability mutator. *)
+
+val check : emit:(Lint.finding -> unit) -> Lint_interproc.t -> unit
+(** Run the whole pass over the program database.  [emit] receives R6
+    findings only. *)

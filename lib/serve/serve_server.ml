@@ -1,10 +1,18 @@
 type address = [ `Unix of string | `Tcp of string * int ]
 
-(* One client connection: partial-line input buffer plus the stream
-   subscriptions this connection asked for. *)
+(* One client connection: partial-line input buffer, the pending output
+   queue, and the stream subscriptions this connection asked for. *)
 type conn = {
-  fd : Unix.file_descr;
+  fd : Unix.file_descr;  (* non-blocking from accept onwards *)
   inbuf : Buffer.t;
+  (* Framed lines waiting for the socket: the dispatch path only ever
+     enqueues here; the select loop performs the actual writes when the
+     fd is ready.  [out_off] is the already-written prefix of the queue
+     head, [out_bytes] the total backlog. *)
+  outq : string Queue.t;
+  mutable out_off : int;
+  mutable out_bytes : int;
+  max_pending : int;
   peer : string;
   mutable want_trace : bool;
   mutable want_heartbeat : bool;
@@ -21,6 +29,7 @@ type state = {
   reqtrace : Reqtrace.t;
   c_reaped : Metrics.counter;
   c_undecodable : Metrics.counter;
+  max_pending : int;  (* per-connection output backlog cap, bytes *)
   mutable anon_rids : int; (* server-assigned rids for untraced requests *)
   mutable conns : conn list;
   mutable running : bool;
@@ -51,24 +60,66 @@ let bind_listener ?(backlog = 64) (addr : address) =
     Unix.listen fd backlog;
     fd
 
-(* Blocking full write of one framed line.  A peer that vanished
-   mid-write (EPIPE with SIGPIPE ignored, reset, …) just marks the
-   connection dead; the loop reaps it. *)
+(* Queue one framed line for [conn].  The dispatch path never touches
+   the socket — the select loop owns the writes — so one stuck peer can
+   stall only its own stream, never the daemon.  A subscriber whose
+   backlog exceeds [max_pending] bytes is cut loose instead of holding
+   the daemon's memory hostage; the loop reaps it. *)
 let send conn line =
   if conn.alive then begin
     let data = line ^ "\n" in
-    let len = String.length data in
-    let rec go off =
-      if off < len then
-        match Unix.write_substring conn.fd data off (len - off) with
-        | n -> go (off + n)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-        | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
-    in
-    go 0
+    Queue.add data conn.outq;
+    conn.out_bytes <- conn.out_bytes + String.length data;
+    if conn.out_bytes > conn.max_pending then conn.alive <- false
   end
 
 let send_json conn doc = send conn (Jsonx.to_string doc)
+
+let pending conn = not (Queue.is_empty conn.outq)
+
+(* Write as much queued output as the socket accepts right now.  The fd
+   is non-blocking: a full socket buffer ends the drain until select
+   reports the fd writable again.  A peer that vanished mid-write
+   (EPIPE with SIGPIPE ignored, reset, …) just marks the connection
+   dead. *)
+let try_flush conn =
+  let rec go () =
+    match Queue.peek_opt conn.outq with
+    | None -> ()
+    | Some data -> (
+      let len = String.length data - conn.out_off in
+      match Unix.write_substring conn.fd data conn.out_off len with
+      | n ->
+        conn.out_bytes <- conn.out_bytes - n;
+        if n = len then begin
+          ignore (Queue.pop conn.outq);
+          conn.out_off <- 0;
+          go ()
+        end
+        else conn.out_off <- conn.out_off + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (_, _, _) -> conn.alive <- false)
+  in
+  if conn.alive then go ()
+
+(* Bounded final drain, for shutdown: give queued replies (the
+   Shutting_down acknowledgement in particular) a moment to reach their
+   peers before the fd closes.  Bounded, so a stuck peer cannot wedge
+   shutdown. *)
+let drain_conn ?(timeout = 1.0) conn =
+  let deadline = Clock.now () +. timeout in
+  let rec go () =
+    if conn.alive && pending conn && Clock.now () < deadline then begin
+      (match Unix.select [] [ conn.fd ] [] 0.05 with
+      | _, _ :: _, _ -> try_flush conn
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
 
 let broadcast t pred line =
   List.iter (fun c -> if pred c then send c line) t.conns
@@ -129,7 +180,8 @@ let record_request t ~ctx ~verb ~verb_index ~ok ~queue_s ~parse_s ~service_s
 
 (* One request line, decomposed into the five-stage anatomy on the
    monotonic clock: queue (readable -> here), parse, service (broker
-   dispatch minus redistribution), redistribute, write (reply framing).
+   dispatch minus redistribution), redistribute, write (reply framing
+   and enqueue — the socket write itself belongs to the select loop).
    Undecodable lines get the full treatment too — the protocol reserves
    reply id 0 for them, and they are charged to the [undecodable]
    pseudo-verb so a misbehaving client shows up in the anatomy. *)
@@ -196,7 +248,9 @@ let read_chunk t conn scratch =
   | n ->
     Buffer.add_subbytes conn.inbuf scratch 0 n;
     drain_lines t conn
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    ()
   | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
 
 let peer_name fd =
@@ -209,10 +263,15 @@ let peer_name fd =
 let accept_conn t =
   match Unix.accept t.listen_fd with
   | fd, _ ->
+    Unix.set_nonblock fd;
     let conn =
       {
         fd;
         inbuf = Buffer.create 256;
+        outq = Queue.create ();
+        out_off = 0;
+        out_bytes = 0;
+        max_pending = t.max_pending;
         peer = peer_name fd;
         want_trace = false;
         want_heartbeat = false;
@@ -222,10 +281,15 @@ let accept_conn t =
     in
     t.conns <- conn :: t.conns;
     t.log (Printf.sprintf "serve: accepted %s" conn.peer)
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    ()
 
 let run ?config ?(wall_every = 1.0) ?backlog ?slo ?trace_file ?slow_dir
-    ?(log = ignore) (addr : address) net =
+    ?(max_pending_bytes = 4 * 1024 * 1024) ?(log = ignore) (addr : address) net
+    =
+  if max_pending_bytes <= 0 then
+    invalid_arg "Serve_server.run: max_pending_bytes <= 0";
   if wall_every <= 0. then invalid_arg "Serve_server.run: wall_every <= 0";
   (* A subscriber that disappears mid-broadcast must not kill the
      daemon with SIGPIPE; [send] handles the EPIPE instead. *)
@@ -296,6 +360,7 @@ let run ?config ?(wall_every = 1.0) ?backlog ?slo ?trace_file ?slow_dir
       reqtrace;
       c_reaped = Obs.counter obs "serve.reaped";
       c_undecodable = Obs.counter obs "serve.undecodable";
+      max_pending = max_pending_bytes;
       anon_rids = 0;
       conns = [];
       running = true;
@@ -324,8 +389,19 @@ let run ?config ?(wall_every = 1.0) ?backlog ?slo ?trace_file ?slow_dir
     end;
     let timeout = Float.max 0.01 (wall_every -. (now -. !hb_last)) in
     let fds = listen_fd :: List.map (fun c -> c.fd) t.conns in
-    (match Unix.select fds [] [] timeout with
-    | readable, _, _ ->
+    (* Only fds with a backlog enter the write set: an always-writable
+       idle socket would turn every select into a busy spin. *)
+    let wfds =
+      List.filter_map
+        (fun c -> if c.alive && pending c then Some c.fd else None)
+        t.conns
+    in
+    (match Unix.select fds wfds [] timeout with
+    | readable, writable, _ ->
+      List.iter
+        (fun conn ->
+          if conn.alive && List.memq conn.fd writable then try_flush conn)
+        t.conns;
       if List.mem listen_fd readable then accept_conn t;
       let became_ready = Clock.now () in
       List.iter
@@ -334,6 +410,11 @@ let run ?config ?(wall_every = 1.0) ?backlog ?slo ?trace_file ?slow_dir
             conn.ready_at <- became_ready;
             read_chunk t conn scratch
           end)
+        t.conns;
+      (* Replies generated this iteration go out now when the socket has
+         room; anything left waits for write-readiness above. *)
+      List.iter
+        (fun conn -> if conn.alive && pending conn then try_flush conn)
         t.conns
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     let dead, live = List.partition (fun c -> not c.alive) t.conns in
@@ -344,7 +425,11 @@ let run ?config ?(wall_every = 1.0) ?backlog ?slo ?trace_file ?slow_dir
         close_conn t c)
       dead
   done;
-  List.iter (close_conn t) t.conns;
+  List.iter
+    (fun c ->
+      drain_conn c;
+      close_conn t c)
+    t.conns;
   t.conns <- [];
   (match Unix.close listen_fd with
   | () -> ()

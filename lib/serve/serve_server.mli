@@ -12,6 +12,12 @@
     between replies); [shutdown] answers [shutting_down], then closes
     every connection and returns from {!run}.
 
+    All sockets are non-blocking and every reply or broadcast line is
+    queued per connection; the select loop writes queues out as fds
+    become writable.  The dispatch path therefore never blocks on a
+    peer — a subscriber that stops reading stalls only its own stream,
+    and is reaped once its backlog passes [max_pending_bytes].
+
     The server builds its own observability context: a live metrics
     registry (served by the [metrics] request) and a tracer whose sink
     broadcasts to subscribed connections.  Wall heartbeats ride the
@@ -28,16 +34,21 @@ val run :
   ?slo:float ->
   ?trace_file:string ->
   ?slow_dir:string ->
+  ?max_pending_bytes:int ->
   ?log:(string -> unit) ->
   address ->
   Net_state.t ->
   int
 (** Serve until a client sends [shutdown]; returns the number of
     requests dispatched.  [wall_every] (default 1.0 s, monotonic) is the
-    heartbeat cadence for subscribed connections.  [log] (default
-    silent) receives one human-readable line per lifecycle event —
-    binds, accepts, disconnects; the server never writes to stdout
-    itself.  Raises [Unix.Unix_error] when the socket cannot be bound.
+    heartbeat cadence for subscribed connections.  [max_pending_bytes]
+    (default 4 MiB, must be positive) caps one connection's queued
+    output; a slower-than-its-stream subscriber is disconnected at the
+    cap rather than allowed to grow the queue without bound.  [log]
+    (default silent) receives one human-readable line per lifecycle
+    event — binds, accepts, disconnects; the server never writes to
+    stdout itself.  Raises [Unix.Unix_error] when the socket cannot be
+    bound.
 
     {b Request tracing} (DESIGN.md §15).  Every request — decodable or
     not — is decomposed into queue/parse/service/redistribute/write

@@ -58,15 +58,30 @@ test -s "$tmpdir/verify-bench-j1/fig2.hb.dat" || {
   exit 1
 }
 
-step "lint: zero unbaselined findings, no stale baseline entries"
-# drqos_lint walks the .cmt files dune just built.  Exit 1 covers both
+step "lint: zero unbaselined findings, no stale baseline entries (timed)"
+# drqos_lint walks the .cmt files dune just built — every rule, R1-R9,
+# over the whole tree (examples included).  Exit 1 covers both
 # unbaselined findings and stale baseline entries (a fixed finding whose
-# suppression was not removed), so either fails the gate.
+# suppression was not removed), so either fails the gate.  The walk is
+# timed: interprocedural summaries land in a digest-keyed cache, and a
+# full run that exceeds 30 s means the linter has stopped being a gate
+# anyone runs.
+lint_cache="$tmpdir/lint-summaries.json"
+lint_t0=$(date +%s)
 dune exec bin/drqos_lint.exe -- --baseline lint.baseline \
-  _build/default/lib _build/default/bin _build/default/bench || {
+  --summary-cache "$lint_cache" \
+  _build/default/lib _build/default/bin _build/default/bench \
+  _build/default/examples || {
   echo "FAIL: lint gate (fix the finding or baseline it with a justification)" >&2
   exit 1
 }
+lint_t1=$(date +%s)
+lint_s=$((lint_t1 - lint_t0))
+[ "$lint_s" -le 30 ] || {
+  echo "FAIL: full lint walk took ${lint_s}s (> 30s budget)" >&2
+  exit 1
+}
+echo "lint walk: ${lint_s}s"
 
 step "lint self-check: fixture violations are still detected"
 # Negative control: the deliberately-bad fixture library must keep
@@ -74,6 +89,14 @@ step "lint self-check: fixture violations are still detected"
 if dune exec bin/drqos_lint.exe -- --lib-prefix test/ \
   _build/default/test/lintfix >/dev/null; then
   echo "FAIL: linter reported the violation fixtures as clean" >&2
+  exit 1
+fi
+# The interprocedural rules alone must trip their fixtures too (a
+# cross-unit race, a blocking call two wrappers deep in a fake event
+# loop, an aliased wall-clock re-export).
+if dune exec bin/drqos_lint.exe -- --rules R7,R8,R9 --lib-prefix test/ \
+  _build/default/test/lintfix >/dev/null; then
+  echo "FAIL: interprocedural rules reported the fixtures as clean" >&2
   exit 1
 fi
 
@@ -158,17 +181,19 @@ scripts/perf_diff.sh bench/baselines/BENCH_scale.json \
   exit 1
 }
 
-step "clock hygiene: no wall-clock duration reads outside lib/obs/clock.ml"
-# Durations must come off the monotonic Clock; Unix.gettimeofday is the
-# wall clock (steps under NTP) and is allowed only inside the Clock
-# implementation itself.
-offenders=$(grep -rn 'Unix\.gettimeofday' lib bin bench \
-  | grep -v '^lib/obs/clock\.mli\{0,1\}:' || true)
-if [ -n "$offenders" ]; then
-  echo "FAIL: Unix.gettimeofday outside lib/obs/clock.ml:" >&2
-  echo "$offenders" >&2
+step "clock hygiene: R9 wall-clock taint (lint, replaces the old grep gate)"
+# Durations must come off the monotonic Clock; Unix.gettimeofday,
+# Unix.time and Sys.time step under NTP and are allowed only inside the
+# Clock implementation.  Unlike the grep this ran as, R9 follows alias
+# and re-export chains across compilation units — `let now =
+# Unix.gettimeofday` in one unit taints its callers everywhere.  The
+# summary cache from the timed walk above makes this near-instant.
+dune exec bin/drqos_lint.exe -- --rules R9 --summary-cache "$lint_cache" \
+  _build/default/lib _build/default/bin _build/default/bench \
+  _build/default/examples || {
+  echo "FAIL: wall-clock read outside lib/obs/clock.ml (see R9 findings above)" >&2
   exit 1
-fi
+}
 
 step "serve smoke: daemon + loadgen --quick over a unix socket"
 # Run the already-built binary directly (a backgrounded `dune exec`

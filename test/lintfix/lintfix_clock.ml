@@ -1,0 +1,13 @@
+(* R9 fixtures: the wall clock reached directly, through an alias, and
+   through a two-deep re-export chain.  The monotonic Clock path is the
+   control. *)
+
+let now = Unix.gettimeofday (* line 5: R9 (aliased re-export) *)
+
+let timestamp () = now () (* line 7: R9 (tainted: now) *)
+
+let stamp_label () = Printf.sprintf "t=%f" (timestamp ()) (* line 9: R9 *)
+
+let cpu_seconds () = Sys.time () (* line 11: R9 (direct read) *)
+
+let mono_ok () = Clock.now ()

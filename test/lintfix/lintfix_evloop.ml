@@ -1,0 +1,23 @@
+(* R8 fixtures: a fake event loop whose dispatch path hides a blocking
+   read behind two wrappers, plus an unbounded traversal in the loop
+   layer.  The loop's own select is the control: it calls dispatch, so
+   it is never reachable *from* the dispatch root and stays unflagged. *)
+
+let read_all fd buf = Unix.read fd buf 0 (Bytes.length buf) (* line 6: R8 *)
+
+let fetch fd =
+  let buf = Bytes.create 64 in
+  let n = read_all fd buf in
+  Bytes.sub_string buf 0 n
+
+let conns : Unix.file_descr list ref = ref []
+
+let dispatch fd =
+  List.iter ignore !conns; (* line 16: R8 (unbounded in the loop layer) *)
+  ignore (fetch fd)
+
+let loop listener =
+  while true do
+    let ready, _, _ = Unix.select [ listener ] [] [] 1.0 in
+    List.iter dispatch ready
+  done

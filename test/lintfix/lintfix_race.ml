@@ -1,0 +1,26 @@
+(* R7 fixtures: Sweep.map workers sharing top-level mutable state from
+   another unit — directly, and through a two-deep call chain.  The
+   Atomic counter is the sanctioned control. *)
+
+let race_direct points =
+  Sweep.map
+    (fun _obs x ->
+      Hashtbl.replace Lintfix_race_state.hits "direct" x; (* line 8: R7 *)
+      x)
+    points
+
+let race_transitive points =
+  Sweep.map
+    (fun _obs x ->
+      Lintfix_race_state.record "deep"; (* line 15: R7 (record -> bump -> hits) *)
+      x)
+    points
+
+let total = Atomic.make 0
+
+let atomic_ok points =
+  Sweep.map
+    (fun _obs x ->
+      Atomic.incr total;
+      x)
+    points

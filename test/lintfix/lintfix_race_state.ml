@@ -1,0 +1,11 @@
+(* R7 fixture state: a top-level mutable table, mutated two calls deep.
+   Lives in its own unit so the race in lintfix_race.ml is genuinely
+   cross-unit. *)
+
+let hits : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let bump key =
+  let n = Option.value ~default:0 (Hashtbl.find_opt hits key) in
+  Hashtbl.replace hits key (n + 1)
+
+let record key = bump key

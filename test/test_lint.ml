@@ -26,8 +26,16 @@ let key (f : Lint.finding) = (Lint.rule_name f.rule, f.file, f.line)
 
 let golden =
   [
+    ("R9", "test/lintfix/lintfix_clock.ml", 5);
+    ("R9", "test/lintfix/lintfix_clock.ml", 7);
+    ("R9", "test/lintfix/lintfix_clock.ml", 9);
+    ("R9", "test/lintfix/lintfix_clock.ml", 11);
     ("R6", "test/lintfix/lintfix_domain.ml", 10);
     ("R6", "test/lintfix/lintfix_domain.ml", 15);
+    ("R8", "test/lintfix/lintfix_evloop.ml", 6);
+    ("R8", "test/lintfix/lintfix_evloop.ml", 16);
+    ("R7", "test/lintfix/lintfix_race.ml", 8);
+    ("R7", "test/lintfix/lintfix_race.ml", 15);
     ("R1", "test/lintfix/lintfix_float.ml", 4);
     ("R1", "test/lintfix/lintfix_float.ml", 6);
     ("R1", "test/lintfix/lintfix_float.ml", 8);
@@ -173,9 +181,152 @@ let test_baseline_rejects_garbage () =
     match r with Error _ -> true | Ok _ -> false
   in
   Alcotest.(check bool) "missing justification" true (rejects "R1 a.ml:3\n");
-  Alcotest.(check bool) "unknown rule" true (rejects "R9 a.ml:3 because\n");
+  Alcotest.(check bool) "unknown rule" true (rejects "R99 a.ml:3 because\n");
   Alcotest.(check bool) "bad location" true (rejects "R1 a.ml:x because\n");
   Alcotest.(check bool) "bare word" true (rejects "nonsense\n")
+
+(* --- interprocedural engine --- *)
+
+(* A tiny hand-built program: f -> g -> state (a mutable global).  The
+   fix-points and chain renderers must agree with it exactly. *)
+
+let mkpos line = { Lint_interproc.line; col = 0 }
+let mkuse name = { Lint_interproc.u_name = name; u_pos = mkpos 1 }
+
+let mkdef ?mutable_ name refs =
+  {
+    Lint_interproc.d_name = name;
+    d_pos = mkpos 1;
+    d_refs = List.map mkuse refs;
+    d_blocking = [];
+    d_wall = [];
+    d_traversals = [];
+    d_alloc_loop = [];
+    d_mutable = mutable_;
+  }
+
+let tiny_summary =
+  {
+    Lint_interproc.s_source = "a.ml";
+    s_modname = "A";
+    s_defs =
+      [
+        mkdef ~mutable_:"ref" "A.state" [];
+        mkdef "A.g" [ "A.state" ];
+        mkdef "A.f" [ "A.g" ];
+        mkdef "A.clean" [ "A.unrelated" ];
+      ];
+    s_spawns = [];
+  }
+
+let tiny_db () = Lint_interproc.build [ tiny_summary ]
+
+module SS = Lint_interproc.SS
+
+let test_engine_transitive () =
+  let db = tiny_db () in
+  let seeds = SS.singleton "A.state" in
+  let tainted = Lint_interproc.transitive db ~seeds () in
+  Alcotest.(check (list string))
+    "taint climbs the call chain" [ "A.f"; "A.g" ] (SS.elements tainted);
+  let stopped =
+    Lint_interproc.transitive db ~seeds
+      ~stop:(fun _ d -> d.Lint_interproc.d_name = "A.g")
+      ()
+  in
+  Alcotest.(check (list string))
+    "a sanitizer stops propagation" [] (SS.elements stopped)
+
+let test_engine_witness () =
+  let db = tiny_db () in
+  let seeds = SS.singleton "A.state" in
+  let tainted = Lint_interproc.transitive db ~seeds () in
+  Alcotest.(check (option (list string)))
+    "shortest chain back to the seed"
+    (Some [ "A.f"; "A.g"; "A.state" ])
+    (Lint_interproc.witness db ~seeds ~tainted "A.f");
+  Alcotest.(check (option (list string)))
+    "untainted names have no witness" None
+    (Lint_interproc.witness db ~seeds ~tainted "A.clean")
+
+let test_engine_reachable () =
+  let db = tiny_db () in
+  let roots = SS.singleton "A.f" in
+  Alcotest.(check (list string))
+    "forward closure from the root"
+    [ "A.f"; "A.g"; "A.state" ]
+    (SS.elements (Lint_interproc.reachable db ~roots));
+  Alcotest.(check (option (list string)))
+    "call path for messages"
+    (Some [ "A.f"; "A.g"; "A.state" ])
+    (Lint_interproc.path_from db ~roots "A.state");
+  Alcotest.(check (option (list string)))
+    "unreachable names have no path" None
+    (Lint_interproc.path_from db ~roots "A.clean")
+
+let test_summary_json_roundtrip () =
+  let json =
+    Jsonx.of_string (Jsonx.to_string (Lint_interproc.summary_to_json tiny_summary))
+  in
+  match Lint_interproc.summary_of_json json with
+  | Some s ->
+    Alcotest.(check bool) "summary survives the cache format" true
+      (s = tiny_summary)
+  | None -> Alcotest.fail "summary_of_json rejected its own output"
+
+let interproc_rules = [ Lint.R6; Lint.R7; Lint.R8; Lint.R9 ]
+
+let golden_interproc =
+  List.filter
+    (fun (name, _, _) ->
+      List.mem name (List.map Lint.rule_name interproc_rules))
+    golden_sorted
+
+let run_cached path =
+  let cfg =
+    {
+      (config ~rules:interproc_rules ()) with
+      Lint_driver.summary_cache = Some path;
+    }
+  in
+  match Lint_driver.run cfg with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "cached lint run failed: %s" msg
+
+let test_summary_cache_roundtrip () =
+  let path = Filename.temp_file "drqos_lint" ".cache" in
+  Sys.remove path;
+  let cold = run_cached path in
+  Alcotest.(check bool) "cache file written" true (Sys.file_exists path);
+  let warm = run_cached path in
+  Alcotest.(check (list key_t))
+    "cold run produces the interprocedural goldens" golden_interproc
+    (List.sort compare (List.map key cold));
+  Alcotest.(check bool) "warm (cache-hit) run agrees exactly" true
+    (cold = warm);
+  (* A corrupted cache must degrade to a cold run, never to garbage. *)
+  let oc = open_out path in
+  output_string oc "{not json";
+  close_out oc;
+  let recovered = run_cached path in
+  Sys.remove path;
+  Alcotest.(check bool) "corrupt cache ignored" true (cold = recovered)
+
+let test_r8_roots_config () =
+  let with_roots r8_roots =
+    match
+      Lint_driver.run
+        { (config ~rules:[ Lint.R8 ] ()) with Lint_driver.r8_roots }
+    with
+    | Ok findings -> List.map key findings
+    | Error msg -> Alcotest.failf "lint run failed: %s" msg
+  in
+  Alcotest.(check (list key_t)) "no roots, no findings" [] (with_roots []);
+  Alcotest.(check bool)
+    "rooting at the loop itself flags its own select" true
+    (List.mem
+       ("R8", "test/lintfix/lintfix_evloop.ml", 21)
+       (with_roots [ "Lintfix_evloop.loop" ]))
 
 (* --- JSON report --- *)
 
@@ -225,6 +376,26 @@ let test_json_report_parses () =
     (Jsonx.member "clean" (Jsonx.of_string (Jsonx.to_string clean))
     = Some (Jsonx.Bool true))
 
+(* --- GitHub annotations --- *)
+
+let test_github_annotation () =
+  let f =
+    {
+      Lint.rule = Lint.R8;
+      file = "lib/a.ml";
+      line = 3;
+      col = 7;
+      message = "50% blocked: a,b\nnext";
+    }
+  in
+  Alcotest.(check string) "workflow command with escapes"
+    "::error file=lib/a.ml,line=3,col=7,title=R8::R8: 50%25 blocked: a,b%0Anext"
+    (Lint_driver.github_annotation f);
+  let w = { f with Lint.rule = Lint.R3; message = "partial" } in
+  Alcotest.(check string) "warnings map to ::warning"
+    "::warning file=lib/a.ml,line=3,col=7,title=R3::R3: partial"
+    (Lint_driver.github_annotation w)
+
 (* --- driver error reporting --- *)
 
 let test_missing_root_is_error () =
@@ -259,10 +430,26 @@ let () =
           Alcotest.test_case "rejects malformed entries" `Quick
             test_baseline_rejects_garbage;
         ] );
+      ( "engine",
+        [
+          Alcotest.test_case "backward taint fix-point" `Quick
+            test_engine_transitive;
+          Alcotest.test_case "witness chains" `Quick test_engine_witness;
+          Alcotest.test_case "forward reachability" `Quick
+            test_engine_reachable;
+          Alcotest.test_case "summary JSON round-trip" `Quick
+            test_summary_json_roundtrip;
+          Alcotest.test_case "summary cache round-trip" `Quick
+            test_summary_cache_roundtrip;
+          Alcotest.test_case "R8 roots are configurable" `Quick
+            test_r8_roots_config;
+        ] );
       ( "output",
         [
           Alcotest.test_case "JSON report parses with Jsonx" `Quick
             test_json_report_parses;
+          Alcotest.test_case "GitHub annotations" `Quick
+            test_github_annotation;
           Alcotest.test_case "missing root is an error" `Quick
             test_missing_root_is_error;
         ] );

@@ -393,12 +393,20 @@ let with_server f =
   let served =
     Domain.spawn (fun () -> Serve_server.run ~wall_every:0.05 (`Unix path) (ring_net ()))
   in
-  Fun.protect
-    ~finally:(fun () -> ignore (Domain.join served))
-    (fun () -> f path)
+  (* [join] waits for the server to finish shutting down — assertions
+     about post-shutdown state (the socket file, say) must run after it,
+     not merely after the [Shutting_down] reply arrives. *)
+  let joined = ref false in
+  let join () =
+    if not !joined then begin
+      joined := true;
+      ignore (Domain.join served)
+    end
+  in
+  Fun.protect ~finally:join (fun () -> f path join)
 
 let test_socket_session () =
-  with_server (fun path ->
+  with_server (fun path join ->
       let c = Serve_client.connect ~retries:50 (`Unix path) in
       (match Serve_client.request c Serve_proto.Ping with
       | Serve_proto.Pong -> ()
@@ -445,10 +453,11 @@ let test_socket_session () =
       | Serve_proto.Shutting_down -> ()
       | _ -> Alcotest.fail "shutdown not acknowledged");
       Serve_client.close c2;
+      join ();
       Alcotest.(check bool) "socket removed on shutdown" false (Sys.file_exists path))
 
 let test_socket_heartbeat_push () =
-  with_server (fun path ->
+  with_server (fun path _join ->
       let c = Serve_client.connect ~retries:50 (`Unix path) in
       (match Serve_client.request c (Serve_proto.Subscribe `Heartbeat) with
       | Serve_proto.Subscribed { stream } ->
@@ -471,7 +480,7 @@ let test_socket_heartbeat_push () =
       Serve_client.close c)
 
 let test_socket_garbage_line () =
-  with_server (fun path ->
+  with_server (fun path _join ->
       let c = Serve_client.connect ~retries:50 (`Unix path) in
       (* Raw socket abuse: an undecodable line must produce an id-0
          error reply, not kill the connection. *)
@@ -494,6 +503,70 @@ let test_socket_garbage_line () =
       | Serve_proto.Shutting_down -> ()
       | _ -> Alcotest.fail "shutdown not acknowledged");
       Serve_client.close c)
+
+(* Regression for the event-loop blocking fix (lint R8): replies and
+   broadcasts are queued per connection and written by the select loop,
+   so a subscriber that stops reading stalls only itself.  Once its
+   backlog passes max_pending_bytes it is reaped, while a responsive
+   client on the same daemon keeps getting replies throughout. *)
+let test_socket_slow_subscriber_reaped () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "drqos-serve-slow-%d.sock" (Unix.getpid ()))
+  in
+  let served =
+    Domain.spawn (fun () ->
+        Serve_server.run ~wall_every:10. ~max_pending_bytes:2048 (`Unix path)
+          (ring_net ()))
+  in
+  Fun.protect ~finally:(fun () -> ignore (Domain.join served))
+  @@ fun () ->
+  (* The stalled subscriber: asks for the trace stream, then never reads
+     its socket again. *)
+  let s = Serve_client.connect ~retries:50 (`Unix path) in
+  (match Serve_client.request s (Serve_proto.Subscribe `Trace) with
+  | Serve_proto.Subscribed _ -> ()
+  | _ -> Alcotest.fail "subscribe failed");
+  let reaped_count c =
+    match Serve_client.request c Serve_proto.Metrics with
+    | Serve_proto.Metrics_reply doc ->
+      Option.value ~default:0
+        (Option.bind
+           (Option.bind (Jsonx.member "counters" doc)
+              (Jsonx.member "serve.reaped"))
+           Jsonx.to_int)
+    | _ -> Alcotest.fail "metrics request failed"
+  in
+  (* A responsive client hammers mutations; each one is pushed to the
+     subscriber, whose backlog (kernel buffer, then output queue) can
+     only grow until the cap cuts it loose. *)
+  let c = Serve_client.connect (`Unix path) in
+  let reaped = ref false in
+  let i = ref 0 in
+  while (not !reaped) && !i < 20_000 do
+    incr i;
+    (match
+       Serve_client.request c (Serve_proto.Admit { src = 0; dst = 2; qos = qos_a })
+     with
+    | Serve_proto.Admitted { channel; _ } -> (
+      match Serve_client.request c (Serve_proto.Teardown { channel }) with
+      | Serve_proto.Torn_down _ -> ()
+      | _ -> Alcotest.fail "teardown failed mid-hammer")
+    | _ -> Alcotest.fail "admit failed mid-hammer");
+    if !i mod 50 = 0 then reaped := reaped_count c > 0
+  done;
+  Alcotest.(check bool) "stalled subscriber reaped at the backlog cap" true
+    !reaped;
+  (* The responsive client never noticed. *)
+  (match Serve_client.request c Serve_proto.Ping with
+  | Serve_proto.Pong -> ()
+  | _ -> Alcotest.fail "responsive client lost its connection");
+  (match Serve_client.request c Serve_proto.Shutdown with
+  | Serve_proto.Shutting_down -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  Serve_client.close c;
+  Serve_client.close s
 
 (* ------------------------------------------------------------------ *)
 (* Request tracing                                                     *)
@@ -681,6 +754,8 @@ let () =
             test_socket_heartbeat_push;
           Alcotest.test_case "garbage line does not kill the connection" `Slow
             test_socket_garbage_line;
+          Alcotest.test_case "slow subscriber is reaped, others unaffected"
+            `Slow test_socket_slow_subscriber_reaped;
         ] );
       ( "reqtrace",
         [
